@@ -1,0 +1,140 @@
+//! Micro-benchmarks of the packet-processing hot paths: per-packet costs
+//! of the dataplane emulator (split pass, merge pass, baseline L2), the
+//! parser, checksums, and the Maglev lookup. These are ablation-style
+//! measurements of the reproduction itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use payloadpark::program::{build_baseline_switch, build_switch};
+use payloadpark::ParkConfig;
+use pp_packet::builder::UdpPacketBuilder;
+use pp_packet::checksum::checksum;
+use pp_packet::crc::tag_crc;
+use pp_packet::parse::{FiveTuple, ParsedPacket};
+use pp_packet::MacAddr;
+use pp_rmt::chip::ChipProfile;
+use pp_rmt::parser::{parse_packet, ParserConfig};
+use pp_rmt::PortId;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_packet_primitives(c: &mut Criterion) {
+    let pkt = UdpPacketBuilder::new().total_size(512, 7).build();
+    let mut g = c.benchmark_group("packet");
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("parse_512B", |b| {
+        b.iter(|| black_box(ParsedPacket::parse(pkt.bytes()).unwrap().five_tuple()))
+    });
+    g.bench_function("checksum_512B", |b| b.iter(|| black_box(checksum(pkt.bytes()))));
+    g.bench_function("tag_crc", |b| b.iter(|| black_box(tag_crc(1234, 5678))));
+    g.bench_function("build_512B", |b| {
+        b.iter(|| black_box(UdpPacketBuilder::new().total_size(512, 7).build().len()))
+    });
+    g.finish();
+}
+
+fn bench_rmt_parser(c: &mut Criterion) {
+    let pkt = UdpPacketBuilder::new().total_size(512, 7).build();
+    let l2 = ParserConfig::l2_only();
+    let split = {
+        let mut p = ParserConfig { phv_block_capacity: 10, ..Default::default() };
+        p.block_rules.insert(0, pp_rmt::BlockRule { blocks: 10, min_payload: 160 });
+        p
+    };
+    let mut g = c.benchmark_group("rmt_parser");
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("parse_l2", |b| {
+        b.iter(|| black_box(parse_packet(&l2, pkt.bytes(), PortId(0), 0).unwrap().body.len()))
+    });
+    g.bench_function("parse_split_blocks", |b| {
+        b.iter(|| {
+            black_box(
+                parse_packet(&split, pkt.bytes(), PortId(0), 0).unwrap().valid_block_bytes(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_switch_passes(c: &mut Criterion) {
+    let chip = ChipProfile::default();
+    let server_mac = MacAddr::from_index(100);
+    let sink_mac = MacAddr::from_index(200);
+    let pkt = UdpPacketBuilder::new().dst_mac(server_mac).total_size(512, 7).build();
+
+    let mut baseline = build_baseline_switch(chip).unwrap();
+    baseline.l2_add(server_mac, PortId(2));
+    baseline.l2_add(sink_mac, PortId(3));
+
+    let cfg = ParkConfig::single_server(chip, vec![0, 1], 2, 4096);
+    let (mut park, _) = build_switch(&cfg).unwrap();
+    park.l2_add(server_mac, PortId(2));
+    park.l2_add(sink_mac, PortId(3));
+
+    let mut g = c.benchmark_group("switch");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("baseline_l2_pass", |b| {
+        b.iter(|| black_box(baseline.process(pkt.bytes(), PortId(0), 0).len()))
+    });
+    g.bench_function("split_then_merge", |b| {
+        b.iter(|| {
+            let out = park.process(pkt.bytes(), PortId(0), 0);
+            let mut back = out[0].bytes.clone();
+            back[0..6].copy_from_slice(&sink_mac.0);
+            black_box(park.process(&back, PortId(2), 0).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_nfs(c: &mut Criterion) {
+    use pp_nf::chain::Nf;
+    use pp_nf::nfs::maglev::{Backend, MaglevLb};
+    use pp_nf::nfs::{Firewall, Nat};
+
+    let mut g = c.benchmark_group("nfs");
+    g.throughput(Throughput::Elements(1));
+
+    let mut fw = Firewall::with_rule_count(20);
+    let mut fw_pkt = UdpPacketBuilder::new().total_size(512, 1).build();
+    g.bench_function("firewall_20_rules", |b| b.iter(|| black_box(fw.process(&mut fw_pkt).cycles)));
+
+    let mut nat = Nat::new(Ipv4Addr::new(198, 51, 100, 1));
+    let mut nat_pkt = UdpPacketBuilder::new().total_size(512, 1).build();
+    g.bench_function("nat_flow_hit", |b| b.iter(|| black_box(nat.process(&mut nat_pkt).cycles)));
+
+    let lb = MaglevLb::with_table_size(
+        (0..8)
+            .map(|i| Backend {
+                name: format!("b{i}"),
+                ip: Ipv4Addr::new(10, 50, 0, i as u8 + 1),
+            })
+            .collect(),
+        65_537,
+    );
+    let ft = FiveTuple {
+        src_ip: Ipv4Addr::new(9, 9, 9, 9),
+        dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+        src_port: 77,
+        dst_port: 80,
+        protocol: 17,
+    };
+    g.bench_function("maglev_lookup", |b| b.iter(|| black_box(lb.backend_for(&ft).ip)));
+    g.bench_function("maglev_table_build_8x65537", |b| {
+        b.iter(|| {
+            let lb = MaglevLb::with_table_size(
+                (0..8)
+                    .map(|i| Backend {
+                        name: format!("b{i}"),
+                        ip: Ipv4Addr::new(10, 50, 0, i as u8 + 1),
+                    })
+                    .collect(),
+                65_537,
+            );
+            black_box(lb.slot_distribution().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(hotpaths, bench_packet_primitives, bench_rmt_parser, bench_switch_passes, bench_nfs);
+criterion_main!(hotpaths);

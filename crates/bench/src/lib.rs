@@ -1,0 +1,14 @@
+//! Criterion benchmark harness.
+//!
+//! `benches/figures.rs` wraps every experiment runner of `pp-harness` (one
+//! Criterion group per paper figure/table) at `Quick` effort, so
+//! `cargo bench` regenerates each series in bounded time and tracks the
+//! simulator's own performance run-over-run. `benches/hotpaths.rs` micro-
+//! benchmarks the packet-processing primitives (parser, split/merge pass,
+//! Maglev lookup, checksum).
+//!
+//! The full-effort sweeps — the numbers quoted in EXPERIMENTS.md — come
+//! from `cargo run --release -p pp-harness --bin pp-exp -- all`.
+
+/// Re-exported for the bench targets.
+pub use pp_harness::experiments;

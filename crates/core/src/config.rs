@@ -1,0 +1,347 @@
+//! PayloadPark deployment configuration.
+//!
+//! A deployment enables PayloadPark on one or more pipes of the switch.
+//! Within a pipe, the reserved memory can be *sliced* among several NF
+//! servers (paper §6.2.3: static slicing for performance isolation); each
+//! slice owns a contiguous range of lookup-table slots and its own set of
+//! split/merge ports.
+
+use pp_rmt::chip::ChipProfile;
+use pp_rmt::phv::BLOCK_BYTES;
+use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
+
+/// Metadata bytes per lookup-table slot (16-bit generation clock + 16-bit
+/// expiry threshold, Fig. 4).
+pub const META_ENTRY_BYTES: usize = 4;
+
+/// One NF server's share of a pipe's lookup table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Ports whose ingress traffic is split (the traffic-generator side;
+    /// the paper uses two generator ports to saturate one server, §6.1).
+    pub split_ports: Vec<u16>,
+    /// Ports whose ingress traffic is merged (the NF-server side).
+    pub merge_ports: Vec<u16>,
+    /// Lookup-table slots reserved for this slice.
+    pub slots: usize,
+}
+
+/// Per-pipe PayloadPark deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipePark {
+    /// The pipe index this configuration programs.
+    pub pipe: usize,
+    /// Memory slices (one per NF server sharing the pipe).
+    pub slices: Vec<SliceSpec>,
+    /// When set, payload beyond the primary 160 bytes is striped into this
+    /// *annex* pipe via recirculation (paper §6.2.5), raising the parked
+    /// capacity from 160 to 384 bytes.
+    pub annex_pipe: Option<usize>,
+}
+
+impl PipePark {
+    /// Total lookup-table slots across all slices of this pipe.
+    pub fn total_slots(&self) -> usize {
+        self.slices.iter().map(|s| s.slots).sum()
+    }
+}
+
+/// Complete deployment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParkConfig {
+    /// The chip to compile against.
+    pub chip: ChipProfile,
+    /// Expiry threshold written at Split time (the paper's `MAX_EXP`;
+    /// macro-benchmarks use 1, Fig. 12 explores 2 and 10).
+    pub expiry_threshold: u16,
+    /// Payload blocks parked in the primary pipe (10 × 16 B = 160 B).
+    pub primary_blocks: usize,
+    /// Additional blocks parked in the annex pipe when recirculation is on
+    /// (14 × 16 B = 224 B, for 384 B total).
+    pub annex_blocks: usize,
+    /// Per-pipe deployments.
+    pub pipes: Vec<PipePark>,
+}
+
+impl ParkConfig {
+    /// A single-server deployment on pipe 0 with the paper's defaults:
+    /// 160-byte parking, expiry threshold 1.
+    pub fn single_server(chip: ChipProfile, split_ports: Vec<u16>, merge_port: u16, slots: usize) -> Self {
+        ParkConfig {
+            chip,
+            expiry_threshold: 1,
+            primary_blocks: 10,
+            annex_blocks: 14,
+            pipes: vec![PipePark {
+                pipe: 0,
+                slices: vec![SliceSpec {
+                    name: "server0".into(),
+                    split_ports,
+                    merge_ports: vec![merge_port],
+                    slots,
+                }],
+                annex_pipe: None,
+            }],
+        }
+    }
+
+    /// Bytes of payload parked per packet.
+    pub fn capacity_bytes(&self, pipe_cfg: &PipePark) -> usize {
+        let annex = if pipe_cfg.annex_pipe.is_some() { self.annex_blocks } else { 0 };
+        (self.primary_blocks + annex) * BLOCK_BYTES
+    }
+
+    /// Minimum UDP payload size for the Split operation (§5: splitting
+    /// smaller payloads would waste a whole slot).
+    pub fn min_split_payload(&self, pipe_cfg: &PipePark) -> usize {
+        self.capacity_bytes(pipe_cfg)
+    }
+
+    /// Bytes the Split operation removes from the wire packet: the parked
+    /// payload minus the inserted PayloadPark header.
+    pub fn wire_savings_bytes(&self, pipe_cfg: &PipePark) -> usize {
+        self.capacity_bytes(pipe_cfg) - PAYLOADPARK_HEADER_LEN
+    }
+
+    /// SRAM bytes one lookup-table slot costs in the *primary* pipe
+    /// (payload blocks striped across stages + the metadata entry).
+    pub fn slot_cost_primary_bytes(&self) -> usize {
+        self.primary_blocks * BLOCK_BYTES + META_ENTRY_BYTES
+    }
+
+    /// SRAM bytes one slot costs in the annex pipe.
+    pub fn slot_cost_annex_bytes(&self) -> usize {
+        self.annex_blocks * BLOCK_BYTES
+    }
+
+    /// Number of slots that fit in `fraction` of one pipe's stage SRAM —
+    /// how the paper's "x % of switch memory" maps to table sizes (Fig. 14
+    /// sweeps this).
+    pub fn slots_for_sram_fraction(&self, fraction: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let budget = self.chip.pipe_sram_bytes() as f64 * fraction;
+        (budget / self.slot_cost_primary_bytes() as f64).floor() as usize
+    }
+
+    /// The fraction of one pipe's stage SRAM a slot count consumes.
+    pub fn sram_fraction_for_slots(&self, slots: usize) -> f64 {
+        (slots * self.slot_cost_primary_bytes()) as f64 / self.chip.pipe_sram_bytes() as f64
+    }
+
+    /// Validates the configuration; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        self.chip.validate()?;
+        if self.pipes.is_empty() {
+            return Err("no pipes configured".into());
+        }
+        if self.expiry_threshold == 0 {
+            return Err("expiry threshold must be >= 1".into());
+        }
+        if self.primary_blocks == 0 {
+            return Err("primary_blocks must be >= 1".into());
+        }
+        let mut used_pipes = std::collections::BTreeSet::new();
+        let mut used_ports = std::collections::BTreeSet::new();
+        for pipe_cfg in &self.pipes {
+            if pipe_cfg.pipe >= self.chip.pipes {
+                return Err(format!("pipe {} beyond chip", pipe_cfg.pipe));
+            }
+            if !used_pipes.insert(pipe_cfg.pipe) {
+                return Err(format!("pipe {} configured twice", pipe_cfg.pipe));
+            }
+            if pipe_cfg.slices.is_empty() {
+                return Err(format!("pipe {}: no slices", pipe_cfg.pipe));
+            }
+            if pipe_cfg.total_slots() > usize::from(u16::MAX) + 1 {
+                return Err(format!(
+                    "pipe {}: {} slots exceed the 16-bit table index",
+                    pipe_cfg.pipe,
+                    pipe_cfg.total_slots()
+                ));
+            }
+            for slice in &pipe_cfg.slices {
+                if slice.slots == 0 {
+                    return Err(format!("slice {}: zero slots", slice.name));
+                }
+                if slice.split_ports.is_empty() || slice.merge_ports.is_empty() {
+                    return Err(format!("slice {}: needs split and merge ports", slice.name));
+                }
+                for &p in slice.split_ports.iter().chain(&slice.merge_ports) {
+                    if self.chip.pipe_of(pp_rmt::chip::PortId(p)) != pipe_cfg.pipe {
+                        return Err(format!(
+                            "slice {}: port {p} not on pipe {}",
+                            slice.name, pipe_cfg.pipe
+                        ));
+                    }
+                    if !used_ports.insert(p) {
+                        return Err(format!("port {p} used by more than one role"));
+                    }
+                }
+            }
+            if let Some(annex) = pipe_cfg.annex_pipe {
+                if annex >= self.chip.pipes {
+                    return Err(format!("annex pipe {annex} beyond chip"));
+                }
+                if annex == pipe_cfg.pipe {
+                    return Err("annex pipe must differ from the primary pipe".into());
+                }
+                if pipe_cfg.slices.len() != 1 {
+                    return Err("recirculation supports a single slice per pipe".into());
+                }
+                if self.annex_blocks == 0 {
+                    return Err("annex_blocks must be >= 1 with recirculation".into());
+                }
+            }
+        }
+        // Annex pipes must not also run a primary deployment.
+        for pipe_cfg in &self.pipes {
+            if let Some(annex) = pipe_cfg.annex_pipe {
+                if used_pipes.contains(&annex) {
+                    return Err(format!("annex pipe {annex} already runs PayloadPark"));
+                }
+            }
+        }
+        // Per-pipe memory feasibility is enforced precisely by the program
+        // builder (per-stage budgets); here we do a coarse sanity check.
+        for pipe_cfg in &self.pipes {
+            let bytes = pipe_cfg.total_slots() * self.slot_cost_primary_bytes();
+            if bytes as u64 > self.chip.pipe_sram_bytes() {
+                return Err(format!(
+                    "pipe {}: table needs {bytes} B, pipe has {} B",
+                    pipe_cfg.pipe,
+                    self.chip.pipe_sram_bytes()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ParkConfig {
+        ParkConfig::single_server(ChipProfile::default(), vec![0, 1], 2, 1024)
+    }
+
+    #[test]
+    fn single_server_default_is_valid() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_and_savings() {
+        let cfg = base();
+        let pipe = &cfg.pipes[0];
+        assert_eq!(cfg.capacity_bytes(pipe), 160);
+        assert_eq!(cfg.min_split_payload(pipe), 160);
+        assert_eq!(cfg.wire_savings_bytes(pipe), 153);
+        assert_eq!(cfg.slot_cost_primary_bytes(), 164);
+    }
+
+    #[test]
+    fn recirculation_raises_capacity_to_384() {
+        let mut cfg = base();
+        cfg.pipes[0].annex_pipe = Some(1);
+        let pipe = cfg.pipes[0].clone();
+        assert_eq!(cfg.capacity_bytes(&pipe), 384);
+        assert_eq!(cfg.min_split_payload(&pipe), 384);
+        assert_eq!(cfg.wire_savings_bytes(&pipe), 377);
+        assert_eq!(cfg.slot_cost_annex_bytes(), 224);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn sram_fraction_roundtrip() {
+        let cfg = base();
+        let slots = cfg.slots_for_sram_fraction(0.26);
+        // 26% of ~3.8 MB / 164 B/slot ≈ 6.2k slots.
+        assert!((6_000..6_500).contains(&slots), "slots {slots}");
+        let frac = cfg.sram_fraction_for_slots(slots);
+        assert!((frac - 0.26).abs() < 0.001);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = base();
+        c.expiry_threshold = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.pipes.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.pipes[0].slices[0].slots = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.pipes[0].slices[0].split_ports = vec![20]; // pipe 1 port
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.pipes[0].slices[0].merge_ports = vec![0]; // duplicate of split port
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.pipes[0].annex_pipe = Some(0); // same pipe
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.pipes[0].slices[0].slots = 70_000; // exceeds 16-bit index
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_pipes_and_annex_conflicts() {
+        let mut c = base();
+        c.pipes.push(c.pipes[0].clone());
+        assert!(c.validate().is_err());
+
+        // Annex pipe that also runs a primary deployment.
+        let mut c = base();
+        let mut second = PipePark {
+            pipe: 1,
+            slices: vec![SliceSpec {
+                name: "server1".into(),
+                split_ports: vec![16],
+                merge_ports: vec![17],
+                slots: 64,
+            }],
+            annex_pipe: None,
+        };
+        std::mem::swap(&mut second, &mut c.pipes[0]);
+        c.pipes.push(second);
+        c.pipes[1].annex_pipe = Some(1); // annex == pipe 1 which is primary
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn multi_slice_pipe_is_valid() {
+        let mut c = base();
+        c.pipes[0].slices.push(SliceSpec {
+            name: "server1".into(),
+            split_ports: vec![4, 5],
+            merge_ports: vec![6],
+            slots: 2048,
+        });
+        c.validate().unwrap();
+        assert_eq!(c.pipes[0].total_slots(), 1024 + 2048);
+    }
+
+    #[test]
+    fn recirculation_rejects_multi_slice() {
+        let mut c = base();
+        c.pipes[0].slices.push(SliceSpec {
+            name: "server1".into(),
+            split_ports: vec![4],
+            merge_ports: vec![5],
+            slots: 64,
+        });
+        c.pipes[0].annex_pipe = Some(1);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! The monitoring counters of the PayloadPark prototype (paper §5).
+//!
+//! The paper maintains eight counters; this reproduction adds a ninth
+//! (`crc_fail`) for tags that fail CRC validation, which subsumes corrupted
+//! and forged headers.
+
+use pp_rmt::pipeline::Pipeline;
+
+/// Counter index: successful Split operations.
+pub const C_SPLITS: usize = 0;
+/// Counter index: successful Merge operations.
+pub const C_MERGES: usize = 1;
+/// Counter index: Explicit Drop operations (§6.2.4).
+pub const C_EXPLICIT_DROPS: usize = 2;
+/// Counter index: payload evictions (expiry threshold reached zero).
+pub const C_EVICTIONS: usize = 3;
+/// Counter index: Merge requests whose payload was prematurely evicted.
+pub const C_PREMATURE_EVICTIONS: usize = 4;
+/// Counter index: packets returning from the NF server with Split disabled
+/// (ENB bit zero).
+pub const C_ENB0_FROM_SERVER: usize = 5;
+/// Counter index: Split disabled because the payload was under the minimum.
+pub const C_DISABLED_SMALL_PAYLOAD: usize = 6;
+/// Counter index: Split disabled because the probed slot was occupied.
+pub const C_DISABLED_OCCUPIED: usize = 7;
+/// Counter index: Merge requests whose tag failed CRC validation.
+pub const C_CRC_FAIL: usize = 8;
+
+/// Counter names in index order; the program registers them in this order so
+/// the `C_*` indices are valid inside actions.
+pub const COUNTER_NAMES: [&str; 9] = [
+    "splits",
+    "merges",
+    "explicit_drops",
+    "evictions",
+    "premature_evictions",
+    "enb0_from_server",
+    "disabled_small_payload",
+    "disabled_occupied",
+    "crc_fail",
+];
+
+/// A control-plane snapshot of one pipe's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Successful Split operations.
+    pub splits: u64,
+    /// Successful Merge operations.
+    pub merges: u64,
+    /// Explicit Drop operations.
+    pub explicit_drops: u64,
+    /// Payload evictions by the expiry mechanism.
+    pub evictions: u64,
+    /// Merges that found their payload prematurely evicted (packet dropped).
+    pub premature_evictions: u64,
+    /// Split-disabled packets returning from the NF server.
+    pub enb0_from_server: u64,
+    /// Splits skipped: payload under the minimum size.
+    pub disabled_small_payload: u64,
+    /// Splits skipped: probed slot occupied.
+    pub disabled_occupied: u64,
+    /// Merge tags failing CRC validation.
+    pub crc_fail: u64,
+}
+
+impl CounterSnapshot {
+    /// Reads a snapshot from a pipeline's counter block.
+    pub fn read(pipe: &Pipeline) -> Self {
+        CounterSnapshot {
+            splits: pipe.counter(COUNTER_NAMES[C_SPLITS]),
+            merges: pipe.counter(COUNTER_NAMES[C_MERGES]),
+            explicit_drops: pipe.counter(COUNTER_NAMES[C_EXPLICIT_DROPS]),
+            evictions: pipe.counter(COUNTER_NAMES[C_EVICTIONS]),
+            premature_evictions: pipe.counter(COUNTER_NAMES[C_PREMATURE_EVICTIONS]),
+            enb0_from_server: pipe.counter(COUNTER_NAMES[C_ENB0_FROM_SERVER]),
+            disabled_small_payload: pipe.counter(COUNTER_NAMES[C_DISABLED_SMALL_PAYLOAD]),
+            disabled_occupied: pipe.counter(COUNTER_NAMES[C_DISABLED_OCCUPIED]),
+            crc_fail: pipe.counter(COUNTER_NAMES[C_CRC_FAIL]),
+        }
+    }
+
+    /// Outstanding parked payloads implied by the counters: splits minus
+    /// everything that reclaimed a slot.
+    pub fn outstanding(&self) -> i64 {
+        self.splits as i64
+            - self.merges as i64
+            - self.explicit_drops as i64
+            - self.evictions as i64
+    }
+
+    /// True when the deployment behaved functionally equivalently to the
+    /// baseline: no payload was lost to premature eviction (§6.2.6 requires
+    /// zero premature evictions).
+    pub fn functionally_equivalent(&self) -> bool {
+        self.premature_evictions == 0 && self.crc_fail == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_indices() {
+        assert_eq!(COUNTER_NAMES[C_SPLITS], "splits");
+        assert_eq!(COUNTER_NAMES[C_MERGES], "merges");
+        assert_eq!(COUNTER_NAMES[C_EXPLICIT_DROPS], "explicit_drops");
+        assert_eq!(COUNTER_NAMES[C_EVICTIONS], "evictions");
+        assert_eq!(COUNTER_NAMES[C_PREMATURE_EVICTIONS], "premature_evictions");
+        assert_eq!(COUNTER_NAMES[C_ENB0_FROM_SERVER], "enb0_from_server");
+        assert_eq!(COUNTER_NAMES[C_DISABLED_SMALL_PAYLOAD], "disabled_small_payload");
+        assert_eq!(COUNTER_NAMES[C_DISABLED_OCCUPIED], "disabled_occupied");
+        assert_eq!(COUNTER_NAMES[C_CRC_FAIL], "crc_fail");
+    }
+
+    #[test]
+    fn outstanding_arithmetic() {
+        let snap = CounterSnapshot {
+            splits: 100,
+            merges: 60,
+            explicit_drops: 10,
+            evictions: 5,
+            ..Default::default()
+        };
+        assert_eq!(snap.outstanding(), 25);
+    }
+
+    #[test]
+    fn functional_equivalence_requires_zero_premature() {
+        let mut snap = CounterSnapshot::default();
+        assert!(snap.functionally_equivalent());
+        snap.premature_evictions = 1;
+        assert!(!snap.functionally_equivalent());
+        snap.premature_evictions = 0;
+        snap.crc_fail = 1;
+        assert!(!snap.functionally_equivalent());
+    }
+}

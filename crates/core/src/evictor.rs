@@ -1,0 +1,188 @@
+//! Adaptive payload-eviction policy (paper §7, "Adaptive payload eviction
+//! policy").
+//!
+//! The prototype tracks premature evictions with a counter; the paper
+//! suggests using it to retune the expiry threshold at runtime: "start
+//! with an aggressive payload eviction policy and dynamically switch to a
+//! conservative eviction policy when payload evictions exceed a predefined
+//! threshold." [`AdaptivePolicy`] implements exactly that control loop
+//! over the live threshold exposed by
+//! [`PipeHandles::expiry`](crate::program::PipeHandles).
+
+use crate::counters::CounterSnapshot;
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+
+/// Configuration of the adaptive policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Most aggressive threshold the controller will set (paper: 1).
+    pub min_expiry: u16,
+    /// Most conservative threshold it will set (paper experiments with 10).
+    pub max_expiry: u16,
+    /// Premature evictions per observation interval that trigger a step
+    /// toward the conservative end.
+    pub premature_tolerance: u64,
+    /// Disabled-split (occupied) events per interval that trigger a step
+    /// back toward the aggressive end: a clogged table means payloads live
+    /// too long.
+    pub occupied_tolerance: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_expiry: 1,
+            max_expiry: 10,
+            premature_tolerance: 0,
+            occupied_tolerance: 64,
+        }
+    }
+}
+
+/// The control loop. Call [`AdaptivePolicy::observe`] periodically with a
+/// fresh counter snapshot; it compares against the previous snapshot and
+/// nudges the live expiry threshold.
+#[derive(Debug)]
+pub struct AdaptivePolicy {
+    config: AdaptiveConfig,
+    expiry: Arc<AtomicU16>,
+    last: CounterSnapshot,
+    adjustments: u64,
+}
+
+impl AdaptivePolicy {
+    /// Wraps the live threshold of a deployed pipe.
+    ///
+    /// Panics if the configured bounds are inverted or zero — a controller
+    /// that can set expiry 0 would corrupt the metadata-table encoding
+    /// (0 means "slot free").
+    pub fn new(expiry: Arc<AtomicU16>, config: AdaptiveConfig) -> Self {
+        assert!(config.min_expiry >= 1, "expiry 0 would mark slots free");
+        assert!(config.min_expiry <= config.max_expiry, "inverted bounds");
+        AdaptivePolicy { config, expiry, last: CounterSnapshot::default(), adjustments: 0 }
+    }
+
+    /// The threshold currently in force.
+    pub fn current(&self) -> u16 {
+        self.expiry.load(Ordering::Relaxed)
+    }
+
+    /// Number of threshold changes made so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Feeds one observation interval's counters; returns the (possibly
+    /// new) threshold.
+    ///
+    /// Premature evictions mean live payloads are being aged out too
+    /// eagerly → raise the threshold (more conservative). A clogged table
+    /// (splits refused because slots stay occupied) without premature
+    /// evictions means dead payloads are overstaying → lower it.
+    pub fn observe(&mut self, now: CounterSnapshot) -> u16 {
+        let premature =
+            now.premature_evictions.saturating_sub(self.last.premature_evictions);
+        let occupied = now.disabled_occupied.saturating_sub(self.last.disabled_occupied);
+        self.last = now;
+
+        let cur = self.current();
+        let next = if premature > self.config.premature_tolerance {
+            cur.saturating_add(1).min(self.config.max_expiry)
+        } else if occupied > self.config.occupied_tolerance {
+            cur.saturating_sub(1).max(self.config.min_expiry)
+        } else {
+            cur
+        };
+        if next != cur {
+            self.expiry.store(next, Ordering::Relaxed);
+            self.adjustments += 1;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(premature: u64, occupied: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            premature_evictions: premature,
+            disabled_occupied: occupied,
+            ..Default::default()
+        }
+    }
+
+    fn policy(start: u16) -> AdaptivePolicy {
+        AdaptivePolicy::new(Arc::new(AtomicU16::new(start)), AdaptiveConfig::default())
+    }
+
+    #[test]
+    fn premature_evictions_raise_threshold() {
+        let mut p = policy(1);
+        assert_eq!(p.observe(snapshot(5, 0)), 2);
+        assert_eq!(p.observe(snapshot(9, 0)), 3);
+        assert_eq!(p.current(), 3);
+        assert_eq!(p.adjustments(), 2);
+    }
+
+    #[test]
+    fn clogged_table_lowers_threshold() {
+        let mut p = policy(10);
+        assert_eq!(p.observe(snapshot(0, 1000)), 9);
+        assert_eq!(p.observe(snapshot(0, 2000)), 8);
+    }
+
+    #[test]
+    fn quiet_intervals_hold_steady() {
+        let mut p = policy(4);
+        for _ in 0..5 {
+            assert_eq!(p.observe(snapshot(0, 0)), 4);
+        }
+        assert_eq!(p.adjustments(), 0);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut p = policy(10);
+        // Already at max: premature evictions cannot push it further.
+        assert_eq!(p.observe(snapshot(100, 0)), 10);
+        let mut p = policy(1);
+        // Already at min: clogging cannot push below 1.
+        assert_eq!(p.observe(snapshot(0, 1_000_000)), 1);
+    }
+
+    #[test]
+    fn deltas_not_absolutes_drive_decisions() {
+        let mut p = policy(5);
+        p.observe(snapshot(10, 0)); // 5 -> 6
+        // Same cumulative counters again: delta zero, no change.
+        assert_eq!(p.observe(snapshot(10, 0)), 6);
+    }
+
+    #[test]
+    fn premature_wins_over_clogging() {
+        // Both symptoms at once: protecting live payloads takes priority.
+        let mut p = policy(5);
+        assert_eq!(p.observe(snapshot(10, 10_000)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots free")]
+    fn zero_min_expiry_rejected() {
+        AdaptivePolicy::new(
+            Arc::new(AtomicU16::new(1)),
+            AdaptiveConfig { min_expiry: 0, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn shared_atomic_is_visible_to_the_program() {
+        let shared = Arc::new(AtomicU16::new(1));
+        let mut p = AdaptivePolicy::new(shared.clone(), AdaptiveConfig::default());
+        p.observe(snapshot(1, 0));
+        // The dataplane-side handle sees the new threshold.
+        assert_eq!(shared.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,654 @@
+//! The PayloadPark dataplane program.
+//!
+//! This module compiles the paper's Algorithms 1 (Split) and 2 (Merge) into
+//! match-action tables on the `pp-rmt` emulator, stage for stage:
+//!
+//! ```text
+//! stage 0   slice_select (port → memory slice)        [split side]
+//!           tagger_ti, tagger_clk (Alg.1 stage 1, keyed on ingress port)
+//!           merge_strip_disabled (ENB=0 → remove hdr) [merge, Alg.2 st.1]
+//! stage 1   split_probe   (Alg.1 st.2: probe metadata table, evict/occupy)
+//!           split_small   (payload < minimum → disabled header, §5)
+//!           merge_validate (Alg.2 st.2: CRC + generation check, reclaim)
+//! stage 2+  payload_block_j arrays with split_store_j / merge_load_j MATs
+//!           (Alg.1/2 stages 3..N: one block per stage, Fig. 4)
+//! ```
+//!
+//! (The paper numbers stages from 1; this implementation is 0-based, so its
+//! stages 1..3 appear here as 0..2.)
+//!
+//! With recirculation (§6.2.5) the *annex* pipe parks 14 further blocks:
+//! split packets recirculate on channel 0 (store), merge packets on channel
+//! 1 (load), with direction-specific parsing.
+//!
+//! Every stateful access is a single read-modify-write of one register cell
+//! per MAT per packet — the restriction that dictates the circular-buffer
+//! design and the fall-back-to-baseline behaviour (§4).
+
+use crate::config::{ParkConfig, PipePark, META_ENTRY_BYTES};
+use crate::counters::{
+    COUNTER_NAMES, C_CRC_FAIL, C_DISABLED_OCCUPIED, C_DISABLED_SMALL_PAYLOAD, C_ENB0_FROM_SERVER,
+    C_EVICTIONS, C_EXPLICIT_DROPS, C_MERGES, C_PREMATURE_EVICTIONS, C_SPLITS,
+};
+use pp_packet::crc::tag_crc;
+use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
+use pp_rmt::chip::ChipProfile;
+use pp_rmt::mat::{Mat, MatFootprint, MatchKind};
+use pp_rmt::parser::{BlockRule, ParserConfig};
+use pp_rmt::phv::{Phv, RecircTarget, BLOCK_BYTES};
+use pp_rmt::pipeline::{Pipeline, ProgramError};
+use pp_rmt::register::{cell, RegisterId, RegisterSpec};
+use pp_rmt::switch::SwitchModel;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+
+/// Metadata word: global lookup-table index chosen by the tagger.
+pub const META_TBL_IDX: usize = 0;
+/// Metadata word: generation clock chosen by the tagger.
+pub const META_CLK: usize = 1;
+/// Metadata word: 1 when Split succeeded for this packet.
+pub const META_SPLIT_OK: usize = 2;
+/// Metadata word: 1 when Merge validated for this packet.
+pub const META_MERGE_OK: usize = 3;
+/// Metadata word: memory-slice id + 1 (0 = no slice).
+pub const META_SLICE: usize = 4;
+
+/// Generation-clock modulus (the tag carries a 16-bit clock).
+pub const MAX_CLK: u32 = 65_536;
+
+const PP_LEN: i32 = PAYLOADPARK_HEADER_LEN as i32;
+
+/// Errors from assembling a deployment.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The program did not fit the chip.
+    Program(ProgramError),
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::Config(s) => write!(f, "configuration error: {s}"),
+            BuildError::Program(e) => write!(f, "program error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> Self {
+        BuildError::Program(e)
+    }
+}
+
+/// Control-plane handles for one PayloadPark-enabled pipe.
+#[derive(Debug, Clone)]
+pub struct PipeHandles {
+    /// The pipe index.
+    pub pipe: usize,
+    /// The metadata table's register id (for occupancy inspection).
+    pub meta_tbl: RegisterId,
+    /// Total lookup-table slots in this pipe.
+    pub total_slots: usize,
+    /// The annex pipe, when recirculation is enabled.
+    pub annex_pipe: Option<usize>,
+    /// The live expiry threshold. Split reads it per packet, so the control
+    /// plane can retune the eviction policy at runtime — the adaptive
+    /// policy of the paper's §7 builds on this.
+    pub expiry: Arc<AtomicU16>,
+}
+
+/// Adds `delta` to the IPv4 total-length and UDP length fields — the VLIW
+/// arithmetic Split/Merge perform when bytes leave or rejoin the wire.
+fn apply_len_delta(phv: &mut Phv, delta: i32) {
+    if let Some(ip) = phv.ipv4.as_mut() {
+        ip.total_len = (i32::from(ip.total_len) + delta) as u16;
+    }
+    if let Some(udp) = phv.udp.as_mut() {
+        udp.len = (i32::from(udp.len) + delta) as u16;
+    }
+}
+
+/// Stage that hosts payload block `j` in the primary pipe: blocks are
+/// striped from stage 2 onward (Fig. 4), wrapping onto extra MATs in the
+/// same stage when there are more blocks than stages. With the default 12
+/// stages and 10 blocks, each block gets its own stage.
+fn primary_block_stage(chip: &ChipProfile, j: usize) -> usize {
+    2 + (j % (chip.stages_per_pipe - 2))
+}
+
+/// Stage that hosts annex block `j`: the annex pipe has no tagger or
+/// metadata table, so all stages are available.
+fn annex_block_stage(chip: &ChipProfile, j: usize) -> usize {
+    j % chip.stages_per_pipe
+}
+
+fn gateway_footprint(key_bits: u32, vliw: u32) -> MatFootprint {
+    MatFootprint {
+        match_kind: MatchKind::Gateway,
+        key_bits,
+        vliw_slots: vliw,
+        table_sram_bits: 0,
+        tcam_bits: 0,
+    }
+}
+
+/// Builds the primary pipe's program.
+pub fn build_primary(
+    cfg: &ParkConfig,
+    pipe_cfg: &PipePark,
+) -> Result<(Pipeline, PipeHandles), ProgramError> {
+    let chip = cfg.chip;
+    let total_slots = pipe_cfg.total_slots();
+    let n_slices = pipe_cfg.slices.len();
+
+    // Parser: extract blocks on split ports, expect the PayloadPark header
+    // on merge ports.
+    let mut parser = ParserConfig { phv_block_capacity: cfg.primary_blocks, ..Default::default() };
+    let min_payload = cfg.min_split_payload(pipe_cfg);
+    for slice in &pipe_cfg.slices {
+        for &p in &slice.split_ports {
+            parser
+                .block_rules
+                .insert(p, BlockRule { blocks: cfg.primary_blocks, min_payload });
+        }
+        for &p in &slice.merge_ports {
+            parser.pp_header_ports.insert(p);
+        }
+    }
+
+    let mut b = Pipeline::builder(chip).parser(parser);
+    for name in COUNTER_NAMES {
+        let _ = b.counter(name);
+    }
+
+    // Shared lookup structures captured by the MAT closures.
+    let split_ports: Arc<BTreeSet<u16>> =
+        Arc::new(pipe_cfg.slices.iter().flat_map(|s| s.split_ports.iter().copied()).collect());
+    let merge_ports: Arc<BTreeSet<u16>> =
+        Arc::new(pipe_cfg.slices.iter().flat_map(|s| s.merge_ports.iter().copied()).collect());
+    // Per-port slice lookup: slice id + 1 (for META_SLICE) and the slice's
+    // (base, size) geometry within the pipe's global table index space.
+    let mut slice_of_port = BTreeMap::new();
+    let mut geom_of_port = BTreeMap::new();
+    let mut base = 0u32;
+    for (idx, slice) in pipe_cfg.slices.iter().enumerate() {
+        for &p in &slice.split_ports {
+            slice_of_port.insert(p, idx as u32 + 1);
+            geom_of_port.insert(p, (idx, base, slice.slots as u32));
+        }
+        base += slice.slots as u32;
+    }
+    let slice_of_port = Arc::new(slice_of_port);
+    let geom_of_port = Arc::new(geom_of_port);
+
+    // Registers.
+    let ti_reg = b.register(RegisterSpec {
+        name: "tagger_ti".into(),
+        stage: 0,
+        cell_bytes: 4,
+        cells: n_slices,
+    });
+    let clk_reg = b.register(RegisterSpec {
+        name: "tagger_clk".into(),
+        stage: 0,
+        cell_bytes: 4,
+        cells: n_slices,
+    });
+    let meta_tbl = b.register(RegisterSpec {
+        name: "metadata_table".into(),
+        stage: 1,
+        cell_bytes: META_ENTRY_BYTES,
+        cells: total_slots,
+    });
+    let pload: Vec<RegisterId> = (0..cfg.primary_blocks)
+        .map(|j| {
+            b.register(RegisterSpec {
+                name: format!("payload_block_{j}"),
+                stage: primary_block_stage(&chip, j),
+                cell_bytes: BLOCK_BYTES,
+                cells: total_slots,
+            })
+        })
+        .collect();
+
+    // --- Stage 0: slice selection (split) and disabled-header strip (merge).
+    {
+        let sp = split_ports.clone();
+        let map = slice_of_port.clone();
+        b.place(
+            0,
+            Mat::builder("slice_select")
+                .gateway(move |p| sp.contains(&p.ingress_port.0) && p.is_udp())
+                .action(move |ctx| {
+                    ctx.phv.meta[META_SLICE] =
+                        map.get(&ctx.phv.ingress_port.0).copied().unwrap_or(0);
+                })
+                .footprint(MatFootprint {
+                    match_kind: MatchKind::Ternary,
+                    key_bits: 16,
+                    vliw_slots: 1,
+                    table_sram_bits: 0,
+                    // One half-populated TCAM block, which reproduces the
+                    // paper's 0.69 % TCAM utilization.
+                    tcam_bits: 512 * 88,
+                })
+                .build(),
+        );
+    }
+    {
+        let mp = merge_ports.clone();
+        b.place(
+            0,
+            Mat::builder("merge_strip_disabled")
+                .gateway(move |p| mp.contains(&p.ingress_port.0) && p.pp.valid && !p.pp.enb)
+                .action(|ctx| {
+                    ctx.phv.pp.valid = false;
+                    apply_len_delta(ctx.phv, -PP_LEN);
+                    ctx.counters[C_ENB0_FROM_SERVER] += 1;
+                })
+                .footprint(gateway_footprint(18, 4))
+                .build(),
+        );
+    }
+
+    // --- Stage 0 (cont.): taggers (Alg. 1 lines 3-7). Keyed directly on
+    // the ingress port (a compile-time constant in the paper's P4), so they
+    // co-reside with slice_select without an intra-stage dependency.
+    let splittable = {
+        let sp = split_ports.clone();
+        move |p: &Phv| {
+            sp.contains(&p.ingress_port.0) && p.blocks.iter().any(|blk| blk.valid)
+        }
+    };
+    {
+        let geom = geom_of_port.clone();
+        let geom_idx = geom_of_port.clone();
+        b.place(
+            0,
+            Mat::builder("tagger_ti")
+                .gateway(splittable.clone())
+                .stateful(ti_reg, move |p| {
+                    geom_idx.get(&p.ingress_port.0).map(|&(slice, _, _)| slice)
+                })
+                .action(move |ctx| {
+                    let (_, slice_base, slice_size) =
+                        geom[&ctx.phv.ingress_port.0];
+                    let cell_ref = ctx.cell.as_deref_mut().expect("ti bound");
+                    let ti = (cell::read_u32(cell_ref) + 1) % slice_size;
+                    cell::write_u32(cell_ref, ti);
+                    ctx.phv.meta[META_TBL_IDX] = slice_base + ti;
+                })
+                .footprint(gateway_footprint(20, 2))
+                .build(),
+        );
+    }
+    {
+        let geom_idx = geom_of_port.clone();
+        b.place(
+            0,
+            Mat::builder("tagger_clk")
+                .gateway(splittable.clone())
+                .stateful(clk_reg, move |p| {
+                    geom_idx.get(&p.ingress_port.0).map(|&(slice, _, _)| slice)
+                })
+                .action(|ctx| {
+                    let cell_ref = ctx.cell.as_deref_mut().expect("clk bound");
+                    let clk = (cell::read_u32(cell_ref) + 1) % MAX_CLK;
+                    cell::write_u32(cell_ref, clk);
+                    ctx.phv.meta[META_CLK] = clk;
+                })
+                .footprint(gateway_footprint(20, 2))
+                .build(),
+        );
+    }
+
+    // --- Stage 1: split probe, small-payload fallback, merge validate.
+    let expiry = Arc::new(AtomicU16::new(cfg.expiry_threshold));
+    {
+        let max_exp = expiry.clone();
+        let savings = cfg.primary_blocks as i32 * BLOCK_BYTES as i32 - PP_LEN;
+        let recirc_split =
+            pipe_cfg.annex_pipe.map(|pipe| RecircTarget { pipe, channel: 0 });
+        b.place(
+            1,
+            Mat::builder("split_probe")
+                .gateway(splittable.clone())
+                .stateful(meta_tbl, |p| Some(p.meta[META_TBL_IDX] as usize))
+                .action(move |ctx| {
+                    let cell_ref = ctx.cell.as_deref_mut().expect("meta_tbl bound");
+                    let mut exp = cell::read_u16(&cell_ref[2..4]);
+                    // Alg. 1 lines 11-13: age the occupant.
+                    if exp >= 1 {
+                        exp -= 1;
+                        if exp == 0 {
+                            ctx.counters[C_EVICTIONS] += 1;
+                        }
+                    }
+                    let phv = &mut *ctx.phv;
+                    if exp == 0 {
+                        // Alg. 1 lines 14-20: slot is free (or just evicted):
+                        // occupy it and enable Split.
+                        let clk = phv.meta[META_CLK] as u16;
+                        let idx = phv.meta[META_TBL_IDX] as u16;
+                        cell::write_u16(&mut cell_ref[0..2], clk);
+                        cell::write_u16(&mut cell_ref[2..4], max_exp.load(Ordering::Relaxed));
+                        phv.pp.valid = true;
+                        phv.pp.enb = true;
+                        phv.pp.op_drop = false;
+                        phv.pp.tbl_idx = idx;
+                        phv.pp.clk = clk;
+                        phv.pp.crc = tag_crc(idx, clk);
+                        phv.meta[META_SPLIT_OK] = 1;
+                        ctx.counters[C_SPLITS] += 1;
+                        apply_len_delta(phv, -savings);
+                        if let Some(t) = recirc_split {
+                            phv.verdict.recirculate = Some(t);
+                        }
+                    } else {
+                        // Alg. 1 lines 21-23: occupied — write back the aged
+                        // threshold, disable Split for this packet.
+                        cell::write_u16(&mut cell_ref[2..4], exp);
+                        phv.pp = Default::default();
+                        phv.pp.valid = true;
+                        ctx.counters[C_DISABLED_OCCUPIED] += 1;
+                        apply_len_delta(phv, PP_LEN);
+                    }
+                })
+                .footprint(gateway_footprint(52, 6))
+                .build(),
+        );
+    }
+    {
+        let sp = split_ports.clone();
+        b.place(
+            1,
+            Mat::builder("split_small")
+                .gateway(move |p| {
+                    sp.contains(&p.ingress_port.0)
+                        && p.is_udp()
+                        && !p.blocks.iter().any(|blk| blk.valid)
+                })
+                .action(|ctx| {
+                    // Payload under the minimum: add a disabled header so the
+                    // merge side can tell this apart from a parked packet
+                    // whose remaining payload happens to be small (§5).
+                    ctx.phv.pp = Default::default();
+                    ctx.phv.pp.valid = true;
+                    ctx.counters[C_DISABLED_SMALL_PAYLOAD] += 1;
+                    apply_len_delta(ctx.phv, PP_LEN);
+                })
+                .footprint(gateway_footprint(20, 4))
+                .build(),
+        );
+    }
+    {
+        let mp = merge_ports.clone();
+        let restore_primary = cfg.primary_blocks as i32 * BLOCK_BYTES as i32;
+        let recirc_merge =
+            pipe_cfg.annex_pipe.map(|pipe| RecircTarget { pipe, channel: 1 });
+        let slots = total_slots;
+        b.place(
+            1,
+            Mat::builder("merge_validate")
+                .gateway(move |p| mp.contains(&p.ingress_port.0) && p.pp.valid && p.pp.enb)
+                .stateful(meta_tbl, move |p| {
+                    let i = usize::from(p.pp.tbl_idx);
+                    (i < slots).then_some(i)
+                })
+                .action(move |ctx| {
+                    let crc_ok =
+                        tag_crc(ctx.phv.pp.tbl_idx, ctx.phv.pp.clk) == ctx.phv.pp.crc;
+                    let Some(cell_ref) = ctx.cell.as_deref_mut().filter(|_| crc_ok) else {
+                        // Corrupted or out-of-range tag: never touch memory.
+                        ctx.counters[C_CRC_FAIL] += 1;
+                        ctx.phv.verdict.drop = true;
+                        return;
+                    };
+                    let stored_clk = cell::read_u16(&cell_ref[0..2]);
+                    let exp = cell::read_u16(&cell_ref[2..4]);
+                    let phv = &mut *ctx.phv;
+                    if exp > 0 && stored_clk == phv.pp.clk {
+                        // Alg. 2 lines 11-15: generations match — reclaim.
+                        cell_ref.fill(0);
+                        phv.meta[META_MERGE_OK] = 1;
+                        phv.meta[META_TBL_IDX] = u32::from(phv.pp.tbl_idx);
+                        if phv.pp.op_drop {
+                            // Explicit Drop (§6.2.4): reclaim only.
+                            ctx.counters[C_EXPLICIT_DROPS] += 1;
+                            phv.pp.valid = false;
+                            phv.verdict.drop = true;
+                        } else {
+                            ctx.counters[C_MERGES] += 1;
+                            match recirc_merge {
+                                Some(t) => {
+                                    // Annex blocks are restored in the annex
+                                    // pipe; keep the header for its tag.
+                                    apply_len_delta(phv, restore_primary);
+                                    phv.verdict.recirculate = Some(t);
+                                }
+                                None => {
+                                    apply_len_delta(phv, restore_primary - PP_LEN);
+                                    phv.pp.valid = false;
+                                }
+                            }
+                        }
+                    } else {
+                        // Premature eviction: the payload is gone. Drop the
+                        // packet and record it (§3.3).
+                        ctx.counters[C_PREMATURE_EVICTIONS] += 1;
+                        phv.verdict.drop = true;
+                    }
+                })
+                .footprint(gateway_footprint(52, 6))
+                .build(),
+        );
+    }
+
+    // --- Stages 2..N: payload blocks (Alg. 1/2 stages 3..N, Fig. 4).
+    for (j, &reg) in pload.iter().enumerate() {
+        let st = primary_block_stage(&chip, j);
+        {
+            let sp = split_ports.clone();
+            b.place(
+                st,
+                Mat::builder(format!("split_store_{j}"))
+                    .gateway(move |p| {
+                        sp.contains(&p.ingress_port.0) && p.meta[META_SPLIT_OK] == 1
+                    })
+                    .stateful(reg, |p| Some(p.meta[META_TBL_IDX] as usize))
+                    .action(move |ctx| {
+                        let cell_ref = ctx.cell.as_deref_mut().expect("payload bound");
+                        cell_ref.copy_from_slice(&ctx.phv.blocks[j].data);
+                        ctx.phv.blocks[j].valid = false;
+                    })
+                    .footprint(gateway_footprint(44, 1))
+                    .build(),
+            );
+        }
+        {
+            let mp = merge_ports.clone();
+            b.place(
+                st,
+                Mat::builder(format!("merge_load_{j}"))
+                    .gateway(move |p| {
+                        mp.contains(&p.ingress_port.0) && p.meta[META_MERGE_OK] == 1
+                    })
+                    .stateful(reg, |p| Some(p.meta[META_TBL_IDX] as usize))
+                    .action(move |ctx| {
+                        let cell_ref = ctx.cell.as_deref_mut().expect("payload bound");
+                        ctx.phv.blocks[j].data.copy_from_slice(cell_ref);
+                        ctx.phv.blocks[j].valid = true;
+                        cell_ref.fill(0); // Alg. 2 line 23
+                    })
+                    .footprint(gateway_footprint(44, 1))
+                    .build(),
+            );
+        }
+    }
+
+    let pipeline = b.build()?;
+    let handles = PipeHandles {
+        pipe: pipe_cfg.pipe,
+        meta_tbl,
+        total_slots,
+        annex_pipe: pipe_cfg.annex_pipe,
+        expiry,
+    };
+    Ok((pipeline, handles))
+}
+
+/// Builds the annex pipe's program (recirculation mode, §6.2.5).
+pub fn build_annex(
+    cfg: &ParkConfig,
+    primary_cfg: &PipePark,
+    annex_pipe: usize,
+) -> Result<Pipeline, ProgramError> {
+    let chip = cfg.chip;
+    let total_slots = primary_cfg.total_slots();
+    let rc_store = chip.recirc_port(annex_pipe, 0);
+    let rc_load = chip.recirc_port(annex_pipe, 1);
+    let annex_bytes = cfg.annex_blocks as i32 * BLOCK_BYTES as i32;
+    let primary_blocks = cfg.primary_blocks;
+
+    let mut parser = ParserConfig {
+        phv_block_capacity: primary_blocks + cfg.annex_blocks,
+        ..Default::default()
+    };
+    parser.pp_header_ports.insert(rc_store.0);
+    parser.pp_header_ports.insert(rc_load.0);
+    // Channel 0 carries split packets: the remaining payload starts with the
+    // bytes to park in this pipe.
+    parser.block_rules.insert(
+        rc_store.0,
+        BlockRule { blocks: cfg.annex_blocks, min_payload: cfg.annex_blocks * BLOCK_BYTES },
+    );
+    // Channel 1 carries merge packets: the wire already holds the primary
+    // 160 bytes, which must stay in front of the annex blocks.
+    parser.block_rules.insert(
+        rc_load.0,
+        BlockRule { blocks: primary_blocks, min_payload: primary_blocks * BLOCK_BYTES },
+    );
+
+    let mut b = Pipeline::builder(chip).parser(parser);
+    for name in COUNTER_NAMES {
+        let _ = b.counter(name);
+    }
+
+    let annex_regs: Vec<RegisterId> = (0..cfg.annex_blocks)
+        .map(|j| {
+            b.register(RegisterSpec {
+                name: format!("annex_block_{j}"),
+                stage: annex_block_stage(&chip, j),
+                cell_bytes: BLOCK_BYTES,
+                cells: total_slots,
+            })
+        })
+        .collect();
+
+    for (j, &reg) in annex_regs.iter().enumerate() {
+        let st = annex_block_stage(&chip, j);
+        {
+            b.place(
+                st,
+                Mat::builder(format!("annex_store_{j}"))
+                    .gateway(move |p| p.ingress_port == rc_store && p.pp.valid && p.pp.enb)
+                    .stateful(reg, move |p| {
+                        let i = usize::from(p.pp.tbl_idx);
+                        (i < total_slots).then_some(i)
+                    })
+                    .action(move |ctx| {
+                        let cell_ref = ctx.cell.as_deref_mut().expect("annex bound");
+                        cell_ref.copy_from_slice(&ctx.phv.blocks[j].data);
+                        ctx.phv.blocks[j].valid = false;
+                    })
+                    .footprint(gateway_footprint(44, 1))
+                    .build(),
+            );
+        }
+        {
+            b.place(
+                st,
+                Mat::builder(format!("annex_load_{j}"))
+                    .gateway(move |p| p.ingress_port == rc_load && p.pp.valid && p.pp.enb)
+                    .stateful(reg, move |p| {
+                        let i = usize::from(p.pp.tbl_idx);
+                        (i < total_slots).then_some(i)
+                    })
+                    .action(move |ctx| {
+                        let cell_ref = ctx.cell.as_deref_mut().expect("annex bound");
+                        let slot = primary_blocks + j;
+                        ctx.phv.blocks[slot].data.copy_from_slice(cell_ref);
+                        ctx.phv.blocks[slot].valid = true;
+                        cell_ref.fill(0);
+                    })
+                    .footprint(gateway_footprint(44, 1))
+                    .build(),
+            );
+        }
+    }
+
+    // Length fix-ups run in the last stage.
+    let last = chip.stages_per_pipe - 1;
+    b.place(
+        last,
+        Mat::builder("annex_finish_store")
+            .gateway(move |p| p.ingress_port == rc_store && p.pp.valid && p.pp.enb)
+            .action(move |ctx| apply_len_delta(ctx.phv, -annex_bytes))
+            .footprint(gateway_footprint(18, 2))
+            .build(),
+    );
+    b.place(
+        last,
+        Mat::builder("annex_finish_load")
+            .gateway(move |p| p.ingress_port == rc_load && p.pp.valid && p.pp.enb)
+            .action(move |ctx| {
+                apply_len_delta(ctx.phv, annex_bytes - PP_LEN);
+                ctx.phv.pp.valid = false;
+            })
+            .footprint(gateway_footprint(18, 3))
+            .build(),
+    );
+
+    b.build()
+}
+
+/// Assembles a complete switch: PayloadPark programs on the configured
+/// pipes, annex programs where recirculation is on, plain L2 pipes
+/// elsewhere.
+pub fn build_switch(cfg: &ParkConfig) -> Result<(SwitchModel, Vec<PipeHandles>), BuildError> {
+    cfg.validate().map_err(BuildError::Config)?;
+    let chip = cfg.chip;
+    let mut pipelines: Vec<Option<Pipeline>> = (0..chip.pipes).map(|_| None).collect();
+    let mut handles = Vec::new();
+    for pipe_cfg in &cfg.pipes {
+        let (pipeline, h) = build_primary(cfg, pipe_cfg)?;
+        pipelines[pipe_cfg.pipe] = Some(pipeline);
+        handles.push(h);
+        if let Some(annex) = pipe_cfg.annex_pipe {
+            pipelines[annex] = Some(build_annex(cfg, pipe_cfg, annex)?);
+        }
+    }
+    let mut pipes = Vec::with_capacity(chip.pipes);
+    for slot in pipelines {
+        match slot {
+            Some(p) => pipes.push(p),
+            None => pipes.push(Pipeline::builder(chip).build()?),
+        }
+    }
+    Ok((SwitchModel::new(chip, pipes), handles))
+}
+
+/// Builds the baseline switch: plain L2 forwarding on every pipe (the
+/// non-PayloadPark deployment of §6.1).
+pub fn build_baseline_switch(chip: ChipProfile) -> Result<SwitchModel, BuildError> {
+    let mut pipes = Vec::with_capacity(chip.pipes);
+    for _ in 0..chip.pipes {
+        pipes.push(Pipeline::builder(chip).build()?);
+    }
+    Ok(SwitchModel::new(chip, pipes))
+}

@@ -1,0 +1,82 @@
+//! `pp-exp` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! pp-exp <experiment> [--quick]
+//!
+//! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
+//!              fig15 fig16 table1 headline all
+//! ```
+//!
+//! Each experiment prints a text table (the repository's rendering of the
+//! corresponding figure). `--quick` uses the reduced test-effort sweep.
+
+use pp_harness::experiments::{
+    fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15, fig16, headline_fw_nat_40g, table1,
+    Effort,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+
+    let known = [
+        "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "table1", "headline", "all",
+    ];
+    if which.is_empty() || !known.contains(&which.as_str()) {
+        eprintln!("usage: pp-exp <{}> [--quick]", known.join("|"));
+        std::process::exit(2);
+    }
+
+    let want = |name: &str| which == name || which == "all";
+
+    if want("fig06") {
+        println!("{}", fig06().render());
+    }
+    if want("fig07") {
+        println!("{}", fig07(effort, false).render());
+    }
+    if want("fig08") || want("fig09") {
+        let (g, p) = fig08_09(effort);
+        if want("fig08") {
+            println!("{}", g.render());
+        }
+        if want("fig09") {
+            println!("{}", p.render());
+        }
+    }
+    if want("fig10") || want("fig11") {
+        let (g, l) = fig10_11(effort);
+        if want("fig10") {
+            println!("{}", g.render());
+        }
+        if want("fig11") {
+            println!("{}", l.render());
+        }
+    }
+    if want("fig12") {
+        println!("{}", fig12(effort).render());
+    }
+    if want("fig13") {
+        println!("{}", fig07(effort, true).render());
+    }
+    if want("fig14") {
+        println!("{}", fig14(effort).render());
+    }
+    if want("fig15") {
+        println!("{}", fig15(effort).render());
+    }
+    if want("fig16") {
+        println!("{}", fig16(effort).render());
+    }
+    if want("headline") {
+        println!("{}", headline_fw_nat_40g(effort).render());
+    }
+    if want("table1") {
+        println!("{}", table1());
+    }
+}

@@ -1,0 +1,374 @@
+//! The multi-server testbed (paper §6.2.3, Figs. 10-11).
+//!
+//! One pipe, two memory slices, two NF servers, each with its own
+//! traffic generator (the paper attaches two servers to each of the four
+//! pipes; pipes share nothing, so the 8-server experiment is four
+//! independent instances of this testbed, run in parallel threads).
+//!
+//! Port plan on the pipe: generator A on ports 0-1, server A on 2, sink A
+//! on 3; generator B on ports 4-5, server B on 6, sink B on 7.
+
+use crate::testbed::{ChainSpec, DeployMode, FrameworkKind, RunReport};
+use payloadpark::program::{build_baseline_switch, build_switch};
+use payloadpark::{ParkConfig, PipeControl, PipePark, SliceSpec};
+use pp_metrics::{GoodputMeter, HealthTracker, LatencyStats};
+use pp_netsim::event::EventQueue;
+use pp_netsim::link::Link;
+use pp_netsim::rng::DetRng;
+use pp_netsim::time::{Bandwidth, SimDuration, SimTime};
+use pp_nf::server::{NfServer, RxOutcome, ServerProfile};
+use pp_packet::{MacAddr, Packet};
+use pp_rmt::chip::ChipProfile;
+use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen};
+use std::net::Ipv4Addr;
+
+/// Per-server generator port assignments.
+const GEN_PORTS: [[u16; 2]; 2] = [[0, 1], [4, 5]];
+/// Per-server NF-server ports.
+const SERVER_PORTS: [u16; 2] = [2, 6];
+/// Per-server sink ports.
+const SINK_PORTS: [u16; 2] = [3, 7];
+
+/// Configuration for the two-server pipe.
+#[derive(Debug, Clone)]
+pub struct MultiServerConfig {
+    /// NIC/link rate in Gbps (40 GE in the paper's setup).
+    pub nic_gbps: f64,
+    /// Offered rate per server's generator (Gbps).
+    pub rate_gbps: f64,
+    /// Fixed packet size (384 B in the paper).
+    pub packet_size: usize,
+    /// Send window.
+    pub duration: SimDuration,
+    /// NF chain (MAC swapper in the paper).
+    pub chain: ChainSpec,
+    /// Framework profile.
+    pub framework: FrameworkKind,
+    /// Server model (the 8-server rig uses weaker 2.4 GHz CPUs).
+    pub server: ServerProfile,
+    /// Per-byte cycles override for the weaker 8-server rig's memory
+    /// subsystem (the E5-2407v2-class machines of §6.1).
+    pub per_byte_cycles: f64,
+    /// Run seed.
+    pub seed: u64,
+    /// Baseline or PayloadPark. The PayloadPark `sram_fraction` is the
+    /// *total* pipe reservation; each slice gets half (static slicing).
+    pub mode: DeployMode,
+}
+
+impl Default for MultiServerConfig {
+    fn default() -> Self {
+        MultiServerConfig {
+            nic_gbps: 40.0,
+            rate_gbps: 6.0,
+            packet_size: 384,
+            duration: SimDuration::from_millis(30),
+            chain: ChainSpec::MacSwap,
+            framework: FrameworkKind::OpenNetVm,
+            // "2.4GHz 8 core Intel Xeon CPUs" (§6.1): weaker than the main
+            // rig.
+            server: ServerProfile { cpu_hz: 2.4e9, ..Default::default() },
+            per_byte_cycles: 1.2,
+            seed: 11,
+            mode: DeployMode::Baseline,
+        }
+    }
+}
+
+enum Ev {
+    AtSwitch { port: u16, pkt: Packet },
+    AtServer { server: usize, pkt: Packet },
+    AtSink { server: usize, pkt: Packet },
+}
+
+/// Runs the two-server pipe; returns one report per server.
+pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
+    let chip = ChipProfile::default();
+    let server_macs = [MacAddr::from_index(100), MacAddr::from_index(101)];
+    let sink_macs = [MacAddr::from_index(200), MacAddr::from_index(201)];
+    let src_bases = [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 64, 0, 1)];
+
+    let (mut switch, control) = match config.mode {
+        DeployMode::Baseline => (build_baseline_switch(chip).expect("builds"), None),
+        DeployMode::PayloadPark(p) => {
+            let mut park = ParkConfig {
+                chip,
+                expiry_threshold: p.expiry,
+                primary_blocks: 10,
+                annex_blocks: 14,
+                pipes: vec![PipePark {
+                    pipe: 0,
+                    slices: (0..2)
+                        .map(|s| SliceSpec {
+                            name: format!("server{s}"),
+                            split_ports: GEN_PORTS[s].to_vec(),
+                            merge_ports: vec![SERVER_PORTS[s]],
+                            slots: 16, // fixed below
+                        })
+                        .collect(),
+                    annex_pipe: None,
+                }],
+            };
+            let per_slice = (park.slots_for_sram_fraction(p.sram_fraction) / 2).max(1);
+            for s in &mut park.pipes[0].slices {
+                s.slots = per_slice;
+            }
+            let (sw, handles) = build_switch(&park).expect("park builds");
+            (sw, Some(PipeControl::new(handles[0].clone())))
+        }
+    };
+    for s in 0..2 {
+        switch.l2_add(server_macs[s], pp_rmt::PortId(SERVER_PORTS[s]));
+        switch.l2_add(sink_macs[s], pp_rmt::PortId(SINK_PORTS[s]));
+    }
+
+    let explicit = matches!(config.mode, DeployMode::PayloadPark(p) if p.explicit_drop);
+    let mut servers: Vec<NfServer> = (0..2)
+        .map(|s| {
+            let mut profile = config.server;
+            profile.framework = config.framework.profile_for(explicit);
+            profile.framework.per_byte_cycles = config.per_byte_cycles;
+            let chain = config.chain.build(128, src_bases[s]);
+            let mut srv = NfServer::new(
+                profile,
+                chain,
+                DetRng::derive(config.seed, &format!("server{s}")),
+            );
+            srv.set_tx_dst_mac(sink_macs[s]);
+            srv
+        })
+        .collect();
+
+    let bw = Bandwidth::gbps(config.nic_gbps);
+    let prop = SimDuration::from_nanos(500);
+    let mut gen_links = [
+        [Link::new(bw, prop), Link::new(bw, prop)],
+        [Link::new(bw, prop), Link::new(bw, prop)],
+    ];
+    let mut to_server = [Link::new(bw, prop), Link::new(bw, prop)];
+    let mut from_server = [Link::new(bw, prop), Link::new(bw, prop)];
+    let mut to_sink = [
+        Link::new(Bandwidth::gbps(config.nic_gbps * 2.0), prop),
+        Link::new(Bandwidth::gbps(config.nic_gbps * 2.0), prop),
+    ];
+
+    let mut gens: Vec<TrafficGen> = (0..2)
+        .map(|s| {
+            TrafficGen::new(GenConfig {
+                rate_gbps: config.rate_gbps,
+                // Two generator ports per server: aggregate pacing.
+                line_rate_gbps: config.nic_gbps * 2.0,
+                burst: 32,
+                sizes: SizeModel::Fixed(config.packet_size),
+                flows: 128,
+                dst_mac: server_macs[s],
+                dst_ip: Ipv4Addr::new(10, 10, 0, s as u8 + 1),
+                src_ip_base: src_bases[s],
+                seed: config.seed ^ ((s as u64 + 1) * 0x9E37),
+            })
+        })
+        .collect();
+
+    let duration_ns = config.duration.nanos();
+    let mut departures: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut latency = [LatencyStats::new(), LatencyStats::new()];
+    let mut goodput = [GoodputMeter::new(), GoodputMeter::new()];
+    let mut delivered_total = [0u64; 2];
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut next_gen: [Option<(SimTime, Packet)>; 2] =
+        [Some(gens[0].next_packet()), Some(gens[1].next_packet())];
+
+    loop {
+        // Earliest among the two generators and the event queue.
+        let mut which: Option<usize> = None;
+        let mut best = queue.peek_time();
+        for (s, ng) in next_gen.iter().enumerate() {
+            if let Some((t, _)) = ng {
+                if best.map_or(true, |b| *t <= b) {
+                    best = Some(*t);
+                    which = Some(s);
+                }
+            }
+        }
+        if best.is_none() {
+            break;
+        }
+
+        if let Some(s) = which {
+            let (t, pkt) = next_gen[s].take().expect("present");
+            let seq = pkt.seq() as usize;
+            if departures[s].len() <= seq {
+                departures[s].resize(seq + 1, 0);
+            }
+            departures[s][seq] = t.nanos();
+            let lane = seq % 2;
+            let arrival = gen_links[s][lane].transmit(t, pkt.len());
+            queue.schedule(arrival, Ev::AtSwitch { port: GEN_PORTS[s][lane], pkt });
+            let (t_next, p_next) = gens[s].next_packet();
+            if t_next.nanos() < duration_ns {
+                next_gen[s] = Some((t_next, p_next));
+            }
+            continue;
+        }
+
+        let (now, ev) = queue.pop().expect("non-empty");
+        match ev {
+            Ev::AtSwitch { port, pkt } => {
+                let seq = pkt.seq();
+                for out in switch.process(pkt.bytes(), pp_rmt::PortId(port), seq) {
+                    let t_out = now + SimDuration::from_nanos(out.latency_ns);
+                    let fwd = Packet::with_seq(out.bytes, out.seq);
+                    if let Some(s) = SERVER_PORTS.iter().position(|&p| p == out.port.0) {
+                        let arrival = to_server[s].transmit(t_out, fwd.len());
+                        queue.schedule(arrival, Ev::AtServer { server: s, pkt: fwd });
+                    } else if let Some(s) = SINK_PORTS.iter().position(|&p| p == out.port.0)
+                    {
+                        let arrival = to_sink[s].transmit(t_out, fwd.len());
+                        queue.schedule(arrival, Ev::AtSink { server: s, pkt: fwd });
+                    }
+                }
+            }
+            Ev::AtServer { server, pkt } => match servers[server].rx(now, pkt) {
+                RxOutcome::Dropped | RxOutcome::Done { packet: None, .. } => {}
+                RxOutcome::Done { time, packet: Some(out) } => {
+                    let arrival = from_server[server].transmit(time, out.len());
+                    queue.schedule(
+                        arrival,
+                        Ev::AtSwitch { port: SERVER_PORTS[server], pkt: out },
+                    );
+                }
+            },
+            Ev::AtSink { server, pkt } => {
+                delivered_total[server] += 1;
+                if now.nanos() <= duration_ns {
+                    goodput[server].record(now, pkt.len());
+                    let dep =
+                        departures[server].get(pkt.seq() as usize).copied().unwrap_or(0);
+                    latency[server].record(SimDuration::from_nanos(now.nanos() - dep));
+                }
+            }
+        }
+    }
+
+    let counters = control.as_ref().map(|c| c.counters(&switch));
+    let swstats = switch.stats();
+    let premature_total =
+        counters.map(|c| c.premature_evictions + c.crc_fail).unwrap_or(0);
+
+    core::array::from_fn(|s| {
+        let sstats = servers[s].stats();
+        // Premature evictions are a per-pipe counter; attribute half to
+        // each server (slices are symmetric by construction).
+        let premature = premature_total / 2 + (premature_total % 2) * s as u64;
+        let health = HealthTracker {
+            offered: gens[s].generated(),
+            delivered: delivered_total[s],
+            intended_drops: sstats.nf_dropped,
+            ring_drops: sstats.ring_drops,
+            premature_eviction_drops: premature,
+            other_drops: if s == 0 {
+                swstats.parse_errors
+                    + swstats.dropped_no_route
+                    + swstats.dropped_recirc_limit
+            } else {
+                0
+            },
+        };
+        let backlog_pkts = delivered_total[s] - goodput[s].delivered();
+        RunReport {
+            send_gbps: config.rate_gbps,
+            goodput_gbps: goodput[s].goodput_gbps(duration_ns),
+            throughput_gbps: goodput[s].throughput_gbps(duration_ns),
+            rate_mpps: goodput[s].rate_mpps(duration_ns),
+            avg_latency_us: latency[s].avg_us(),
+            jitter_us: latency[s].jitter_us(),
+            p99_latency_us: latency[s].percentile_us(0.99),
+            pcie_gbps: servers[s].pcie_achieved_gbps(SimTime(duration_ns)),
+            health,
+            backlog_pkts,
+            counters,
+            server_stats: sstats,
+            switch_stats: swstats,
+        }
+    })
+}
+
+impl FrameworkKind {
+    /// Builds the framework profile, optionally with the Explicit-Drop
+    /// patch.
+    pub fn profile_for(self, explicit_drop: bool) -> pp_nf::framework::FrameworkProfile {
+        let p = match self {
+            FrameworkKind::OpenNetVm => pp_nf::framework::FrameworkProfile::open_netvm(),
+            FrameworkKind::NetBricks => pp_nf::framework::FrameworkProfile::netbricks(),
+        };
+        if explicit_drop {
+            p.with_explicit_drop()
+        } else {
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::ParkParams;
+
+    fn quick(mode: DeployMode) -> [RunReport; 2] {
+        run_pipe(&MultiServerConfig {
+            rate_gbps: 3.0,
+            duration: SimDuration::from_millis(3),
+            server: ServerProfile {
+                jitter_frac: 0.0,
+                modulation_amplitude: 0.0,
+                cpu_hz: 2.4e9,
+                ..Default::default()
+            },
+            mode,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn both_servers_deliver_baseline() {
+        let [a, b] = quick(DeployMode::Baseline);
+        assert!(a.healthy(), "{:?}", a.health);
+        assert!(b.healthy(), "{:?}", b.health);
+        assert!(a.goodput_gbps > 0.0 && b.goodput_gbps > 0.0);
+        // Symmetric load → comparable goodput.
+        assert!((a.goodput_gbps - b.goodput_gbps).abs() / a.goodput_gbps < 0.05);
+    }
+
+    #[test]
+    fn both_servers_split_and_merge_with_park() {
+        let [a, b] = quick(DeployMode::PayloadPark(ParkParams {
+            sram_fraction: 0.40,
+            ..Default::default()
+        }));
+        assert!(a.healthy(), "{:?}", a.health);
+        assert!(b.healthy(), "{:?}", b.health);
+        let c = a.counters.expect("park counters");
+        assert!(c.splits > 0 && c.merges > 0);
+        assert!(c.functionally_equivalent(), "{c:?}");
+        // 384-byte packets: payload 342 >= 160, so every packet splits.
+        assert_eq!(c.disabled_small_payload, 0);
+    }
+
+    #[test]
+    fn park_saves_pcie_on_both_servers() {
+        let base = quick(DeployMode::Baseline);
+        let park = quick(DeployMode::PayloadPark(ParkParams {
+            sram_fraction: 0.40,
+            ..Default::default()
+        }));
+        for s in 0..2 {
+            assert!(
+                park[s].pcie_gbps < base[s].pcie_gbps,
+                "server {s}: {} !< {}",
+                park[s].pcie_gbps,
+                base[s].pcie_gbps
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Peak-goodput search (the paper's measurement methodology, §6.1).
+//!
+//! "We consider the system to be healthy when the packet drop rate is below
+//! 0.1%; we use this threshold to measure peak goodput." The runner scans
+//! the send rate upward over a grid, then bisects between the last healthy
+//! and first unhealthy rates.
+
+use crate::testbed::{run, RunReport, TestbedConfig};
+
+/// Result of a peak search.
+#[derive(Debug, Clone)]
+pub struct PeakResult {
+    /// Highest healthy send rate found (Gbps).
+    pub peak_send_gbps: f64,
+    /// The report at that rate.
+    pub report: RunReport,
+}
+
+/// Finds the peak healthy send rate in `[lo, hi]` Gbps.
+///
+/// `coarse_steps` grid probes, then `refine_steps` bisection rounds.
+/// Returns the last healthy run (at `lo` if even that is unhealthy —
+/// callers can check `report.healthy()`).
+pub fn find_peak_goodput(
+    config: &TestbedConfig,
+    lo: f64,
+    hi: f64,
+    coarse_steps: usize,
+    refine_steps: usize,
+) -> PeakResult {
+    assert!(lo > 0.0 && hi > lo, "bad search range");
+    assert!(coarse_steps >= 2, "need at least two grid points");
+
+    let at = |rate: f64| {
+        let mut c = config.clone();
+        c.rate_gbps = rate;
+        run(&c)
+    };
+
+    let mut best: Option<(f64, RunReport)> = None;
+    let mut first_bad: Option<f64> = None;
+    for i in 0..coarse_steps {
+        let rate = lo + (hi - lo) * i as f64 / (coarse_steps - 1) as f64;
+        let r = at(rate);
+        if r.healthy() {
+            best = Some((rate, r));
+        } else {
+            first_bad = Some(rate);
+            break;
+        }
+    }
+
+    let (mut good_rate, mut good_report) = match best {
+        Some(b) => b,
+        None => {
+            // Even the lowest rate is unhealthy; report it as-is.
+            let r = at(lo);
+            return PeakResult { peak_send_gbps: lo, report: r };
+        }
+    };
+    let mut bad_rate = match first_bad {
+        Some(b) => b,
+        None => {
+            // Healthy across the whole range.
+            return PeakResult { peak_send_gbps: good_rate, report: good_report };
+        }
+    };
+
+    for _ in 0..refine_steps {
+        let mid = (good_rate + bad_rate) / 2.0;
+        let r = at(mid);
+        if r.healthy() {
+            good_rate = mid;
+            good_report = r;
+        } else {
+            bad_rate = mid;
+        }
+    }
+
+    PeakResult { peak_send_gbps: good_rate, report: good_report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{ChainSpec, DeployMode, FrameworkKind};
+    use pp_netsim::time::SimDuration;
+    use pp_nf::server::ServerProfile;
+    use pp_trafficgen::gen::SizeModel;
+
+    fn cfg() -> TestbedConfig {
+        TestbedConfig {
+            nic_gbps: 10.0,
+            rate_gbps: 1.0,
+            sizes: SizeModel::Fixed(512),
+            duration: SimDuration::from_millis(12),
+            chain: ChainSpec::Synthetic { cycles: 2000 },
+            framework: FrameworkKind::OpenNetVm,
+            server: ServerProfile {
+                jitter_frac: 0.0,
+                modulation_amplitude: 0.0,
+                ring_capacity: 2048,
+                ..Default::default()
+            },
+            flows: 16,
+            seed: 5,
+            mode: DeployMode::Baseline,
+        }
+    }
+
+    #[test]
+    fn finds_a_peak_between_bounds() {
+        // Synthetic 2000-cycle NF on OpenNetVM at 512 B:
+        // µ ≈ 2.3e9 / (150 + 2000 + 0.6·512) ≈ 0.94 Mpps ≈ 3.85 Gbps.
+        let peak = find_peak_goodput(&cfg(), 1.0, 10.0, 6, 3);
+        assert!(peak.report.healthy());
+        assert!(
+            (2.5..5.5).contains(&peak.peak_send_gbps),
+            "peak {}",
+            peak.peak_send_gbps
+        );
+    }
+
+    #[test]
+    fn fully_healthy_range_returns_hi() {
+        let peak = find_peak_goodput(&cfg(), 0.5, 2.0, 4, 2);
+        assert_eq!(peak.peak_send_gbps, 2.0);
+        assert!(peak.report.healthy());
+    }
+
+    #[test]
+    fn hopeless_range_returns_lo_unhealthy() {
+        let mut c = cfg();
+        c.chain = ChainSpec::Synthetic { cycles: 500_000 };
+        let peak = find_peak_goodput(&c, 5.0, 10.0, 3, 1);
+        assert_eq!(peak.peak_send_gbps, 5.0);
+        assert!(!peak.report.healthy());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad search range")]
+    fn bad_range_panics() {
+        find_peak_goodput(&cfg(), 5.0, 5.0, 3, 1);
+    }
+}

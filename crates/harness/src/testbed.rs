@@ -1,0 +1,635 @@
+//! The single-server testbed (paper Fig. 5).
+//!
+//! ```text
+//!            2 × NIC ports                1 × NIC port
+//! PktGen ==================> RMT switch <============> NF server
+//!    ^                          |   ^
+//!    |        (sink path)       v   | (headers return)
+//!    +--------------------------+---+
+//! ```
+//!
+//! The generator's two ports feed the split side (so the split-side links
+//! are never the bottleneck, §6.1); the server hangs off one port; packets
+//! returning from the NF chain are merged and L2-forwarded to the sink,
+//! where goodput and end-to-end latency are measured.
+
+use payloadpark::program::{build_baseline_switch, build_switch};
+use payloadpark::{CounterSnapshot, ParkConfig, PipeControl};
+use pp_metrics::{GoodputMeter, HealthTracker, LatencyStats};
+use pp_netsim::event::EventQueue;
+use pp_netsim::link::Link;
+use pp_netsim::rng::DetRng;
+use pp_netsim::time::{Bandwidth, SimDuration, SimTime};
+use pp_nf::chain::NfChain;
+use pp_nf::framework::FrameworkProfile;
+use pp_nf::nfs::firewall::{Firewall, FirewallRule};
+use pp_nf::nfs::maglev::{Backend, MaglevLb};
+use pp_nf::nfs::{MacSwap, Nat, Synthetic};
+use pp_nf::server::{NfServer, RxOutcome, ServerProfile};
+use pp_packet::{MacAddr, Packet};
+use pp_rmt::chip::ChipProfile;
+use pp_rmt::switch::SwitchModel;
+use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen};
+use std::net::Ipv4Addr;
+
+/// Generator split-side ports.
+pub const GEN_PORTS: [u16; 2] = [0, 1];
+/// NF-server port.
+pub const SERVER_PORT: u16 = 2;
+/// Sink port (measurement).
+pub const SINK_PORT: u16 = 3;
+
+/// Which NF chain runs on the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChainSpec {
+    /// No NFs (framework forwarding only).
+    Empty,
+    /// MAC swapper (multi-server and equivalence experiments).
+    MacSwap,
+    /// Firewall with `rules` non-matching rules.
+    Firewall {
+        /// Number of ACL rules (all probed).
+        rules: usize,
+    },
+    /// NAT only.
+    Nat,
+    /// Firewall → NAT (the 2-NF chain; 1 firewall rule in the paper).
+    FwNat {
+        /// Firewall rule count.
+        fw_rules: usize,
+    },
+    /// Firewall → NAT → Maglev LB (the 3-NF chain; 20 rules in the paper).
+    FwNatLb {
+        /// Firewall rule count.
+        fw_rules: usize,
+    },
+    /// Synthetic busy-loop NF of the given per-packet cycles (§6.3.3).
+    Synthetic {
+        /// Cycles per packet.
+        cycles: u64,
+    },
+    /// Firewall → NAT where the firewall blacklists a fraction of the
+    /// generator's flows (the Fig. 12 drop-rate control).
+    FwNatBlacklist {
+        /// Fraction of flows blocked, in percent (0-100).
+        blocked_pct: u8,
+    },
+}
+
+impl ChainSpec {
+    /// Instantiates the chain. `flows` is the generator flow count and
+    /// `src_base` its first source address (used to build blacklists).
+    pub fn build(&self, flows: usize, src_base: Ipv4Addr) -> NfChain {
+        match *self {
+            ChainSpec::Empty => NfChain::empty(),
+            ChainSpec::MacSwap => NfChain::new(vec![Box::new(MacSwap::new())]),
+            ChainSpec::Firewall { rules } => {
+                NfChain::new(vec![Box::new(Firewall::with_rule_count(rules))])
+            }
+            ChainSpec::Nat => {
+                NfChain::new(vec![Box::new(Nat::new(Ipv4Addr::new(198, 51, 100, 1)))])
+            }
+            ChainSpec::FwNat { fw_rules } => NfChain::new(vec![
+                Box::new(Firewall::with_rule_count(fw_rules)),
+                Box::new(Nat::new(Ipv4Addr::new(198, 51, 100, 1))),
+            ]),
+            ChainSpec::FwNatLb { fw_rules } => NfChain::new(vec![
+                Box::new(Firewall::with_rule_count(fw_rules)),
+                Box::new(Nat::new(Ipv4Addr::new(198, 51, 100, 1))),
+                Box::new(MaglevLb::with_table_size(
+                    (0..4)
+                        .map(|i| Backend {
+                            name: format!("backend-{i}"),
+                            ip: Ipv4Addr::new(10, 99, 0, i as u8 + 1),
+                        })
+                        .collect(),
+                    65_537,
+                )),
+            ]),
+            ChainSpec::Synthetic { cycles } => {
+                NfChain::new(vec![Box::new(Synthetic::with_cycles("Synthetic", cycles))])
+            }
+            ChainSpec::FwNatBlacklist { blocked_pct } => {
+                let blocked = flows * usize::from(blocked_pct) / 100;
+                let rules = (0..blocked)
+                    .map(|i| {
+                        FirewallRule::new(
+                            Ipv4Addr::from(u32::from(src_base) + i as u32),
+                            32,
+                        )
+                    })
+                    .collect();
+                NfChain::new(vec![
+                    Box::new(Firewall::new(rules)),
+                    Box::new(Nat::new(Ipv4Addr::new(198, 51, 100, 1))),
+                ])
+            }
+        }
+    }
+}
+
+/// NF-framework selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameworkKind {
+    /// OpenNetVM profile.
+    OpenNetVm,
+    /// NetBricks profile.
+    NetBricks,
+}
+
+impl FrameworkKind {
+    fn profile(self, explicit_drop: bool) -> FrameworkProfile {
+        let p = match self {
+            FrameworkKind::OpenNetVm => FrameworkProfile::open_netvm(),
+            FrameworkKind::NetBricks => FrameworkProfile::netbricks(),
+        };
+        if explicit_drop {
+            p.with_explicit_drop()
+        } else {
+            p
+        }
+    }
+}
+
+/// PayloadPark deployment parameters for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParkParams {
+    /// Fraction of one pipe's stage SRAM reserved for the lookup table
+    /// (the paper's macro-benchmarks use ≈ 0.26).
+    pub sram_fraction: f64,
+    /// Expiry threshold (`MAX_EXP`).
+    pub expiry: u16,
+    /// Park 384 B via recirculation through pipe 1 (§6.2.5).
+    pub recirculation: bool,
+    /// NF framework sends Explicit-Drop notifications (§6.2.4).
+    pub explicit_drop: bool,
+}
+
+impl Default for ParkParams {
+    fn default() -> Self {
+        ParkParams {
+            sram_fraction: 0.26,
+            expiry: 1,
+            recirculation: false,
+            explicit_drop: false,
+        }
+    }
+}
+
+/// Baseline or PayloadPark deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeployMode {
+    /// Plain L2 forwarding.
+    Baseline,
+    /// PayloadPark with the given parameters.
+    PayloadPark(ParkParams),
+}
+
+/// Full testbed configuration.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// NIC/link rate in Gbps (10 or 40 in the paper).
+    pub nic_gbps: f64,
+    /// Offered send rate in Gbps (wire bytes).
+    pub rate_gbps: f64,
+    /// Packet sizing.
+    pub sizes: SizeModel,
+    /// Traffic window; events drain after it closes.
+    pub duration: SimDuration,
+    /// NF chain on the server.
+    pub chain: ChainSpec,
+    /// Framework profile.
+    pub framework: FrameworkKind,
+    /// Server hardware/model parameters (framework field is overwritten
+    /// from `framework`/`mode`).
+    pub server: ServerProfile,
+    /// Distinct generator flows.
+    pub flows: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Deployment under test.
+    pub mode: DeployMode,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            nic_gbps: 10.0,
+            rate_gbps: 4.0,
+            sizes: SizeModel::Enterprise,
+            duration: SimDuration::from_millis(50),
+            chain: ChainSpec::FwNatLb { fw_rules: 20 },
+            framework: FrameworkKind::NetBricks,
+            server: ServerProfile::default(),
+            flows: 128,
+            seed: 1,
+            mode: DeployMode::Baseline,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Offered send rate (Gbps of wire bytes).
+    pub send_gbps: f64,
+    /// Goodput in Gbps (UDP-header units, §6.1).
+    pub goodput_gbps: f64,
+    /// Conventional delivered throughput in Gbps.
+    pub throughput_gbps: f64,
+    /// Delivered packet rate in Mpps.
+    pub rate_mpps: f64,
+    /// Average end-to-end latency (µs).
+    pub avg_latency_us: f64,
+    /// Jitter: peak − average latency (µs).
+    pub jitter_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_latency_us: f64,
+    /// Achieved PCIe bandwidth on the server (Gbps, both directions).
+    pub pcie_gbps: f64,
+    /// Health accounting.
+    pub health: HealthTracker,
+    /// Packets still inside the system (queues, links) when the send window
+    /// closed — the backlog that drained afterwards.
+    pub backlog_pkts: u64,
+    /// PayloadPark counters (None for baseline runs).
+    pub counters: Option<CounterSnapshot>,
+    /// Server-side statistics.
+    pub server_stats: pp_nf::server::ServerStats,
+    /// Switch-side statistics.
+    pub switch_stats: pp_rmt::switch::SwitchStats,
+}
+
+impl RunReport {
+    /// The paper's health criterion (< 0.1 % unintended drops), extended
+    /// with a steady-state requirement: a backlog still queued when the
+    /// window closes means the offered rate exceeded the service rate even
+    /// if the deep rings hid the loss (their testbed's 2-minute runs would
+    /// have surfaced it as drops).
+    pub fn healthy(&self) -> bool {
+        let backlog_bound = (self.health.offered / 200).max(256);
+        self.health.healthy() && self.backlog_pkts <= backlog_bound
+    }
+}
+
+enum Ev {
+    /// A packet's last bit arrives at a switch ingress port.
+    AtSwitch { port: u16, pkt: Packet },
+    /// A packet's last bit arrives at the server NIC.
+    AtServer { pkt: Packet },
+    /// A packet's last bit arrives at the sink.
+    AtSink { pkt: Packet },
+}
+
+/// Runs one experiment.
+pub fn run(config: &TestbedConfig) -> RunReport {
+    let chip = ChipProfile::default();
+    let server_mac = MacAddr::from_index(100);
+    let sink_mac = MacAddr::from_index(200);
+    let src_base = Ipv4Addr::new(10, 0, 0, 1);
+
+    // --- switch ---
+    let (mut switch, control): (SwitchModel, Option<PipeControl>) = match config.mode {
+        DeployMode::Baseline => {
+            (build_baseline_switch(chip).expect("baseline builds"), None)
+        }
+        DeployMode::PayloadPark(p) => {
+            let mut park = ParkConfig::single_server(
+                chip,
+                GEN_PORTS.to_vec(),
+                SERVER_PORT,
+                16, // placeholder, fixed below
+            );
+            park.expiry_threshold = p.expiry;
+            if p.recirculation {
+                park.pipes[0].annex_pipe = Some(1);
+            }
+            park.pipes[0].slices[0].slots =
+                park.slots_for_sram_fraction(p.sram_fraction).max(1);
+            let (sw, handles) = build_switch(&park).expect("park config builds");
+            (sw, Some(PipeControl::new(handles[0].clone())))
+        }
+    };
+    switch.l2_add(server_mac, pp_rmt::PortId(SERVER_PORT));
+    switch.l2_add(sink_mac, pp_rmt::PortId(SINK_PORT));
+
+    // --- server ---
+    let explicit = matches!(config.mode, DeployMode::PayloadPark(p) if p.explicit_drop);
+    let mut server_profile = config.server;
+    server_profile.framework = config.framework.profile(explicit);
+    let chain = config.chain.build(config.flows, src_base);
+    let mut server =
+        NfServer::new(server_profile, chain, DetRng::derive(config.seed, "server"));
+    server.set_tx_dst_mac(sink_mac);
+
+    // --- links ---
+    let bw = Bandwidth::gbps(config.nic_gbps);
+    let prop = SimDuration::from_nanos(500);
+    let mut gen_links = [Link::new(bw, prop), Link::new(bw, prop)];
+    let mut to_server = Link::new(bw, prop);
+    let mut from_server = Link::new(bw, prop);
+    // The sink path spreads over both generator ports in the real rig.
+    let mut to_sink = Link::new(Bandwidth::gbps(config.nic_gbps * 2.0), prop);
+
+    // --- generator ---
+    let mut gen = TrafficGen::new(GenConfig {
+        rate_gbps: config.rate_gbps,
+        // Two generator ports: aggregate pacing at 2x the per-port rate.
+        line_rate_gbps: config.nic_gbps * 2.0,
+        burst: 32,
+        sizes: config.sizes.clone(),
+        flows: config.flows,
+        dst_mac: server_mac,
+        dst_ip: Ipv4Addr::new(10, 10, 0, 1),
+        src_ip_base: src_base,
+        seed: config.seed,
+    });
+
+    // --- measurement state ---
+    let mut departures: Vec<u64> = Vec::with_capacity(1 << 16);
+    let mut latency = LatencyStats::new();
+    let mut goodput = GoodputMeter::new();
+    let mut delivered_total = 0u64;
+    let duration_ns = config.duration.nanos();
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut next_gen: Option<(SimTime, Packet)> = Some(gen.next_packet());
+
+    loop {
+        // Interleave generation with event processing in time order.
+        let gen_time = next_gen.as_ref().map(|(t, _)| *t);
+        let ev_time = queue.peek_time();
+        let take_gen = match (gen_time, ev_time) {
+            (Some(g), Some(e)) => g <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+
+        if take_gen {
+            let (t, pkt) = next_gen.take().expect("checked above");
+            let seq = pkt.seq() as usize;
+            if departures.len() <= seq {
+                departures.resize(seq + 1, 0);
+            }
+            departures[seq] = t.nanos();
+            // Alternate generator ports; each imposes its own serialization.
+            let port = GEN_PORTS[seq % 2];
+            let arrival = gen_links[seq % 2].transmit(t, pkt.len());
+            queue.schedule(arrival, Ev::AtSwitch { port, pkt });
+            // Pull the next departure while it is inside the window.
+            let (t_next, p_next) = gen.next_packet();
+            if t_next.nanos() < duration_ns {
+                next_gen = Some((t_next, p_next));
+            }
+            continue;
+        }
+
+        let (now, ev) = queue.pop().expect("checked above");
+        match ev {
+            Ev::AtSwitch { port, pkt } => {
+                let seq = pkt.seq();
+                for out in switch.process(pkt.bytes(), pp_rmt::PortId(port), seq) {
+                    let t_out = now + SimDuration::from_nanos(out.latency_ns);
+                    let mut fwd = Packet::with_seq(out.bytes, out.seq);
+                    match out.port.0 {
+                        SERVER_PORT => {
+                            let arrival = to_server.transmit(t_out, fwd.len());
+                            queue.schedule(arrival, Ev::AtServer { pkt: fwd });
+                        }
+                        SINK_PORT => {
+                            let arrival = to_sink.transmit(t_out, fwd.len());
+                            queue.schedule(arrival, Ev::AtSink { pkt: fwd });
+                        }
+                        _ => {
+                            // Mis-routed: count as other drop via switch stats.
+                            fwd.bytes_mut().clear();
+                        }
+                    }
+                }
+            }
+            Ev::AtServer { pkt } => match server.rx(now, pkt) {
+                RxOutcome::Dropped => {}
+                RxOutcome::Done { time, packet: Some(out) } => {
+                    let arrival = from_server.transmit(time, out.len());
+                    queue.schedule(
+                        arrival,
+                        Ev::AtSwitch { port: SERVER_PORT, pkt: out },
+                    );
+                }
+                RxOutcome::Done { time: _, packet: None } => {}
+            },
+            Ev::AtSink { pkt } => {
+                delivered_total += 1;
+                if now.nanos() <= duration_ns {
+                    goodput.record(now, pkt.len());
+                    let dep = departures
+                        .get(pkt.seq() as usize)
+                        .copied()
+                        .unwrap_or(0);
+                    latency.record(SimDuration::from_nanos(now.nanos() - dep));
+                }
+            }
+        }
+    }
+
+    // --- health accounting ---
+    let counters = control.as_ref().map(|c| c.counters(&switch));
+    let sstats = server.stats();
+    let swstats = switch.stats();
+    let premature = counters
+        .map(|c| c.premature_evictions + c.crc_fail)
+        .unwrap_or(0);
+    let explicit_consumed = counters.map(|c| c.explicit_drops).unwrap_or(0);
+    // Explicit-drop notifications are extra packets consumed by the switch;
+    // exclude them from the "program drops" that indicate real loss.
+    let program_drops_other =
+        swstats.dropped_by_program.saturating_sub(premature + explicit_consumed);
+    let health = HealthTracker {
+        offered: gen.generated(),
+        delivered: delivered_total,
+        intended_drops: sstats.nf_dropped,
+        ring_drops: sstats.ring_drops,
+        premature_eviction_drops: premature,
+        other_drops: swstats.parse_errors
+            + swstats.dropped_no_route
+            + swstats.dropped_recirc_limit
+            + program_drops_other,
+    };
+
+    // Deliveries after the window closed were queued somewhere at cutoff.
+    let backlog_pkts = delivered_total - goodput.delivered();
+
+    RunReport {
+        send_gbps: config.rate_gbps,
+        goodput_gbps: goodput.goodput_gbps(duration_ns),
+        throughput_gbps: goodput.throughput_gbps(duration_ns),
+        rate_mpps: goodput.rate_mpps(duration_ns),
+        avg_latency_us: latency.avg_us(),
+        jitter_us: latency.jitter_us(),
+        p99_latency_us: latency.percentile_us(0.99),
+        pcie_gbps: server.pcie_achieved_gbps(SimTime(duration_ns)),
+        health,
+        backlog_pkts,
+        counters,
+        server_stats: sstats,
+        switch_stats: swstats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_server() -> ServerProfile {
+        ServerProfile { jitter_frac: 0.0, modulation_amplitude: 0.0, ..Default::default() }
+    }
+
+    fn quick(mode: DeployMode, rate: f64) -> RunReport {
+        run(&TestbedConfig {
+            nic_gbps: 10.0,
+            rate_gbps: rate,
+            sizes: SizeModel::Fixed(512),
+            duration: SimDuration::from_millis(2),
+            chain: ChainSpec::MacSwap,
+            framework: FrameworkKind::NetBricks,
+            server: quiet_server(),
+            flows: 16,
+            seed: 3,
+            mode,
+        })
+    }
+
+    #[test]
+    fn baseline_delivers_everything_below_saturation() {
+        let r = quick(DeployMode::Baseline, 2.0);
+        assert!(r.healthy(), "{:?}", r.health);
+        assert!(r.health.in_flight() < 50, "{:?}", r.health);
+        assert!(r.goodput_gbps > 0.0);
+        assert!(r.avg_latency_us > 0.0);
+        assert!(r.counters.is_none());
+    }
+
+    #[test]
+    fn payloadpark_splits_and_merges_cleanly() {
+        let r = quick(DeployMode::PayloadPark(ParkParams::default()), 2.0);
+        assert!(r.healthy(), "{:?}", r.health);
+        let c = r.counters.expect("park counters");
+        assert!(c.splits > 0);
+        assert!(c.merges > 0);
+        assert!(c.functionally_equivalent(), "{c:?}");
+        // 512-byte packets all exceed the 160 B minimum.
+        assert_eq!(c.disabled_small_payload, 0);
+    }
+
+    #[test]
+    fn goodput_equal_below_saturation_latency_not_worse() {
+        let base = quick(DeployMode::Baseline, 2.0);
+        let park = quick(DeployMode::PayloadPark(ParkParams::default()), 2.0);
+        // Below saturation both deliver the offered load.
+        assert!(
+            (base.goodput_gbps - park.goodput_gbps).abs() / base.goodput_gbps < 0.02,
+            "base {} park {}",
+            base.goodput_gbps,
+            park.goodput_gbps
+        );
+        // PayloadPark must not add latency (paper: improves it slightly).
+        assert!(
+            park.avg_latency_us <= base.avg_latency_us * 1.02,
+            "park {} base {}",
+            park.avg_latency_us,
+            base.avg_latency_us
+        );
+        // And it saves PCIe bandwidth.
+        assert!(park.pcie_gbps < base.pcie_gbps, "pcie {} vs {}", park.pcie_gbps, base.pcie_gbps);
+    }
+
+    #[test]
+    fn overload_is_detected_as_unhealthy() {
+        // MacSwap on NetBricks at 512 B: saturate the server outright.
+        let mut cfg = TestbedConfig {
+            nic_gbps: 40.0,
+            rate_gbps: 40.0,
+            sizes: SizeModel::Fixed(512),
+            duration: SimDuration::from_millis(4),
+            chain: ChainSpec::Synthetic { cycles: 5000 },
+            framework: FrameworkKind::OpenNetVm,
+            server: quiet_server(),
+            flows: 16,
+            seed: 3,
+            mode: DeployMode::Baseline,
+        };
+        cfg.server.ring_capacity = 512;
+        let r = run(&cfg);
+        assert!(!r.healthy(), "drop rate {}", r.health.drop_rate());
+        assert!(r.health.ring_drops > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(DeployMode::PayloadPark(ParkParams::default()), 3.0);
+        let b = quick(DeployMode::PayloadPark(ParkParams::default()), 3.0);
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.goodput_gbps, b.goodput_gbps);
+        assert_eq!(a.avg_latency_us, b.avg_latency_us);
+    }
+
+    #[test]
+    fn firewall_drops_are_intended_not_unhealthy() {
+        let mut cfg = TestbedConfig {
+            chain: ChainSpec::FwNatBlacklist { blocked_pct: 40 },
+            rate_gbps: 1.0,
+            duration: SimDuration::from_millis(2),
+            server: quiet_server(),
+            ..Default::default()
+        };
+        cfg.sizes = SizeModel::Fixed(512);
+        let r = run(&cfg);
+        assert!(r.health.intended_drops > 0);
+        assert!(r.healthy(), "{:?}", r.health);
+    }
+
+    #[test]
+    fn explicit_drop_reclaims_slots() {
+        let mut params = ParkParams::default();
+        params.explicit_drop = true;
+        params.expiry = 10;
+        let cfg = TestbedConfig {
+            chain: ChainSpec::FwNatBlacklist { blocked_pct: 30 },
+            rate_gbps: 1.0,
+            sizes: SizeModel::Fixed(512),
+            duration: SimDuration::from_millis(2),
+            server: quiet_server(),
+            mode: DeployMode::PayloadPark(params),
+            ..Default::default()
+        };
+        let r = run(&cfg);
+        let c = r.counters.unwrap();
+        assert!(c.explicit_drops > 0, "{c:?}");
+        assert!(r.healthy(), "{:?}", r.health);
+        // Slots of dropped packets were reclaimed by notifications, not by
+        // waiting out the conservative expiry threshold.
+        assert_eq!(c.splits as i64 - c.merges as i64 - c.explicit_drops as i64,
+                   c.outstanding());
+    }
+
+    #[test]
+    fn enterprise_workload_mixes_split_and_small() {
+        let cfg = TestbedConfig {
+            rate_gbps: 3.0,
+            sizes: SizeModel::Enterprise,
+            duration: SimDuration::from_millis(3),
+            chain: ChainSpec::FwNatLb { fw_rules: 20 },
+            server: quiet_server(),
+            mode: DeployMode::PayloadPark(ParkParams::default()),
+            ..Default::default()
+        };
+        let r = run(&cfg);
+        let c = r.counters.unwrap();
+        assert!(c.splits > 0);
+        assert!(c.disabled_small_payload > 0, "~30% of packets are small");
+        let small_frac =
+            c.disabled_small_payload as f64 / (c.splits + c.disabled_small_payload) as f64;
+        assert!((small_frac - 0.30).abs() < 0.05, "small fraction {small_frac}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Goodput measurement.
+//!
+//! "PayloadPark is a goodput optimization, which we measure from the RMT
+//! switch's perspective. We use a UDP header as the unit of useful
+//! information" (§6.1). Every packet that completes the round trip
+//! (generator → switch → NF chain → switch → generator) delivers one UDP
+//! header's worth — 336 bits — of useful information.
+
+use pp_netsim::time::SimTime;
+
+/// Bits of useful information per delivered packet: the 42-byte
+/// Ethernet+IPv4+UDP header stack.
+pub const USEFUL_BITS_PER_PACKET: f64 = 336.0;
+
+/// Counts delivered packets and computes goodput.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GoodputMeter {
+    delivered: u64,
+    delivered_wire_bytes: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl GoodputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet delivered back to the generator at `t` with
+    /// `wire_bytes` on the wire.
+    pub fn record(&mut self, t: SimTime, wire_bytes: usize) {
+        self.delivered += 1;
+        self.delivered_wire_bytes += wire_bytes as u64;
+        if self.first.is_none() {
+            self.first = Some(t);
+        }
+        self.last = Some(t);
+    }
+
+    /// Packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Goodput in Gbps over the window `[0, duration]`.
+    pub fn goodput_gbps(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 * USEFUL_BITS_PER_PACKET / duration_ns as f64
+    }
+
+    /// Delivered throughput (wire bytes) in Gbps over `[0, duration]` — the
+    /// conventional throughput, for comparison.
+    pub fn throughput_gbps(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.delivered_wire_bytes as f64 * 8.0 / duration_ns as f64
+    }
+
+    /// Delivered packet rate in Mpps over `[0, duration]`.
+    pub fn rate_mpps(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / duration_ns as f64 * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_336_bits() {
+        assert_eq!(USEFUL_BITS_PER_PACKET, 336.0);
+    }
+
+    #[test]
+    fn goodput_matches_hand_computation() {
+        let mut m = GoodputMeter::new();
+        // 1000 packets over 1 ms.
+        for i in 0..1000u64 {
+            m.record(SimTime(i * 1_000), 882);
+        }
+        // 1 Mpps × 336 bits = 0.336 Gbps.
+        let g = m.goodput_gbps(1_000_000);
+        assert!((g - 0.336).abs() < 1e-9, "{g}");
+        let t = m.throughput_gbps(1_000_000);
+        assert!((t - 882.0 * 8.0 / 1000.0).abs() < 1e-9, "{t}");
+        assert!((m.rate_mpps(1_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(m.delivered(), 1000);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = GoodputMeter::new();
+        assert_eq!(m.goodput_gbps(1_000), 0.0);
+        assert_eq!(m.goodput_gbps(0), 0.0);
+        assert_eq!(m.throughput_gbps(0), 0.0);
+        assert_eq!(m.rate_mpps(0), 0.0);
+    }
+
+    #[test]
+    fn paper_sanity_check_500b_at_40g() {
+        // §1: 10 Mpps of 500-byte packets saturates 40 Gbps but yields only
+        // 3.36 Gbps of goodput.
+        let mut m = GoodputMeter::new();
+        for i in 0..10_000u64 {
+            m.record(SimTime(i * 100), 500);
+        }
+        let g = m.goodput_gbps(1_000_000);
+        assert!((g - 3.36).abs() < 1e-9, "{g}");
+        let t = m.throughput_gbps(1_000_000);
+        assert!((t - 40.0).abs() < 1e-9, "{t}");
+    }
+}

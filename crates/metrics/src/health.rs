@@ -1,0 +1,123 @@
+//! The health criterion.
+//!
+//! "We consider the system to be healthy when the packet drop rate is below
+//! 0.1%; we use this threshold to measure peak goodput" (§6.1). Intended
+//! drops (firewall ACL hits, explicit drops) do not count against health;
+//! unintended ones (ring overflows, premature evictions, lost packets) do.
+
+/// The paper's drop-rate threshold.
+pub const HEALTH_THRESHOLD: f64 = 0.001;
+
+/// Tracks offered vs lost packets for the health decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthTracker {
+    /// Packets offered by the generator.
+    pub offered: u64,
+    /// Packets delivered end to end.
+    pub delivered: u64,
+    /// Intended drops (firewall/NF policy) — not a health problem.
+    pub intended_drops: u64,
+    /// Unintended drops: NIC ring overflows.
+    pub ring_drops: u64,
+    /// Unintended drops: premature payload evictions (PayloadPark only).
+    pub premature_eviction_drops: u64,
+    /// Unintended drops: anything else (parse errors, no route, faults).
+    pub other_drops: u64,
+}
+
+impl HealthTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total unintended losses.
+    pub fn unintended_drops(&self) -> u64 {
+        self.ring_drops + self.premature_eviction_drops + self.other_drops
+    }
+
+    /// Unintended drop rate relative to offered load.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.unintended_drops() as f64 / self.offered as f64
+    }
+
+    /// The paper's health criterion.
+    pub fn healthy(&self) -> bool {
+        self.drop_rate() < HEALTH_THRESHOLD
+    }
+
+    /// Packets still in flight (or unaccounted) at measurement end.
+    pub fn in_flight(&self) -> i64 {
+        self.offered as i64
+            - self.delivered as i64
+            - self.intended_drops as i64
+            - self.unintended_drops() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_below_threshold() {
+        let h = HealthTracker {
+            offered: 100_000,
+            delivered: 99_950,
+            ring_drops: 50,
+            ..Default::default()
+        };
+        assert!((h.drop_rate() - 0.0005).abs() < 1e-12);
+        assert!(h.healthy());
+    }
+
+    #[test]
+    fn unhealthy_at_threshold() {
+        let h = HealthTracker {
+            offered: 100_000,
+            delivered: 99_900,
+            ring_drops: 60,
+            premature_eviction_drops: 40,
+            ..Default::default()
+        };
+        assert!((h.drop_rate() - 0.001).abs() < 1e-12);
+        assert!(!h.healthy());
+    }
+
+    #[test]
+    fn intended_drops_do_not_hurt_health() {
+        let h = HealthTracker {
+            offered: 1000,
+            delivered: 600,
+            intended_drops: 400,
+            ..Default::default()
+        };
+        assert_eq!(h.drop_rate(), 0.0);
+        assert!(h.healthy());
+        assert_eq!(h.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_accounts_everything() {
+        let h = HealthTracker {
+            offered: 100,
+            delivered: 80,
+            intended_drops: 5,
+            ring_drops: 3,
+            premature_eviction_drops: 2,
+            other_drops: 1,
+            ..Default::default()
+        };
+        assert_eq!(h.unintended_drops(), 6);
+        assert_eq!(h.in_flight(), 9);
+    }
+
+    #[test]
+    fn zero_offered_is_healthy() {
+        assert!(HealthTracker::new().healthy());
+        assert_eq!(HealthTracker::new().drop_rate(), 0.0);
+    }
+}

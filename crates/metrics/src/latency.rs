@@ -1,0 +1,178 @@
+//! Latency statistics.
+//!
+//! Histogram-backed so multi-million-packet runs cost constant memory:
+//! 1 µs buckets up to 20 ms plus an overflow bucket. Average and maximum
+//! are exact; percentiles are bucket-resolution.
+
+use pp_netsim::time::SimDuration;
+
+const BUCKET_NS: u64 = 1_000;
+const BUCKETS: usize = 20_000;
+
+/// Online latency statistics.
+#[derive(Clone)]
+pub struct LatencyStats {
+    histogram: Vec<u32>,
+    overflow: u64,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        LatencyStats {
+            histogram: vec![0; BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ns = latency.nanos();
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+        let bucket = (ns / BUCKET_NS) as usize;
+        if bucket < BUCKETS {
+            self.histogram[bucket] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Average latency in microseconds.
+    pub fn avg_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ns as f64 / self.count as f64 / 1e3
+    }
+
+    /// Maximum latency in microseconds.
+    pub fn max_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.max_ns as f64 / 1e3
+    }
+
+    /// Minimum latency in microseconds.
+    pub fn min_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.min_ns as f64 / 1e3
+    }
+
+    /// Jitter as the paper reports it: peak minus average (Fig. 7 caption).
+    pub fn jitter_us(&self) -> f64 {
+        (self.max_us() - self.avg_us()).max(0.0)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) in microseconds, at 1 µs resolution.
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.histogram.iter().enumerate() {
+            seen += u64::from(c);
+            if seen >= target {
+                return ((i as u64 + 1) * BUCKET_NS) as f64 / 1e3;
+            }
+        }
+        self.max_us()
+    }
+}
+
+impl core::fmt::Debug for LatencyStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LatencyStats")
+            .field("count", &self.count)
+            .field("avg_us", &self.avg_us())
+            .field("max_us", &self.max_us())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let mut s = LatencyStats::new();
+        for us in [10u64, 20, 30, 40] {
+            s.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.avg_us() - 25.0).abs() < 1e-9);
+        assert!((s.max_us() - 40.0).abs() < 1e-9);
+        assert!((s.min_us() - 10.0).abs() < 1e-9);
+        assert!((s.jitter_us() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.avg_us(), 0.0);
+        assert_eq!(s.max_us(), 0.0);
+        assert_eq!(s.min_us(), 0.0);
+        assert_eq!(s.jitter_us(), 0.0);
+        assert_eq!(s.percentile_us(0.99), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut s = LatencyStats::new();
+        for i in 1..=1000u64 {
+            s.record(SimDuration::from_micros(i));
+        }
+        let p50 = s.percentile_us(0.50);
+        let p99 = s.percentile_us(0.99);
+        let p100 = s.percentile_us(1.0);
+        assert!(p50 <= p99 && p99 <= p100);
+        assert!((p50 - 500.0).abs() <= 1.0, "p50 {p50}");
+        assert!((p99 - 990.0).abs() <= 1.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn overflow_samples_still_counted() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_millis(50)); // beyond histogram range
+        s.record(SimDuration::from_micros(10));
+        assert_eq!(s.count(), 2);
+        assert!((s.max_us() - 50_000.0).abs() < 1e-9);
+        // p100 falls back to the exact max.
+        assert!((s.percentile_us(1.0) - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_microsecond_resolution_truncates_to_bucket() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_nanos(1_499));
+        assert!((s.percentile_us(1.0) - 2.0).abs() < 1e-9); // bucket upper edge
+        assert!((s.avg_us() - 1.499).abs() < 1e-9); // average is exact
+    }
+}

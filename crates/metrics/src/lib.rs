@@ -1,0 +1,20 @@
+//! Measurement infrastructure matching the paper's metric definitions
+//! (§6.1):
+//!
+//! * [`goodput`] — goodput from the switch's perspective, with the UDP
+//!   header (42 B = 336 bits of useful information) as the unit;
+//! * [`latency`] — average end-to-end latency and jitter (peak − average),
+//!   histogram-backed percentiles;
+//! * [`health`] — the 0.1 % drop-rate health criterion used to find peak
+//!   goodput;
+//! * [`series`] — sweep results rendered as paper-style text tables.
+
+pub mod goodput;
+pub mod health;
+pub mod latency;
+pub mod series;
+
+pub use goodput::GoodputMeter;
+pub use health::HealthTracker;
+pub use latency::LatencyStats;
+pub use series::{Series, SeriesPoint};

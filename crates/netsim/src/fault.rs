@@ -1,0 +1,151 @@
+//! Probabilistic fault injection.
+//!
+//! Mirrors the fault-injection options of the smoltcp examples
+//! (`--drop-chance`, `--corrupt-chance`): links and components can be wrapped
+//! with a [`FaultInjector`] to exercise the payload evictor — the paper's
+//! mechanism for reclaiming space when packets are "dropped by NFs … or lost
+//! by lossy links and other components" (§3.3).
+
+use crate::rng::DetRng;
+
+/// Fault-injection configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Probability of silently dropping each packet.
+    pub drop_chance: f64,
+    /// Probability of flipping one random bit in each surviving packet.
+    pub corrupt_chance: f64,
+}
+
+/// Statistics kept by the injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets observed.
+    pub seen: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets corrupted.
+    pub corrupted: u64,
+}
+
+/// The outcome of passing one packet through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver unchanged.
+    Pass,
+    /// Silently drop.
+    Drop,
+    /// Deliver; one bit was flipped in place.
+    Corrupted,
+}
+
+/// A deterministic packet mangler.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: DetRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector; `rng` should be a dedicated derived stream.
+    pub fn new(config: FaultConfig, rng: DetRng) -> Self {
+        FaultInjector { config, rng, stats: FaultStats::default() }
+    }
+
+    /// An injector that never interferes.
+    pub fn disabled() -> Self {
+        Self::new(FaultConfig::default(), DetRng::from_seed(0))
+    }
+
+    /// Applies faults to `packet`; may flip a bit in place.
+    pub fn apply(&mut self, packet: &mut [u8]) -> FaultOutcome {
+        self.stats.seen += 1;
+        if self.rng.chance(self.config.drop_chance) {
+            self.stats.dropped += 1;
+            return FaultOutcome::Drop;
+        }
+        if !packet.is_empty() && self.rng.chance(self.config.corrupt_chance) {
+            let byte = self.rng.gen_range(0, packet.len() as u64) as usize;
+            let bit = self.rng.gen_range(0, 8) as u8;
+            packet[byte] ^= 1 << bit;
+            self.stats.corrupted += 1;
+            return FaultOutcome::Corrupted;
+        }
+        FaultOutcome::Pass
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_passes_everything() {
+        let mut inj = FaultInjector::disabled();
+        let mut pkt = vec![0xAAu8; 64];
+        for _ in 0..100 {
+            assert_eq!(inj.apply(&mut pkt), FaultOutcome::Pass);
+        }
+        assert_eq!(pkt, vec![0xAAu8; 64]);
+        assert_eq!(inj.stats(), FaultStats { seen: 100, dropped: 0, corrupted: 0 });
+    }
+
+    #[test]
+    fn drop_rate_is_plausible() {
+        let mut inj = FaultInjector::new(
+            FaultConfig { drop_chance: 0.15, corrupt_chance: 0.0 },
+            DetRng::from_seed(42),
+        );
+        let mut pkt = vec![0u8; 8];
+        let drops = (0..10_000).filter(|_| inj.apply(&mut pkt) == FaultOutcome::Drop).count();
+        assert!((1_300..1_700).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(
+            FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 },
+            DetRng::from_seed(1),
+        );
+        let original = vec![0x55u8; 32];
+        let mut pkt = original.clone();
+        assert_eq!(inj.apply(&mut pkt), FaultOutcome::Corrupted);
+        let differing_bits: u32 =
+            original.iter().zip(&pkt).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(differing_bits, 1);
+    }
+
+    #[test]
+    fn empty_packet_never_corrupted() {
+        let mut inj = FaultInjector::new(
+            FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 },
+            DetRng::from_seed(2),
+        );
+        assert_eq!(inj.apply(&mut []), FaultOutcome::Pass);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(
+                FaultConfig { drop_chance: 0.3, corrupt_chance: 0.3 },
+                DetRng::from_seed(seed),
+            );
+            let mut pkt = vec![9u8; 16];
+            (0..50).map(|_| inj.apply(&mut pkt)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic discrete-event network-simulation substrate.
+//!
+//! The PayloadPark paper evaluates on a hardware testbed (PktGen server,
+//! Tofino switch, NF server over 10/40 GE NICs). This crate provides the
+//! simulation primitives that stand in for that hardware:
+//!
+//! * [`time`] — nanosecond simulation clock and rate conversions;
+//! * [`event`] — a stable-ordered event queue (the heart of the DES);
+//! * [`link`] — point-to-point links with serialization + propagation delay
+//!   and transmitter back-pressure;
+//! * [`queue`] — finite drop-tail FIFOs (NIC rings, switch queues);
+//! * [`pcie`] — a PCIe bus model with per-transaction overhead, matching the
+//!   paper's PCIe-bandwidth measurements (§6.1, Fig. 9);
+//! * [`rng`] — seeded RNG streams so every run is a pure function of
+//!   (config, seed);
+//! * [`fault`] — probabilistic drop/corrupt injection (in the spirit of the
+//!   smoltcp examples' `--drop-chance`/`--corrupt-chance` options);
+//! * [`trace`] — a bounded in-memory trace log for debugging runs.
+//!
+//! Design note: simulation is CPU-bound and must be reproducible, so the
+//! substrate is fully synchronous — no async runtime, no threads. The
+//! multi-server experiment parallelises *across* independent simulations.
+
+pub mod event;
+pub mod fault;
+pub mod link;
+pub mod pcie;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use fault::FaultInjector;
+pub use link::Link;
+pub use pcie::PcieBus;
+pub use queue::DropTailQueue;
+pub use rng::DetRng;
+pub use time::{Bandwidth, SimDuration, SimTime};
+pub use trace::Trace;

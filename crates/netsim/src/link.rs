@@ -1,0 +1,179 @@
+//! Point-to-point link model.
+//!
+//! A link has a bandwidth and a propagation delay. The transmitter is
+//! serial: a new packet cannot start serializing before the previous one
+//! finished (back-pressure), so offered load beyond line rate accumulates
+//! transmitter queueing delay — this produces the latency cliff at link
+//! saturation seen in the paper's Fig. 7/16 baselines.
+
+use crate::time::{Bandwidth, SimDuration, SimTime};
+
+/// Statistics kept per link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted for transmission.
+    pub packets: u64,
+    /// Bytes accepted for transmission.
+    pub bytes: u64,
+    /// Nanoseconds the transmitter spent busy.
+    pub busy_ns: u64,
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth: Bandwidth,
+    propagation: SimDuration,
+    /// Time at which the transmitter becomes free.
+    tx_free_at: SimTime,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link with the given line rate and propagation delay.
+    pub fn new(bandwidth: Bandwidth, propagation: SimDuration) -> Self {
+        Link { bandwidth, propagation, tx_free_at: SimTime::ZERO, stats: LinkStats::default() }
+    }
+
+    /// The link's line rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// The link's propagation delay.
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// Transmits `bytes` starting no earlier than `now`; returns the time
+    /// the last bit arrives at the receiver.
+    ///
+    /// If the transmitter is still busy with a previous packet, transmission
+    /// is delayed until it frees up (FIFO, infinite transmitter queue — use
+    /// [`crate::queue::DropTailQueue`] in front for finite buffers).
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let start = now.max(self.tx_free_at);
+        let ser = self.bandwidth.serialization_delay(bytes);
+        let tx_done = start + ser;
+        self.tx_free_at = tx_done;
+        self.stats.packets += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.busy_ns += ser.nanos();
+        tx_done + self.propagation
+    }
+
+    /// Time at which the transmitter can next start serializing.
+    pub fn tx_free_at(&self) -> SimTime {
+        self.tx_free_at
+    }
+
+    /// The transmitter queueing delay a packet offered at `now` would see.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.tx_free_at.since(now)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Average utilization over `[0, now]` (busy time / wall time).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        self.stats.busy_ns as f64 / now.nanos() as f64
+    }
+
+    /// Resets counters and the transmitter state (for warm-up discard).
+    pub fn reset(&mut self, now: SimTime) {
+        self.stats = LinkStats::default();
+        self.tx_free_at = self.tx_free_at.max(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link_10g() -> Link {
+        Link::new(Bandwidth::gbps(10.0), SimDuration::from_nanos(500))
+    }
+
+    #[test]
+    fn single_packet_delay() {
+        let mut l = link_10g();
+        // 1250 bytes at 10 Gbps = 1 µs serialization + 500 ns propagation.
+        let arrival = l.transmit(SimTime(0), 1250);
+        assert_eq!(arrival, SimTime(1_500));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = link_10g();
+        let a1 = l.transmit(SimTime(0), 1250);
+        let a2 = l.transmit(SimTime(0), 1250);
+        // Second packet waits for the first's serialization.
+        assert_eq!(a1, SimTime(1_500));
+        assert_eq!(a2, SimTime(2_500));
+        assert_eq!(l.backlog(SimTime(0)), SimDuration(2_000));
+    }
+
+    #[test]
+    fn idle_gap_resets_backlog() {
+        let mut l = link_10g();
+        l.transmit(SimTime(0), 1250);
+        // Offered well after the transmitter went idle.
+        let arrival = l.transmit(SimTime(10_000), 1250);
+        assert_eq!(arrival, SimTime(11_500));
+        assert_eq!(l.backlog(SimTime(12_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = link_10g();
+        l.transmit(SimTime(0), 1000);
+        l.transmit(SimTime(0), 500);
+        let s = l.stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.bytes, 1500);
+        assert_eq!(s.busy_ns, 1200);
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let mut l = link_10g();
+        l.transmit(SimTime(0), 1250); // busy 1 µs
+        assert!((l.utilization(SimTime(2_000)) - 0.5).abs() < 1e-9);
+        assert_eq!(l.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn offered_load_at_line_rate_never_exceeds_capacity() {
+        let mut l = Link::new(Bandwidth::gbps(10.0), SimDuration::ZERO);
+        // Offer exactly line rate: 1250-byte packets every 1 µs.
+        let mut last = SimTime::ZERO;
+        for i in 0..1000u64 {
+            last = l.transmit(SimTime(i * 1000), 1250);
+        }
+        // The last packet finishes exactly at 1000 µs: no drift, no backlog.
+        assert_eq!(last, SimTime(1_000_000));
+    }
+
+    #[test]
+    fn reset_clears_stats_but_keeps_transmitter_state() {
+        let mut l = link_10g();
+        l.transmit(SimTime(0), 12500); // busy until 10 µs
+        l.reset(SimTime(5_000));
+        assert_eq!(l.stats().packets, 0);
+        // Transmitter is still busy from the pre-reset packet.
+        assert!(l.tx_free_at() > SimTime(5_000));
+    }
+
+    #[test]
+    fn accessors() {
+        let l = link_10g();
+        assert_eq!(l.bandwidth(), Bandwidth::gbps(10.0));
+        assert_eq!(l.propagation(), SimDuration::from_nanos(500));
+    }
+}

@@ -1,0 +1,185 @@
+//! PCIe bus model for the NF server.
+//!
+//! Each packet crossing the NIC costs a DMA transfer of its wire bytes plus
+//! fixed per-transaction overhead (descriptor fetch, completion write,
+//! doorbells — cf. Neugebauer et al., "Understanding PCIe performance for
+//! end host networking", SIGCOMM'18, which the paper cites as [36]).
+//!
+//! PayloadPark's PCIe savings (Fig. 9, §6.2.1) come from transferring
+//! truncated packets: the bus model simply sees fewer bytes per packet.
+
+use crate::time::{Bandwidth, SimDuration, SimTime};
+
+/// Configuration of the bus.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieConfig {
+    /// Usable bus bandwidth (defaults approximate a PCIe 3.0 x8 NIC slot).
+    pub bandwidth: Bandwidth,
+    /// Fixed overhead bytes charged per packet (descriptors, TLP headers,
+    /// completions). The default of 64 matches ~2 TLPs + descriptor traffic.
+    pub per_packet_overhead_bytes: usize,
+}
+
+impl Default for PcieConfig {
+    fn default() -> Self {
+        // 50 Gbps of usable PCIe bandwidth: enough for a 40 GE NIC at MTU
+        // but a real constraint at small packet sizes, as in [36].
+        PcieConfig { bandwidth: Bandwidth::gbps(50.0), per_packet_overhead_bytes: 64 }
+    }
+}
+
+/// Statistics kept by the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcieStats {
+    /// DMA transactions (≈ packets, one each direction).
+    pub transactions: u64,
+    /// Payload bytes moved (excluding per-packet overhead).
+    pub payload_bytes: u64,
+    /// Total bytes including overhead.
+    pub bus_bytes: u64,
+    /// Nanoseconds the bus spent busy.
+    pub busy_ns: u64,
+}
+
+/// A serial PCIe bus shared by RX and TX DMA.
+#[derive(Debug, Clone)]
+pub struct PcieBus {
+    config: PcieConfig,
+    free_at: SimTime,
+    stats: PcieStats,
+}
+
+impl PcieBus {
+    /// Creates a bus with the given configuration.
+    pub fn new(config: PcieConfig) -> Self {
+        PcieBus { config, free_at: SimTime::ZERO, stats: PcieStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PcieConfig {
+        self.config
+    }
+
+    /// Performs a DMA of one packet of `bytes` starting no earlier than
+    /// `now`; returns the completion time.
+    pub fn dma(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let total = bytes + self.config.per_packet_overhead_bytes;
+        let start = now.max(self.free_at);
+        let dur = self.config.bandwidth.serialization_delay(total);
+        let done = start + dur;
+        self.free_at = done;
+        self.stats.transactions += 1;
+        self.stats.payload_bytes += bytes as u64;
+        self.stats.bus_bytes += total as u64;
+        self.stats.busy_ns += dur.nanos();
+        done
+    }
+
+    /// The queueing delay a DMA offered at `now` would see.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.free_at.since(now)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PcieStats {
+        self.stats
+    }
+
+    /// Average bus utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        self.stats.busy_ns as f64 / now.nanos() as f64
+    }
+
+    /// Achieved bus bandwidth over `[0, now]` in Gbps — the quantity the
+    /// paper reports as "PCIe bandwidth utilization" (Fig. 9).
+    pub fn achieved_gbps(&self, now: SimTime) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        (self.stats.bus_bytes as f64 * 8.0) / now.nanos() as f64
+    }
+
+    /// Resets counters (for warm-up discard).
+    pub fn reset(&mut self, now: SimTime) {
+        self.stats = PcieStats::default();
+        self.free_at = self.free_at.max(now);
+    }
+}
+
+impl Default for PcieBus {
+    fn default() -> Self {
+        Self::new(PcieConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> PcieBus {
+        PcieBus::new(PcieConfig {
+            bandwidth: Bandwidth::gbps(8.0),
+            per_packet_overhead_bytes: 100,
+        })
+    }
+
+    #[test]
+    fn dma_charges_overhead() {
+        let mut b = bus();
+        // 900 + 100 bytes at 8 Gbps = 1 µs.
+        let done = b.dma(SimTime(0), 900);
+        assert_eq!(done, SimTime(1_000));
+        let s = b.stats();
+        assert_eq!(s.payload_bytes, 900);
+        assert_eq!(s.bus_bytes, 1000);
+        assert_eq!(s.transactions, 1);
+    }
+
+    #[test]
+    fn serial_transactions_queue() {
+        let mut b = bus();
+        let d1 = b.dma(SimTime(0), 900);
+        let d2 = b.dma(SimTime(0), 900);
+        assert_eq!(d1, SimTime(1_000));
+        assert_eq!(d2, SimTime(2_000));
+        assert_eq!(b.backlog(SimTime(0)), SimDuration(2_000));
+    }
+
+    #[test]
+    fn achieved_gbps_reflects_totals() {
+        let mut b = bus();
+        b.dma(SimTime(0), 900);
+        b.dma(SimTime(0), 900);
+        // 2000 bytes in 4 µs window = 4 Gbps.
+        assert!((b.achieved_gbps(SimTime(4_000)) - 4.0).abs() < 1e-9);
+        assert!((b.utilization(SimTime(4_000)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_packets_pay_proportionally_more_overhead() {
+        // The per-packet overhead is why PCIe savings are largest for small
+        // packets (paper Fig. 9: 58% at 256 B).
+        let mut b = bus();
+        b.dma(SimTime(0), 156); // e.g. 256 B packet truncated by 160+ bytes
+        let small = b.stats().bus_bytes;
+        let mut b2 = bus();
+        b2.dma(SimTime(0), 256);
+        let full = b2.stats().bus_bytes;
+        let saving = 1.0 - small as f64 / full as f64;
+        assert!(saving > 0.25, "saving {saving}");
+    }
+
+    #[test]
+    fn reset_and_default() {
+        let mut b = PcieBus::default();
+        b.dma(SimTime(0), 100);
+        b.reset(SimTime(10));
+        assert_eq!(b.stats(), PcieStats::default());
+        assert_eq!(b.achieved_gbps(SimTime::ZERO), 0.0);
+        assert_eq!(b.utilization(SimTime::ZERO), 0.0);
+        assert_eq!(b.config().per_packet_overhead_bytes, 64);
+    }
+}

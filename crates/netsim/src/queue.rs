@@ -1,0 +1,152 @@
+//! Finite drop-tail FIFO queues.
+//!
+//! Used for NIC receive rings and software queues in the NF-server model.
+//! When the ring is full the packet is dropped at the tail — this is the
+//! "packet drops at the NF server NIC" behaviour the paper observes once a
+//! deployment becomes compute-bound (§6.3.3).
+
+use std::collections::VecDeque;
+
+/// Statistics kept per queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items accepted.
+    pub enqueued: u64,
+    /// Items rejected because the queue was full.
+    pub dropped: u64,
+    /// Items removed.
+    pub dequeued: u64,
+    /// Largest occupancy observed.
+    pub high_watermark: usize,
+}
+
+/// A bounded FIFO with drop-tail semantics.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl<T> DropTailQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// `capacity` of zero is a configuration error and panics.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        DropTailQueue { items: VecDeque::with_capacity(capacity.min(4096)), capacity, stats: QueueStats::default() }
+    }
+
+    /// Attempts to enqueue; returns the item back if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.stats.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.stats.dequeued += 1;
+        }
+        item
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.stats = QueueStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drops_at_capacity() {
+        let mut q = DropTailQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().enqueued, 2);
+        // Draining frees space again.
+        assert_eq!(q.pop(), Some(1));
+        q.push(4).unwrap();
+        assert_eq!(q.stats().enqueued, 3);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut q = DropTailQueue::new(10);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.push(99).unwrap();
+        assert_eq!(q.stats().high_watermark, 7);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = DropTailQueue::new(2);
+        q.push(1).unwrap();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.stats(), QueueStats::default());
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = DropTailQueue::<u8>::new(0);
+    }
+}

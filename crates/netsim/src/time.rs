@@ -1,0 +1,255 @@
+//! Simulation time: a nanosecond clock and bandwidth conversions.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in nanoseconds since run start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds an instant from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since run start.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since run start as a float (for rate computations).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`; saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a duration from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to nanoseconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float (the paper reports latency in µs).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+/// A link or bus bandwidth.
+///
+/// Stored in bits per second; constructors cover the units used in the
+/// paper (10 GE, 40 GE NICs, 100 Gbps switch ports, PCIe gen3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// From bits per second.
+    pub fn bps(b: u64) -> Self {
+        Bandwidth(b)
+    }
+
+    /// From gigabits per second.
+    pub fn gbps(g: f64) -> Self {
+        Bandwidth((g * 1e9).round() as u64)
+    }
+
+    /// Bits per second.
+    pub fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Gigabits per second as a float.
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time to serialize `bytes` at this bandwidth.
+    ///
+    /// Rounds up so back-to-back transmissions can never exceed line rate.
+    pub fn serialization_delay(self, bytes: usize) -> SimDuration {
+        debug_assert!(self.0 > 0, "zero bandwidth");
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
+        SimDuration(ns as u64)
+    }
+
+    /// Packets per second of `bytes`-sized packets at line rate.
+    pub fn packets_per_sec(self, bytes: usize) -> f64 {
+        self.0 as f64 / (bytes as f64 * 8.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}Gbps", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors() {
+        assert_eq!(SimTime::from_micros(3).nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(3).nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(3).nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::from_micros(5).nanos(), 5_000);
+        assert_eq!(SimDuration::from_millis(5).nanos(), 5_000_000);
+        assert_eq!(SimDuration::from_secs(5).nanos(), 5_000_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).nanos(), 500_000_000);
+        assert_eq!(SimDuration::from_micros(1500).as_micros_f64(), 1500.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t, SimTime::from_micros(15));
+        let mut t2 = t;
+        t2 += SimDuration::from_micros(5);
+        assert_eq!(t2, SimTime::from_micros(20));
+        assert_eq!(t2.since(t), SimDuration::from_micros(5));
+        assert_eq!(t.since(t2), SimDuration::ZERO); // saturating
+        assert_eq!(
+            SimDuration::from_micros(7) - SimDuration::from_micros(3),
+            SimDuration::from_micros(4)
+        );
+    }
+
+    #[test]
+    fn serialization_delay_matches_line_rate() {
+        // 1500 bytes at 10 Gbps = 1.2 µs.
+        let d = Bandwidth::gbps(10.0).serialization_delay(1500);
+        assert_eq!(d.nanos(), 1200);
+        // 64 bytes at 40 Gbps = 12.8 ns, rounded up to 13.
+        let d = Bandwidth::gbps(40.0).serialization_delay(64);
+        assert_eq!(d.nanos(), 13);
+    }
+
+    #[test]
+    fn serialization_delay_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s -> ceil.
+        let d = Bandwidth::bps(3).serialization_delay(1);
+        assert_eq!(d.nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn packets_per_sec() {
+        // Paper §1: 10 Mpps of 500-byte packets saturates 40 Gbps.
+        let pps = Bandwidth::gbps(40.0).packets_per_sec(500);
+        assert!((pps - 10_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1).to_string(), "1.000000s");
+        assert_eq!(SimDuration::from_micros(32).to_string(), "32.000us");
+        assert_eq!(Bandwidth::gbps(10.0).to_string(), "10.00Gbps");
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(Bandwidth::gbps(1.0).as_bps(), 1_000_000_000);
+        assert_eq!(Bandwidth::bps(2_500_000_000).as_gbps(), 2.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! A bounded in-memory trace log.
+//!
+//! Components can record timestamped notes during a run; the log keeps only
+//! the most recent `capacity` entries so multi-second simulations do not
+//! accumulate unbounded memory. Intended for debugging experiment harnesses,
+//! not for measurement (see `pp-metrics` for that).
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulation time of the note.
+    pub at: SimTime,
+    /// Component that recorded it.
+    pub component: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A bounded trace log.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    total: u64,
+}
+
+impl Trace {
+    /// Creates an enabled trace holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Trace { entries: VecDeque::new(), capacity: capacity.max(1), enabled: true, total: 0 }
+    }
+
+    /// Creates a disabled trace (records nothing, costs nothing).
+    pub fn disabled() -> Self {
+        Trace { entries: VecDeque::new(), capacity: 1, enabled: false, total: 0 }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a note if enabled.
+    pub fn record(&mut self, at: SimTime, component: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { at, component, message: message.into() });
+        self.total += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Total notes recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the retained entries, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("[{}] {}: {}\n", e.at, e.component, e.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Trace::new(10);
+        t.record(SimTime(1_000), "switch", "split pkt 1");
+        t.record(SimTime(2_000), "server", "processed pkt 1");
+        assert_eq!(t.entries().count(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("switch: split pkt 1"));
+        assert!(rendered.contains("server: processed pkt 1"));
+    }
+
+    #[test]
+    fn bounded_retention() {
+        let mut t = Trace::new(3);
+        for i in 0..10 {
+            t.record(SimTime(i), "c", format!("note {i}"));
+        }
+        assert_eq!(t.entries().count(), 3);
+        assert_eq!(t.total_recorded(), 10);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.message, "note 7");
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.record(SimTime(1), "c", "x");
+        assert_eq!(t.entries().count(), 0);
+        assert_eq!(t.total_recorded(), 0);
+        assert_eq!(t.render(), "");
+    }
+}

@@ -1,0 +1,178 @@
+//! The NF trait and NF chains.
+
+use pp_packet::Packet;
+
+/// What an NF decided about a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfVerdict {
+    /// Pass the packet to the next NF (or out).
+    Forward,
+    /// Drop the packet (e.g. firewall ACL hit).
+    Drop,
+}
+
+/// Result of one NF processing one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfResult {
+    /// Forward or drop.
+    pub verdict: NfVerdict,
+    /// CPU cycles this NF spent on the packet (drives the server's
+    /// service-time model).
+    pub cycles: u64,
+}
+
+impl NfResult {
+    /// Convenience constructor for a forwarding result.
+    pub fn forward(cycles: u64) -> Self {
+        NfResult { verdict: NfVerdict::Forward, cycles }
+    }
+
+    /// Convenience constructor for a dropping result.
+    pub fn drop(cycles: u64) -> Self {
+        NfResult { verdict: NfVerdict::Drop, cycles }
+    }
+}
+
+/// A shallow network function.
+///
+/// NFs may modify packet *headers* in place; they must not depend on
+/// payload bytes (the whole premise of PayloadPark is that shallow NFs
+/// leave the payload unexamined — §1).
+pub trait Nf: Send {
+    /// The NF's display name.
+    fn name(&self) -> &str;
+    /// Processes one packet.
+    fn process(&mut self, pkt: &mut Packet) -> NfResult;
+}
+
+/// An ordered chain of NFs (e.g. `FW → NAT → LB`, §6.1).
+pub struct NfChain {
+    nfs: Vec<Box<dyn Nf>>,
+}
+
+impl NfChain {
+    /// Builds a chain from NFs in processing order.
+    pub fn new(nfs: Vec<Box<dyn Nf>>) -> Self {
+        NfChain { nfs }
+    }
+
+    /// An empty chain (pure framework forwarding).
+    pub fn empty() -> Self {
+        NfChain { nfs: Vec::new() }
+    }
+
+    /// Number of NFs in the chain.
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True when the chain has no NFs.
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
+    /// A ` → `-joined description, e.g. `"Firewall → NAT"`.
+    pub fn describe(&self) -> String {
+        if self.nfs.is_empty() {
+            return "(empty)".to_string();
+        }
+        self.nfs.iter().map(|nf| nf.name()).collect::<Vec<_>>().join(" -> ")
+    }
+
+    /// Runs the packet through every NF until one drops it.
+    ///
+    /// Returns the final verdict and the *total* cycles consumed (cycles of
+    /// NFs after a drop are not charged — the packet never reaches them).
+    pub fn process(&mut self, pkt: &mut Packet) -> NfResult {
+        let mut total = 0u64;
+        for nf in &mut self.nfs {
+            let r = nf.process(pkt);
+            total += r.cycles;
+            if r.verdict == NfVerdict::Drop {
+                return NfResult { verdict: NfVerdict::Drop, cycles: total };
+            }
+        }
+        NfResult::forward(total)
+    }
+}
+
+impl core::fmt::Debug for NfChain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "NfChain[{}]", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_packet::builder::UdpPacketBuilder;
+
+    struct Marker {
+        byte: u8,
+        cycles: u64,
+        drop: bool,
+    }
+    impl Nf for Marker {
+        fn name(&self) -> &str {
+            "Marker"
+        }
+        fn process(&mut self, pkt: &mut Packet) -> NfResult {
+            pkt.bytes_mut()[6] = self.byte; // scribble in src MAC
+            if self.drop {
+                NfResult::drop(self.cycles)
+            } else {
+                NfResult::forward(self.cycles)
+            }
+        }
+    }
+
+    fn pkt() -> Packet {
+        UdpPacketBuilder::new().total_size(100, 1).build()
+    }
+
+    #[test]
+    fn chain_runs_in_order_and_sums_cycles() {
+        let mut chain = NfChain::new(vec![
+            Box::new(Marker { byte: 1, cycles: 10, drop: false }),
+            Box::new(Marker { byte: 2, cycles: 20, drop: false }),
+        ]);
+        let mut p = pkt();
+        let r = chain.process(&mut p);
+        assert_eq!(r.verdict, NfVerdict::Forward);
+        assert_eq!(r.cycles, 30);
+        assert_eq!(p.bytes()[6], 2); // second NF ran last
+    }
+
+    #[test]
+    fn drop_short_circuits() {
+        let mut chain = NfChain::new(vec![
+            Box::new(Marker { byte: 1, cycles: 10, drop: true }),
+            Box::new(Marker { byte: 2, cycles: 20, drop: false }),
+        ]);
+        let mut p = pkt();
+        let r = chain.process(&mut p);
+        assert_eq!(r.verdict, NfVerdict::Drop);
+        assert_eq!(r.cycles, 10);
+        assert_eq!(p.bytes()[6], 1); // second NF never ran
+    }
+
+    #[test]
+    fn empty_chain_forwards_for_free() {
+        let mut chain = NfChain::empty();
+        assert!(chain.is_empty());
+        assert_eq!(chain.len(), 0);
+        let r = chain.process(&mut pkt());
+        assert_eq!(r, NfResult::forward(0));
+        assert_eq!(chain.describe(), "(empty)");
+    }
+
+    #[test]
+    fn describe_joins_names() {
+        let chain = NfChain::new(vec![
+            Box::new(Marker { byte: 0, cycles: 0, drop: false }),
+            Box::new(Marker { byte: 0, cycles: 0, drop: false }),
+        ]);
+        assert_eq!(chain.describe(), "Marker -> Marker");
+        assert_eq!(format!("{chain:?}"), "NfChain[Marker -> Marker]");
+    }
+}

@@ -1,0 +1,175 @@
+//! NF-framework profiles and the Explicit-Drop notification.
+//!
+//! The paper evaluates two frameworks (§6.1): OpenNetVM (DPDK + Docker
+//! containers, shared-memory rings between NFs) and NetBricks (DPDK + Rust,
+//! no container isolation). For the server's cost model they differ in
+//! per-packet fixed overhead and per-byte cost; both run the same NF code.
+
+use pp_packet::ppark::{PayloadParkHeader, PpOpcode, PAYLOADPARK_HEADER_LEN};
+use pp_packet::udp::UDP_HEADER_LEN;
+use pp_packet::Packet;
+
+/// Cost profile of an NF framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameworkProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Fixed cycles per packet (rx/tx processing, ring hops, scheduling).
+    pub fixed_cycles: u64,
+    /// Cycles per wire byte (DMA, copies, cache traffic). This term is what
+    /// PayloadPark's truncation buys back.
+    pub per_byte_cycles: f64,
+    /// Whether the framework carries the 50-line Explicit-Drop patch
+    /// (§6.2.4) that notifies the switch of NF drops.
+    pub explicit_drop: bool,
+}
+
+impl FrameworkProfile {
+    /// OpenNetVM: container-based, shared-memory rings (heavier fixed
+    /// costs).
+    pub fn open_netvm() -> Self {
+        FrameworkProfile {
+            name: "OpenNetVM",
+            fixed_cycles: 150,
+            per_byte_cycles: 0.60,
+            explicit_drop: false,
+        }
+    }
+
+    /// NetBricks: Rust, no isolation overhead (lighter fixed costs).
+    pub fn netbricks() -> Self {
+        FrameworkProfile {
+            name: "NetBricks",
+            fixed_cycles: 110,
+            per_byte_cycles: 0.50,
+            explicit_drop: false,
+        }
+    }
+
+    /// Enables the Explicit-Drop patch.
+    pub fn with_explicit_drop(mut self) -> Self {
+        self.explicit_drop = true;
+        self
+    }
+
+    /// Total service cycles for a packet of `wire_bytes` whose NF chain
+    /// consumed `chain_cycles`.
+    pub fn service_cycles(&self, wire_bytes: usize, chain_cycles: u64) -> f64 {
+        self.fixed_cycles as f64 + chain_cycles as f64 + self.per_byte_cycles * wire_bytes as f64
+    }
+}
+
+/// Builds the Explicit-Drop notification for a packet the NF chain dropped.
+///
+/// Returns `None` when the packet does not carry an *enabled* PayloadPark
+/// header (nothing is parked, nothing to reclaim). Otherwise the packet is
+/// truncated to `headers + PayloadPark header`, the opcode is flipped to
+/// Explicit Drop, and the length fields are fixed — exactly what the
+/// paper's 50-line OpenNetVM change does (§6.2.4).
+pub fn explicit_drop_notification(pkt: &Packet) -> Option<Packet> {
+    let parsed = pkt.parse().ok()?;
+    if parsed.five_tuple().protocol != 17 {
+        return None;
+    }
+    let off = parsed.offsets();
+    let payload = parsed.payload();
+    let pp = PayloadParkHeader::new_checked(payload).ok()?;
+    if !pp.enabled() {
+        return None;
+    }
+    let keep = off.payload + PAYLOADPARK_HEADER_LEN;
+    let mut bytes = pkt.bytes()[..keep].to_vec();
+    {
+        let mut hdr = PayloadParkHeader::new_checked(&mut bytes[off.payload..]).ok()?;
+        hdr.set_opcode(PpOpcode::ExplicitDrop);
+    }
+    // Fix lengths: IP total = header + UDP header + PayloadPark header.
+    let ip_total = (keep - off.ip) as u16;
+    bytes[off.ip + 2..off.ip + 4].copy_from_slice(&ip_total.to_be_bytes());
+    let udp_len = (UDP_HEADER_LEN + PAYLOADPARK_HEADER_LEN) as u16;
+    bytes[off.transport + 4..off.transport + 6].copy_from_slice(&udp_len.to_be_bytes());
+    // Recompute the IP header checksum over the patched header.
+    bytes[off.ip + 10] = 0;
+    bytes[off.ip + 11] = 0;
+    let ihl = (bytes[off.ip] & 0x0F) as usize * 4;
+    let ck = pp_packet::checksum::checksum(&bytes[off.ip..off.ip + ihl]);
+    bytes[off.ip + 10..off.ip + 12].copy_from_slice(&ck.to_be_bytes());
+    Some(Packet::with_seq(bytes, pkt.seq()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_packet::builder::UdpPacketBuilder;
+    use pp_packet::ppark::PpTag;
+    use pp_packet::IPV4_HEADER_LEN;
+
+    fn parked_packet(enabled: bool) -> Packet {
+        // UDP payload = PayloadPark header + 40 bytes of remaining payload.
+        let mut payload = vec![0u8; PAYLOADPARK_HEADER_LEN + 40];
+        let mut hdr = PayloadParkHeader::new_checked(&mut payload[..]).unwrap();
+        if enabled {
+            hdr.write_enabled(PpOpcode::Merge, PpTag { table_index: 3, generation: 9 });
+        } else {
+            hdr.write_disabled();
+        }
+        UdpPacketBuilder::new().payload(&payload).build()
+    }
+
+    #[test]
+    fn profiles_have_expected_ordering() {
+        let onvm = FrameworkProfile::open_netvm();
+        let nb = FrameworkProfile::netbricks();
+        assert!(onvm.fixed_cycles > nb.fixed_cycles);
+        assert!(onvm.per_byte_cycles > nb.per_byte_cycles);
+        assert!(!onvm.explicit_drop);
+        assert!(onvm.with_explicit_drop().explicit_drop);
+    }
+
+    #[test]
+    fn service_cycles_formula() {
+        let p = FrameworkProfile::open_netvm();
+        let c = p.service_cycles(500, 100);
+        assert!((c - (150.0 + 100.0 + 0.6 * 500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn notification_truncates_and_flips_opcode() {
+        let pkt = parked_packet(true);
+        let n = explicit_drop_notification(&pkt).expect("enabled header");
+        // 14 + 20 + 8 + 7 bytes.
+        assert_eq!(n.len(), 49);
+        let parsed = n.parse().unwrap();
+        assert_eq!(parsed.wire_len(), 49);
+        let pp = PayloadParkHeader::new_checked(parsed.payload()).unwrap();
+        assert_eq!(pp.opcode(), PpOpcode::ExplicitDrop);
+        assert!(pp.enabled());
+        // Tag survives untouched.
+        assert_eq!(pp.verify_tag().unwrap(), PpTag { table_index: 3, generation: 9 });
+    }
+
+    #[test]
+    fn disabled_header_yields_no_notification() {
+        assert!(explicit_drop_notification(&parked_packet(false)).is_none());
+    }
+
+    #[test]
+    fn plain_packet_yields_no_notification() {
+        // 4-byte payload: too short for a PayloadPark header.
+        let pkt = UdpPacketBuilder::new().payload(&[1, 2, 3, 4]).build();
+        assert!(explicit_drop_notification(&pkt).is_none());
+    }
+
+    #[test]
+    fn notification_preserves_seq() {
+        let mut pkt = parked_packet(true);
+        pkt.set_seq(77);
+        assert_eq!(explicit_drop_notification(&pkt).unwrap().seq(), 77);
+    }
+
+    #[test]
+    fn ip_header_len_sane() {
+        // Document the constant relationship the truncation relies on.
+        assert_eq!(IPV4_HEADER_LEN, 20);
+    }
+}

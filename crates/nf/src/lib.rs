@@ -1,0 +1,35 @@
+//! Network-function framework emulator and shallow NFs.
+//!
+//! Models the end-host side of the paper's testbed (§6.1): an NF server
+//! running a DPDK-style framework (OpenNetVM or NetBricks profile) that
+//! pulls packets from a NIC ring, pushes them through an NF chain, and
+//! transmits the result. The cost model is the load-bearing part:
+//!
+//! ```text
+//! service cycles = framework fixed + Σ NF cycles + per-byte × wire bytes
+//! ```
+//!
+//! The per-byte term (PCIe DMA, memory copies) is why header-only packets
+//! raise the sustainable packet rate — the mechanism behind every goodput
+//! gain in the paper. The fixed and NF terms are why heavy chains and tiny
+//! packets cap those gains (Figs. 8, 15, 16).
+//!
+//! Modules:
+//!
+//! * [`chain`] — the [`chain::Nf`] trait and [`chain::NfChain`];
+//! * [`nfs`] — the paper's NFs: linear-probe firewall, MazuNAT-style NAT,
+//!   Maglev load balancer, MAC swapper, calibrated synthetic NFs;
+//! * [`framework`] — framework profiles and the Explicit-Drop notification
+//!   (the paper's 50-line OpenNetVM change, §6.2.4);
+//! * [`server`] — the FIFO server model with NIC ring, PCIe accounting and
+//!   service-time jitter (OS hiccups), which produces the queueing delays
+//!   that interact with payload eviction (Figs. 12, 14, 15).
+
+pub mod chain;
+pub mod framework;
+pub mod nfs;
+pub mod server;
+
+pub use chain::{Nf, NfChain, NfResult, NfVerdict};
+pub use framework::FrameworkProfile;
+pub use server::{NfServer, RxOutcome, ServerProfile, ServerStats};

@@ -1,0 +1,185 @@
+//! A linear-probe firewall.
+//!
+//! "The firewall linearly probes through a list of blacklisted IP
+//! addresses" (§6.1). Cost is linear in the number of rules probed, which
+//! is what makes the 20-rule firewall of the 3-NF chain heavier than the
+//! 1-rule firewall of the 2-NF chain.
+
+use crate::chain::{Nf, NfResult};
+use pp_packet::Packet;
+use std::net::Ipv4Addr;
+
+/// Base cycles charged per packet (parse + bookkeeping).
+pub const FIREWALL_BASE_CYCLES: u64 = 26;
+/// Cycles per rule probed.
+pub const FIREWALL_PER_RULE_CYCLES: u64 = 4;
+
+/// One blacklist rule: a source prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FirewallRule {
+    /// Network address.
+    pub addr: Ipv4Addr,
+    /// Prefix length (0-32).
+    pub prefix_len: u8,
+}
+
+impl FirewallRule {
+    /// Builds a rule; panics on prefix > 32 (a configuration bug).
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        FirewallRule { addr, prefix_len }
+    }
+
+    /// True when `ip` falls inside this prefix.
+    pub fn matches(&self, ip: Ipv4Addr) -> bool {
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(self.prefix_len));
+        (u32::from(ip) & mask) == (u32::from(self.addr) & mask)
+    }
+}
+
+/// Statistics kept by the firewall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirewallStats {
+    /// Packets inspected.
+    pub inspected: u64,
+    /// Packets dropped by a rule.
+    pub blocked: u64,
+}
+
+/// The firewall NF.
+#[derive(Debug, Clone)]
+pub struct Firewall {
+    rules: Vec<FirewallRule>,
+    stats: FirewallStats,
+}
+
+impl Firewall {
+    /// Creates a firewall with an explicit blacklist.
+    pub fn new(rules: Vec<FirewallRule>) -> Self {
+        Firewall { rules, stats: FirewallStats::default() }
+    }
+
+    /// A firewall with `n` synthetic /32 rules, none of which match the
+    /// default generator addresses — models rule-count cost without drops.
+    pub fn with_rule_count(n: usize) -> Self {
+        let rules = (0..n)
+            .map(|i| {
+                FirewallRule::new(Ipv4Addr::new(203, 0, (i / 256) as u8, (i % 256) as u8), 32)
+            })
+            .collect();
+        Firewall::new(rules)
+    }
+
+    /// Number of configured rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FirewallStats {
+        self.stats
+    }
+}
+
+impl Nf for Firewall {
+    fn name(&self) -> &str {
+        "Firewall"
+    }
+
+    fn process(&mut self, pkt: &mut Packet) -> NfResult {
+        self.stats.inspected += 1;
+        let Ok(parsed) = pkt.parse() else {
+            // Non-IPv4/UDP/TCP traffic passes (shallow firewall).
+            return NfResult::forward(FIREWALL_BASE_CYCLES);
+        };
+        let src = parsed.five_tuple().src_ip;
+        let mut probed = 0u64;
+        for rule in &self.rules {
+            probed += 1;
+            if rule.matches(src) {
+                self.stats.blocked += 1;
+                return NfResult::drop(
+                    FIREWALL_BASE_CYCLES + FIREWALL_PER_RULE_CYCLES * probed,
+                );
+            }
+        }
+        NfResult::forward(FIREWALL_BASE_CYCLES + FIREWALL_PER_RULE_CYCLES * probed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::NfVerdict;
+    use pp_packet::builder::UdpPacketBuilder;
+
+    fn pkt_from(src: Ipv4Addr) -> Packet {
+        UdpPacketBuilder::new().src_ip(src).total_size(100, 1).build()
+    }
+
+    #[test]
+    fn blocks_matching_prefix() {
+        let mut fw = Firewall::new(vec![FirewallRule::new(Ipv4Addr::new(10, 1, 0, 0), 16)]);
+        let r = fw.process(&mut pkt_from(Ipv4Addr::new(10, 1, 2, 3)));
+        assert_eq!(r.verdict, NfVerdict::Drop);
+        let r = fw.process(&mut pkt_from(Ipv4Addr::new(10, 2, 2, 3)));
+        assert_eq!(r.verdict, NfVerdict::Forward);
+        assert_eq!(fw.stats(), FirewallStats { inspected: 2, blocked: 1 });
+    }
+
+    #[test]
+    fn cycles_scale_with_rules_probed() {
+        let mut fw = Firewall::with_rule_count(20);
+        let r = fw.process(&mut pkt_from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(r.verdict, NfVerdict::Forward);
+        // All 20 rules probed.
+        assert_eq!(r.cycles, FIREWALL_BASE_CYCLES + 20 * FIREWALL_PER_RULE_CYCLES);
+
+        let mut fw1 = Firewall::with_rule_count(1);
+        let r1 = fw1.process(&mut pkt_from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(r1.cycles < r.cycles);
+    }
+
+    #[test]
+    fn early_match_probes_fewer_rules() {
+        let mut fw = Firewall::new(vec![
+            FirewallRule::new(Ipv4Addr::new(10, 0, 0, 1), 32),
+            FirewallRule::new(Ipv4Addr::new(10, 0, 0, 2), 32),
+        ]);
+        let r = fw.process(&mut pkt_from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(r.cycles, FIREWALL_BASE_CYCLES + FIREWALL_PER_RULE_CYCLES);
+    }
+
+    #[test]
+    fn prefix_zero_matches_everything() {
+        let rule = FirewallRule::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(rule.matches(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(rule.matches(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn synthetic_rules_do_not_match_default_traffic() {
+        let mut fw = Firewall::with_rule_count(100);
+        assert_eq!(fw.rule_count(), 100);
+        let r = fw.process(&mut pkt_from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(r.verdict, NfVerdict::Forward);
+    }
+
+    #[test]
+    fn garbage_packet_forwards() {
+        let mut fw = Firewall::with_rule_count(5);
+        let mut junk = Packet::new(vec![0u8; 20]);
+        let r = fw.process(&mut junk);
+        assert_eq!(r.verdict, NfVerdict::Forward);
+        assert_eq!(r.cycles, FIREWALL_BASE_CYCLES);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn bad_prefix_panics() {
+        FirewallRule::new(Ipv4Addr::new(0, 0, 0, 0), 33);
+    }
+}

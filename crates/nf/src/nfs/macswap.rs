@@ -1,0 +1,75 @@
+//! The MAC-address swapper — the minimal NF of the paper's multi-server
+//! (§6.2.3) and functional-equivalence (§6.2.6) experiments.
+
+use crate::chain::{Nf, NfResult};
+use pp_packet::ethernet::EthernetFrame;
+use pp_packet::Packet;
+
+/// Cycles per packet.
+pub const MACSWAP_CYCLES: u64 = 30;
+
+/// The MAC swapper NF.
+#[derive(Debug, Default)]
+pub struct MacSwap {
+    swapped: u64,
+}
+
+impl MacSwap {
+    /// Creates the NF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets processed.
+    pub fn swapped(&self) -> u64 {
+        self.swapped
+    }
+}
+
+impl Nf for MacSwap {
+    fn name(&self) -> &str {
+        "MacSwap"
+    }
+
+    fn process(&mut self, pkt: &mut Packet) -> NfResult {
+        if let Ok(mut eth) = EthernetFrame::new_checked(&mut pkt.bytes_mut()[..]) {
+            eth.swap_macs();
+            self.swapped += 1;
+        }
+        NfResult::forward(MACSWAP_CYCLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::NfVerdict;
+    use pp_packet::builder::UdpPacketBuilder;
+    use pp_packet::MacAddr;
+
+    #[test]
+    fn swaps_addresses() {
+        let mut nf = MacSwap::new();
+        let mut p = UdpPacketBuilder::new()
+            .src_mac(MacAddr::from_index(1))
+            .dst_mac(MacAddr::from_index(2))
+            .total_size(100, 1)
+            .build();
+        let r = nf.process(&mut p);
+        assert_eq!(r.verdict, NfVerdict::Forward);
+        assert_eq!(r.cycles, MACSWAP_CYCLES);
+        let eth = EthernetFrame::new_checked(p.bytes()).unwrap();
+        assert_eq!(eth.src(), MacAddr::from_index(2));
+        assert_eq!(eth.dst(), MacAddr::from_index(1));
+        assert_eq!(nf.swapped(), 1);
+    }
+
+    #[test]
+    fn runt_frame_passes_unswapped() {
+        let mut nf = MacSwap::new();
+        let mut p = Packet::new(vec![0u8; 5]);
+        let r = nf.process(&mut p);
+        assert_eq!(r.verdict, NfVerdict::Forward);
+        assert_eq!(nf.swapped(), 0);
+    }
+}

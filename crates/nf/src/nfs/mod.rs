@@ -1,0 +1,121 @@
+//! The network functions of the paper's evaluation (§6.1):
+//!
+//! * [`firewall::Firewall`] — linearly probes a blacklist of source
+//!   prefixes (20 rules in the 3-NF chain, 1 rule in the 2-NF chain);
+//! * [`nat::Nat`] — a MazuNAT-style source NAT with a flow table and
+//!   incremental checksum updates;
+//! * [`maglev::MaglevLb`] — the Maglev consistent-hashing L4 load balancer
+//!   (lookup-table construction included);
+//! * [`macswap::MacSwap`] — swaps Ethernet addresses (the multi-server and
+//!   NF-cost experiments);
+//! * [`synthetic`] — busy-loop NFs with calibrated per-packet cycles
+//!   (NF-Light ≈ 50, NF-Medium ≈ 300, NF-Heavy ≈ 570; §6.3.3).
+
+pub mod firewall;
+pub mod macswap;
+pub mod maglev;
+pub mod nat;
+pub mod synthetic;
+
+pub use firewall::Firewall;
+pub use macswap::MacSwap;
+pub use maglev::MaglevLb;
+pub use nat::Nat;
+pub use synthetic::{Synthetic, NF_HEAVY_CYCLES, NF_LIGHT_CYCLES, NF_MEDIUM_CYCLES};
+
+/// Incremental internet-checksum update per RFC 1624 (equation 3):
+/// `HC' = ~(~HC + ~m + m')` — the standard way NATs patch the UDP/TCP
+/// checksum after rewriting addresses or ports without re-summing payload
+/// bytes (essential here: the payload may be parked in the switch).
+pub fn incremental_checksum_update(old_ck: u16, old_word: u16, new_word: u16) -> u16 {
+    if old_ck == 0 {
+        // Zero UDP checksum means "not computed": leave it that way.
+        return 0;
+    }
+    let mut sum = u32::from(!old_ck) + u32::from(!old_word) + u32::from(new_word);
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    let ck = !(sum as u16);
+    // UDP: a computed checksum of zero is transmitted as 0xFFFF (RFC 768).
+    if ck == 0 {
+        0xFFFF
+    } else {
+        ck
+    }
+}
+
+/// Applies [`incremental_checksum_update`] for a 32-bit field change (e.g.
+/// an IPv4 address) by folding it as two 16-bit words.
+pub fn incremental_checksum_update32(old_ck: u16, old: u32, new: u32) -> u16 {
+    let ck = incremental_checksum_update(old_ck, (old >> 16) as u16, (new >> 16) as u16);
+    incremental_checksum_update(ck, old as u16, new as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_packet::checksum::{Checksum, PseudoHeader};
+
+    /// Full recompute for comparison.
+    fn full_udp_checksum(src: u32, dst: u32, seg: &[u8]) -> u16 {
+        let mut c = Checksum::new();
+        PseudoHeader { src, dst, protocol: 17, length: seg.len() as u16 }.add_to(&mut c);
+        // Zero out the checksum field (bytes 6..8) while summing.
+        c.add_bytes(&seg[..6]);
+        c.add_bytes(&[0, 0]);
+        c.add_bytes(&seg[8..]);
+        let ck = c.finish();
+        if ck == 0 {
+            0xFFFF
+        } else {
+            ck
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_for_port_change() {
+        let src = 0x0A000001u32;
+        let dst = 0x0A000002u32;
+        // A UDP segment: ports 1000→2000, len 12, payload [1,2,3,4].
+        let mut seg = vec![0x03, 0xE8, 0x07, 0xD0, 0x00, 0x0C, 0, 0, 1, 2, 3, 4];
+        let ck = full_udp_checksum(src, dst, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+
+        // Rewrite the source port 1000 -> 5555.
+        let new_port = 5555u16;
+        let patched = incremental_checksum_update(ck, 1000, new_port);
+        seg[0..2].copy_from_slice(&new_port.to_be_bytes());
+        seg[6..8].copy_from_slice(&patched.to_be_bytes());
+        let expect = full_udp_checksum(src, dst, &seg);
+        assert_eq!(patched, expect);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_for_address_change() {
+        let src = 0x0A000001u32;
+        let dst = 0x0A000002u32;
+        let mut seg = vec![0x03, 0xE8, 0x07, 0xD0, 0x00, 0x0A, 0, 0, 0xAB, 0xCD];
+        let ck = full_udp_checksum(src, dst, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+
+        let new_src = 0xC0A80101u32; // 192.168.1.1
+        let patched = incremental_checksum_update32(ck, src, new_src);
+        seg[6..8].copy_from_slice(&patched.to_be_bytes());
+        let expect = full_udp_checksum(new_src, dst, &seg);
+        assert_eq!(patched, expect);
+    }
+
+    #[test]
+    fn zero_checksum_stays_zero() {
+        assert_eq!(incremental_checksum_update(0, 1, 2), 0);
+        assert_eq!(incremental_checksum_update32(0, 1, 2), 0);
+    }
+
+    #[test]
+    fn identity_change_preserves_checksum() {
+        // Changing a word to itself must not alter the checksum.
+        let ck = 0x1234;
+        assert_eq!(incremental_checksum_update(ck, 0xABCD, 0xABCD), ck);
+    }
+}

@@ -1,0 +1,428 @@
+//! The NF-server model.
+//!
+//! A single logical service unit (the paper's NF chains run pinned to
+//! dedicated cores; the aggregate behaves FIFO) fed by a deep DPDK-style
+//! ring. Per-packet service time follows the framework cost model; two
+//! perturbations make the model realistic enough to reproduce the paper's
+//! eviction-related results:
+//!
+//! * **per-packet jitter** — a small uniform factor (cache misses,
+//!   batching);
+//! * **slow service-rate modulation** — a few-percent sinusoidal drift with
+//!   a period of tens of milliseconds (frequency scaling, interference).
+//!   Near saturation these dips create multi-millisecond queue excursions;
+//!   it is exactly such excursions that exhaust the switch lookup table and
+//!   trigger premature evictions (Figs. 14 and 15 hinge on this).
+//!
+//! PCIe is modelled as two independent lanes (PCIe is full duplex): RX DMA
+//! delays service start, TX DMA delays departure, and both are metered for
+//! the PCIe-bandwidth results (Fig. 9).
+
+use crate::chain::{NfChain, NfVerdict};
+use crate::framework::{explicit_drop_notification, FrameworkProfile};
+use pp_netsim::pcie::{PcieBus, PcieConfig, PcieStats};
+use pp_netsim::rng::DetRng;
+use pp_netsim::time::{SimDuration, SimTime};
+use pp_packet::{MacAddr, Packet};
+use std::collections::VecDeque;
+
+/// Static description of an NF server.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerProfile {
+    /// Core clock in Hz (2.3 GHz Xeon E7-4870v2 in the paper's main rig).
+    pub cpu_hz: f64,
+    /// Framework cost profile.
+    pub framework: FrameworkProfile,
+    /// Total packet buffering (NIC ring + framework rings). OpenNetVM-style
+    /// deployments chain several 16K rings, hence the deep default.
+    pub ring_capacity: usize,
+    /// Uniform per-packet service jitter amplitude (±fraction/2).
+    pub jitter_frac: f64,
+    /// Amplitude of the slow service-rate modulation (fraction of µ).
+    pub modulation_amplitude: f64,
+    /// Period of the modulation.
+    pub modulation_period: SimDuration,
+    /// PCIe lane configuration (each direction gets one lane).
+    pub pcie: PcieConfig,
+}
+
+impl Default for ServerProfile {
+    fn default() -> Self {
+        ServerProfile {
+            cpu_hz: 2.3e9,
+            framework: FrameworkProfile::open_netvm(),
+            ring_capacity: 32_768,
+            jitter_frac: 0.05,
+            modulation_amplitude: 0.04,
+            modulation_period: SimDuration::from_millis(40),
+            pcie: PcieConfig::default(),
+        }
+    }
+}
+
+/// Statistics kept by the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Packets offered by the switch.
+    pub received: u64,
+    /// Packets dropped because the ring was full.
+    pub ring_drops: u64,
+    /// Packets the NF chain dropped.
+    pub nf_dropped: u64,
+    /// Explicit-Drop notifications emitted.
+    pub explicit_notifications: u64,
+    /// Packets forwarded back out.
+    pub forwarded: u64,
+    /// Total service nanoseconds consumed (for utilization).
+    pub busy_ns: u64,
+}
+
+/// Result of offering a packet to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Ring overflow; the packet is gone (the "drops at the NF server NIC"
+    /// of §6.3.3).
+    Dropped,
+    /// The packet was (will be) processed.
+    Done {
+        /// Time the result leaves the server (TX DMA complete). For chain
+        /// drops without notification this is when processing finished.
+        time: SimTime,
+        /// The outgoing packet: the processed packet, an Explicit-Drop
+        /// notification, or `None` when the chain dropped it silently.
+        packet: Option<Packet>,
+    },
+}
+
+/// The NF server.
+pub struct NfServer {
+    profile: ServerProfile,
+    chain: NfChain,
+    rx_pcie: PcieBus,
+    tx_pcie: PcieBus,
+    busy_until: SimTime,
+    /// Completion times of queued/in-service packets (drained lazily).
+    backlog: VecDeque<SimTime>,
+    rng: DetRng,
+    /// Destination MAC stamped on forwarded packets (the framework's TX
+    /// route toward the traffic sink).
+    tx_dst_mac: Option<MacAddr>,
+    stats: ServerStats,
+}
+
+impl NfServer {
+    /// Creates a server running `chain`.
+    pub fn new(profile: ServerProfile, chain: NfChain, rng: DetRng) -> Self {
+        NfServer {
+            rx_pcie: PcieBus::new(profile.pcie),
+            tx_pcie: PcieBus::new(profile.pcie),
+            profile,
+            chain,
+            busy_until: SimTime::ZERO,
+            backlog: VecDeque::new(),
+            rng,
+            tx_dst_mac: None,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Sets the MAC address stamped on forwarded packets.
+    pub fn set_tx_dst_mac(&mut self, mac: MacAddr) {
+        self.tx_dst_mac = Some(mac);
+    }
+
+    /// The server's profile.
+    pub fn profile(&self) -> &ServerProfile {
+        &self.profile
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Combined PCIe statistics (both lanes).
+    pub fn pcie_stats(&self) -> PcieStats {
+        let rx = self.rx_pcie.stats();
+        let tx = self.tx_pcie.stats();
+        PcieStats {
+            transactions: rx.transactions + tx.transactions,
+            payload_bytes: rx.payload_bytes + tx.payload_bytes,
+            bus_bytes: rx.bus_bytes + tx.bus_bytes,
+            busy_ns: rx.busy_ns + tx.busy_ns,
+        }
+    }
+
+    /// Achieved PCIe bandwidth over `[0, now]` in Gbps, summed over both
+    /// directions — the Fig. 9 metric.
+    pub fn pcie_achieved_gbps(&self, now: SimTime) -> f64 {
+        self.rx_pcie.achieved_gbps(now) + self.tx_pcie.achieved_gbps(now)
+    }
+
+    /// Current queue depth (after draining completions up to `now`).
+    pub fn queue_depth(&mut self, now: SimTime) -> usize {
+        self.drain(now);
+        self.backlog.len()
+    }
+
+    /// CPU utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        self.stats.busy_ns as f64 / now.nanos() as f64
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        while self.backlog.front().is_some_and(|&t| t <= now) {
+            self.backlog.pop_front();
+        }
+    }
+
+    /// The slow modulation factor at time `t` (≥ 1 slows service down).
+    fn modulation(&self, t: SimTime) -> f64 {
+        if self.profile.modulation_amplitude == 0.0 {
+            return 1.0;
+        }
+        let period = self.profile.modulation_period.nanos().max(1);
+        let phase = (t.nanos() % period) as f64 / period as f64;
+        let a = self.profile.modulation_amplitude;
+        // 1/(1 - a·sin): dips below µ are what build queues.
+        1.0 / (1.0 - a * (2.0 * std::f64::consts::PI * phase).sin())
+    }
+
+    /// Offers one packet arriving from the switch at `now`.
+    pub fn rx(&mut self, now: SimTime, mut pkt: Packet) -> RxOutcome {
+        self.stats.received += 1;
+        self.drain(now);
+        if self.backlog.len() >= self.profile.ring_capacity {
+            self.stats.ring_drops += 1;
+            return RxOutcome::Dropped;
+        }
+
+        let wire_in = pkt.len();
+        // RX DMA: NIC → memory.
+        let rx_done = self.rx_pcie.dma(now, wire_in);
+        let start = self.busy_until.max(rx_done);
+
+        // NF chain runs (header mutations happen here; model time below).
+        let result = self.chain.process(&mut pkt);
+
+        // Service time: framework model × jitter × slow modulation.
+        let cycles = self.profile.framework.service_cycles(wire_in, result.cycles);
+        let base_ns = cycles / self.profile.cpu_hz * 1e9;
+        let jitter =
+            1.0 + self.profile.jitter_frac * (self.rng.next_f64() - 0.5);
+        let svc_ns = (base_ns * jitter * self.modulation(start)).max(1.0) as u64;
+        let done = start + SimDuration::from_nanos(svc_ns);
+        self.busy_until = done;
+        self.backlog.push_back(done);
+        self.stats.busy_ns += svc_ns;
+
+        match result.verdict {
+            NfVerdict::Forward => {
+                if let Some(mac) = self.tx_dst_mac {
+                    if pkt.len() >= 6 {
+                        pkt.bytes_mut()[0..6].copy_from_slice(&mac.0);
+                    }
+                }
+                let out_len = pkt.len();
+                let tx_done = self.tx_pcie.dma(done, out_len);
+                self.stats.forwarded += 1;
+                RxOutcome::Done { time: tx_done, packet: Some(pkt) }
+            }
+            NfVerdict::Drop => {
+                self.stats.nf_dropped += 1;
+                if self.profile.framework.explicit_drop {
+                    if let Some(notif) = explicit_drop_notification(&pkt) {
+                        let tx_done = self.tx_pcie.dma(done, notif.len());
+                        self.stats.explicit_notifications += 1;
+                        return RxOutcome::Done { time: tx_done, packet: Some(notif) };
+                    }
+                }
+                RxOutcome::Done { time: done, packet: None }
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for NfServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NfServer")
+            .field("framework", &self.profile.framework.name)
+            .field("chain", &self.chain)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs::{Firewall, MacSwap};
+    use crate::nfs::firewall::FirewallRule;
+    use pp_packet::builder::UdpPacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn quiet_profile() -> ServerProfile {
+        ServerProfile {
+            jitter_frac: 0.0,
+            modulation_amplitude: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn server(chain: NfChain) -> NfServer {
+        NfServer::new(quiet_profile(), chain, DetRng::from_seed(1))
+    }
+
+    fn pkt(size: usize) -> Packet {
+        UdpPacketBuilder::new().total_size(size, 1).build()
+    }
+
+    #[test]
+    fn forwards_through_chain_with_latency() {
+        let mut s = server(NfChain::new(vec![Box::new(MacSwap::new())]));
+        let out = s.rx(SimTime::ZERO, pkt(500));
+        let RxOutcome::Done { time, packet } = out else { panic!("dropped") };
+        assert!(packet.is_some());
+        assert!(time > SimTime::ZERO);
+        assert_eq!(s.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn smaller_packets_finish_sooner() {
+        // The per-byte term: a truncated (PayloadPark) packet costs less.
+        let mut s1 = server(NfChain::empty());
+        let RxOutcome::Done { time: t_small, .. } = s1.rx(SimTime::ZERO, pkt(359)) else {
+            panic!()
+        };
+        let mut s2 = server(NfChain::empty());
+        let RxOutcome::Done { time: t_big, .. } = s2.rx(SimTime::ZERO, pkt(512)) else {
+            panic!()
+        };
+        assert!(t_small < t_big, "{t_small} !< {t_big}");
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let mut s = server(NfChain::empty());
+        let RxOutcome::Done { time: t1, .. } = s.rx(SimTime::ZERO, pkt(1000)) else { panic!() };
+        let RxOutcome::Done { time: t2, .. } = s.rx(SimTime::ZERO, pkt(1000)) else { panic!() };
+        assert!(t2 > t1);
+        assert_eq!(s.queue_depth(SimTime::ZERO), 2);
+        assert_eq!(s.queue_depth(t2 + SimDuration::from_micros(1)), 0);
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let mut profile = quiet_profile();
+        profile.ring_capacity = 4;
+        let mut s = NfServer::new(profile, NfChain::empty(), DetRng::from_seed(1));
+        let mut drops = 0;
+        for _ in 0..10 {
+            if s.rx(SimTime::ZERO, pkt(1500)) == RxOutcome::Dropped {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 6);
+        assert_eq!(s.stats().ring_drops, 6);
+    }
+
+    #[test]
+    fn firewall_drop_yields_no_packet_without_patch() {
+        let fw = Firewall::new(vec![FirewallRule::new(Ipv4Addr::new(10, 0, 0, 1), 32)]);
+        let mut s = server(NfChain::new(vec![Box::new(fw)]));
+        let p = UdpPacketBuilder::new()
+            .src_ip(Ipv4Addr::new(10, 0, 0, 1))
+            .total_size(400, 1)
+            .build();
+        let RxOutcome::Done { packet, .. } = s.rx(SimTime::ZERO, p) else { panic!() };
+        assert!(packet.is_none());
+        assert_eq!(s.stats().nf_dropped, 1);
+        assert_eq!(s.stats().explicit_notifications, 0);
+    }
+
+    #[test]
+    fn explicit_drop_patch_emits_notification() {
+        use pp_packet::ppark::{PayloadParkHeader, PpOpcode, PpTag, PAYLOADPARK_HEADER_LEN};
+        let mut profile = quiet_profile();
+        profile.framework = FrameworkProfile::open_netvm().with_explicit_drop();
+        let fw = Firewall::new(vec![FirewallRule::new(Ipv4Addr::new(10, 0, 0, 1), 32)]);
+        let mut s = NfServer::new(profile, NfChain::new(vec![Box::new(fw)]), DetRng::from_seed(1));
+
+        // A parked packet from the blocked source.
+        let mut payload = vec![0u8; PAYLOADPARK_HEADER_LEN + 100];
+        PayloadParkHeader::new_checked(&mut payload[..])
+            .unwrap()
+            .write_enabled(PpOpcode::Merge, PpTag { table_index: 1, generation: 2 });
+        let p = UdpPacketBuilder::new()
+            .src_ip(Ipv4Addr::new(10, 0, 0, 1))
+            .payload(&payload)
+            .build();
+        let RxOutcome::Done { packet, .. } = s.rx(SimTime::ZERO, p) else { panic!() };
+        let notif = packet.expect("notification");
+        assert_eq!(notif.len(), 49);
+        assert_eq!(s.stats().explicit_notifications, 1);
+    }
+
+    #[test]
+    fn tx_dst_mac_is_stamped() {
+        let mut s = server(NfChain::empty());
+        s.set_tx_dst_mac(MacAddr::from_index(200));
+        let RxOutcome::Done { packet, .. } = s.rx(SimTime::ZERO, pkt(100)) else { panic!() };
+        assert_eq!(&packet.unwrap().bytes()[0..6], &MacAddr::from_index(200).0);
+    }
+
+    #[test]
+    fn pcie_meters_both_directions() {
+        let mut s = server(NfChain::empty());
+        s.rx(SimTime::ZERO, pkt(500));
+        let stats = s.pcie_stats();
+        assert_eq!(stats.transactions, 2); // rx + tx
+        assert_eq!(stats.payload_bytes, 1000);
+        assert!(s.pcie_achieved_gbps(SimTime::from_micros(10)) > 0.0);
+    }
+
+    #[test]
+    fn modulation_slows_service_at_peak_phase() {
+        let mut profile = quiet_profile();
+        profile.modulation_amplitude = 0.5;
+        profile.modulation_period = SimDuration::from_millis(40);
+        let mut slow = NfServer::new(profile, NfChain::empty(), DetRng::from_seed(1));
+        // Quarter period = peak of sin -> maximum slowdown.
+        let t = SimTime(profile.modulation_period.nanos() / 4);
+        let RxOutcome::Done { time: t_mod, .. } = slow.rx(t, pkt(1000)) else { panic!() };
+        let mut fast = server(NfChain::empty());
+        let RxOutcome::Done { time: t_plain, .. } = fast.rx(t, pkt(1000)) else { panic!() };
+        assert!(t_mod.since(t) > t_plain.since(t));
+    }
+
+    #[test]
+    fn utilization_grows_with_load() {
+        let mut s = server(NfChain::empty());
+        for i in 0..100u64 {
+            s.rx(SimTime(i * 10_000), pkt(800));
+        }
+        let u = s.utilization(SimTime(1_000_000));
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut s = NfServer::new(
+                ServerProfile::default(),
+                NfChain::new(vec![Box::new(MacSwap::new())]),
+                DetRng::from_seed(9),
+            );
+            (0..50u64)
+                .map(|i| match s.rx(SimTime(i * 5_000), pkt(700)) {
+                    RxOutcome::Done { time, .. } => time.nanos(),
+                    RxOutcome::Dropped => 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

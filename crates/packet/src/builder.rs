@@ -1,0 +1,255 @@
+//! Packet construction.
+
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
+use crate::packet::Packet;
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use crate::UDP_STACK_HEADER_LEN;
+use std::net::Ipv4Addr;
+
+/// Builds complete Ethernet/IPv4/UDP packets with valid checksums.
+///
+/// All fields have sensible defaults so tests can say only what they care
+/// about. Sizes: the built packet is 42 bytes of headers plus the payload.
+#[derive(Debug, Clone)]
+pub struct UdpPacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    ident: u16,
+    payload: Vec<u8>,
+    fill_udp_checksum: bool,
+}
+
+impl Default for UdpPacketBuilder {
+    fn default() -> Self {
+        UdpPacketBuilder {
+            src_mac: MacAddr::from_index(1),
+            dst_mac: MacAddr::from_index(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 1000,
+            dst_port: 2000,
+            ttl: 64,
+            ident: 0,
+            payload: Vec::new(),
+            fill_udp_checksum: true,
+        }
+    }
+}
+
+impl UdpPacketBuilder {
+    /// Creates a builder with default addressing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the source MAC address.
+    pub fn src_mac(mut self, mac: MacAddr) -> Self {
+        self.src_mac = mac;
+        self
+    }
+
+    /// Sets the destination MAC address.
+    pub fn dst_mac(mut self, mac: MacAddr) -> Self {
+        self.dst_mac = mac;
+        self
+    }
+
+    /// Sets the source IPv4 address.
+    pub fn src_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.src_ip = ip;
+        self
+    }
+
+    /// Sets the destination IPv4 address.
+    pub fn dst_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.dst_ip = ip;
+        self
+    }
+
+    /// Sets the UDP source port.
+    pub fn src_port(mut self, p: u16) -> Self {
+        self.src_port = p;
+        self
+    }
+
+    /// Sets the UDP destination port.
+    pub fn dst_port(mut self, p: u16) -> Self {
+        self.dst_port = p;
+        self
+    }
+
+    /// Sets the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the IPv4 identification field.
+    pub fn ident(mut self, id: u16) -> Self {
+        self.ident = id;
+        self
+    }
+
+    /// Sets the UDP payload bytes.
+    pub fn payload(mut self, bytes: &[u8]) -> Self {
+        self.payload = bytes.to_vec();
+        self
+    }
+
+    /// Sets a payload of `len` bytes with a deterministic pattern derived
+    /// from `seed` — cheap, reproducible and content-checkable.
+    pub fn patterned_payload(mut self, len: usize, seed: u64) -> Self {
+        self.payload = pattern(len, seed);
+        self
+    }
+
+    /// Sets the *total* on-wire packet size; the payload is patterned from
+    /// `seed`. Panics if `size` is below the 42-byte header stack.
+    ///
+    /// This mirrors how the paper parameterises experiments ("384-byte
+    /// packets" means total wire size, headers included).
+    pub fn total_size(self, size: usize, seed: u64) -> Self {
+        assert!(
+            size >= UDP_STACK_HEADER_LEN,
+            "packet size {size} below header stack {UDP_STACK_HEADER_LEN}"
+        );
+        self.patterned_payload(size - UDP_STACK_HEADER_LEN, seed)
+    }
+
+    /// Skips filling the UDP checksum (stores zero = "none").
+    pub fn without_udp_checksum(mut self) -> Self {
+        self.fill_udp_checksum = false;
+        self
+    }
+
+    /// Builds the packet.
+    pub fn build(self) -> Packet {
+        let udp_len = UDP_HEADER_LEN + self.payload.len();
+        let ip_len = IPV4_HEADER_LEN + udp_len;
+        let total = ETHERNET_HEADER_LEN + ip_len;
+        let mut bytes = vec![0u8; total];
+
+        let mut eth = EthernetFrame::new_checked(&mut bytes[..]).expect("sized above");
+        eth.set_dst(self.dst_mac);
+        eth.set_src(self.src_mac);
+        eth.set_ethertype(EtherType::Ipv4);
+
+        {
+            let ip_bytes = &mut bytes[ETHERNET_HEADER_LEN..];
+            // Preset version/IHL and total length so the checked constructor
+            // accepts the fresh buffer, then fill the remaining fields.
+            ip_bytes[0] = 0x45;
+            ip_bytes[2..4].copy_from_slice(&(ip_len as u16).to_be_bytes());
+            let mut ip = Ipv4Header::new_checked(&mut *ip_bytes)
+                .unwrap_or_else(|_| unreachable!("fresh buffer with version/ihl/len preset"));
+            ip.init(self.ttl);
+            ip.set_ident(self.ident);
+            ip.set_protocol(IpProtocol::Udp);
+            ip.set_src(self.src_ip);
+            ip.set_dst(self.dst_ip);
+            ip.fill_checksum();
+        }
+
+        {
+            let udp_bytes = &mut bytes[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..];
+            udp_bytes[4..6].copy_from_slice(&(udp_len as u16).to_be_bytes());
+            let mut udp = UdpHeader::new_checked(&mut *udp_bytes).expect("length preset");
+            udp.set_src_port(self.src_port);
+            udp.set_dst_port(self.dst_port);
+            udp.payload_mut().copy_from_slice(&self.payload);
+            if self.fill_udp_checksum {
+                udp.fill_checksum(u32::from(self.src_ip), u32::from(self.dst_ip));
+            }
+        }
+
+        Packet::new(bytes)
+    }
+}
+
+/// Deterministic byte pattern used for payload content checks.
+///
+/// Each byte is a simple function of its index and the seed so the
+/// functional-equivalence test (paper §6.2.6) can verify that Split + Merge
+/// restores every payload byte.
+pub fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..len)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as u8).wrapping_add(i as u8)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::ParsedPacket;
+
+    #[test]
+    fn build_and_reparse() {
+        let pkt = UdpPacketBuilder::new()
+            .src_mac(MacAddr::from_index(7))
+            .dst_mac(MacAddr::from_index(8))
+            .src_ip(Ipv4Addr::new(172, 16, 0, 1))
+            .dst_ip(Ipv4Addr::new(172, 16, 0, 2))
+            .src_port(999)
+            .dst_port(443)
+            .ttl(12)
+            .ident(0x1001)
+            .payload(b"payloadpark")
+            .build();
+        let eth = EthernetFrame::new_checked(pkt.bytes()).unwrap();
+        assert_eq!(eth.src(), MacAddr::from_index(7));
+        assert_eq!(eth.dst(), MacAddr::from_index(8));
+        let ip = Ipv4Header::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.ttl(), 12);
+        assert_eq!(ip.ident(), 0x1001);
+        let udp = UdpHeader::new_checked(ip.payload()).unwrap();
+        assert_eq!(udp.payload(), b"payloadpark");
+        assert!(udp.verify_checksum(u32::from(ip.src()), u32::from(ip.dst())));
+    }
+
+    #[test]
+    fn total_size_yields_exact_wire_length() {
+        for size in [42usize, 64, 256, 384, 512, 1024, 1492] {
+            let pkt = UdpPacketBuilder::new().total_size(size, 3).build();
+            assert_eq!(pkt.len(), size);
+            let parsed = ParsedPacket::parse(pkt.bytes()).unwrap();
+            assert_eq!(parsed.wire_len(), size);
+            assert_eq!(parsed.udp_payload_len(), size - 42);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below header stack")]
+    fn total_size_below_headers_panics() {
+        let _ = UdpPacketBuilder::new().total_size(41, 0);
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_seed_sensitive() {
+        assert_eq!(pattern(64, 5), pattern(64, 5));
+        assert_ne!(pattern(64, 5), pattern(64, 6));
+        assert_eq!(pattern(0, 1).len(), 0);
+    }
+
+    #[test]
+    fn without_udp_checksum_stores_zero() {
+        let pkt = UdpPacketBuilder::new().payload(&[1, 2, 3]).without_udp_checksum().build();
+        let parsed = ParsedPacket::parse(pkt.bytes()).unwrap();
+        let off = parsed.offsets().transport;
+        let udp = UdpHeader::new_checked(&pkt.bytes()[off..]).unwrap();
+        assert_eq!(udp.checksum_field(), 0);
+        assert!(udp.verify_checksum(0, 0)); // zero means "not computed"
+    }
+}

@@ -1,0 +1,175 @@
+//! The RFC 1071 internet checksum, used by IPv4, UDP and TCP.
+
+/// Incremental internet-checksum accumulator.
+///
+/// Sums 16-bit big-endian words with end-around carry. Feed header and
+/// payload slices with [`Checksum::add_bytes`], then call
+/// [`Checksum::finish`] to obtain the one's-complement result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+    /// A pending odd byte from a previous `add_bytes` call.
+    pending: Option<u8>,
+}
+
+impl Checksum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a byte slice to the running sum.
+    ///
+    /// Slices may be fed in any number of pieces; byte alignment is handled
+    /// across calls, so `add_bytes(a); add_bytes(b)` equals
+    /// `add_bytes(concat(a, b))`.
+    pub fn add_bytes(&mut self, mut bytes: &[u8]) {
+        if let Some(hi) = self.pending.take() {
+            if let Some((&lo, rest)) = bytes.split_first() {
+                self.add_word(u16::from_be_bytes([hi, lo]));
+                bytes = rest;
+            } else {
+                self.pending = Some(hi);
+                return;
+            }
+        }
+        let mut chunks = bytes.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.add_word(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [odd] = chunks.remainder() {
+            self.pending = Some(*odd);
+        }
+    }
+
+    /// Adds a single big-endian 16-bit word.
+    pub fn add_word(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Adds a 32-bit value as two 16-bit words (for pseudo-header addresses).
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_word((value >> 16) as u16);
+        self.add_word(value as u16);
+    }
+
+    /// Folds carries and returns the one's-complement checksum.
+    ///
+    /// A trailing odd byte (if any) is padded with a zero byte, per RFC 1071.
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.pending.take() {
+            self.add_word(u16::from_be_bytes([hi, 0]));
+        }
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Computes the internet checksum of a single slice.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish()
+}
+
+/// Verifies data that embeds its own checksum: summing everything (checksum
+/// field included) must yield zero.
+pub fn verify(bytes: &[u8]) -> bool {
+    checksum(bytes) == 0
+}
+
+/// Pseudo-header fields shared by the UDP and TCP checksums (RFC 768 / 793).
+#[derive(Debug, Clone, Copy)]
+pub struct PseudoHeader {
+    /// IPv4 source address.
+    pub src: u32,
+    /// IPv4 destination address.
+    pub dst: u32,
+    /// Transport protocol number (17 for UDP, 6 for TCP).
+    pub protocol: u8,
+    /// Transport segment length (header + payload) in bytes.
+    pub length: u16,
+}
+
+impl PseudoHeader {
+    /// Adds the pseudo-header words to an accumulator.
+    pub fn add_to(&self, c: &mut Checksum) {
+        c.add_u32(self.src);
+        c.add_u32(self.dst);
+        c.add_word(u16::from(self.protocol));
+        c.add_word(self.length);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example byte sequence from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let mut c = Checksum::new();
+        c.add_bytes(&data);
+        // The running sum before complement should be 0xddf2 after folding.
+        assert_eq!(c.finish(), !0xddf2);
+    }
+
+    #[test]
+    fn empty_slice_checksums_to_all_ones() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // [0xAB] is summed as 0xAB00.
+        assert_eq!(checksum(&[0xAB]), !0xAB00);
+    }
+
+    #[test]
+    fn split_feeding_matches_contiguous() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let whole = checksum(&data);
+        for split in [0usize, 1, 2, 3, 127, 128, 255, 256] {
+            let (a, b) = data.split_at(split);
+            let mut c = Checksum::new();
+            c.add_bytes(a);
+            c.add_bytes(b);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn three_way_odd_splits_match() {
+        let data: Vec<u8> = (0u8..101).collect();
+        let whole = checksum(&data);
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..33]);
+        c.add_bytes(&data[33..34]);
+        c.add_bytes(&data[34..]);
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn verify_accepts_embedded_checksum() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x00, 0x00];
+        let ck = checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_contributes() {
+        let ph = PseudoHeader { src: 0x0A000001, dst: 0x0A000002, protocol: 17, length: 8 };
+        let mut c = Checksum::new();
+        ph.add_to(&mut c);
+        let with_ph = c.finish();
+        let without_ph = Checksum::new().finish();
+        assert_ne!(with_ph, without_ph);
+    }
+}

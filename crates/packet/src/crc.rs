@@ -1,0 +1,68 @@
+//! CRC-16/CCITT used to validate the PayloadPark tag.
+//!
+//! The paper's tag (Fig. 2) embeds a CRC so the switch can validate the
+//! PayloadPark header before merging a stored payload with a returning
+//! packet (§3.2). We use CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) —
+//! a polynomial natively supported by Tofino hash units.
+
+/// CRC-16/CCITT-FALSE polynomial.
+pub const POLY: u16 = 0x1021;
+/// CRC-16/CCITT-FALSE initial value.
+pub const INIT: u16 = 0xFFFF;
+
+/// Computes CRC-16/CCITT-FALSE over `bytes`.
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc = INIT;
+    for &b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Computes the tag CRC over the (table index, generation clock) pair.
+///
+/// This is the integrity check the Merge stage performs before touching the
+/// payload table: a corrupted or forged tag fails this CRC and the packet is
+/// handled as a non-PayloadPark packet.
+pub fn tag_crc(table_index: u16, generation: u16) -> u16 {
+    let mut buf = [0u8; 4];
+    buf[..2].copy_from_slice(&table_index.to_be_bytes());
+    buf[2..].copy_from_slice(&generation.to_be_bytes());
+    crc16(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // Standard check value for CRC-16/CCITT-FALSE("123456789").
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_is_init() {
+        assert_eq!(crc16(&[]), INIT);
+    }
+
+    #[test]
+    fn tag_crc_distinguishes_fields() {
+        // Swapping index and generation must change the CRC (order matters).
+        assert_ne!(tag_crc(1, 2), tag_crc(2, 1));
+        // Different generations at the same index must differ.
+        assert_ne!(tag_crc(7, 1), tag_crc(7, 2));
+    }
+
+    #[test]
+    fn single_bit_flips_detected() {
+        let base = tag_crc(0x1234, 0x5678);
+        for bit in 0..16 {
+            assert_ne!(base, tag_crc(0x1234 ^ (1 << bit), 0x5678), "index bit {bit}");
+            assert_ne!(base, tag_crc(0x1234, 0x5678 ^ (1 << bit)), "gen bit {bit}");
+        }
+    }
+}

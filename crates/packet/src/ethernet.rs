@@ -1,0 +1,234 @@
+//! Ethernet II frame view.
+
+use crate::{ParseError, Result};
+
+/// Length of an Ethernet II header: two MAC addresses plus the ethertype.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Returns true for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns true if the group bit (I/G, least-significant bit of the first
+    /// octet) is set, i.e. the address is multicast or broadcast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Builds a locally-administered unicast address from a small integer,
+    /// convenient for assigning simulated hosts stable MACs.
+    pub fn from_index(index: u64) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+    }
+}
+
+/// Ethertype values used by this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — parsed but not processed by the dataplane.
+    Arp,
+    /// Any other value, preserved verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// An immutable view of an Ethernet II frame.
+///
+/// The view validates only that the buffer can hold the 14-byte header;
+/// the payload is whatever follows.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer, checking the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                what: "ethernet",
+                need: ETHERNET_HEADER_LEN,
+                have: len,
+            });
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// Ethertype field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]]).into()
+    }
+
+    /// The bytes following the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the ethertype field.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+
+    /// Mutable access to the bytes following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Swaps the source and destination MAC addresses in place.
+    ///
+    /// This is the entire data-plane behaviour of the MAC-swapper NF used in
+    /// the paper's multi-server and NF-cost experiments (§6.1, §6.3.3).
+    pub fn swap_macs(&mut self) {
+        let (src, dst) = (self.src(), self.dst());
+        self.set_src(dst);
+        self.set_dst(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut f = vec![0u8; ETHERNET_HEADER_LEN + 4];
+        f[0..6].copy_from_slice(&[0x02, 0, 0, 0, 0, 0x01]); // dst
+        f[6..12].copy_from_slice(&[0x02, 0, 0, 0, 0, 0x02]); // src
+        f[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+        f[14..].copy_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        f
+    }
+
+    #[test]
+    fn parse_fields() {
+        let frame = EthernetFrame::new_checked(sample_frame()).unwrap();
+        assert_eq!(frame.dst(), MacAddr::from_index(1));
+        assert_eq!(frame.src(), MacAddr::from_index(2));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let err = EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { what: "ethernet", .. }));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut frame = EthernetFrame::new_checked(vec![0u8; 20]).unwrap();
+        frame.set_dst(MacAddr([1, 2, 3, 4, 5, 6]));
+        frame.set_src(MacAddr([7, 8, 9, 10, 11, 12]));
+        frame.set_ethertype(EtherType::Other(0x88B5));
+        assert_eq!(frame.dst(), MacAddr([1, 2, 3, 4, 5, 6]));
+        assert_eq!(frame.src(), MacAddr([7, 8, 9, 10, 11, 12]));
+        assert_eq!(frame.ethertype(), EtherType::Other(0x88B5));
+    }
+
+    #[test]
+    fn swap_macs_swaps() {
+        let mut frame = EthernetFrame::new_checked(sample_frame()).unwrap();
+        frame.swap_macs();
+        assert_eq!(frame.dst(), MacAddr::from_index(2));
+        assert_eq!(frame.src(), MacAddr::from_index(1));
+        // Double swap restores the original.
+        frame.swap_macs();
+        assert_eq!(frame.dst(), MacAddr::from_index(1));
+    }
+
+    #[test]
+    fn mac_addr_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::from_index(3).is_broadcast());
+        assert!(!MacAddr::from_index(3).is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5E, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr([0xDE, 0xAD, 0, 0, 0xBE, 0xEF]).to_string(), "de:ad:00:00:be:ef");
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x86DD, 0x1234] {
+            assert_eq!(u16::from(EtherType::from(v)), v);
+        }
+    }
+}

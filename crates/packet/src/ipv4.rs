@@ -1,0 +1,312 @@
+//! IPv4 header view with checksum support.
+//!
+//! Options are accepted (the IHL field is honoured) but, as in smoltcp,
+//! never interpreted.
+
+use crate::checksum::{checksum, Checksum};
+use crate::{ParseError, Result};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers this reproduction understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        match p {
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+/// A view of an IPv4 header (plus the bytes that follow it).
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4Header<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Header<T> {
+    /// Wraps a buffer, validating version, IHL and total length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated { what: "ipv4", need: IPV4_HEADER_LEN, have: len });
+        }
+        let hdr = Ipv4Header { buffer };
+        let b = hdr.buffer.as_ref();
+        if b[0] >> 4 != 4 {
+            return Err(ParseError::Malformed { what: "ipv4", why: "version != 4" });
+        }
+        let ihl = usize::from(b[0] & 0x0F) * 4;
+        if ihl < IPV4_HEADER_LEN {
+            return Err(ParseError::Malformed { what: "ipv4", why: "ihl < 5" });
+        }
+        if len < ihl {
+            return Err(ParseError::Truncated { what: "ipv4", need: ihl, have: len });
+        }
+        let total = usize::from(hdr.total_len());
+        if total < ihl {
+            return Err(ParseError::Malformed { what: "ipv4", why: "total length < header length" });
+        }
+        if len < total {
+            return Err(ParseError::Truncated { what: "ipv4", need: total, have: len });
+        }
+        Ok(hdr)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0F) * 4
+    }
+
+    /// Total datagram length (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        self.buffer.as_ref()[9].into()
+    }
+
+    /// Header checksum field as stored.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// Returns true if the stored header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        let b = self.buffer.as_ref();
+        checksum(&b[..self.header_len()]) == 0
+    }
+
+    /// The transport segment (bytes after the IPv4 header, within
+    /// `total_len`).
+    pub fn payload(&self) -> &[u8] {
+        let start = self.header_len();
+        let end = usize::from(self.total_len());
+        &self.buffer.as_ref()[start..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Header<T> {
+    /// Initialises version=4, IHL=5, TTL and clears DSCP/flags. Use on fresh
+    /// buffers before setting other fields.
+    pub fn init(&mut self, ttl: u8) {
+        let b = self.buffer.as_mut();
+        b[0] = 0x45;
+        b[1] = 0;
+        b[4..8].copy_from_slice(&[0, 0, 0, 0]);
+        b[8] = ttl;
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_ident(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Sets the transport protocol number.
+    pub fn set_protocol(&mut self, p: IpProtocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Recomputes and stores the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let hlen = self.header_len();
+        let b = self.buffer.as_mut();
+        b[10] = 0;
+        b[11] = 0;
+        let mut c = Checksum::new();
+        c.add_bytes(&b[..hlen]);
+        let ck = c.finish();
+        b[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable transport segment.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let start = self.header_len();
+        let end = usize::from(self.total_len());
+        &mut self.buffer.as_mut()[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + 8];
+        {
+            let mut h = Ipv4Header::new_unchecked_for_test(&mut buf);
+            h.init(64);
+            h.set_total_len(28);
+            h.set_ident(0x4242);
+            h.set_protocol(IpProtocol::Udp);
+            h.set_src(Ipv4Addr::new(10, 0, 0, 1));
+            h.set_dst(Ipv4Addr::new(10, 0, 0, 2));
+            h.fill_checksum();
+        }
+        buf
+    }
+
+    impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Header<T> {
+        /// Test helper bypassing validation (fields are about to be set).
+        fn new_unchecked_for_test(buffer: T) -> Self {
+            Ipv4Header { buffer }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample();
+        let h = Ipv4Header::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.header_len(), 20);
+        assert_eq!(h.total_len(), 28);
+        assert_eq!(h.ident(), 0x4242);
+        assert_eq!(h.ttl(), 64);
+        assert_eq!(h.protocol(), IpProtocol::Udp);
+        assert_eq!(h.src(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(h.dst(), Ipv4Addr::new(10, 0, 0, 2));
+        assert!(h.verify_checksum());
+        assert_eq!(h.payload().len(), 8);
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut buf = sample();
+        buf[12] ^= 0xFF; // flip a source-address byte
+        let h = Ipv4Header::new_checked(&buf[..]).unwrap();
+        assert!(!h.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = sample();
+        buf[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Header::new_checked(&buf[..]),
+            Err(ParseError::Malformed { why: "version != 4", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_ihl() {
+        let mut buf = sample();
+        buf[0] = 0x44; // IHL 4 => 16 bytes
+        assert!(matches!(Ipv4Header::new_checked(&buf[..]), Err(ParseError::Malformed { .. })));
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut buf = sample();
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert!(matches!(Ipv4Header::new_checked(&buf[..]), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_total_len_below_header() {
+        let mut buf = sample();
+        buf[2..4].copy_from_slice(&10u16.to_be_bytes());
+        assert!(matches!(Ipv4Header::new_checked(&buf[..]), Err(ParseError::Malformed { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            Ipv4Header::new_checked(&[0u8; 10][..]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn protocol_roundtrip() {
+        for v in [6u8, 17, 1, 0] {
+            assert_eq!(u8::from(IpProtocol::from(v)), v);
+        }
+    }
+
+    #[test]
+    fn checksum_stable_after_mutation_and_refill() {
+        let mut buf = sample();
+        {
+            let mut h = Ipv4Header::new_checked(&mut buf[..]).unwrap();
+            h.set_dst(Ipv4Addr::new(192, 168, 1, 1));
+            h.fill_checksum();
+        }
+        let h = Ipv4Header::new_checked(&buf[..]).unwrap();
+        assert!(h.verify_checksum());
+        assert_eq!(h.dst(), Ipv4Addr::new(192, 168, 1, 1));
+    }
+}

@@ -1,0 +1,104 @@
+//! An owned packet buffer.
+
+use crate::parse::ParsedPacket;
+use crate::Result;
+
+/// An owned, heap-allocated packet.
+///
+/// The simulator passes packets by value between components; `Packet` is a
+/// thin wrapper over `Vec<u8>` carrying an optional sequence number used by
+/// the traffic generator to correlate transmit and receive timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    bytes: Vec<u8>,
+    /// Generator-assigned sequence number (0 when not set).
+    seq: u64,
+}
+
+impl Packet {
+    /// Wraps raw bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Packet { bytes, seq: 0 }
+    }
+
+    /// Wraps raw bytes with a sequence number.
+    pub fn with_seq(bytes: Vec<u8>, seq: u64) -> Self {
+        Packet { bytes, seq }
+    }
+
+    /// The packet bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable packet bytes.
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+
+    /// Consumes the packet, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// On-wire length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The generator-assigned sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Overrides the sequence number.
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Parses the packet (Ethernet/IPv4/UDP-or-TCP).
+    pub fn parse(&self) -> Result<ParsedPacket<'_>> {
+        ParsedPacket::parse(&self.bytes)
+    }
+}
+
+impl From<Vec<u8>> for Packet {
+    fn from(bytes: Vec<u8>) -> Self {
+        Packet::new(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut p = Packet::with_seq(vec![1, 2, 3], 42);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.seq(), 42);
+        p.set_seq(7);
+        assert_eq!(p.seq(), 7);
+        p.bytes_mut().push(4);
+        assert_eq!(p.bytes(), &[1, 2, 3, 4]);
+        assert_eq!(p.into_bytes(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_vec() {
+        let p: Packet = vec![9u8; 10].into();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.seq(), 0);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Packet::new(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! One-pass packet parsing: header boundaries and the 5-tuple.
+//!
+//! The shallow NFs in the paper (firewall, NAT, L4 LB) operate on the
+//! 5-tuple — "approximately only the first 42 bytes of the UDP packet" (§1).
+//! [`ParsedPacket`] locates each header once and exposes the offsets so NFs
+//! and the switch dataplane can read/modify fields without re-parsing.
+
+use crate::ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::tcp::TcpHeader;
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use crate::{ParseError, Result};
+use std::net::Ipv4Addr;
+
+/// The classic transport 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// IPv4 source address.
+    pub src_ip: Ipv4Addr,
+    /// IPv4 destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Transport source port.
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+    /// Transport protocol (6 = TCP, 17 = UDP).
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// The reverse direction of this flow.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+impl core::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+/// Byte offsets of each header within a parsed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderOffsets {
+    /// Start of the IPv4 header (== Ethernet header length).
+    pub ip: usize,
+    /// Start of the transport header.
+    pub transport: usize,
+    /// Start of the transport payload (where Split inserts the PayloadPark
+    /// header).
+    pub payload: usize,
+}
+
+/// A parsed Ethernet/IPv4/{UDP,TCP} packet.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsedPacket<'a> {
+    bytes: &'a [u8],
+    offsets: HeaderOffsets,
+    five_tuple: FiveTuple,
+    /// Total on-wire length implied by the IPv4 total-length field.
+    wire_len: usize,
+}
+
+impl<'a> ParsedPacket<'a> {
+    /// Parses an Ethernet II + IPv4 + UDP/TCP packet.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
+        let eth = EthernetFrame::new_checked(bytes)?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Err(ParseError::WrongProtocol { what: "ethernet" });
+        }
+        let ip = Ipv4Header::new_checked(eth.payload())?;
+        let ip_header_len = ip.header_len();
+        let transport_off = ETHERNET_HEADER_LEN + ip_header_len;
+        let wire_len = ETHERNET_HEADER_LEN + usize::from(ip.total_len());
+        let (src_port, dst_port, transport_header_len) = match ip.protocol() {
+            IpProtocol::Udp => {
+                let udp = UdpHeader::new_checked(ip.payload())?;
+                (udp.src_port(), udp.dst_port(), UDP_HEADER_LEN)
+            }
+            IpProtocol::Tcp => {
+                let tcp = TcpHeader::new_checked(ip.payload())?;
+                (tcp.src_port(), tcp.dst_port(), tcp.header_len())
+            }
+            IpProtocol::Other(_) => return Err(ParseError::WrongProtocol { what: "ipv4" }),
+        };
+        let five_tuple = FiveTuple {
+            src_ip: ip.src(),
+            dst_ip: ip.dst(),
+            src_port,
+            dst_port,
+            protocol: ip.protocol().into(),
+        };
+        Ok(ParsedPacket {
+            bytes,
+            offsets: HeaderOffsets {
+                ip: ETHERNET_HEADER_LEN,
+                transport: transport_off,
+                payload: transport_off + transport_header_len,
+            },
+            five_tuple,
+            wire_len,
+        })
+    }
+
+    /// The raw bytes this view was parsed from.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Header offsets.
+    pub fn offsets(&self) -> HeaderOffsets {
+        self.offsets
+    }
+
+    /// The transport 5-tuple.
+    pub fn five_tuple(&self) -> FiveTuple {
+        self.five_tuple
+    }
+
+    /// On-wire packet length (Ethernet header + IPv4 total length).
+    pub fn wire_len(&self) -> usize {
+        self.wire_len
+    }
+
+    /// Length of the transport payload in bytes.
+    ///
+    /// For UDP packets this is the quantity Split compares against the
+    /// 160-byte minimum (§5): payloads smaller than the parking capacity are
+    /// not split.
+    pub fn udp_payload_len(&self) -> usize {
+        self.wire_len.saturating_sub(self.offsets.payload)
+    }
+
+    /// The transport payload bytes.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[self.offsets.payload..self.wire_len]
+    }
+
+    /// Stack header bytes (everything before the transport payload).
+    pub fn headers(&self) -> &'a [u8] {
+        &self.bytes[..self.offsets.payload]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UdpPacketBuilder;
+
+    #[test]
+    fn parse_udp() {
+        let pkt = UdpPacketBuilder::new()
+            .src_ip(Ipv4Addr::new(10, 1, 0, 1))
+            .dst_ip(Ipv4Addr::new(10, 1, 0, 2))
+            .src_port(4000)
+            .dst_port(53)
+            .payload(&[7u8; 100])
+            .build();
+        let p = ParsedPacket::parse(pkt.bytes()).unwrap();
+        assert_eq!(p.offsets().ip, 14);
+        assert_eq!(p.offsets().transport, 34);
+        assert_eq!(p.offsets().payload, 42);
+        assert_eq!(p.udp_payload_len(), 100);
+        assert_eq!(p.wire_len(), 142);
+        assert_eq!(p.payload(), &[7u8; 100]);
+        assert_eq!(p.headers().len(), 42);
+        let ft = p.five_tuple();
+        assert_eq!(ft.src_ip, Ipv4Addr::new(10, 1, 0, 1));
+        assert_eq!(ft.dst_ip, Ipv4Addr::new(10, 1, 0, 2));
+        assert_eq!(ft.src_port, 4000);
+        assert_eq!(ft.dst_port, 53);
+        assert_eq!(ft.protocol, 17);
+    }
+
+    #[test]
+    fn five_tuple_reverse() {
+        let ft = FiveTuple {
+            src_ip: Ipv4Addr::new(1, 1, 1, 1),
+            dst_ip: Ipv4Addr::new(2, 2, 2, 2),
+            src_port: 10,
+            dst_port: 20,
+            protocol: 17,
+        };
+        let rev = ft.reversed();
+        assert_eq!(rev.src_ip, ft.dst_ip);
+        assert_eq!(rev.dst_port, ft.src_port);
+        assert_eq!(rev.reversed(), ft);
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut pkt = UdpPacketBuilder::new().payload(&[0u8; 8]).build().into_bytes();
+        pkt[12..14].copy_from_slice(&0x0806u16.to_be_bytes()); // ARP
+        assert!(matches!(
+            ParsedPacket::parse(&pkt),
+            Err(ParseError::WrongProtocol { what: "ethernet" })
+        ));
+    }
+
+    #[test]
+    fn non_transport_rejected() {
+        let mut pkt = UdpPacketBuilder::new().payload(&[0u8; 8]).build().into_bytes();
+        pkt[23] = 1; // ICMP
+        // Recompute the IP checksum so the failure is the protocol, not cksum.
+        let mut ip = crate::ipv4::Ipv4Header::new_checked(&mut pkt[14..]).unwrap();
+        ip.fill_checksum();
+        assert!(matches!(
+            ParsedPacket::parse(&pkt),
+            Err(ParseError::WrongProtocol { what: "ipv4" })
+        ));
+    }
+
+    #[test]
+    fn five_tuple_display() {
+        let ft = FiveTuple {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 1,
+            dst_port: 2,
+            protocol: 17,
+        };
+        assert_eq!(ft.to_string(), "10.0.0.1:1 -> 10.0.0.2:2 proto 17");
+    }
+}

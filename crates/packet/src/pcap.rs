@@ -1,0 +1,241 @@
+//! Classic libpcap trace files (the `.pcap` format, magic 0xA1B2C3D4).
+//!
+//! The paper replays PCAP files to reproduce the enterprise-datacenter
+//! packet-size distribution (§6.1) and validates functional equivalence by
+//! diffing DPDK-pdump captures (§6.2.6). This module provides an in-memory
+//! writer/reader pair for the same purposes: the workload replayer consumes
+//! traces, and the equivalence test compares them byte for byte.
+
+use crate::packet::Packet;
+use crate::{ParseError, Result};
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0xA1B2_C3D4;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE: u32 = 1;
+const GLOBAL_HEADER_LEN: usize = 24;
+const RECORD_HEADER_LEN: usize = 16;
+
+/// A captured packet with its timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture time, seconds part.
+    pub ts_sec: u32,
+    /// Capture time, microseconds part.
+    pub ts_usec: u32,
+    /// Packet bytes (we never truncate, so caplen == len).
+    pub bytes: Vec<u8>,
+}
+
+impl PcapRecord {
+    /// Builds a record from a packet and a nanosecond timestamp.
+    pub fn from_packet(pkt: &Packet, t_nanos: u64) -> Self {
+        PcapRecord {
+            ts_sec: (t_nanos / 1_000_000_000) as u32,
+            ts_usec: ((t_nanos % 1_000_000_000) / 1_000) as u32,
+            bytes: pkt.bytes().to_vec(),
+        }
+    }
+}
+
+/// Streams records into any `io::Write` as a classic pcap file.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    records: usize,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header (snaplen 65535).
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&VERSION_MAJOR.to_le_bytes())?;
+        sink.write_all(&VERSION_MINOR.to_le_bytes())?;
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE.to_le_bytes())?;
+        Ok(PcapWriter { sink, records: 0 })
+    }
+
+    /// Appends one record.
+    pub fn write_record(&mut self, rec: &PcapRecord) -> io::Result<()> {
+        let len = rec.bytes.len() as u32;
+        self.sink.write_all(&rec.ts_sec.to_le_bytes())?;
+        self.sink.write_all(&rec.ts_usec.to_le_bytes())?;
+        self.sink.write_all(&len.to_le_bytes())?; // incl_len
+        self.sink.write_all(&len.to_le_bytes())?; // orig_len
+        self.sink.write_all(&rec.bytes)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads a classic pcap file fully into memory.
+#[derive(Debug)]
+pub struct PcapReader {
+    records: Vec<PcapRecord>,
+}
+
+impl PcapReader {
+    /// Parses an entire pcap stream.
+    pub fn read_all<R: Read>(mut source: R) -> Result<Self> {
+        let mut data = Vec::new();
+        source
+            .read_to_end(&mut data)
+            .map_err(|_| ParseError::Malformed { what: "pcap", why: "io error" })?;
+        Self::parse(&data)
+    }
+
+    /// Parses an in-memory pcap image.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < GLOBAL_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                what: "pcap",
+                need: GLOBAL_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+        if magic != MAGIC {
+            return Err(ParseError::Malformed { what: "pcap", why: "bad magic" });
+        }
+        let linktype = u32::from_le_bytes([data[20], data[21], data[22], data[23]]);
+        if linktype != LINKTYPE {
+            return Err(ParseError::Malformed { what: "pcap", why: "not ethernet linktype" });
+        }
+        let mut records = Vec::new();
+        let mut off = GLOBAL_HEADER_LEN;
+        while off < data.len() {
+            if data.len() - off < RECORD_HEADER_LEN {
+                return Err(ParseError::Truncated {
+                    what: "pcap record",
+                    need: RECORD_HEADER_LEN,
+                    have: data.len() - off,
+                });
+            }
+            let ts_sec = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"));
+            let ts_usec = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
+            let incl = u32::from_le_bytes(data[off + 8..off + 12].try_into().expect("4 bytes"));
+            off += RECORD_HEADER_LEN;
+            let incl = incl as usize;
+            if data.len() - off < incl {
+                return Err(ParseError::Truncated {
+                    what: "pcap record",
+                    need: incl,
+                    have: data.len() - off,
+                });
+            }
+            records.push(PcapRecord { ts_sec, ts_usec, bytes: data[off..off + incl].to_vec() });
+            off += incl;
+        }
+        Ok(PcapReader { records })
+    }
+
+    /// The parsed records.
+    pub fn records(&self) -> &[PcapRecord] {
+        &self.records
+    }
+
+    /// Consumes the reader, yielding the records.
+    pub fn into_records(self) -> Vec<PcapRecord> {
+        self.records
+    }
+}
+
+/// Compares two captures for byte-identical packet sequences, ignoring
+/// timestamps — the functional-equivalence check of §6.2.6.
+pub fn captures_identical(a: &[PcapRecord], b: &[PcapRecord]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bytes == y.bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UdpPacketBuilder;
+
+    fn sample_records() -> Vec<PcapRecord> {
+        (0..5)
+            .map(|i| {
+                let pkt = UdpPacketBuilder::new().total_size(64 + i * 10, i as u64).build();
+                PcapRecord::from_packet(&pkt, 1_500_000_000 * i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let records = sample_records();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        assert_eq!(w.record_count(), 5);
+        let bytes = w.finish().unwrap();
+        let reader = PcapReader::parse(&bytes).unwrap();
+        assert_eq!(reader.records(), &records[..]);
+    }
+
+    #[test]
+    fn timestamp_conversion() {
+        let pkt = UdpPacketBuilder::new().payload(&[0; 4]).build();
+        let r = PcapRecord::from_packet(&pkt, 3_000_123_456);
+        assert_eq!(r.ts_sec, 3);
+        assert_eq!(r.ts_usec, 123); // truncated to µs
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            PcapReader::parse(&bytes),
+            Err(ParseError::Malformed { why: "bad magic", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let bytes = w.finish().unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(PcapReader::parse(cut), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn captures_identical_ignores_timestamps() {
+        let a = sample_records();
+        let mut b = a.clone();
+        for r in &mut b {
+            r.ts_sec += 100;
+        }
+        assert!(captures_identical(&a, &b));
+        b[2].bytes[0] ^= 1;
+        assert!(!captures_identical(&a, &b));
+        assert!(!captures_identical(&a, &b[..4]));
+    }
+
+    #[test]
+    fn empty_capture_roundtrip() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        let r = PcapReader::parse(&bytes).unwrap();
+        assert!(r.records().is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The PayloadPark header (paper Fig. 2).
+//!
+//! The Split operation inserts this 7-byte shim between the transport header
+//! and the remaining payload; the parked payload bytes are removed from the
+//! wire packet. Layout (big-endian bit order within the first byte):
+//!
+//! ```text
+//!  0               1..2            3..4          5..6
+//! +-+-+------+ +-----------+ +-------------+ +---------+
+//! |E|O|ALIGN | | TBL INDEX | | GENERATION  | |   CRC   |
+//! +-+-+------+ +-----------+ +-------------+ +---------+
+//!  ^ ^  6b        16 bits        16 bits       16 bits
+//!  | +-- OP: 0 = Merge, 1 = Explicit Drop
+//!  +---- ENB: payload parked in switch memory?
+//! ```
+//!
+//! The 48-bit TAG of the paper is the (table index, generation, CRC) triple.
+//! The CRC covers the first two and lets the Merge stage reject corrupted or
+//! forged tags before touching the payload table (§3.2).
+
+use crate::crc::tag_crc;
+use crate::{ParseError, Result};
+
+/// Length of the PayloadPark header in bytes.
+pub const PAYLOADPARK_HEADER_LEN: usize = 7;
+
+/// The operation requested by a packet returning from the NF server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PpOpcode {
+    /// Recombine the stored payload with this header (the common case).
+    Merge,
+    /// The NF framework dropped the packet; reclaim the slot without
+    /// re-emitting a packet (§6.2.4, requires the 50-LoC framework change).
+    ExplicitDrop,
+}
+
+/// The 48-bit tag identifying a parked payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PpTag {
+    /// Index into the metadata/payload register arrays.
+    pub table_index: u16,
+    /// Generation clock value captured at Split time; disambiguates a slot
+    /// that was evicted and reused between Split and Merge.
+    pub generation: u16,
+}
+
+impl PpTag {
+    /// Computes the CRC the header should carry for this tag.
+    pub fn crc(&self) -> u16 {
+        tag_crc(self.table_index, self.generation)
+    }
+}
+
+/// A view of a PayloadPark header.
+#[derive(Debug, Clone, Copy)]
+pub struct PayloadParkHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> PayloadParkHeader<T> {
+    /// Wraps a buffer, checking only the length. Use
+    /// [`PayloadParkHeader::verify_tag`] before trusting the tag.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < PAYLOADPARK_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                what: "payloadpark",
+                need: PAYLOADPARK_HEADER_LEN,
+                have: len,
+            });
+        }
+        Ok(PayloadParkHeader { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The Enable bit: was the payload actually parked?
+    ///
+    /// Split sets this to zero when it could not store the payload (table
+    /// occupied, payload under the minimum size); such packets traverse the
+    /// NF chain whole and Merge only strips the header.
+    pub fn enabled(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x80 != 0
+    }
+
+    /// The opcode bit.
+    pub fn opcode(&self) -> PpOpcode {
+        if self.buffer.as_ref()[0] & 0x40 != 0 {
+            PpOpcode::ExplicitDrop
+        } else {
+            PpOpcode::Merge
+        }
+    }
+
+    /// The six alignment bits (always zero in this implementation, reserved
+    /// for byte-alignment as in the paper).
+    pub fn align_bits(&self) -> u8 {
+        self.buffer.as_ref()[0] & 0x3F
+    }
+
+    /// The tag (table index + generation); not CRC-validated.
+    pub fn tag(&self) -> PpTag {
+        let b = self.buffer.as_ref();
+        PpTag {
+            table_index: u16::from_be_bytes([b[1], b[2]]),
+            generation: u16::from_be_bytes([b[3], b[4]]),
+        }
+    }
+
+    /// The stored CRC field.
+    pub fn crc_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[5], b[6]])
+    }
+
+    /// Returns the tag if its CRC verifies, otherwise `BadChecksum`.
+    pub fn verify_tag(&self) -> Result<PpTag> {
+        let tag = self.tag();
+        if tag.crc() == self.crc_field() {
+            Ok(tag)
+        } else {
+            Err(ParseError::BadChecksum { what: "payloadpark" })
+        }
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> PayloadParkHeader<T> {
+    /// Writes a complete header for a successfully parked payload.
+    pub fn write_enabled(&mut self, opcode: PpOpcode, tag: PpTag) {
+        let crc = tag.crc();
+        let b = self.buffer.as_mut();
+        b[0] = 0x80 | if opcode == PpOpcode::ExplicitDrop { 0x40 } else { 0 };
+        b[1..3].copy_from_slice(&tag.table_index.to_be_bytes());
+        b[3..5].copy_from_slice(&tag.generation.to_be_bytes());
+        b[5..7].copy_from_slice(&crc.to_be_bytes());
+    }
+
+    /// Writes an all-zero header (Split disabled — Alg. 1 line 23).
+    pub fn write_disabled(&mut self) {
+        self.buffer.as_mut()[..PAYLOADPARK_HEADER_LEN].fill(0);
+    }
+
+    /// Sets the opcode bit in place (the NF framework's Explicit-Drop path
+    /// flips Merge → ExplicitDrop without touching the tag).
+    pub fn set_opcode(&mut self, opcode: PpOpcode) {
+        let b = self.buffer.as_mut();
+        match opcode {
+            PpOpcode::ExplicitDrop => b[0] |= 0x40,
+            PpOpcode::Merge => b[0] &= !0x40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_seven_bytes() {
+        assert_eq!(PAYLOADPARK_HEADER_LEN, 7);
+    }
+
+    #[test]
+    fn enabled_roundtrip() {
+        let mut buf = [0u8; PAYLOADPARK_HEADER_LEN];
+        let tag = PpTag { table_index: 0x0123, generation: 0xBEEF };
+        PayloadParkHeader::new_checked(&mut buf[..]).unwrap().write_enabled(PpOpcode::Merge, tag);
+        let h = PayloadParkHeader::new_checked(&buf[..]).unwrap();
+        assert!(h.enabled());
+        assert_eq!(h.opcode(), PpOpcode::Merge);
+        assert_eq!(h.align_bits(), 0);
+        assert_eq!(h.tag(), tag);
+        assert_eq!(h.verify_tag().unwrap(), tag);
+    }
+
+    #[test]
+    fn disabled_header_is_all_zero() {
+        let mut buf = [0xAAu8; PAYLOADPARK_HEADER_LEN];
+        PayloadParkHeader::new_checked(&mut buf[..]).unwrap().write_disabled();
+        assert_eq!(buf, [0u8; PAYLOADPARK_HEADER_LEN]);
+        let h = PayloadParkHeader::new_checked(&buf[..]).unwrap();
+        assert!(!h.enabled());
+        assert_eq!(h.opcode(), PpOpcode::Merge);
+    }
+
+    #[test]
+    fn explicit_drop_opcode() {
+        let mut buf = [0u8; PAYLOADPARK_HEADER_LEN];
+        let tag = PpTag { table_index: 5, generation: 9 };
+        {
+            let mut h = PayloadParkHeader::new_checked(&mut buf[..]).unwrap();
+            h.write_enabled(PpOpcode::Merge, tag);
+            h.set_opcode(PpOpcode::ExplicitDrop);
+        }
+        let h = PayloadParkHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.opcode(), PpOpcode::ExplicitDrop);
+        // Flipping the opcode must not invalidate the tag CRC.
+        assert_eq!(h.verify_tag().unwrap(), tag);
+        // And flipping back restores Merge.
+        let mut h = PayloadParkHeader::new_checked(&mut buf[..]).unwrap();
+        h.set_opcode(PpOpcode::Merge);
+        let h = PayloadParkHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(h.opcode(), PpOpcode::Merge);
+    }
+
+    #[test]
+    fn corrupt_tag_fails_crc() {
+        let mut buf = [0u8; PAYLOADPARK_HEADER_LEN];
+        let tag = PpTag { table_index: 77, generation: 1234 };
+        PayloadParkHeader::new_checked(&mut buf[..]).unwrap().write_enabled(PpOpcode::Merge, tag);
+        for byte in 1..PAYLOADPARK_HEADER_LEN {
+            let mut corrupted = buf;
+            corrupted[byte] ^= 0x10;
+            let h = PayloadParkHeader::new_checked(&corrupted[..]).unwrap();
+            assert!(h.verify_tag().is_err(), "corruption at byte {byte} undetected");
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            PayloadParkHeader::new_checked(&[0u8; 6][..]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,234 @@
+//! TCP header view.
+//!
+//! PayloadPark itself operates on any protocol (§7 "Decoupling boundary");
+//! the evaluation uses UDP, but the NAT and load balancer NFs accept TCP
+//! flows too, so a minimal TCP header view is provided.
+
+use crate::checksum::{Checksum, PseudoHeader};
+use crate::{ParseError, Result};
+
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// A view of a TCP header plus payload.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpHeader<T> {
+    /// Wraps a buffer, validating the fixed header and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < TCP_HEADER_LEN {
+            return Err(ParseError::Truncated { what: "tcp", need: TCP_HEADER_LEN, have: len });
+        }
+        let hdr = TcpHeader { buffer };
+        let off = hdr.header_len();
+        if off < TCP_HEADER_LEN {
+            return Err(ParseError::Malformed { what: "tcp", why: "data offset < 5" });
+        }
+        if off > hdr.buffer.as_ref().len() {
+            return Err(ParseError::Truncated { what: "tcp", need: off, have: len });
+        }
+        Ok(hdr)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flags byte (CWR..FIN).
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[13]
+    }
+
+    /// True if the SYN flag is set.
+    pub fn is_syn(&self) -> bool {
+        self.flags() & 0x02 != 0
+    }
+
+    /// True if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags() & 0x01 != 0
+    }
+
+    /// True if the RST flag is set.
+    pub fn is_rst(&self) -> bool {
+        self.flags() & 0x04 != 0
+    }
+
+    /// Stored checksum.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// TCP payload (everything after the header).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verifies the checksum against an IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: u32, dst: u32) -> bool {
+        let seg = self.buffer.as_ref();
+        let mut c = Checksum::new();
+        PseudoHeader { src, dst, protocol: 6, length: seg.len() as u16 }.add_to(&mut c);
+        c.add_bytes(seg);
+        c.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpHeader<T> {
+    /// Initialises data offset to 5 (no options) and clears flags.
+    pub fn init(&mut self) {
+        let b = self.buffer.as_mut();
+        b[12] = 5 << 4;
+        b[13] = 0;
+        b[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes()); // window
+        b[16..20].copy_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, v: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack(&mut self, v: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the flags byte.
+    pub fn set_flags(&mut self, flags: u8) {
+        self.buffer.as_mut()[13] = flags;
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn fill_checksum(&mut self, src: u32, dst: u32) {
+        {
+            let b = self.buffer.as_mut();
+            b[16] = 0;
+            b[17] = 0;
+        }
+        let seg = self.buffer.as_ref();
+        let mut c = Checksum::new();
+        PseudoHeader { src, dst, protocol: 6, length: seg.len() as u16 }.add_to(&mut c);
+        c.add_bytes(seg);
+        let ck = c.finish();
+        self.buffer.as_mut()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: u32 = 0xC0A80001;
+    const DST: u32 = 0xC0A80002;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; TCP_HEADER_LEN + 5];
+        let mut t = TcpHeader { buffer: &mut buf[..] };
+        t.init();
+        t.set_src_port(443);
+        t.set_dst_port(51000);
+        t.set_seq(0x01020304);
+        t.set_ack(0x0A0B0C0D);
+        t.set_flags(0x12); // SYN|ACK
+        buf[TCP_HEADER_LEN..].copy_from_slice(b"hello");
+        let mut t = TcpHeader { buffer: &mut buf[..] };
+        t.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample();
+        let t = TcpHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.src_port(), 443);
+        assert_eq!(t.dst_port(), 51000);
+        assert_eq!(t.seq(), 0x01020304);
+        assert_eq!(t.ack(), 0x0A0B0C0D);
+        assert!(t.is_syn());
+        assert!(!t.is_fin());
+        assert!(!t.is_rst());
+        assert_eq!(t.payload(), b"hello");
+        assert!(t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = sample();
+        *buf.last_mut().unwrap() ^= 0xFF;
+        let t = TcpHeader::new_checked(&buf[..]).unwrap();
+        assert!(!t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn rejects_bad_offset() {
+        let mut buf = sample();
+        buf[12] = 4 << 4;
+        assert!(matches!(TcpHeader::new_checked(&buf[..]), Err(ParseError::Malformed { .. })));
+        buf[12] = 15 << 4;
+        assert!(matches!(TcpHeader::new_checked(&buf[..]), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_short() {
+        assert!(matches!(TcpHeader::new_checked(&[0u8; 19][..]), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let mut buf = sample();
+        {
+            let mut t = TcpHeader { buffer: &mut buf[..] };
+            t.set_flags(0x05); // RST|FIN
+        }
+        let t = TcpHeader::new_checked(&buf[..]).unwrap();
+        assert!(t.is_rst());
+        assert!(t.is_fin());
+        assert!(!t.is_syn());
+    }
+}

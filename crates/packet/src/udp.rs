@@ -1,0 +1,200 @@
+//! UDP header view.
+
+use crate::checksum::{Checksum, PseudoHeader};
+use crate::{ParseError, Result};
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A view of a UDP header plus payload.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpHeader<T> {
+    /// Wraps a buffer, validating the fixed header and length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < UDP_HEADER_LEN {
+            return Err(ParseError::Truncated { what: "udp", need: UDP_HEADER_LEN, have: len });
+        }
+        let hdr = UdpHeader { buffer };
+        let field = usize::from(hdr.len_field());
+        if field < UDP_HEADER_LEN {
+            return Err(ParseError::Malformed { what: "udp", why: "length field < 8" });
+        }
+        if field > hdr.buffer.as_ref().len() {
+            return Err(ParseError::Truncated { what: "udp", need: field, have: len });
+        }
+        Ok(hdr)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// The UDP length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Stored checksum.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// UDP payload (bytes within the length field).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[UDP_HEADER_LEN..usize::from(self.len_field())]
+    }
+
+    /// Verifies the UDP checksum against an IPv4 pseudo-header.
+    ///
+    /// A zero checksum means "not computed" and is accepted, per RFC 768.
+    pub fn verify_checksum(&self, src: u32, dst: u32) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let seg_len = self.len_field();
+        let mut c = Checksum::new();
+        PseudoHeader { src, dst, protocol: 17, length: seg_len }.add_to(&mut c);
+        c.add_bytes(&self.buffer.as_ref()[..usize::from(seg_len)]);
+        c.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpHeader<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum over the pseudo-header and segment.
+    ///
+    /// Produces 0xFFFF instead of zero, per RFC 768 (zero means "none").
+    pub fn fill_checksum(&mut self, src: u32, dst: u32) {
+        let seg_len = self.len_field();
+        {
+            let b = self.buffer.as_mut();
+            b[6] = 0;
+            b[7] = 0;
+        }
+        let mut c = Checksum::new();
+        PseudoHeader { src, dst, protocol: 17, length: seg_len }.add_to(&mut c);
+        c.add_bytes(&self.buffer.as_ref()[..usize::from(seg_len)]);
+        let mut ck = c.finish();
+        if ck == 0 {
+            ck = 0xFFFF;
+        }
+        self.buffer.as_mut()[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = usize::from(self.len_field());
+        &mut self.buffer.as_mut()[UDP_HEADER_LEN..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: u32 = 0x0A000001;
+    const DST: u32 = 0x0A000002;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; UDP_HEADER_LEN + 4];
+        let mut u = UdpHeader { buffer: &mut buf[..] };
+        u.set_src_port(5353);
+        u.set_dst_port(80);
+        u.set_len_field(12);
+        u.payload_mut().copy_from_slice(&[1, 2, 3, 4]);
+        u.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample();
+        let u = UdpHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(u.src_port(), 5353);
+        assert_eq!(u.dst_port(), 80);
+        assert_eq!(u.len_field(), 12);
+        assert_eq!(u.payload(), &[1, 2, 3, 4]);
+        assert!(u.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let mut buf = sample();
+        buf[9] ^= 0x01;
+        let u = UdpHeader::new_checked(&buf[..]).unwrap();
+        assert!(!u.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checksum_detects_wrong_pseudo_header() {
+        let buf = sample();
+        let u = UdpHeader::new_checked(&buf[..]).unwrap();
+        assert!(!u.verify_checksum(SRC, DST + 1));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = sample();
+        buf[6] = 0;
+        buf[7] = 0;
+        let u = UdpHeader::new_checked(&buf[..]).unwrap();
+        assert!(u.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert!(matches!(UdpHeader::new_checked(&[0u8; 7][..]), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = sample();
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert!(matches!(UdpHeader::new_checked(&buf[..]), Err(ParseError::Malformed { .. })));
+        buf[4..6].copy_from_slice(&200u16.to_be_bytes());
+        assert!(matches!(UdpHeader::new_checked(&buf[..]), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_outside_len_field_ignored() {
+        let mut buf = sample();
+        buf.push(0x99); // ethernet padding
+        let u = UdpHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(u.payload(), &[1, 2, 3, 4]);
+        assert!(u.verify_checksum(SRC, DST));
+    }
+}

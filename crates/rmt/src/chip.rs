@@ -1,0 +1,173 @@
+//! Chip resource profiles and port identifiers.
+
+/// A switch port number (0-based, chip-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl core::fmt::Display for PortId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Static resource budgets of the emulated ASIC.
+///
+/// The paper withholds the Tofino's exact numbers for confidentiality (§5
+/// footnote 2); these defaults are drawn from public descriptions of
+/// 6.4 Tbps RMT chips — 4 pipes of 12 stages, 16 × 100 GbE ports per pipe,
+/// and a ~15 MB register-capable SRAM partition — and can be overridden per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipProfile {
+    /// Number of independent pipes. Pipes do not share stateful memory.
+    pub pipes: usize,
+    /// Match-action stages per pipe.
+    pub stages_per_pipe: usize,
+    /// Front-panel ports attached to each pipe.
+    pub ports_per_pipe: usize,
+    /// SRAM bits available per stage for *stateful* use (register arrays
+    /// plus the match tables the program declares). This models the
+    /// register-capable partition of a stage's SRAM, not the whole match
+    /// memory; resource percentages are reported against it.
+    pub sram_bits_per_stage: u64,
+    /// TCAM bits available in each stage.
+    pub tcam_bits_per_stage: u64,
+    /// VLIW action-instruction slots per stage.
+    pub vliw_slots_per_stage: u32,
+    /// Exact-match crossbar bits per stage (match key width budget).
+    pub exact_xbar_bits_per_stage: u32,
+    /// Ternary-match crossbar bits per stage.
+    pub ternary_xbar_bits_per_stage: u32,
+    /// Packet Header Vector capacity in bits.
+    pub phv_bits: u32,
+    /// Maximum MATs that may be placed in one stage.
+    pub max_mats_per_stage: usize,
+    /// Nanoseconds for one traversal of the pipeline (parser → deparser).
+    pub pipeline_latency_ns: u64,
+    /// Additional nanoseconds charged per recirculation pass ("on the order
+    /// of 10s of ns", paper §6.2.5).
+    pub recirculation_penalty_ns: u64,
+    /// Maximum recirculation passes before the packet is dropped (guards the
+    /// emulator against mis-programmed loops).
+    pub max_recirculations: u32,
+    /// Recirculation channels available per pipe; each maps to a distinct
+    /// virtual ingress port so the parser can branch on direction.
+    pub recirc_channels_per_pipe: u8,
+}
+
+impl Default for ChipProfile {
+    fn default() -> Self {
+        ChipProfile {
+            pipes: 4,
+            stages_per_pipe: 12,
+            ports_per_pipe: 16,
+            // 320 KB of register-capable SRAM per stage -> ~3.8 MB per
+            // pipe, ~15 MB chip-wide. (The chip's *total* SRAM, most of it
+            // match-table-only, sits in the 50-100 MB range the paper
+            // cites for 6.4 Tbps switches.)
+            sram_bits_per_stage: 327_680 * 8,
+            // 24 TCAM blocks of 512 x 44b per stage.
+            tcam_bits_per_stage: 24 * 512 * 44,
+            vliw_slots_per_stage: 32,
+            exact_xbar_bits_per_stage: 1024,
+            ternary_xbar_bits_per_stage: 528,
+            phv_bits: 4096,
+            max_mats_per_stage: 16,
+            pipeline_latency_ns: 400,
+            recirculation_penalty_ns: 60,
+            max_recirculations: 4,
+            recirc_channels_per_pipe: 2,
+        }
+    }
+}
+
+impl ChipProfile {
+    /// The pipe that owns `port`.
+    ///
+    /// Ports are numbered consecutively: pipe 0 gets ports `0..16`, pipe 1
+    /// gets `16..32`, and so on (matching the paper's description of four
+    /// sets of 16 ports sharing a pipe, §5).
+    pub fn pipe_of(&self, port: PortId) -> usize {
+        usize::from(port.0) / self.ports_per_pipe
+    }
+
+    /// Total ports on the chip.
+    pub fn total_ports(&self) -> usize {
+        self.pipes * self.ports_per_pipe
+    }
+
+    /// Total stage SRAM on the chip, in bytes.
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.sram_bits_per_stage / 8 * self.stages_per_pipe as u64 * self.pipes as u64
+    }
+
+    /// Stage SRAM per pipe, in bytes.
+    pub fn pipe_sram_bytes(&self) -> u64 {
+        self.sram_bits_per_stage / 8 * self.stages_per_pipe as u64
+    }
+
+    /// The virtual ingress port for recirculation into `pipe` on `channel`.
+    ///
+    /// Recirculation ports are numbered after the front-panel ports.
+    pub fn recirc_port(&self, pipe: usize, channel: u8) -> PortId {
+        debug_assert!(channel < self.recirc_channels_per_pipe, "channel out of range");
+        let base = self.total_ports();
+        PortId((base + pipe * usize::from(self.recirc_channels_per_pipe) + usize::from(channel))
+            as u16)
+    }
+
+    /// Validates internal consistency (positive budgets).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pipes == 0 || self.stages_per_pipe == 0 || self.ports_per_pipe == 0 {
+            return Err("chip must have pipes, stages and ports".into());
+        }
+        if self.sram_bits_per_stage == 0 || self.phv_bits == 0 {
+            return Err("chip must have SRAM and PHV capacity".into());
+        }
+        if self.max_mats_per_stage == 0 {
+            return Err("chip must allow at least one MAT per stage".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_valid() {
+        let p = ChipProfile::default();
+        p.validate().unwrap();
+        assert_eq!(p.total_ports(), 64);
+        // ~15 MB chip-wide stateful SRAM.
+        assert_eq!(p.total_sram_bytes(), 15_728_640);
+        assert_eq!(p.pipe_sram_bytes(), 3_932_160);
+    }
+
+    #[test]
+    fn pipe_of_maps_16_ports_per_pipe() {
+        let p = ChipProfile::default();
+        assert_eq!(p.pipe_of(PortId(0)), 0);
+        assert_eq!(p.pipe_of(PortId(15)), 0);
+        assert_eq!(p.pipe_of(PortId(16)), 1);
+        assert_eq!(p.pipe_of(PortId(63)), 3);
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        let mut p = ChipProfile::default();
+        p.pipes = 0;
+        assert!(p.validate().is_err());
+        let mut p = ChipProfile::default();
+        p.phv_bits = 0;
+        assert!(p.validate().is_err());
+        let mut p = ChipProfile::default();
+        p.max_mats_per_stage = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(PortId(7).to_string(), "port7");
+    }
+}

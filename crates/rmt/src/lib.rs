@@ -1,0 +1,45 @@
+//! An RMT (Reconfigurable Match-Action Table) dataplane emulator.
+//!
+//! The PayloadPark paper prototypes on a Barefoot Tofino ASIC programmed in
+//! P4-16. There is no P4 toolchain target for a Rust reproduction, so this
+//! crate provides a software switch that mimics the *architecture* of such a
+//! chip closely enough that the constraints which shaped PayloadPark's
+//! design hold here too:
+//!
+//! * packets are parsed into a **Packet Header Vector** ([`phv::Phv`]) with
+//!   a bounded bit budget;
+//! * processing is a fixed sequence of **stages**, each containing
+//!   match-action tables ([`mat::Mat`]);
+//! * each MAT may access **at most one cell of one register array per
+//!   packet** (a single read-modify-write, like a Tofino stateful ALU) —
+//!   enforced by construction: a MAT's stateful binding names one array and
+//!   one index function;
+//! * register arrays are **local to their stage** and pipes do **not**
+//!   share stateful memory (paper §5);
+//! * **recirculation** re-injects a packet at the parser (optionally into a
+//!   different pipe) at a latency/bandwidth cost (§2, §6.2.5);
+//! * per-stage SRAM/TCAM/VLIW/crossbar and chip-wide PHV budgets are
+//!   accounted and enforced at program-build time, producing the resource
+//!   report of the paper's Table 1 ([`resources`]).
+//!
+//! The crate is program-agnostic: the `payloadpark` crate builds its Split
+//! and Merge logic (Algorithms 1 and 2 of the paper) from these primitives,
+//! and a plain L2 forwarder serves as the baseline.
+
+pub mod chip;
+pub mod mat;
+pub mod parser;
+pub mod phv;
+pub mod pipeline;
+pub mod register;
+pub mod resources;
+pub mod switch;
+
+pub use chip::{ChipProfile, PortId};
+pub use mat::{ActionCtx, Mat, MatBuilder, MatFootprint, MatchKind};
+pub use parser::{deparse_phv, parse_packet, BlockRule, ParserConfig};
+pub use phv::{PayloadBlock, Phv, PpFields, RecircTarget, Verdict, BLOCK_BYTES};
+pub use pipeline::{Pipeline, PipelineBuilder, ProgramError};
+pub use register::{RegisterFile, RegisterId, RegisterSpec};
+pub use resources::{ResourceReport, StageUsage};
+pub use switch::{SwitchModel, SwitchOutput, SwitchStats};

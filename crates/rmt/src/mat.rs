@@ -1,0 +1,290 @@
+//! Match-action tables.
+//!
+//! A [`Mat`] couples a *gateway* (the match side: a predicate over the PHV),
+//! an optional *stateful binding* (at most one register array, at most one
+//! cell per packet — the Tofino stateful-ALU restriction the paper designs
+//! around, §4 "Implications of ASIC restrictions"), and an *action* over the
+//! PHV plus that single cell.
+
+use crate::phv::Phv;
+use crate::register::RegisterId;
+
+/// Kind of match hardware a table consumes (for resource accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Exact-match (SRAM + exact crossbar).
+    Exact,
+    /// Ternary match (TCAM + ternary crossbar).
+    Ternary,
+    /// Gateway-only predicate (no table lookup; small crossbar cost).
+    Gateway,
+}
+
+/// Per-MAT counters the action may bump (statistics hardware, separate from
+/// stateful ALUs — the paper's eight monitoring counters, §5).
+pub type Counters = [u64];
+
+/// Execution context handed to an action.
+pub struct ActionCtx<'a> {
+    /// The packet header vector.
+    pub phv: &'a mut Phv,
+    /// The one register cell this MAT may read-modify-write this packet,
+    /// if the MAT has a stateful binding and the index function selected a
+    /// cell.
+    pub cell: Option<&'a mut [u8]>,
+    /// Program-wide statistics counters.
+    pub counters: &'a mut [u64],
+}
+
+type GatewayFn = Box<dyn Fn(&Phv) -> bool + Send>;
+type IndexFn = Box<dyn Fn(&Phv) -> Option<usize> + Send>;
+type ActionFn = Box<dyn Fn(&mut ActionCtx<'_>) + Send>;
+
+/// Static resource footprint declared by a MAT.
+#[derive(Debug, Clone, Copy)]
+pub struct MatFootprint {
+    /// Kind of match hardware used.
+    pub match_kind: MatchKind,
+    /// Bits of match key (crossbar usage).
+    pub key_bits: u32,
+    /// VLIW instruction slots used by the action.
+    pub vliw_slots: u32,
+    /// SRAM bits for match entries (0 for pure gateways).
+    pub table_sram_bits: u64,
+    /// TCAM bits for ternary entries.
+    pub tcam_bits: u64,
+}
+
+impl Default for MatFootprint {
+    fn default() -> Self {
+        MatFootprint {
+            match_kind: MatchKind::Gateway,
+            key_bits: 16,
+            vliw_slots: 1,
+            table_sram_bits: 0,
+            tcam_bits: 0,
+        }
+    }
+}
+
+/// The stateful binding: one array, one index per packet.
+pub struct StatefulBinding {
+    /// Bound register array.
+    pub array: RegisterId,
+    index: IndexFn,
+}
+
+/// A match-action table.
+pub struct Mat {
+    name: String,
+    gateway: GatewayFn,
+    stateful: Option<StatefulBinding>,
+    action: ActionFn,
+    footprint: MatFootprint,
+    hits: u64,
+}
+
+impl Mat {
+    /// Begins building a MAT.
+    pub fn builder(name: impl Into<String>) -> MatBuilder {
+        MatBuilder {
+            name: name.into(),
+            gateway: None,
+            stateful: None,
+            action: None,
+            footprint: MatFootprint::default(),
+        }
+    }
+
+    /// The MAT's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared footprint.
+    pub fn footprint(&self) -> MatFootprint {
+        self.footprint
+    }
+
+    /// The bound register array, if any.
+    pub fn stateful_array(&self) -> Option<RegisterId> {
+        self.stateful.as_ref().map(|s| s.array)
+    }
+
+    /// Whether the gateway matches this PHV.
+    pub fn matches(&self, phv: &Phv) -> bool {
+        (self.gateway)(phv)
+    }
+
+    /// The register index the binding selects for this PHV.
+    pub fn stateful_index(&self, phv: &Phv) -> Option<(RegisterId, usize)> {
+        let b = self.stateful.as_ref()?;
+        (b.index)(phv).map(|i| (b.array, i))
+    }
+
+    /// Runs the action.
+    pub fn run(&mut self, ctx: &mut ActionCtx<'_>) {
+        self.hits += 1;
+        (self.action)(ctx);
+    }
+
+    /// Number of packets whose gateway matched (action executions).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+impl core::fmt::Debug for Mat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Mat")
+            .field("name", &self.name)
+            .field("stateful", &self.stateful.as_ref().map(|s| s.array))
+            .field("footprint", &self.footprint)
+            .field("hits", &self.hits)
+            .finish()
+    }
+}
+
+/// Builder for [`Mat`].
+pub struct MatBuilder {
+    name: String,
+    gateway: Option<GatewayFn>,
+    stateful: Option<StatefulBinding>,
+    action: Option<ActionFn>,
+    footprint: MatFootprint,
+}
+
+impl MatBuilder {
+    /// Sets the match predicate. Defaults to match-all.
+    pub fn gateway(mut self, f: impl Fn(&Phv) -> bool + Send + 'static) -> Self {
+        self.gateway = Some(Box::new(f));
+        self
+    }
+
+    /// Binds the MAT to `array`, selecting the cell per packet with `index`.
+    /// Returning `None` skips the register access for that packet.
+    pub fn stateful(
+        mut self,
+        array: RegisterId,
+        index: impl Fn(&Phv) -> Option<usize> + Send + 'static,
+    ) -> Self {
+        self.stateful = Some(StatefulBinding { array, index: Box::new(index) });
+        self
+    }
+
+    /// Sets the action body.
+    pub fn action(mut self, f: impl Fn(&mut ActionCtx<'_>) + Send + 'static) -> Self {
+        self.action = Some(Box::new(f));
+        self
+    }
+
+    /// Overrides the declared resource footprint.
+    pub fn footprint(mut self, fp: MatFootprint) -> Self {
+        self.footprint = fp;
+        self
+    }
+
+    /// Finishes the MAT. A missing action becomes a no-op.
+    pub fn build(self) -> Mat {
+        Mat {
+            name: self.name,
+            gateway: self.gateway.unwrap_or_else(|| Box::new(|_| true)),
+            stateful: self.stateful,
+            action: self.action.unwrap_or_else(|| Box::new(|_| {})),
+            footprint: self.footprint,
+            hits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::PortId;
+    use crate::phv::{EthFields, PpFields, Verdict, META_WORDS};
+    use pp_packet::MacAddr;
+
+    fn phv(port: u16) -> Phv {
+        Phv {
+            ingress_port: PortId(port),
+            eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0 },
+            ipv4: None,
+            udp: None,
+            pp: PpFields::default(),
+            blocks: Vec::new(),
+            body: Vec::new(),
+            meta: [0; META_WORDS],
+            verdict: Verdict::default(),
+            recirc_count: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn gateway_filters() {
+        let mat = Mat::builder("only_port_3").gateway(|p| p.ingress_port == PortId(3)).build();
+        assert!(mat.matches(&phv(3)));
+        assert!(!mat.matches(&phv(4)));
+    }
+
+    #[test]
+    fn default_gateway_matches_all() {
+        let mat = Mat::builder("all").build();
+        assert!(mat.matches(&phv(0)));
+    }
+
+    #[test]
+    fn action_mutates_phv_and_counters() {
+        let mut mat = Mat::builder("count")
+            .action(|ctx| {
+                ctx.phv.meta[0] = 99;
+                ctx.counters[2] += 1;
+            })
+            .build();
+        let mut p = phv(0);
+        let mut counters = vec![0u64; 4];
+        let mut ctx = ActionCtx { phv: &mut p, cell: None, counters: &mut counters };
+        mat.run(&mut ctx);
+        assert_eq!(p.meta[0], 99);
+        assert_eq!(counters[2], 1);
+        assert_eq!(mat.hits(), 1);
+    }
+
+    #[test]
+    fn stateful_index_selection() {
+        let array = RegisterId(0);
+        let mat = Mat::builder("idx")
+            .stateful(array, |p| if p.meta[0] < 10 { Some(p.meta[0] as usize) } else { None })
+            .build();
+        let mut p = phv(0);
+        p.meta[0] = 5;
+        assert_eq!(mat.stateful_index(&p), Some((array, 5)));
+        p.meta[0] = 50;
+        assert_eq!(mat.stateful_index(&p), None);
+        assert_eq!(mat.stateful_array(), Some(array));
+    }
+
+    #[test]
+    fn cell_is_mutable_through_ctx() {
+        let mut mat = Mat::builder("rmw")
+            .action(|ctx| {
+                if let Some(cell) = ctx.cell.as_deref_mut() {
+                    cell[0] = cell[0].wrapping_add(1);
+                }
+            })
+            .build();
+        let mut p = phv(0);
+        let mut counters = vec![0u64; 1];
+        let mut storage = [7u8; 4];
+        let mut ctx =
+            ActionCtx { phv: &mut p, cell: Some(&mut storage[..]), counters: &mut counters };
+        mat.run(&mut ctx);
+        assert_eq!(storage[0], 8);
+    }
+
+    #[test]
+    fn debug_format_includes_name() {
+        let mat = Mat::builder("my_table").build();
+        assert!(format!("{mat:?}").contains("my_table"));
+    }
+}

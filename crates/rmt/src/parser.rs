@@ -1,0 +1,396 @@
+//! Programmable parser and deparser.
+//!
+//! The parser turns packet bytes into a [`Phv`]; the deparser re-serializes
+//! the (possibly modified) PHV. Like a P4 parser, behaviour branches on the
+//! ingress port: on *split* ports the parser extracts payload blocks into
+//! the PHV (so MATs can write them to registers); on *merge* ports it
+//! expects a PayloadPark header after UDP. Recirculation ports combine both
+//! (paper §6.2.5: blocks are striped into a second pipe).
+//!
+//! Non-IPv4 and non-UDP packets degrade gracefully: unparsed bytes ride in
+//! `Phv::body` and the deparser re-emits them verbatim, so the baseline L2
+//! path is byte-transparent.
+
+use crate::chip::PortId;
+use crate::phv::{
+    EthFields, Ipv4Fields, PayloadBlock, Phv, PpFields, UdpFields, Verdict, BLOCK_BYTES,
+    META_WORDS,
+};
+use pp_packet::checksum::Checksum;
+use pp_packet::ethernet::{EthernetFrame, ETHERNET_HEADER_LEN};
+use pp_packet::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
+use pp_packet::ppark::{PayloadParkHeader, PpOpcode, PAYLOADPARK_HEADER_LEN};
+use pp_packet::udp::UdpHeader;
+use pp_packet::Result;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-port payload-block extraction rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRule {
+    /// Number of 16-byte blocks to lift into the PHV from the front of the
+    /// (post-PayloadPark-header) payload.
+    pub blocks: usize,
+    /// Extract only if the payload has at least this many bytes — the
+    /// 160-byte minimum-payload rule of §5 (384 with recirculation).
+    pub min_payload: usize,
+}
+
+/// Parser configuration for one pipe.
+#[derive(Debug, Clone, Default)]
+pub struct ParserConfig {
+    /// Ports whose packets carry a PayloadPark header after the UDP header
+    /// (packets returning from the NF server, and recirculated packets).
+    pub pp_header_ports: BTreeSet<u16>,
+    /// Ports where the parser extracts payload blocks into the PHV, with
+    /// their extraction rules.
+    pub block_rules: BTreeMap<u16, BlockRule>,
+    /// Number of payload-block slots the PHV carries (10 × 16 B = 160 B in
+    /// the paper's prototype; 24 with recirculation). Blocks beyond what the
+    /// port's rule extracts start out invalid, ready for MATs to fill.
+    pub phv_block_capacity: usize,
+}
+
+impl ParserConfig {
+    /// Parser for a plain L2 switch: nothing beyond headers is parsed.
+    pub fn l2_only() -> Self {
+        ParserConfig::default()
+    }
+
+    /// Bits of PHV capacity this configuration consumes (for Table 1).
+    pub fn phv_bits(&self) -> u32 {
+        let eth = 48 + 48 + 16;
+        let ipv4 = 160;
+        let udp = 64;
+        let pp = if self.pp_header_ports.is_empty() && self.block_rules.is_empty() {
+            0
+        } else {
+            PAYLOADPARK_HEADER_LEN as u32 * 8
+        };
+        let blocks = (self.phv_block_capacity as u32) * (BLOCK_BYTES as u32) * 8;
+        let meta = META_WORDS as u32 * 32;
+        eth + ipv4 + udp + pp + blocks + meta
+    }
+}
+
+/// Parses `bytes` arriving on `port` into a PHV.
+pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64) -> Result<Phv> {
+    let eth = EthernetFrame::new_checked(bytes)?;
+    let eth_fields =
+        EthFields { dst: eth.dst(), src: eth.src(), ethertype: u16::from(eth.ethertype()) };
+    let mut phv = Phv {
+        ingress_port: port,
+        eth: eth_fields,
+        ipv4: None,
+        udp: None,
+        pp: PpFields::default(),
+        blocks: Vec::new(),
+        body: Vec::new(),
+        meta: [0; META_WORDS],
+        verdict: Verdict::default(),
+        recirc_count: 0,
+        seq,
+    };
+
+    if eth_fields.ethertype != 0x0800 {
+        phv.body = eth.payload().to_vec();
+        return Ok(phv);
+    }
+
+    let ip = Ipv4Header::new_checked(eth.payload())?;
+    let options = eth.payload()[IPV4_HEADER_LEN..ip.header_len()].to_vec();
+    phv.ipv4 = Some(Ipv4Fields {
+        total_len: ip.total_len(),
+        ident: ip.ident(),
+        ttl: ip.ttl(),
+        protocol: ip.protocol().into(),
+        src: u32::from(ip.src()),
+        dst: u32::from(ip.dst()),
+        options,
+    });
+
+    if ip.protocol() != IpProtocol::Udp {
+        phv.body = ip.payload().to_vec();
+        return Ok(phv);
+    }
+
+    let udp = UdpHeader::new_checked(ip.payload())?;
+    phv.udp = Some(UdpFields {
+        src_port: udp.src_port(),
+        dst_port: udp.dst_port(),
+        len: udp.len_field(),
+        checksum: udp.checksum_field(),
+    });
+    if config.phv_block_capacity > 0 {
+        phv.blocks = vec![PayloadBlock::default(); config.phv_block_capacity];
+    }
+    let mut payload = udp.payload();
+
+    if config.pp_header_ports.contains(&port.0) {
+        // A PayloadPark header follows the UDP header on this port.
+        let pp = PayloadParkHeader::new_checked(payload)?;
+        let tag = pp.tag();
+        phv.pp = PpFields {
+            valid: true,
+            enb: pp.enabled(),
+            op_drop: pp.opcode() == PpOpcode::ExplicitDrop,
+            tbl_idx: tag.table_index,
+            clk: tag.generation,
+            crc: pp.crc_field(),
+        };
+        payload = &payload[PAYLOADPARK_HEADER_LEN..];
+    }
+
+    if let Some(rule) = config.block_rules.get(&port.0) {
+        debug_assert!(rule.blocks <= config.phv_block_capacity, "rule exceeds PHV blocks");
+        let take = rule.blocks * BLOCK_BYTES;
+        if rule.blocks > 0 && payload.len() >= rule.min_payload.max(take) {
+            for (slot, chunk) in phv.blocks.iter_mut().zip(payload[..take].chunks_exact(BLOCK_BYTES))
+            {
+                slot.data = chunk.try_into().expect("exact chunk");
+                slot.valid = true;
+            }
+            payload = &payload[take..];
+        }
+    }
+    phv.body = payload.to_vec();
+    Ok(phv)
+}
+
+/// Re-serializes a PHV into packet bytes.
+///
+/// Field values are emitted as stored — length fields are the *program's*
+/// responsibility, exactly as in a P4 deparser. The IPv4 header checksum is
+/// recomputed (standard practice for programs that rewrite IP fields); the
+/// UDP checksum is emitted verbatim.
+pub fn deparse_phv(phv: &Phv) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        ETHERNET_HEADER_LEN + 60 + phv.valid_block_bytes() + phv.body.len() + 16,
+    );
+    out.extend_from_slice(&phv.eth.dst.0);
+    out.extend_from_slice(&phv.eth.src.0);
+    out.extend_from_slice(&phv.eth.ethertype.to_be_bytes());
+
+    let Some(ip) = &phv.ipv4 else {
+        out.extend_from_slice(&phv.body);
+        return out;
+    };
+
+    let ihl = (IPV4_HEADER_LEN + ip.options.len()) / 4;
+    let ip_start = out.len();
+    out.push(0x40 | ihl as u8);
+    out.push(0);
+    out.extend_from_slice(&ip.total_len.to_be_bytes());
+    out.extend_from_slice(&ip.ident.to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // flags + fragment offset
+    out.push(ip.ttl);
+    out.push(ip.protocol);
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&ip.src.to_be_bytes());
+    out.extend_from_slice(&ip.dst.to_be_bytes());
+    out.extend_from_slice(&ip.options);
+    let ip_end = out.len();
+    let mut c = Checksum::new();
+    c.add_bytes(&out[ip_start..ip_end]);
+    let ck = c.finish();
+    out[ip_start + 10..ip_start + 12].copy_from_slice(&ck.to_be_bytes());
+
+    let Some(udp) = &phv.udp else {
+        out.extend_from_slice(&phv.body);
+        return out;
+    };
+    out.extend_from_slice(&udp.src_port.to_be_bytes());
+    out.extend_from_slice(&udp.dst_port.to_be_bytes());
+    out.extend_from_slice(&udp.len.to_be_bytes());
+    out.extend_from_slice(&udp.checksum.to_be_bytes());
+
+    if phv.pp.valid {
+        let mut hdr = [0u8; PAYLOADPARK_HEADER_LEN];
+        hdr[0] = (u8::from(phv.pp.enb) << 7) | (u8::from(phv.pp.op_drop) << 6);
+        hdr[1..3].copy_from_slice(&phv.pp.tbl_idx.to_be_bytes());
+        hdr[3..5].copy_from_slice(&phv.pp.clk.to_be_bytes());
+        hdr[5..7].copy_from_slice(&phv.pp.crc.to_be_bytes());
+        out.extend_from_slice(&hdr);
+    }
+
+    for block in phv.blocks.iter().filter(|b| b.valid) {
+        out.extend_from_slice(&block.data);
+    }
+    out.extend_from_slice(&phv.body);
+    out
+}
+
+/// Convenience check used by tests: parse + deparse must be the identity on
+/// well-formed packets when no MAT modified the PHV.
+pub fn roundtrips(config: &ParserConfig, bytes: &[u8], port: PortId) -> bool {
+    match parse_packet(config, bytes, port, 0) {
+        Ok(phv) => deparse_phv(&phv) == bytes,
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_packet::builder::UdpPacketBuilder;
+    use pp_packet::ppark::PpTag;
+    use pp_packet::ParseError;
+
+    fn split_config() -> ParserConfig {
+        ParserConfig {
+            pp_header_ports: [1u16].into_iter().collect(),
+            block_rules: [(0u16, BlockRule { blocks: 10, min_payload: 160 })]
+                .into_iter()
+                .collect(),
+            phv_block_capacity: 10,
+        }
+    }
+
+    #[test]
+    fn l2_roundtrip_is_identity() {
+        let cfg = ParserConfig::l2_only();
+        for size in [42usize, 64, 256, 882, 1492] {
+            let pkt = UdpPacketBuilder::new().total_size(size, 9).build();
+            assert!(roundtrips(&cfg, pkt.bytes(), PortId(5)), "size {size}");
+        }
+    }
+
+    #[test]
+    fn non_ipv4_passthrough() {
+        let mut bytes = UdpPacketBuilder::new().total_size(100, 1).build().into_bytes();
+        bytes[12..14].copy_from_slice(&0x88B5u16.to_be_bytes());
+        let cfg = ParserConfig::l2_only();
+        let phv = parse_packet(&cfg, &bytes, PortId(0), 0).unwrap();
+        assert!(phv.ipv4.is_none());
+        assert_eq!(deparse_phv(&phv), bytes);
+    }
+
+    #[test]
+    fn non_udp_passthrough() {
+        let mut bytes = UdpPacketBuilder::new().total_size(100, 1).build().into_bytes();
+        bytes[23] = 6; // TCP
+        let mut ip = Ipv4Header::new_checked(&mut bytes[14..]).unwrap();
+        ip.fill_checksum();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, &bytes, PortId(0), 0).unwrap();
+        assert!(phv.ipv4.is_some());
+        assert!(phv.udp.is_none());
+        assert!(phv.blocks.is_empty());
+        assert_eq!(deparse_phv(&phv), bytes);
+    }
+
+    #[test]
+    fn split_port_extracts_blocks() {
+        let pkt = UdpPacketBuilder::new().total_size(42 + 200, 3).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 7).unwrap();
+        assert_eq!(phv.blocks.len(), 10);
+        assert!(phv.blocks.iter().all(|b| b.valid));
+        assert_eq!(phv.body.len(), 40);
+        assert_eq!(phv.seq, 7);
+        // Deparse without modification restores the original bytes.
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn small_payload_skips_block_extraction() {
+        let pkt = UdpPacketBuilder::new().total_size(42 + 159, 3).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        assert_eq!(phv.blocks.len(), 10);
+        assert!(phv.blocks.iter().all(|b| !b.valid));
+        assert_eq!(phv.body.len(), 159);
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn payload_exactly_at_threshold_extracts() {
+        let pkt = UdpPacketBuilder::new().total_size(42 + 160, 3).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        assert_eq!(phv.blocks.iter().filter(|b| b.valid).count(), 10);
+        assert!(phv.body.is_empty());
+    }
+
+    #[test]
+    fn non_split_port_leaves_payload_in_body() {
+        let pkt = UdpPacketBuilder::new().total_size(42 + 200, 3).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(9), 0).unwrap();
+        assert_eq!(phv.valid_block_bytes(), 0);
+        assert_eq!(phv.body.len(), 200);
+    }
+
+    #[test]
+    fn merge_port_parses_pp_header() {
+        // Construct a split-looking packet: UDP payload = PP header + 40 B.
+        let tag = PpTag { table_index: 123, generation: 456 };
+        let mut payload = vec![0u8; PAYLOADPARK_HEADER_LEN + 40];
+        PayloadParkHeader::new_checked(&mut payload[..])
+            .unwrap()
+            .write_enabled(PpOpcode::Merge, tag);
+        let pkt = UdpPacketBuilder::new().payload(&payload).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(1), 0).unwrap();
+        assert!(phv.pp.valid);
+        assert!(phv.pp.enb);
+        assert!(!phv.pp.op_drop);
+        assert_eq!(phv.pp.tbl_idx, 123);
+        assert_eq!(phv.pp.clk, 456);
+        assert_eq!(phv.pp.crc, tag.crc());
+        assert_eq!(phv.body.len(), 40);
+        // Blocks are allocated (for the merge MATs to fill) but invalid.
+        assert_eq!(phv.blocks.len(), 10);
+        assert_eq!(phv.valid_block_bytes(), 0);
+        // Identity holds on the merge side too.
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn port_with_pp_header_and_block_rule_extracts_after_header() {
+        // Recirculation-style port: PP header + blocks from the remainder.
+        let tag = PpTag { table_index: 9, generation: 2 };
+        let mut payload = vec![0u8; PAYLOADPARK_HEADER_LEN + 250];
+        PayloadParkHeader::new_checked(&mut payload[..])
+            .unwrap()
+            .write_enabled(PpOpcode::Merge, tag);
+        for (i, b) in payload[PAYLOADPARK_HEADER_LEN..].iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let pkt = UdpPacketBuilder::new().payload(&payload).build();
+        let cfg = ParserConfig {
+            pp_header_ports: [5u16].into_iter().collect(),
+            block_rules: [(5u16, BlockRule { blocks: 14, min_payload: 224 })]
+                .into_iter()
+                .collect(),
+            phv_block_capacity: 24,
+        };
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(5), 0).unwrap();
+        assert!(phv.pp.valid);
+        assert_eq!(phv.blocks.len(), 24);
+        assert_eq!(phv.valid_block_bytes(), 14 * BLOCK_BYTES);
+        // First block is payload bytes 0..16 after the PP header.
+        assert_eq!(phv.blocks[0].data[0], 0);
+        assert_eq!(phv.blocks[1].data[0], 16);
+        assert_eq!(phv.body.len(), 250 - 14 * BLOCK_BYTES);
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn truncated_pp_header_rejected_on_merge_port() {
+        let pkt = UdpPacketBuilder::new().payload(&[0u8; 3]).build();
+        let cfg = split_config();
+        assert!(matches!(
+            parse_packet(&cfg, pkt.bytes(), PortId(1), 0),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn phv_bits_accounting() {
+        let l2 = ParserConfig::l2_only();
+        let pp = split_config();
+        assert!(pp.phv_bits() > l2.phv_bits());
+        // 10 blocks = 1280 bits plus the 56-bit PayloadPark header.
+        assert_eq!(pp.phv_bits() - l2.phv_bits(), 1280 + 56);
+    }
+}

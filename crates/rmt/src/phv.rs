@@ -1,0 +1,229 @@
+//! The Packet Header Vector (PHV).
+//!
+//! The parser populates a `Phv` from packet bytes; match-action stages read
+//! and modify it; the deparser re-serializes it. Fields the parser did not
+//! extract stay in [`Phv::body`] as opaque bytes (they flow through the
+//! switch's packet buffer untouched, as on real hardware).
+
+use crate::chip::PortId;
+use pp_packet::MacAddr;
+
+/// Width of one payload block — the unit in which PayloadPark stripes
+/// payload bytes across MAT-local register arrays (paper Fig. 4).
+pub const BLOCK_BYTES: usize = 16;
+
+/// Parsed Ethernet fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthFields {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Ethertype.
+    pub ethertype: u16,
+}
+
+/// Parsed IPv4 fields (options preserved verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Fields {
+    /// Total datagram length (header + payload).
+    pub total_len: u16,
+    /// Identification.
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Transport protocol number.
+    pub protocol: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Raw option bytes (empty for IHL = 5).
+    pub options: Vec<u8>,
+}
+
+/// Parsed UDP fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpFields {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// UDP length field.
+    pub len: u16,
+    /// UDP checksum as carried (never recomputed by the dataplane).
+    pub checksum: u16,
+}
+
+/// Parsed (or to-be-emitted) PayloadPark header fields.
+///
+/// `valid` mirrors P4's `setValid()`/`setInvalid()`: only a valid header is
+/// emitted by the deparser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PpFields {
+    /// Header validity (P4 `isValid()`).
+    pub valid: bool,
+    /// Enable bit: payload actually parked?
+    pub enb: bool,
+    /// Opcode bit: false = Merge, true = Explicit Drop.
+    pub op_drop: bool,
+    /// Tag: table index.
+    pub tbl_idx: u16,
+    /// Tag: generation clock.
+    pub clk: u16,
+    /// Tag: CRC over (tbl_idx, clk).
+    pub crc: u16,
+}
+
+/// One payload block with a validity flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadBlock {
+    /// Block contents.
+    pub data: [u8; BLOCK_BYTES],
+    /// Emitted by the deparser only when valid.
+    pub valid: bool,
+}
+
+impl Default for PayloadBlock {
+    fn default() -> Self {
+        PayloadBlock { data: [0; BLOCK_BYTES], valid: false }
+    }
+}
+
+/// Destination of a recirculation pass.
+///
+/// Real chips expose several recirculation channels per pipe; programs that
+/// need direction-dependent parsing (PayloadPark's annex pipe parses
+/// split-annex and merge-annex traffic differently) use distinct channels,
+/// which map to distinct virtual ingress ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecircTarget {
+    /// Pipe to re-enter.
+    pub pipe: usize,
+    /// Recirculation channel within that pipe.
+    pub channel: u8,
+}
+
+/// Forwarding decision accumulated while the packet traverses the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Verdict {
+    /// Explicit egress port chosen by the program (otherwise the switch's
+    /// L2 table decides).
+    pub egress: Option<PortId>,
+    /// Drop the packet.
+    pub drop: bool,
+    /// Re-inject at the parser of the given pipe/channel after this pass.
+    pub recirculate: Option<RecircTarget>,
+}
+
+/// Number of 32-bit user-metadata words carried by the PHV.
+pub const META_WORDS: usize = 8;
+
+/// The Packet Header Vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phv {
+    /// Ingress port of the current pass (recirculation ports included).
+    pub ingress_port: PortId,
+    /// Ethernet fields (always parsed).
+    pub eth: EthFields,
+    /// IPv4 fields, when the ethertype is IPv4.
+    pub ipv4: Option<Ipv4Fields>,
+    /// UDP fields, when IPv4 protocol is UDP.
+    pub udp: Option<UdpFields>,
+    /// PayloadPark header fields.
+    pub pp: PpFields,
+    /// Payload blocks extracted by the parser (split side) or filled from
+    /// registers (merge side).
+    pub blocks: Vec<PayloadBlock>,
+    /// Unparsed remainder of the packet.
+    pub body: Vec<u8>,
+    /// User-defined metadata words (the paper's `meta` struct).
+    pub meta: [u32; META_WORDS],
+    /// Forwarding decision.
+    pub verdict: Verdict,
+    /// Recirculation passes completed so far.
+    pub recirc_count: u32,
+    /// Sequence number carried through from the input packet (simulation
+    /// bookkeeping, not visible to the dataplane program).
+    pub seq: u64,
+}
+
+impl Phv {
+    /// Bytes of currently-valid payload blocks.
+    pub fn valid_block_bytes(&self) -> usize {
+        self.blocks.iter().filter(|b| b.valid).count() * BLOCK_BYTES
+    }
+
+    /// Marks every payload block invalid (after parking them in registers).
+    pub fn invalidate_blocks(&mut self) {
+        for b in &mut self.blocks {
+            b.valid = false;
+        }
+    }
+
+    /// Transport payload bytes currently represented on the wire: valid
+    /// blocks plus the opaque body.
+    pub fn wire_payload_len(&self) -> usize {
+        self.valid_block_bytes() + self.body.len()
+    }
+
+    /// True when this packet carries a UDP datagram.
+    pub fn is_udp(&self) -> bool {
+        self.udp.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_phv() -> Phv {
+        Phv {
+            ingress_port: PortId(0),
+            eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0 },
+            ipv4: None,
+            udp: None,
+            pp: PpFields::default(),
+            blocks: Vec::new(),
+            body: Vec::new(),
+            meta: [0; META_WORDS],
+            verdict: Verdict::default(),
+            recirc_count: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn block_byte_accounting() {
+        let mut phv = empty_phv();
+        phv.blocks = vec![PayloadBlock { data: [1; BLOCK_BYTES], valid: true }; 10];
+        phv.blocks[9].valid = false;
+        phv.body = vec![0; 30];
+        assert_eq!(phv.valid_block_bytes(), 9 * BLOCK_BYTES);
+        assert_eq!(phv.wire_payload_len(), 9 * BLOCK_BYTES + 30);
+        phv.invalidate_blocks();
+        assert_eq!(phv.valid_block_bytes(), 0);
+        assert_eq!(phv.wire_payload_len(), 30);
+    }
+
+    #[test]
+    fn default_block_is_invalid() {
+        assert!(!PayloadBlock::default().valid);
+    }
+
+    #[test]
+    fn verdict_defaults_to_l2_forwarding() {
+        let v = Verdict::default();
+        assert_eq!(v.egress, None);
+        assert!(!v.drop);
+        assert_eq!(v.recirculate, None);
+    }
+
+    #[test]
+    fn udp_flag() {
+        let mut phv = empty_phv();
+        assert!(!phv.is_udp());
+        phv.udp = Some(UdpFields { src_port: 1, dst_port: 2, len: 8, checksum: 0 });
+        assert!(phv.is_udp());
+    }
+}

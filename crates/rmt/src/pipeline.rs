@@ -1,0 +1,615 @@
+//! The match-action pipeline of one pipe.
+//!
+//! A [`Pipeline`] owns its stages (each a list of MATs), its register file,
+//! its parser configuration and a block of named statistics counters. It is
+//! built through [`PipelineBuilder`], which validates the program against a
+//! [`ChipProfile`] — stage counts, per-stage SRAM/VLIW/crossbar budgets,
+//! PHV capacity, MAT placement, and the stage-locality of stateful
+//! bindings — the same class of constraints the P4 compiler enforces when
+//! mapping a program onto the Tofino (§2).
+
+use crate::chip::{ChipProfile, PortId};
+use crate::mat::{ActionCtx, Mat, MatchKind};
+use crate::parser::{deparse_phv, parse_packet, ParserConfig};
+use crate::phv::Phv;
+use crate::register::{RegisterFile, RegisterId, RegisterSpec};
+use crate::resources::{ResourceReport, StageUsage};
+use pp_packet::Result as PacketResult;
+
+/// Errors detected while building (i.e. "compiling") a pipeline program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Referenced a stage beyond the chip's stage count.
+    StageOutOfRange {
+        /// The offending stage index.
+        stage: usize,
+        /// Stages available on the chip.
+        available: usize,
+    },
+    /// More MATs placed in a stage than the chip allows.
+    TooManyMats {
+        /// The offending stage.
+        stage: usize,
+        /// MATs placed.
+        placed: usize,
+        /// Chip limit.
+        limit: usize,
+    },
+    /// A stage's SRAM budget (tables + registers) is exceeded.
+    SramExceeded {
+        /// The offending stage.
+        stage: usize,
+        /// Bits requested.
+        used: u64,
+        /// Bits available.
+        budget: u64,
+    },
+    /// A stage's VLIW budget is exceeded.
+    VliwExceeded {
+        /// The offending stage.
+        stage: usize,
+        /// Slots requested.
+        used: u32,
+        /// Slots available.
+        budget: u32,
+    },
+    /// A stage's match-crossbar budget is exceeded.
+    CrossbarExceeded {
+        /// The offending stage.
+        stage: usize,
+        /// Bits requested.
+        used: u32,
+        /// Bits available.
+        budget: u32,
+    },
+    /// The parser layout does not fit in the PHV.
+    PhvExceeded {
+        /// Bits requested.
+        used: u32,
+        /// Bits available.
+        budget: u32,
+    },
+    /// A MAT binds to a register array in a different stage.
+    CrossStageStatefulBinding {
+        /// The MAT's name.
+        mat: String,
+        /// The MAT's stage.
+        mat_stage: usize,
+        /// The register array's stage.
+        register_stage: usize,
+    },
+    /// An invalid chip profile.
+    BadChip(String),
+}
+
+impl core::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProgramError::StageOutOfRange { stage, available } => {
+                write!(f, "stage {stage} out of range (chip has {available})")
+            }
+            ProgramError::TooManyMats { stage, placed, limit } => {
+                write!(f, "stage {stage}: {placed} MATs exceed limit {limit}")
+            }
+            ProgramError::SramExceeded { stage, used, budget } => {
+                write!(f, "stage {stage}: SRAM {used}b exceeds {budget}b")
+            }
+            ProgramError::VliwExceeded { stage, used, budget } => {
+                write!(f, "stage {stage}: VLIW {used} exceeds {budget}")
+            }
+            ProgramError::CrossbarExceeded { stage, used, budget } => {
+                write!(f, "stage {stage}: crossbar {used}b exceeds {budget}b")
+            }
+            ProgramError::PhvExceeded { used, budget } => {
+                write!(f, "PHV {used}b exceeds {budget}b")
+            }
+            ProgramError::CrossStageStatefulBinding { mat, mat_stage, register_stage } => {
+                write!(f, "MAT {mat} (stage {mat_stage}) binds register in stage {register_stage}")
+            }
+            ProgramError::BadChip(why) => write!(f, "invalid chip profile: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// One pipeline stage: an ordered set of MATs.
+///
+/// Hardware executes the MATs of a stage in parallel on disjoint PHV fields;
+/// the emulator runs them in placement order. Programs must not rely on
+/// intra-stage ordering (PayloadPark does not).
+#[derive(Debug, Default)]
+pub struct Stage {
+    mats: Vec<Mat>,
+}
+
+impl Stage {
+    /// The MATs placed in this stage.
+    pub fn mats(&self) -> &[Mat] {
+        &self.mats
+    }
+}
+
+/// A compiled pipeline program for one pipe.
+pub struct Pipeline {
+    chip: ChipProfile,
+    parser: ParserConfig,
+    stages: Vec<Stage>,
+    registers: RegisterFile,
+    counters: Vec<u64>,
+    counter_names: Vec<&'static str>,
+    packets: u64,
+}
+
+impl Pipeline {
+    /// Starts building a program against `chip`.
+    pub fn builder(chip: ChipProfile) -> PipelineBuilder {
+        PipelineBuilder {
+            chip,
+            parser: ParserConfig::l2_only(),
+            stages: Vec::new(),
+            registers: RegisterFile::new(),
+            counter_names: Vec::new(),
+        }
+    }
+
+    /// Runs one pass of the pipeline on raw bytes.
+    ///
+    /// Returns the PHV after all stages executed (the caller — usually
+    /// [`crate::switch::SwitchModel`] — deparses it, applies the verdict
+    /// and handles recirculation).
+    pub fn process(&mut self, bytes: &[u8], port: PortId, seq: u64) -> PacketResult<Phv> {
+        let mut phv = parse_packet(&self.parser, bytes, port, seq)?;
+        self.execute(&mut phv);
+        Ok(phv)
+    }
+
+    /// Runs all stages on an already-parsed PHV (used for recirculation).
+    pub fn execute(&mut self, phv: &mut Phv) {
+        self.packets += 1;
+        let Pipeline { stages, registers, counters, .. } = self;
+        for stage in stages.iter_mut() {
+            for mat in stage.mats.iter_mut() {
+                if !mat.matches(phv) {
+                    continue;
+                }
+                // At most one register cell per MAT per packet — the
+                // stateful-ALU restriction (§4).
+                let cell = mat
+                    .stateful_index(phv)
+                    .map(|(array, index)| registers.cell_mut(array, index));
+                let mut ctx = ActionCtx { phv, cell, counters };
+                mat.run(&mut ctx);
+            }
+        }
+    }
+
+    /// Deparses a PHV with this pipe's deparser.
+    pub fn deparse(&self, phv: &Phv) -> Vec<u8> {
+        deparse_phv(phv)
+    }
+
+    /// The parser configuration.
+    pub fn parser(&self) -> &ParserConfig {
+        &self.parser
+    }
+
+    /// The chip profile the program was compiled against.
+    pub fn chip(&self) -> &ChipProfile {
+        &self.chip
+    }
+
+    /// Control-plane read of a statistics counter by name.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.counters[i])
+            .unwrap_or(0)
+    }
+
+    /// All counters as (name, value) pairs.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counter_names.iter().copied().zip(self.counters.iter().copied()).collect()
+    }
+
+    /// Control-plane access to the register file (read side).
+    pub fn registers(&self) -> &RegisterFile {
+        &self.registers
+    }
+
+    /// Control-plane access to the register file (write side, e.g. clearing
+    /// tables between runs).
+    pub fn registers_mut(&mut self) -> &mut RegisterFile {
+        &mut self.registers
+    }
+
+    /// Packets processed (pipeline passes, recirculations included).
+    pub fn packets_processed(&self) -> u64 {
+        self.packets
+    }
+
+    /// Computes the resource report for this program (paper Table 1).
+    pub fn resource_report(&self) -> ResourceReport {
+        let mut stages: Vec<StageUsage> = (0..self.chip.stages_per_pipe)
+            .map(|_| StageUsage::default())
+            .collect();
+        for spec in self.registers.specs() {
+            stages[spec.stage].sram_bits += spec.sram_bits();
+        }
+        for (i, stage) in self.stages.iter().enumerate() {
+            for mat in stage.mats() {
+                let fp = mat.footprint();
+                stages[i].mats += 1;
+                stages[i].vliw_slots += fp.vliw_slots;
+                stages[i].sram_bits += fp.table_sram_bits;
+                stages[i].tcam_bits += fp.tcam_bits;
+                match fp.match_kind {
+                    MatchKind::Ternary => stages[i].ternary_xbar_bits += fp.key_bits,
+                    MatchKind::Exact | MatchKind::Gateway => {
+                        stages[i].exact_xbar_bits += fp.key_bits
+                    }
+                }
+            }
+        }
+        ResourceReport::new(self.chip, self.parser.phv_bits(), stages)
+    }
+}
+
+impl core::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.stages.len())
+            .field("registers", &self.registers.specs().len())
+            .field("packets", &self.packets)
+            .finish()
+    }
+}
+
+/// Builder/"compiler" for [`Pipeline`].
+pub struct PipelineBuilder {
+    chip: ChipProfile,
+    parser: ParserConfig,
+    stages: Vec<(usize, Mat)>,
+    registers: RegisterFile,
+    counter_names: Vec<&'static str>,
+}
+
+impl PipelineBuilder {
+    /// Sets the parser configuration.
+    pub fn parser(mut self, parser: ParserConfig) -> Self {
+        self.parser = parser;
+        self
+    }
+
+    /// Allocates a register array; `spec.stage` fixes which stage's MATs may
+    /// bind to it.
+    pub fn register(&mut self, spec: RegisterSpec) -> RegisterId {
+        self.registers.allocate(spec)
+    }
+
+    /// Declares a named statistics counter; returns its index for use inside
+    /// actions (`ctx.counters[idx] += 1`).
+    pub fn counter(&mut self, name: &'static str) -> usize {
+        self.counter_names.push(name);
+        self.counter_names.len() - 1
+    }
+
+    /// Places `mat` into `stage` (0-based).
+    pub fn place(&mut self, stage: usize, mat: Mat) -> &mut Self {
+        self.stages.push((stage, mat));
+        self
+    }
+
+    /// Validates the program and produces the pipeline.
+    pub fn build(self) -> Result<Pipeline, ProgramError> {
+        self.chip.validate().map_err(ProgramError::BadChip)?;
+        let n_stages = self.chip.stages_per_pipe;
+
+        let mut stages: Vec<Stage> = (0..n_stages).map(|_| Stage::default()).collect();
+        for (idx, mat) in self.stages {
+            if idx >= n_stages {
+                return Err(ProgramError::StageOutOfRange { stage: idx, available: n_stages });
+            }
+            if let Some(array) = mat.stateful_array() {
+                let reg_stage = self.registers.spec(array).stage;
+                if reg_stage != idx {
+                    return Err(ProgramError::CrossStageStatefulBinding {
+                        mat: mat.name().to_string(),
+                        mat_stage: idx,
+                        register_stage: reg_stage,
+                    });
+                }
+            }
+            stages[idx].mats.push(mat);
+        }
+
+        for spec in self.registers.specs() {
+            if spec.stage >= n_stages {
+                return Err(ProgramError::StageOutOfRange {
+                    stage: spec.stage,
+                    available: n_stages,
+                });
+            }
+        }
+
+        // Per-stage budget checks.
+        for (i, stage) in stages.iter().enumerate() {
+            if stage.mats.len() > self.chip.max_mats_per_stage {
+                return Err(ProgramError::TooManyMats {
+                    stage: i,
+                    placed: stage.mats.len(),
+                    limit: self.chip.max_mats_per_stage,
+                });
+            }
+            let mut sram: u64 = self
+                .registers
+                .specs()
+                .iter()
+                .filter(|s| s.stage == i)
+                .map(|s| s.sram_bits())
+                .sum();
+            let mut vliw: u32 = 0;
+            let mut exact_xbar: u32 = 0;
+            let mut ternary_xbar: u32 = 0;
+            let mut tcam: u64 = 0;
+            for mat in &stage.mats {
+                let fp = mat.footprint();
+                sram += fp.table_sram_bits;
+                vliw += fp.vliw_slots;
+                tcam += fp.tcam_bits;
+                match fp.match_kind {
+                    MatchKind::Ternary => ternary_xbar += fp.key_bits,
+                    _ => exact_xbar += fp.key_bits,
+                }
+            }
+            if sram > self.chip.sram_bits_per_stage {
+                return Err(ProgramError::SramExceeded {
+                    stage: i,
+                    used: sram,
+                    budget: self.chip.sram_bits_per_stage,
+                });
+            }
+            if vliw > self.chip.vliw_slots_per_stage {
+                return Err(ProgramError::VliwExceeded {
+                    stage: i,
+                    used: vliw,
+                    budget: self.chip.vliw_slots_per_stage,
+                });
+            }
+            if exact_xbar > self.chip.exact_xbar_bits_per_stage {
+                return Err(ProgramError::CrossbarExceeded {
+                    stage: i,
+                    used: exact_xbar,
+                    budget: self.chip.exact_xbar_bits_per_stage,
+                });
+            }
+            if ternary_xbar > self.chip.ternary_xbar_bits_per_stage {
+                return Err(ProgramError::CrossbarExceeded {
+                    stage: i,
+                    used: ternary_xbar,
+                    budget: self.chip.ternary_xbar_bits_per_stage,
+                });
+            }
+            if tcam > self.chip.tcam_bits_per_stage {
+                return Err(ProgramError::SramExceeded {
+                    stage: i,
+                    used: tcam,
+                    budget: self.chip.tcam_bits_per_stage,
+                });
+            }
+        }
+
+        let phv_bits = self.parser.phv_bits();
+        if phv_bits > self.chip.phv_bits {
+            return Err(ProgramError::PhvExceeded { used: phv_bits, budget: self.chip.phv_bits });
+        }
+
+        let n_counters = self.counter_names.len();
+        Ok(Pipeline {
+            chip: self.chip,
+            parser: self.parser,
+            stages,
+            registers: self.registers,
+            counters: vec![0; n_counters],
+            counter_names: self.counter_names,
+            packets: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::MatFootprint;
+    use crate::register::cell;
+    use pp_packet::builder::UdpPacketBuilder;
+
+    fn chip() -> ChipProfile {
+        ChipProfile::default()
+    }
+
+    #[test]
+    fn empty_program_is_identity() {
+        let mut p = Pipeline::builder(chip()).build().unwrap();
+        let pkt = UdpPacketBuilder::new().total_size(200, 1).build();
+        let phv = p.process(pkt.bytes(), PortId(0), 0).unwrap();
+        assert_eq!(p.deparse(&phv), pkt.bytes());
+        assert_eq!(p.packets_processed(), 1);
+    }
+
+    #[test]
+    fn stateful_mat_updates_register() {
+        let mut b = Pipeline::builder(chip());
+        let arr = b.register(RegisterSpec {
+            name: "ctr".into(),
+            stage: 0,
+            cell_bytes: 4,
+            cells: 16,
+        });
+        let hits = b.counter("hits");
+        b.place(
+            0,
+            Mat::builder("bump")
+                .stateful(arr, |_| Some(3))
+                .action(move |ctx| {
+                    let cell_ref = ctx.cell.as_deref_mut().expect("bound");
+                    let v = cell::read_u32(cell_ref) + 1;
+                    cell::write_u32(cell_ref, v);
+                    ctx.counters[hits] += 1;
+                })
+                .build(),
+        );
+        let mut p = b.build().unwrap();
+        let pkt = UdpPacketBuilder::new().total_size(100, 1).build();
+        for _ in 0..5 {
+            p.process(pkt.bytes(), PortId(0), 0).unwrap();
+        }
+        assert_eq!(cell::read_u32(p.registers().cell(RegisterId(0), 3)), 5);
+        assert_eq!(p.counter("hits"), 5);
+        assert_eq!(p.counter("nonexistent"), 0);
+        assert_eq!(p.counters(), vec![("hits", 5)]);
+    }
+
+    #[test]
+    fn stages_execute_in_order() {
+        let mut b = Pipeline::builder(chip());
+        b.place(1, Mat::builder("second").action(|ctx| ctx.phv.meta[0] *= 10).build());
+        b.place(0, Mat::builder("first").action(|ctx| ctx.phv.meta[0] += 3).build());
+        let mut p = b.build().unwrap();
+        let pkt = UdpPacketBuilder::new().total_size(100, 1).build();
+        let phv = p.process(pkt.bytes(), PortId(0), 0).unwrap();
+        // (0 + 3) * 10, not 0 * 10 + 3.
+        assert_eq!(phv.meta[0], 30);
+    }
+
+    #[test]
+    fn gateway_mismatch_skips_action_and_register() {
+        let mut b = Pipeline::builder(chip());
+        let arr = b.register(RegisterSpec {
+            name: "a".into(),
+            stage: 0,
+            cell_bytes: 4,
+            cells: 1,
+        });
+        b.place(
+            0,
+            Mat::builder("gated")
+                .gateway(|p| p.ingress_port == PortId(7))
+                .stateful(arr, |_| Some(0))
+                .action(|ctx| {
+                    let c = ctx.cell.as_deref_mut().unwrap();
+                    cell::write_u32(c, 1);
+                })
+                .build(),
+        );
+        let mut p = b.build().unwrap();
+        let pkt = UdpPacketBuilder::new().total_size(100, 1).build();
+        p.process(pkt.bytes(), PortId(0), 0).unwrap();
+        assert_eq!(p.registers().total_accesses(), 0);
+        p.process(pkt.bytes(), PortId(7), 0).unwrap();
+        assert_eq!(p.registers().total_accesses(), 1);
+    }
+
+    #[test]
+    fn rejects_stage_out_of_range() {
+        let mut b = Pipeline::builder(chip());
+        b.place(12, Mat::builder("too_far").build());
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::StageOutOfRange { stage: 12, available: 12 })
+        ));
+    }
+
+    #[test]
+    fn rejects_cross_stage_stateful_binding() {
+        let mut b = Pipeline::builder(chip());
+        let arr = b.register(RegisterSpec {
+            name: "a".into(),
+            stage: 2,
+            cell_bytes: 4,
+            cells: 4,
+        });
+        b.place(1, Mat::builder("wrong_stage").stateful(arr, |_| Some(0)).build());
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ProgramError::CrossStageStatefulBinding { .. }));
+        assert!(err.to_string().contains("wrong_stage"));
+    }
+
+    #[test]
+    fn rejects_sram_overflow() {
+        let mut b = Pipeline::builder(chip());
+        let budget = chip().sram_bits_per_stage;
+        b.register(RegisterSpec {
+            name: "huge".into(),
+            stage: 0,
+            cell_bytes: 16,
+            cells: (budget / 8 / 16 + 1) as usize,
+        });
+        assert!(matches!(b.build(), Err(ProgramError::SramExceeded { stage: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_vliw_overflow() {
+        let mut b = Pipeline::builder(chip());
+        b.place(
+            0,
+            Mat::builder("fat")
+                .footprint(MatFootprint { vliw_slots: 33, ..Default::default() })
+                .build(),
+        );
+        assert!(matches!(b.build(), Err(ProgramError::VliwExceeded { stage: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_too_many_mats() {
+        let mut profile = chip();
+        profile.max_mats_per_stage = 2;
+        let mut b = Pipeline::builder(profile);
+        for i in 0..3 {
+            b.place(0, Mat::builder(format!("m{i}")).build());
+        }
+        assert!(matches!(b.build(), Err(ProgramError::TooManyMats { stage: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_phv_overflow() {
+        let mut profile = chip();
+        profile.phv_bits = 100;
+        let b = Pipeline::builder(profile);
+        assert!(matches!(b.build(), Err(ProgramError::PhvExceeded { .. })));
+    }
+
+    #[test]
+    fn resource_report_counts_registers_and_mats() {
+        let mut b = Pipeline::builder(chip());
+        let arr = b.register(RegisterSpec {
+            name: "payload0".into(),
+            stage: 3,
+            cell_bytes: 16,
+            cells: 1024,
+        });
+        b.place(
+            3,
+            Mat::builder("store")
+                .stateful(arr, |_| Some(0))
+                .footprint(MatFootprint { vliw_slots: 2, key_bits: 16, ..Default::default() })
+                .build(),
+        );
+        let p = b.build().unwrap();
+        let report = p.resource_report();
+        let s3 = &report.stages()[3];
+        assert_eq!(s3.sram_bits, 16 * 1024 * 8);
+        assert_eq!(s3.vliw_slots, 2);
+        assert_eq!(s3.mats, 1);
+        assert!(report.sram_avg_pct() > 0.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ProgramError::SramExceeded { stage: 4, used: 10, budget: 5 };
+        assert_eq!(e.to_string(), "stage 4: SRAM 10b exceeds 5b");
+        let e = ProgramError::PhvExceeded { used: 9000, budget: 4096 };
+        assert!(e.to_string().contains("PHV"));
+    }
+}

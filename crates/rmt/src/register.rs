@@ -1,0 +1,226 @@
+//! Stateful register arrays.
+//!
+//! Stage-local SRAM is exposed to MATs as fixed-width register arrays, the
+//! model the paper builds its lookup table on: "MATs access SRAM reserved
+//! for stateful operations using a read/write register API, which views all
+//! of stateful memory as an array of fixed size bit-vector registers" (§2).
+
+/// Identifies a register array within one pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegisterId(pub usize);
+
+/// Declaration of a register array.
+#[derive(Debug, Clone)]
+pub struct RegisterSpec {
+    /// Human-readable name (diagnostics and the resource report).
+    pub name: String,
+    /// Pipeline stage the array lives in; only MATs of the same stage may
+    /// bind to it (Tofino stateful ALUs are stage-local).
+    pub stage: usize,
+    /// Width of one cell in bytes.
+    pub cell_bytes: usize,
+    /// Number of cells.
+    pub cells: usize,
+}
+
+impl RegisterSpec {
+    /// Total SRAM consumed by the array, in bits.
+    pub fn sram_bits(&self) -> u64 {
+        (self.cell_bytes as u64) * (self.cells as u64) * 8
+    }
+}
+
+/// All register arrays of one pipeline, with their backing storage.
+#[derive(Debug, Default)]
+pub struct RegisterFile {
+    specs: Vec<RegisterSpec>,
+    data: Vec<Vec<u8>>,
+    /// Total read-modify-write operations performed (work metric).
+    accesses: u64,
+}
+
+impl RegisterFile {
+    /// Creates an empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an array, zero-initialised.
+    pub fn allocate(&mut self, spec: RegisterSpec) -> RegisterId {
+        assert!(spec.cell_bytes > 0 && spec.cells > 0, "register array must be non-empty");
+        let id = RegisterId(self.specs.len());
+        self.data.push(vec![0u8; spec.cell_bytes * spec.cells]);
+        self.specs.push(spec);
+        id
+    }
+
+    /// The declaration of `id`.
+    pub fn spec(&self, id: RegisterId) -> &RegisterSpec {
+        &self.specs[id.0]
+    }
+
+    /// All declarations (for resource accounting).
+    pub fn specs(&self) -> &[RegisterSpec] {
+        &self.specs
+    }
+
+    /// Mutable access to one cell — the single RMW a stateful ALU performs.
+    ///
+    /// Panics if the index is out of range: that is a program bug, the
+    /// hardware equivalent of an invalid register index, which the P4
+    /// compiler would reject.
+    pub fn cell_mut(&mut self, id: RegisterId, index: usize) -> &mut [u8] {
+        let spec = &self.specs[id.0];
+        assert!(
+            index < spec.cells,
+            "register {} index {index} out of range ({} cells)",
+            spec.name,
+            spec.cells
+        );
+        self.accesses += 1;
+        let w = spec.cell_bytes;
+        &mut self.data[id.0][index * w..(index + 1) * w]
+    }
+
+    /// Read-only access to one cell **without** charging an access — for
+    /// control-plane inspection (the paper reads its monitoring counters
+    /// from the control plane, §5).
+    pub fn cell(&self, id: RegisterId, index: usize) -> &[u8] {
+        let spec = &self.specs[id.0];
+        assert!(index < spec.cells, "register {} index {index} out of range", spec.name);
+        let w = spec.cell_bytes;
+        &self.data[id.0][index * w..(index + 1) * w]
+    }
+
+    /// Total RMW operations performed.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Zeroes every array (control-plane table clear).
+    pub fn clear_all(&mut self) {
+        for d in &mut self.data {
+            d.fill(0);
+        }
+    }
+}
+
+/// Helpers for reading/writing little-endian integers in register cells.
+pub mod cell {
+    /// Reads a `u16` from the first two bytes of a cell.
+    pub fn read_u16(cell: &[u8]) -> u16 {
+        u16::from_le_bytes([cell[0], cell[1]])
+    }
+
+    /// Writes a `u16` into the first two bytes of a cell.
+    pub fn write_u16(cell: &mut [u8], v: u16) {
+        cell[..2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` from the first four bytes of a cell.
+    pub fn read_u32(cell: &[u8]) -> u32 {
+        u32::from_le_bytes([cell[0], cell[1], cell[2], cell[3]])
+    }
+
+    /// Writes a `u32` into the first four bytes of a cell.
+    pub fn write_u32(cell: &mut [u8], v: u32) {
+        cell[..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u64` from the first eight bytes of a cell.
+    pub fn read_u64(cell: &[u8]) -> u64 {
+        u64::from_le_bytes(cell[..8].try_into().expect("cell >= 8 bytes"))
+    }
+
+    /// Writes a `u64` into the first eight bytes of a cell.
+    pub fn write_u64(cell: &mut [u8], v: u64) {
+        cell[..8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_with_array(cells: usize, width: usize) -> (RegisterFile, RegisterId) {
+        let mut f = RegisterFile::new();
+        let id = f.allocate(RegisterSpec {
+            name: "test".into(),
+            stage: 2,
+            cell_bytes: width,
+            cells,
+        });
+        (f, id)
+    }
+
+    #[test]
+    fn arrays_are_zero_initialised() {
+        let (f, id) = file_with_array(4, 8);
+        for i in 0..4 {
+            assert_eq!(f.cell(id, i), &[0u8; 8]);
+        }
+    }
+
+    #[test]
+    fn rmw_updates_one_cell() {
+        let (mut f, id) = file_with_array(4, 4);
+        cell::write_u32(f.cell_mut(id, 2), 0xDEADBEEF);
+        assert_eq!(cell::read_u32(f.cell(id, 2)), 0xDEADBEEF);
+        assert_eq!(cell::read_u32(f.cell(id, 1)), 0);
+        assert_eq!(cell::read_u32(f.cell(id, 3)), 0);
+        assert_eq!(f.total_accesses(), 1);
+    }
+
+    #[test]
+    fn control_plane_reads_are_free() {
+        let (mut f, id) = file_with_array(2, 2);
+        f.cell_mut(id, 0);
+        let _ = f.cell(id, 1);
+        assert_eq!(f.total_accesses(), 1);
+    }
+
+    #[test]
+    fn sram_bits_accounting() {
+        let spec = RegisterSpec { name: "a".into(), stage: 0, cell_bytes: 16, cells: 1024 };
+        assert_eq!(spec.sram_bits(), 16 * 1024 * 8);
+    }
+
+    #[test]
+    fn clear_all_zeroes() {
+        let (mut f, id) = file_with_array(2, 2);
+        cell::write_u16(f.cell_mut(id, 0), 77);
+        f.clear_all();
+        assert_eq!(cell::read_u16(f.cell(id, 0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let (mut f, id) = file_with_array(2, 2);
+        f.cell_mut(id, 2);
+    }
+
+    #[test]
+    fn cell_helpers_roundtrip() {
+        let mut buf = [0u8; 8];
+        cell::write_u16(&mut buf, 0x1234);
+        assert_eq!(cell::read_u16(&buf), 0x1234);
+        cell::write_u32(&mut buf, 0xAABBCCDD);
+        assert_eq!(cell::read_u32(&buf), 0xAABBCCDD);
+        cell::write_u64(&mut buf, 0x1122334455667788);
+        assert_eq!(cell::read_u64(&buf), 0x1122334455667788);
+    }
+
+    #[test]
+    fn multiple_arrays_are_independent() {
+        let mut f = RegisterFile::new();
+        let a = f.allocate(RegisterSpec { name: "a".into(), stage: 1, cell_bytes: 2, cells: 2 });
+        let b = f.allocate(RegisterSpec { name: "b".into(), stage: 1, cell_bytes: 2, cells: 2 });
+        cell::write_u16(f.cell_mut(a, 0), 1);
+        cell::write_u16(f.cell_mut(b, 0), 2);
+        assert_eq!(cell::read_u16(f.cell(a, 0)), 1);
+        assert_eq!(cell::read_u16(f.cell(b, 0)), 2);
+        assert_eq!(f.spec(a).name, "a");
+        assert_eq!(f.specs().len(), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Resource utilization accounting — the reproduction of the paper's
+//! Table 1.
+//!
+//! A [`ResourceReport`] summarises per-stage SRAM, TCAM, VLIW and crossbar
+//! usage plus chip-wide PHV usage, as percentages of the
+//! [`ChipProfile`](crate::chip::ChipProfile) budgets. The paper reports
+//! average and peak per-stage SRAM (25.94 % / 33.75 % for 4 NF servers) and
+//! flat percentages for the other resources.
+
+use crate::chip::ChipProfile;
+
+/// Resource usage of one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageUsage {
+    /// MATs placed.
+    pub mats: usize,
+    /// SRAM bits (register arrays + match tables).
+    pub sram_bits: u64,
+    /// TCAM bits.
+    pub tcam_bits: u64,
+    /// VLIW instruction slots.
+    pub vliw_slots: u32,
+    /// Exact-match crossbar bits.
+    pub exact_xbar_bits: u32,
+    /// Ternary-match crossbar bits.
+    pub ternary_xbar_bits: u32,
+}
+
+/// A complete utilization report for one pipeline program.
+#[derive(Debug, Clone)]
+pub struct ResourceReport {
+    chip: ChipProfile,
+    phv_bits: u32,
+    stages: Vec<StageUsage>,
+}
+
+impl ResourceReport {
+    /// Builds a report from per-stage usage.
+    pub fn new(chip: ChipProfile, phv_bits: u32, stages: Vec<StageUsage>) -> Self {
+        ResourceReport { chip, phv_bits, stages }
+    }
+
+    /// Per-stage usage, indexed by stage.
+    pub fn stages(&self) -> &[StageUsage] {
+        &self.stages
+    }
+
+    /// Average per-stage SRAM utilization, in percent.
+    pub fn sram_avg_pct(&self) -> f64 {
+        let total: u64 = self.stages.iter().map(|s| s.sram_bits).sum();
+        let budget = self.chip.sram_bits_per_stage * self.stages.len() as u64;
+        percent(total as f64, budget as f64)
+    }
+
+    /// Peak per-stage SRAM utilization, in percent.
+    pub fn sram_peak_pct(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| percent(s.sram_bits as f64, self.chip.sram_bits_per_stage as f64))
+            .fold(0.0, f64::max)
+    }
+
+    /// TCAM utilization across all stages, in percent.
+    pub fn tcam_pct(&self) -> f64 {
+        let total: u64 = self.stages.iter().map(|s| s.tcam_bits).sum();
+        let budget = self.chip.tcam_bits_per_stage * self.stages.len() as u64;
+        percent(total as f64, budget as f64)
+    }
+
+    /// VLIW utilization across all stages, in percent.
+    pub fn vliw_pct(&self) -> f64 {
+        let total: u32 = self.stages.iter().map(|s| s.vliw_slots).sum();
+        let budget = self.chip.vliw_slots_per_stage * self.stages.len() as u32;
+        percent(f64::from(total), f64::from(budget))
+    }
+
+    /// Exact-match crossbar utilization across all stages, in percent.
+    pub fn exact_xbar_pct(&self) -> f64 {
+        let total: u32 = self.stages.iter().map(|s| s.exact_xbar_bits).sum();
+        let budget = self.chip.exact_xbar_bits_per_stage * self.stages.len() as u32;
+        percent(f64::from(total), f64::from(budget))
+    }
+
+    /// Ternary-match crossbar utilization across all stages, in percent.
+    pub fn ternary_xbar_pct(&self) -> f64 {
+        let total: u32 = self.stages.iter().map(|s| s.ternary_xbar_bits).sum();
+        let budget = self.chip.ternary_xbar_bits_per_stage * self.stages.len() as u32;
+        percent(f64::from(total), f64::from(budget))
+    }
+
+    /// PHV utilization, in percent.
+    pub fn phv_pct(&self) -> f64 {
+        percent(f64::from(self.phv_bits), f64::from(self.chip.phv_bits))
+    }
+
+    /// Total SRAM bytes consumed by the program in this pipe.
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.sram_bits).sum::<u64>() / 8
+    }
+
+    /// Renders the report as a Table 1-style text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Resource Name               | Utilization\n");
+        out.push_str("----------------------------+---------------------------\n");
+        out.push_str(&format!(
+            "SRAM                        | {:.2}% (Avg.) / {:.2}% (Peak)\n",
+            self.sram_avg_pct(),
+            self.sram_peak_pct()
+        ));
+        out.push_str(&format!("TCAM                        | {:.2}%\n", self.tcam_pct()));
+        out.push_str(&format!("VLIW                        | {:.2}%\n", self.vliw_pct()));
+        out.push_str(&format!(
+            "Exact Match Crossbar        | {:.2}%\n",
+            self.exact_xbar_pct()
+        ));
+        out.push_str(&format!(
+            "Ternary Match Crossbar      | {:.2}%\n",
+            self.ternary_xbar_pct()
+        ));
+        out.push_str(&format!("Packet Header Vector        | {:.2}%\n", self.phv_pct()));
+        out
+    }
+
+    /// Merges this report with another pipe's report (summing usage), for
+    /// multi-pipe deployments where memory is sliced across pipes.
+    pub fn merged_with(&self, other: &ResourceReport) -> ResourceReport {
+        assert_eq!(self.stages.len(), other.stages.len(), "mismatched stage counts");
+        let stages = self
+            .stages
+            .iter()
+            .zip(&other.stages)
+            .map(|(a, b)| StageUsage {
+                mats: a.mats + b.mats,
+                sram_bits: a.sram_bits + b.sram_bits,
+                tcam_bits: a.tcam_bits + b.tcam_bits,
+                vliw_slots: a.vliw_slots + b.vliw_slots,
+                exact_xbar_bits: a.exact_xbar_bits + b.exact_xbar_bits,
+                ternary_xbar_bits: a.ternary_xbar_bits + b.ternary_xbar_bits,
+            })
+            .collect();
+        ResourceReport::new(self.chip, self.phv_bits.max(other.phv_bits), stages)
+    }
+}
+
+fn percent(used: f64, budget: f64) -> f64 {
+    if budget <= 0.0 {
+        0.0
+    } else {
+        used / budget * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(sram_per_stage: &[u64]) -> ResourceReport {
+        let chip = ChipProfile::default();
+        let stages = sram_per_stage
+            .iter()
+            .map(|&s| StageUsage { sram_bits: s, ..Default::default() })
+            .collect();
+        ResourceReport::new(chip, 2048, stages)
+    }
+
+    #[test]
+    fn sram_avg_and_peak() {
+        let budget = ChipProfile::default().sram_bits_per_stage;
+        // Two stages at 50%, rest of 12 empty.
+        let mut usage = vec![0u64; 12];
+        usage[0] = budget / 2;
+        usage[1] = budget / 2;
+        let r = report_with(&usage);
+        assert!((r.sram_avg_pct() - (100.0 / 12.0)).abs() < 1e-9);
+        assert!((r.sram_peak_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phv_pct() {
+        let r = report_with(&vec![0; 12]);
+        assert!((r.phv_pct() - 50.0).abs() < 1e-9); // 2048 / 4096
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let r = report_with(&vec![0; 12]);
+        let text = r.render();
+        for key in ["SRAM", "TCAM", "VLIW", "Exact Match", "Ternary Match", "Packet Header"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn merged_reports_sum() {
+        let budget = ChipProfile::default().sram_bits_per_stage;
+        let mut a_usage = vec![0u64; 12];
+        a_usage[3] = budget / 4;
+        let a = report_with(&a_usage);
+        let b = report_with(&a_usage);
+        let merged = a.merged_with(&b);
+        assert!((merged.sram_peak_pct() - 50.0).abs() < 1e-9);
+        assert_eq!(merged.stages()[3].sram_bits, budget / 2);
+    }
+
+    #[test]
+    fn zero_budget_yields_zero_percent() {
+        let mut chip = ChipProfile::default();
+        chip.ternary_xbar_bits_per_stage = 0;
+        let r = ResourceReport::new(chip, 0, vec![StageUsage::default(); 12]);
+        assert_eq!(r.ternary_xbar_pct(), 0.0);
+    }
+
+    #[test]
+    fn total_sram_bytes() {
+        let mut usage = vec![0u64; 12];
+        usage[0] = 8 * 1000;
+        usage[5] = 8 * 500;
+        let r = report_with(&usage);
+        assert_eq!(r.total_sram_bytes(), 1500);
+    }
+}

@@ -1,0 +1,353 @@
+//! The whole-switch model: pipes, L2 forwarding and recirculation.
+//!
+//! A [`SwitchModel`] owns one [`Pipeline`] per pipe, an L2 exact-match
+//! forwarding table (dst MAC → port), and the recirculation plumbing. Ports
+//! map onto pipes in consecutive groups of `ports_per_pipe` (paper §5), and
+//! pipes never share stateful state.
+
+use crate::chip::{ChipProfile, PortId};
+use crate::parser::parse_packet;
+use crate::pipeline::Pipeline;
+use pp_packet::MacAddr;
+use std::collections::HashMap;
+
+/// Counters kept by the switch model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets offered to the switch.
+    pub received: u64,
+    /// Packets emitted on an egress port.
+    pub emitted: u64,
+    /// Packets dropped by a program verdict (e.g. premature-eviction drop).
+    pub dropped_by_program: u64,
+    /// Packets dropped because no L2 route existed.
+    pub dropped_no_route: u64,
+    /// Packets dropped at the recirculation limit.
+    pub dropped_recirc_limit: u64,
+    /// Packets the parser rejected.
+    pub parse_errors: u64,
+    /// Recirculation passes performed.
+    pub recirculations: u64,
+}
+
+/// One packet leaving the switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchOutput {
+    /// Egress port.
+    pub port: PortId,
+    /// Packet bytes as deparsed.
+    pub bytes: Vec<u8>,
+    /// Nanoseconds spent inside the switch (pipeline passes plus
+    /// recirculation penalties).
+    pub latency_ns: u64,
+    /// Sequence number carried through from ingress.
+    pub seq: u64,
+}
+
+/// A multi-pipe RMT switch.
+pub struct SwitchModel {
+    chip: ChipProfile,
+    pipes: Vec<Pipeline>,
+    l2: HashMap<MacAddr, PortId>,
+    stats: SwitchStats,
+}
+
+impl SwitchModel {
+    /// Assembles a switch from per-pipe programs.
+    ///
+    /// Panics if the number of pipelines does not match the chip's pipe
+    /// count — a wiring bug, not a runtime condition.
+    pub fn new(chip: ChipProfile, pipes: Vec<Pipeline>) -> Self {
+        assert_eq!(pipes.len(), chip.pipes, "one pipeline per pipe required");
+        SwitchModel { chip, pipes, l2: HashMap::new(), stats: SwitchStats::default() }
+    }
+
+    /// The chip profile.
+    pub fn chip(&self) -> &ChipProfile {
+        &self.chip
+    }
+
+    /// Adds (or replaces) an L2 forwarding entry.
+    pub fn l2_add(&mut self, mac: MacAddr, port: PortId) {
+        self.l2.insert(mac, port);
+    }
+
+    /// Looks up the L2 table.
+    pub fn l2_lookup(&self, mac: MacAddr) -> Option<PortId> {
+        self.l2.get(&mac).copied()
+    }
+
+    /// The virtual port id used when a packet recirculates into `pipe` on
+    /// `channel`.
+    pub fn recirc_port(&self, pipe: usize, channel: u8) -> PortId {
+        self.chip.recirc_port(pipe, channel)
+    }
+
+    /// Immutable access to a pipe's pipeline (counters, registers, report).
+    pub fn pipe(&self, idx: usize) -> &Pipeline {
+        &self.pipes[idx]
+    }
+
+    /// Mutable access to a pipe's pipeline (control plane).
+    pub fn pipe_mut(&mut self, idx: usize) -> &mut Pipeline {
+        &mut self.pipes[idx]
+    }
+
+    /// Switch-level statistics.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Processes one packet arriving on `in_port`; returns zero or one
+    /// outputs (zero when dropped).
+    pub fn process(&mut self, bytes: &[u8], in_port: PortId, seq: u64) -> Vec<SwitchOutput> {
+        self.stats.received += 1;
+        let mut pipe_idx = self.chip.pipe_of(in_port);
+        debug_assert!(pipe_idx < self.pipes.len(), "port {in_port} beyond chip");
+        let mut latency = self.chip.pipeline_latency_ns;
+
+        let mut phv = match self.pipes[pipe_idx].process(bytes, in_port, seq) {
+            Ok(phv) => phv,
+            Err(_) => {
+                self.stats.parse_errors += 1;
+                return Vec::new();
+            }
+        };
+
+        loop {
+            if phv.verdict.drop {
+                self.stats.dropped_by_program += 1;
+                return Vec::new();
+            }
+            let Some(target) = phv.verdict.recirculate else { break };
+            if phv.recirc_count >= self.chip.max_recirculations {
+                self.stats.dropped_recirc_limit += 1;
+                return Vec::new();
+            }
+            debug_assert!(target.pipe < self.pipes.len(), "recirculation to unknown pipe");
+            self.stats.recirculations += 1;
+            latency += self.chip.pipeline_latency_ns + self.chip.recirculation_penalty_ns;
+
+            // Deparse on the current pipe, re-parse on the target pipe's
+            // recirculation port. User metadata is bridged across the pass
+            // (Tofino recirculation headers provide the same facility).
+            let wire = self.pipes[pipe_idx].deparse(&phv);
+            let port = self.recirc_port(target.pipe, target.channel);
+            let mut next = match parse_packet(self.pipes[target.pipe].parser(), &wire, port, seq)
+            {
+                Ok(p) => p,
+                Err(_) => {
+                    self.stats.parse_errors += 1;
+                    return Vec::new();
+                }
+            };
+            next.recirc_count = phv.recirc_count + 1;
+            next.meta = phv.meta;
+            self.pipes[target.pipe].execute(&mut next);
+            phv = next;
+            pipe_idx = target.pipe;
+        }
+
+        let egress = phv.verdict.egress.or_else(|| self.l2.get(&phv.eth.dst).copied());
+        match egress {
+            Some(port) => {
+                self.stats.emitted += 1;
+                let bytes = self.pipes[pipe_idx].deparse(&phv);
+                vec![SwitchOutput { port, bytes, latency_ns: latency, seq }]
+            }
+            None => {
+                self.stats.dropped_no_route += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Clears per-run statistics (register contents are left alone).
+    pub fn reset_stats(&mut self) {
+        self.stats = SwitchStats::default();
+    }
+}
+
+impl core::fmt::Debug for SwitchModel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SwitchModel")
+            .field("pipes", &self.pipes.len())
+            .field("l2_entries", &self.l2.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+    use crate::phv::RecircTarget;
+    use crate::pipeline::Pipeline;
+    use pp_packet::builder::UdpPacketBuilder;
+
+    fn l2_switch() -> SwitchModel {
+        let chip = ChipProfile::default();
+        let pipes =
+            (0..chip.pipes).map(|_| Pipeline::builder(chip).build().unwrap()).collect();
+        SwitchModel::new(chip, pipes)
+    }
+
+    fn pkt_to(dst: MacAddr) -> Vec<u8> {
+        UdpPacketBuilder::new().dst_mac(dst).total_size(300, 4).build().into_bytes()
+    }
+
+    #[test]
+    fn l2_forwarding_delivers_to_learned_port() {
+        let mut sw = l2_switch();
+        let server = MacAddr::from_index(42);
+        sw.l2_add(server, PortId(3));
+        let bytes = pkt_to(server);
+        let out = sw.process(&bytes, PortId(0), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, PortId(3));
+        assert_eq!(out[0].bytes, bytes);
+        assert_eq!(out[0].seq, 1);
+        assert_eq!(out[0].latency_ns, 400);
+        assert_eq!(sw.stats().emitted, 1);
+        assert_eq!(sw.l2_lookup(server), Some(PortId(3)));
+    }
+
+    #[test]
+    fn unknown_destination_dropped() {
+        let mut sw = l2_switch();
+        let out = sw.process(&pkt_to(MacAddr::from_index(9)), PortId(0), 0);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn parse_error_counted() {
+        let mut sw = l2_switch();
+        let out = sw.process(&[0u8; 5], PortId(0), 0);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().parse_errors, 1);
+    }
+
+    #[test]
+    fn program_drop_verdict() {
+        let chip = ChipProfile::default();
+        let mut pipes: Vec<Pipeline> = Vec::new();
+        for _ in 0..chip.pipes {
+            let mut b = Pipeline::builder(chip);
+            b.place(0, Mat::builder("drop_all").action(|ctx| ctx.phv.verdict.drop = true).build());
+            pipes.push(b.build().unwrap());
+        }
+        let mut sw = SwitchModel::new(chip, pipes);
+        let out = sw.process(&pkt_to(MacAddr::from_index(1)), PortId(0), 0);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().dropped_by_program, 1);
+    }
+
+    #[test]
+    fn program_egress_overrides_l2() {
+        let chip = ChipProfile::default();
+        let mut pipes: Vec<Pipeline> = Vec::new();
+        for _ in 0..chip.pipes {
+            let mut b = Pipeline::builder(chip);
+            b.place(
+                0,
+                Mat::builder("steer")
+                    .action(|ctx| ctx.phv.verdict.egress = Some(PortId(12)))
+                    .build(),
+            );
+            pipes.push(b.build().unwrap());
+        }
+        let mut sw = SwitchModel::new(chip, pipes);
+        sw.l2_add(MacAddr::from_index(2), PortId(5));
+        let out = sw.process(&pkt_to(MacAddr::from_index(2)), PortId(0), 0);
+        assert_eq!(out[0].port, PortId(12));
+    }
+
+    #[test]
+    fn recirculation_crosses_pipes_and_charges_latency() {
+        let chip = ChipProfile::default();
+        let mut pipes: Vec<Pipeline> = Vec::new();
+        for pipe_idx in 0..chip.pipes {
+            let mut b = Pipeline::builder(chip);
+            if pipe_idx == 0 {
+                // First pass in pipe 0 sends the packet to pipe 1 once.
+                b.place(
+                    0,
+                    Mat::builder("to_pipe1")
+                        .gateway(|p| p.recirc_count == 0 && p.ingress_port == PortId(0))
+                        .action(|ctx| {
+                            ctx.phv.verdict.recirculate =
+                                Some(RecircTarget { pipe: 1, channel: 0 })
+                        })
+                        .build(),
+                );
+            }
+            if pipe_idx == 1 {
+                b.place(
+                    0,
+                    Mat::builder("mark")
+                        .action(|ctx| ctx.phv.verdict.egress = Some(PortId(30)))
+                        .build(),
+                );
+            }
+            pipes.push(b.build().unwrap());
+        }
+        let mut sw = SwitchModel::new(chip, pipes);
+        let bytes = pkt_to(MacAddr::from_index(3));
+        let out = sw.process(&bytes, PortId(0), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, PortId(30));
+        // Two passes + one recirculation penalty.
+        assert_eq!(out[0].latency_ns, 400 + 400 + 60);
+        assert_eq!(sw.stats().recirculations, 1);
+        // Payload is preserved across the recirculation.
+        assert_eq!(out[0].bytes, bytes);
+    }
+
+    #[test]
+    fn recirculation_limit_drops() {
+        let chip = ChipProfile::default();
+        let mut pipes: Vec<Pipeline> = Vec::new();
+        for _ in 0..chip.pipes {
+            let mut b = Pipeline::builder(chip);
+            b.place(
+                0,
+                Mat::builder("loop")
+                    .action(|ctx| {
+                        ctx.phv.verdict.recirculate = Some(RecircTarget { pipe: 0, channel: 0 })
+                    })
+                    .build(),
+            );
+            pipes.push(b.build().unwrap());
+        }
+        let mut sw = SwitchModel::new(chip, pipes);
+        let out = sw.process(&pkt_to(MacAddr::from_index(1)), PortId(0), 0);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().dropped_recirc_limit, 1);
+        assert_eq!(sw.stats().recirculations as u32, ChipProfile::default().max_recirculations);
+    }
+
+    #[test]
+    fn recirc_port_ids_are_beyond_front_panel() {
+        let sw = l2_switch();
+        assert_eq!(sw.recirc_port(0, 0), PortId(64));
+        assert_eq!(sw.recirc_port(0, 1), PortId(65));
+        assert_eq!(sw.recirc_port(3, 1), PortId(71));
+    }
+
+    #[test]
+    fn reset_stats() {
+        let mut sw = l2_switch();
+        sw.process(&[0u8; 3], PortId(0), 0);
+        sw.reset_stats();
+        assert_eq!(sw.stats(), SwitchStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "one pipeline per pipe")]
+    fn wrong_pipe_count_panics() {
+        let chip = ChipProfile::default();
+        SwitchModel::new(chip, vec![]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The enterprise-datacenter packet-size distribution (paper Fig. 6).
+//!
+//! The paper replays a PCAP whose packet sizes follow the bimodal
+//! enterprise-datacenter distribution reported by Benson et al. (IMC'10):
+//! one mode of small (control/ACK-ish) packets, one mode near the MTU, an
+//! average of 882 bytes, and ~30 % of packets whose UDP payload is below
+//! PayloadPark's 160-byte minimum.
+//!
+//! The distribution is a piecewise-linear CDF over total wire size; within
+//! a segment sizes are uniform.
+
+use pp_netsim::rng::DetRng;
+
+/// `(upper size bound, cumulative probability)` breakpoints. Sizes start at
+/// the 42-byte header minimum. Calibrated so the mean is ≈ 882 B and
+/// P(size < 202 B) = 0.30 (payload < 160 B).
+const CDF: &[(f64, f64)] = &[
+    (42.0, 0.00),
+    (64.0, 0.06),
+    (128.0, 0.18),
+    (201.0, 0.30),
+    (400.0, 0.35),
+    (800.0, 0.39),
+    (1100.0, 0.44),
+    (1400.0, 0.68),
+    (1492.0, 1.00),
+];
+
+/// A sampled packet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeSample {
+    /// Total wire size in bytes.
+    pub size: usize,
+}
+
+/// Sampler for the enterprise distribution.
+#[derive(Debug, Clone)]
+pub struct EnterpriseDistribution;
+
+impl EnterpriseDistribution {
+    /// The distribution's nominal mean wire size (paper: 882 bytes).
+    pub const NOMINAL_MEAN: f64 = 882.0;
+
+    /// Fraction of packets whose payload is under 160 bytes (paper: ~30 %).
+    pub const SMALL_FRACTION: f64 = 0.30;
+
+    /// Samples one packet size.
+    pub fn sample(rng: &mut DetRng) -> usize {
+        let u = rng.next_f64();
+        Self::quantile(u)
+    }
+
+    /// The inverse CDF at probability `u` (clamped to `[0, 1)`).
+    pub fn quantile(u: f64) -> usize {
+        let u = u.clamp(0.0, 0.999_999);
+        for w in CDF.windows(2) {
+            let (lo_size, lo_p) = w[0];
+            let (hi_size, hi_p) = w[1];
+            if u < hi_p {
+                let frac = (u - lo_p) / (hi_p - lo_p);
+                return (lo_size + frac * (hi_size - lo_size)).round() as usize;
+            }
+        }
+        CDF.last().expect("non-empty CDF").0 as usize
+    }
+
+    /// The CDF at a given size (for rendering Fig. 6).
+    pub fn cdf(size: f64) -> f64 {
+        if size <= CDF[0].0 {
+            return 0.0;
+        }
+        for w in CDF.windows(2) {
+            let (lo_size, lo_p) = w[0];
+            let (hi_size, hi_p) = w[1];
+            if size <= hi_size {
+                return lo_p + (size - lo_size) / (hi_size - lo_size) * (hi_p - lo_p);
+            }
+        }
+        1.0
+    }
+
+    /// Analytic mean of the distribution (uniform within segments).
+    pub fn mean() -> f64 {
+        CDF.windows(2)
+            .map(|w| {
+                let (lo_size, lo_p) = w[0];
+                let (hi_size, hi_p) = w[1];
+                (lo_size + hi_size) / 2.0 * (hi_p - lo_p)
+            })
+            .sum()
+    }
+
+    /// Renders the Fig. 6 series: `(size, cdf)` points at the breakpoints.
+    pub fn figure_series() -> Vec<(usize, f64)> {
+        CDF.iter().map(|&(s, p)| (s as usize, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_near_882() {
+        let m = EnterpriseDistribution::mean();
+        assert!((m - 882.0).abs() < 25.0, "mean {m}");
+    }
+
+    #[test]
+    fn thirty_percent_below_split_threshold() {
+        // Packets under 202 B have payload < 160 B and are not split.
+        let p = EnterpriseDistribution::cdf(201.0);
+        assert!((p - 0.30).abs() < 0.005, "P(small) = {p}");
+    }
+
+    #[test]
+    fn sampled_statistics_match_analytic() {
+        let mut rng = DetRng::from_seed(7);
+        let n = 100_000;
+        let samples: Vec<usize> =
+            (0..n).map(|_| EnterpriseDistribution::sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<usize>() as f64 / n as f64;
+        assert!((mean - EnterpriseDistribution::mean()).abs() < 10.0, "mean {mean}");
+        let small = samples.iter().filter(|&&s| s < 202).count() as f64 / n as f64;
+        assert!((small - 0.30).abs() < 0.01, "small {small}");
+        // All sizes within the legal range.
+        assert!(samples.iter().all(|&s| (42..=1492).contains(&s)));
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = EnterpriseDistribution::quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile not monotone at {i}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        for u in [0.05, 0.2, 0.31, 0.5, 0.75, 0.95] {
+            let size = EnterpriseDistribution::quantile(u);
+            let back = EnterpriseDistribution::cdf(size as f64);
+            assert!((back - u).abs() < 0.01, "u {u} -> size {size} -> {back}");
+        }
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        assert_eq!(EnterpriseDistribution::cdf(0.0), 0.0);
+        assert_eq!(EnterpriseDistribution::cdf(42.0), 0.0);
+        assert_eq!(EnterpriseDistribution::cdf(5000.0), 1.0);
+    }
+
+    #[test]
+    fn figure_series_is_cdf_shaped() {
+        let series = EnterpriseDistribution::figure_series();
+        assert_eq!(series.first().unwrap().1, 0.0);
+        assert_eq!(series.last().unwrap().1, 1.0);
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn bimodality_visible() {
+        // More mass in the top quartile of sizes than the middle.
+        let mid = EnterpriseDistribution::cdf(1100.0) - EnterpriseDistribution::cdf(400.0);
+        let top = EnterpriseDistribution::cdf(1492.0) - EnterpriseDistribution::cdf(1100.0);
+        let bottom = EnterpriseDistribution::cdf(201.0);
+        assert!(top > mid && bottom > mid, "top {top} mid {mid} bottom {bottom}");
+    }
+}

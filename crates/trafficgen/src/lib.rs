@@ -1,0 +1,20 @@
+//! PktGen-like traffic generation.
+//!
+//! Reproduces the workloads of the paper's evaluation (§6.1):
+//!
+//! * fixed-size UDP packets (256/384/512/1024/1492 B) for the
+//!   packet-size sweeps;
+//! * the enterprise-datacenter packet-size distribution of Fig. 6
+//!   (bimodal, mean ≈ 882 B, ~30 % of packets too small to split) modelled
+//!   on Benson et al., IMC'10;
+//! * replay of recorded size sequences (the PCAP-replay methodology).
+//!
+//! Packets are emitted in bursts at NIC line rate with inter-burst gaps
+//! tuned to the target send rate — how PktGen actually paces — and carry
+//! sequence numbers so receive-side metrics can correlate timestamps.
+
+pub mod enterprise;
+pub mod gen;
+
+pub use enterprise::{EnterpriseDistribution, SizeSample};
+pub use gen::{GenConfig, SizeModel, TrafficGen};

@@ -1,0 +1,61 @@
+//! Explicit Drop notifications (paper §6.2.4): when the firewall drops a
+//! packet, its parked payload sits in switch memory until the evictor ages
+//! it out. The 50-line framework patch notifies the switch immediately,
+//! letting a conservative expiry threshold behave like an aggressive one.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example explicit_drop
+//! ```
+
+use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
+use pp_netsim::time::SimDuration;
+use pp_nf::server::ServerProfile;
+use pp_trafficgen::gen::SizeModel;
+
+fn main() {
+    let base_cfg = TestbedConfig {
+        nic_gbps: 40.0,
+        rate_gbps: 6.0,
+        sizes: SizeModel::Enterprise,
+        duration: SimDuration::from_millis(15),
+        // The firewall blacklists 40% of the generator's flows.
+        chain: ChainSpec::FwNatBlacklist { blocked_pct: 40 },
+        framework: FrameworkKind::OpenNetVm,
+        server: ServerProfile::default(),
+        flows: 128,
+        seed: 9,
+        mode: DeployMode::Baseline,
+    };
+
+    println!("FW(40% drops) -> NAT, enterprise workload, 6 Gbps send:");
+    println!();
+    for (label, expiry, explicit) in [
+        ("evictor only, EXP=2 (aggressive)", 2u16, false),
+        ("evictor only, EXP=10 (conservative)", 10, false),
+        ("explicit drops + EXP=10", 10, true),
+    ] {
+        let mut cfg = base_cfg.clone();
+        cfg.mode = DeployMode::PayloadPark(ParkParams {
+            expiry,
+            explicit_drop: explicit,
+            ..Default::default()
+        });
+        let r = run(&cfg);
+        let c = r.counters.unwrap();
+        println!("  {label}");
+        println!(
+            "    splits={} merges={} explicit_drops={} evictions={} \
+             splits_disabled_occupied={}",
+            c.splits, c.merges, c.explicit_drops, c.evictions, c.disabled_occupied
+        );
+    }
+    println!();
+    println!(
+        "With explicit notifications the dead payloads are reclaimed instantly: no\n\
+         split is ever refused (splits_disabled_occupied drops to zero) and more\n\
+         packets get parked — the paper's Fig. 12 conclusion that Explicit+EXP=10\n\
+         performs like an aggressive eviction policy, at zero eviction risk."
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the PayloadPark reproduction workspace.
+//!
+//! This crate only hosts the top-level integration tests (`tests/`) and the
+//! runnable examples (`examples/`); the implementation lives in the member
+//! crates re-exported below.
+
+pub use payloadpark as core;
+pub use pp_harness as harness;
+pub use pp_metrics as metrics;
+pub use pp_netsim as netsim;
+pub use pp_nf as nf;
+pub use pp_packet as packet;
+pub use pp_rmt as rmt;
+pub use pp_trafficgen as trafficgen;

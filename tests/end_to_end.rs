@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the full testbed exercising every
+//! subsystem together, asserting the paper's qualitative results at
+//! test-scale effort.
+
+use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
+use pp_netsim::time::SimDuration;
+use pp_nf::server::ServerProfile;
+use pp_trafficgen::gen::SizeModel;
+
+fn quiet_server() -> ServerProfile {
+    ServerProfile { jitter_frac: 0.0, modulation_amplitude: 0.0, ..Default::default() }
+}
+
+fn cfg(rate: f64, size: SizeModel, chain: ChainSpec, mode: DeployMode) -> TestbedConfig {
+    TestbedConfig {
+        nic_gbps: 40.0,
+        rate_gbps: rate,
+        sizes: size,
+        duration: SimDuration::from_millis(4),
+        chain,
+        framework: FrameworkKind::OpenNetVm,
+        server: quiet_server(),
+        flows: 64,
+        seed: 21,
+        mode,
+    }
+}
+
+/// The per-byte server cost means PayloadPark sustains a higher packet
+/// rate once the baseline is compute-bound — the Fig. 8 mechanism.
+#[test]
+fn park_extends_the_compute_bound_peak() {
+    let chain = ChainSpec::FwNat { fw_rules: 1 };
+    // 22 Gbps of 512 B ≈ 5.4 Mpps: beyond both deployments' service rates
+    // (baseline ≈4.2 Mpps, PayloadPark ≈5.1 Mpps), so each delivers its µ.
+    let base = run(&cfg(22.0, SizeModel::Fixed(512), chain, DeployMode::Baseline));
+    let park = run(&cfg(
+        22.0,
+        SizeModel::Fixed(512),
+        chain,
+        DeployMode::PayloadPark(ParkParams::default()),
+    ));
+    assert!(!base.healthy() || base.goodput_gbps < park.goodput_gbps);
+    assert!(
+        park.goodput_gbps > base.goodput_gbps * 1.05,
+        "park {} base {}",
+        park.goodput_gbps,
+        base.goodput_gbps
+    );
+}
+
+/// The relative gain shrinks as packets grow — "a larger goodput gain at
+/// smaller packet sizes, because we truncate a larger proportion of each
+/// packet" (Fig. 8, for sizes ≥ 384 B; the separate 256 B memory-pressure
+/// effect is exercised by `premature_evictions_surface_as_unhealthy`).
+#[test]
+fn relative_gain_shrinks_with_packet_size() {
+    let chain = ChainSpec::FwNat { fw_rules: 1 };
+    let gain_at = |size: usize, rate: f64| {
+        let base = run(&cfg(rate, SizeModel::Fixed(size), chain, DeployMode::Baseline));
+        let park = run(&cfg(
+            rate,
+            SizeModel::Fixed(size),
+            chain,
+            DeployMode::PayloadPark(ParkParams::default()),
+        ));
+        (park.rate_mpps / base.rate_mpps).max(0.0)
+    };
+    // Past-saturation probes: the delivered-rate ratio approximates the
+    // peak ratio.
+    let g512 = gain_at(512, 24.0);
+    let g1492 = gain_at(1492, 30.0);
+    assert!(g512 > 1.10, "512B ratio {g512}");
+    assert!(g1492 > 1.02, "1492B ratio {g1492}");
+    assert!(g512 > g1492, "512B ratio {g512} should exceed 1492B ratio {g1492}");
+}
+
+/// PCIe savings grow as packets shrink (Fig. 9: up to 58 % at 256 B).
+#[test]
+fn pcie_savings_grow_for_small_packets() {
+    let chain = ChainSpec::Firewall { rules: 1 };
+    let saving_at = |size: usize| {
+        let base = run(&cfg(4.0, SizeModel::Fixed(size), chain, DeployMode::Baseline));
+        let park = run(&cfg(
+            4.0,
+            SizeModel::Fixed(size),
+            chain,
+            DeployMode::PayloadPark(ParkParams::default()),
+        ));
+        1.0 - park.pcie_gbps / base.pcie_gbps
+    };
+    let s256 = saving_at(256);
+    let s1492 = saving_at(1492);
+    assert!(s256 > 0.35, "256B saving {s256}");
+    assert!(s1492 > 0.05, "1492B saving {s1492}");
+    assert!(s256 > s1492 * 2.0, "saving must grow as packets shrink");
+}
+
+/// A starved lookup table makes PayloadPark fall back to baseline
+/// behaviour rather than dropping traffic.
+#[test]
+fn tiny_table_degrades_gracefully() {
+    let mut params = ParkParams::default();
+    params.sram_fraction = 0.000_5; // ~11 slots, fewer than a burst in flight
+    params.expiry = 10;
+    let park = run(&cfg(
+        2.0,
+        SizeModel::Fixed(512),
+        ChainSpec::MacSwap,
+        DeployMode::PayloadPark(params),
+    ));
+    assert!(park.healthy(), "{:?}", park.health);
+    let c = park.counters.unwrap();
+    assert!(c.disabled_occupied > 0, "must have hit the occupied path: {c:?}");
+    assert!(c.functionally_equivalent(), "{c:?}");
+}
+
+/// An aggressive expiry threshold under overload produces premature
+/// evictions, which the health criterion flags (the Fig. 14 mechanism).
+#[test]
+fn premature_evictions_surface_as_unhealthy() {
+    let mut params = ParkParams::default();
+    params.sram_fraction = 0.002; // ~190 slots
+    params.expiry = 1;
+    let mut config = cfg(
+        30.0,
+        SizeModel::Fixed(384),
+        ChainSpec::FwNat { fw_rules: 1 },
+        DeployMode::PayloadPark(params),
+    );
+    // A slow, bufferless-enough server so the split->merge delta exceeds
+    // the tiny table's tolerance.
+    config.server.modulation_amplitude = 0.05;
+    config.server.modulation_period = SimDuration::from_millis(2);
+    let r = run(&config);
+    let c = r.counters.unwrap();
+    assert!(c.premature_evictions > 0, "{c:?}");
+    assert!(!r.healthy(), "premature evictions must fail health: {:?}", r.health);
+}
+
+/// The switch resource report stays within the paper's Table 1 envelope
+/// for the standard deployment.
+#[test]
+fn resource_envelope_matches_table1() {
+    use payloadpark::program::build_switch;
+    use payloadpark::{ParkConfig, PipeControl};
+    use pp_rmt::chip::ChipProfile;
+
+    let mut cfg = ParkConfig::single_server(ChipProfile::default(), vec![0, 1], 2, 16);
+    cfg.pipes[0].slices[0].slots = cfg.slots_for_sram_fraction(0.26);
+    let (switch, handles) = build_switch(&cfg).unwrap();
+    let report = PipeControl::new(handles[0].clone()).resource_report(&switch);
+    assert!(report.sram_avg_pct() < 40.0);
+    assert!(report.sram_peak_pct() < 50.0);
+    assert!(report.tcam_pct() < 5.0);
+    assert!(report.vliw_pct() < 20.0);
+    assert!(report.phv_pct() < 60.0);
+}
