@@ -302,11 +302,11 @@ pub fn fig10_11(effort: Effort) -> (Series, Series) {
     // the like-for-like latency comparison (the paper's latency win is the
     // PCIe saving at comparable load, §6.2.3).
     let mut per_server: Vec<(RunReport, RunReport, RunReport)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4u64)
             .map(|pipe| {
                 let base_cfg = &base_cfg;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let b = run_pipe(&base_cfg(pipe + 1, DeployMode::Baseline, rate_base));
                     let p = run_pipe(&base_cfg(pipe + 1, park, rate_park));
                     let pl = run_pipe(&base_cfg(pipe + 1, park, rate_base));
@@ -320,8 +320,7 @@ pub fn fig10_11(effort: Effort) -> (Series, Series) {
         for h in handles {
             per_server.extend(h.join().expect("pipe thread"));
         }
-    })
-    .expect("scope");
+    });
 
     let mut goodput = Series::new(
         "Fig 10: per-server peak goodput, 8 NF servers, 384B MAC-swap",

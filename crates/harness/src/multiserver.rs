@@ -76,9 +76,9 @@ impl Default for MultiServerConfig {
 }
 
 enum Ev {
-    AtSwitch { port: u16, pkt: Packet },
-    AtServer { server: usize, pkt: Packet },
-    AtSink { server: usize, pkt: Packet },
+    Switch { port: u16, pkt: Packet },
+    Server { server: usize, pkt: Packet },
+    Sink { server: usize, pkt: Packet },
 }
 
 /// Runs the two-server pipe; returns one report per server.
@@ -185,7 +185,7 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
         let mut best = queue.peek_time();
         for (s, ng) in next_gen.iter().enumerate() {
             if let Some((t, _)) = ng {
-                if best.map_or(true, |b| *t <= b) {
+                if best.is_none_or(|b| *t <= b) {
                     best = Some(*t);
                     which = Some(s);
                 }
@@ -204,7 +204,7 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
             departures[s][seq] = t.nanos();
             let lane = seq % 2;
             let arrival = gen_links[s][lane].transmit(t, pkt.len());
-            queue.schedule(arrival, Ev::AtSwitch { port: GEN_PORTS[s][lane], pkt });
+            queue.schedule(arrival, Ev::Switch { port: GEN_PORTS[s][lane], pkt });
             let (t_next, p_next) = gens[s].next_packet();
             if t_next.nanos() < duration_ns {
                 next_gen[s] = Some((t_next, p_next));
@@ -214,32 +214,32 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
 
         let (now, ev) = queue.pop().expect("non-empty");
         match ev {
-            Ev::AtSwitch { port, pkt } => {
+            Ev::Switch { port, pkt } => {
                 let seq = pkt.seq();
                 for out in switch.process(pkt.bytes(), pp_rmt::PortId(port), seq) {
                     let t_out = now + SimDuration::from_nanos(out.latency_ns);
                     let fwd = Packet::with_seq(out.bytes, out.seq);
                     if let Some(s) = SERVER_PORTS.iter().position(|&p| p == out.port.0) {
                         let arrival = to_server[s].transmit(t_out, fwd.len());
-                        queue.schedule(arrival, Ev::AtServer { server: s, pkt: fwd });
+                        queue.schedule(arrival, Ev::Server { server: s, pkt: fwd });
                     } else if let Some(s) = SINK_PORTS.iter().position(|&p| p == out.port.0)
                     {
                         let arrival = to_sink[s].transmit(t_out, fwd.len());
-                        queue.schedule(arrival, Ev::AtSink { server: s, pkt: fwd });
+                        queue.schedule(arrival, Ev::Sink { server: s, pkt: fwd });
                     }
                 }
             }
-            Ev::AtServer { server, pkt } => match servers[server].rx(now, pkt) {
+            Ev::Server { server, pkt } => match servers[server].rx(now, pkt) {
                 RxOutcome::Dropped | RxOutcome::Done { packet: None, .. } => {}
                 RxOutcome::Done { time, packet: Some(out) } => {
                     let arrival = from_server[server].transmit(time, out.len());
                     queue.schedule(
                         arrival,
-                        Ev::AtSwitch { port: SERVER_PORTS[server], pkt: out },
+                        Ev::Switch { port: SERVER_PORTS[server], pkt: out },
                     );
                 }
             },
-            Ev::AtSink { server, pkt } => {
+            Ev::Sink { server, pkt } => {
                 delivered_total[server] += 1;
                 if now.nanos() <= duration_ns {
                     goodput[server].record(now, pkt.len());

@@ -274,11 +274,11 @@ impl RunReport {
 
 enum Ev {
     /// A packet's last bit arrives at a switch ingress port.
-    AtSwitch { port: u16, pkt: Packet },
+    Switch { port: u16, pkt: Packet },
     /// A packet's last bit arrives at the server NIC.
-    AtServer { pkt: Packet },
+    Server { pkt: Packet },
     /// A packet's last bit arrives at the sink.
-    AtSink { pkt: Packet },
+    Sink { pkt: Packet },
 }
 
 /// Runs one experiment.
@@ -376,7 +376,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
             // Alternate generator ports; each imposes its own serialization.
             let port = GEN_PORTS[seq % 2];
             let arrival = gen_links[seq % 2].transmit(t, pkt.len());
-            queue.schedule(arrival, Ev::AtSwitch { port, pkt });
+            queue.schedule(arrival, Ev::Switch { port, pkt });
             // Pull the next departure while it is inside the window.
             let (t_next, p_next) = gen.next_packet();
             if t_next.nanos() < duration_ns {
@@ -387,7 +387,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
 
         let (now, ev) = queue.pop().expect("checked above");
         match ev {
-            Ev::AtSwitch { port, pkt } => {
+            Ev::Switch { port, pkt } => {
                 let seq = pkt.seq();
                 for out in switch.process(pkt.bytes(), pp_rmt::PortId(port), seq) {
                     let t_out = now + SimDuration::from_nanos(out.latency_ns);
@@ -395,11 +395,11 @@ pub fn run(config: &TestbedConfig) -> RunReport {
                     match out.port.0 {
                         SERVER_PORT => {
                             let arrival = to_server.transmit(t_out, fwd.len());
-                            queue.schedule(arrival, Ev::AtServer { pkt: fwd });
+                            queue.schedule(arrival, Ev::Server { pkt: fwd });
                         }
                         SINK_PORT => {
                             let arrival = to_sink.transmit(t_out, fwd.len());
-                            queue.schedule(arrival, Ev::AtSink { pkt: fwd });
+                            queue.schedule(arrival, Ev::Sink { pkt: fwd });
                         }
                         _ => {
                             // Mis-routed: count as other drop via switch stats.
@@ -408,18 +408,18 @@ pub fn run(config: &TestbedConfig) -> RunReport {
                     }
                 }
             }
-            Ev::AtServer { pkt } => match server.rx(now, pkt) {
+            Ev::Server { pkt } => match server.rx(now, pkt) {
                 RxOutcome::Dropped => {}
                 RxOutcome::Done { time, packet: Some(out) } => {
                     let arrival = from_server.transmit(time, out.len());
                     queue.schedule(
                         arrival,
-                        Ev::AtSwitch { port: SERVER_PORT, pkt: out },
+                        Ev::Switch { port: SERVER_PORT, pkt: out },
                     );
                 }
                 RxOutcome::Done { time: _, packet: None } => {}
             },
-            Ev::AtSink { pkt } => {
+            Ev::Sink { pkt } => {
                 delivered_total += 1;
                 if now.nanos() <= duration_ns {
                     goodput.record(now, pkt.len());
@@ -591,9 +591,7 @@ mod tests {
 
     #[test]
     fn explicit_drop_reclaims_slots() {
-        let mut params = ParkParams::default();
-        params.explicit_drop = true;
-        params.expiry = 10;
+        let params = ParkParams { explicit_drop: true, expiry: 10, ..Default::default() };
         let cfg = TestbedConfig {
             chain: ChainSpec::FwNatBlacklist { blocked_pct: 30 },
             rate_gbps: 1.0,

@@ -109,7 +109,6 @@ mod tests {
             ring_drops: 3,
             premature_eviction_drops: 2,
             other_drops: 1,
-            ..Default::default()
         };
         assert_eq!(h.unintended_drops(), 6);
         assert_eq!(h.in_flight(), 9);

@@ -51,7 +51,7 @@ proptest! {
         let mut total_bytes = 0u64;
         let mut last_arrival = SimTime::ZERO;
         for (i, &size) in sizes.iter().enumerate() {
-            t = t + SimDuration(gaps[i % gaps.len()]);
+            t += SimDuration(gaps[i % gaps.len()]);
             last_arrival = link.transmit(t, size);
             total_bytes += size as u64;
         }

@@ -147,12 +147,9 @@ proptest! {
     /// consistent parse.
     #[test]
     fn parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..200)) {
-        match ParsedPacket::parse(&data) {
-            Ok(p) => {
-                prop_assert!(p.wire_len() <= data.len());
-                prop_assert!(p.offsets().payload <= p.wire_len());
-            }
-            Err(_) => {}
+        if let Ok(p) = ParsedPacket::parse(&data) {
+            prop_assert!(p.wire_len() <= data.len());
+            prop_assert!(p.offsets().payload <= p.wire_len());
         }
     }
 }

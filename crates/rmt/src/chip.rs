@@ -155,14 +155,11 @@ mod tests {
 
     #[test]
     fn invalid_profiles_rejected() {
-        let mut p = ChipProfile::default();
-        p.pipes = 0;
+        let p = ChipProfile { pipes: 0, ..Default::default() };
         assert!(p.validate().is_err());
-        let mut p = ChipProfile::default();
-        p.phv_bits = 0;
+        let p = ChipProfile { phv_bits: 0, ..Default::default() };
         assert!(p.validate().is_err());
-        let mut p = ChipProfile::default();
-        p.max_mats_per_stage = 0;
+        let p = ChipProfile { max_mats_per_stage: 0, ..Default::default() };
         assert!(p.validate().is_err());
     }
 

@@ -178,13 +178,13 @@ mod tests {
 
     #[test]
     fn phv_pct() {
-        let r = report_with(&vec![0; 12]);
+        let r = report_with(&[0; 12]);
         assert!((r.phv_pct() - 50.0).abs() < 1e-9); // 2048 / 4096
     }
 
     #[test]
     fn render_contains_all_rows() {
-        let r = report_with(&vec![0; 12]);
+        let r = report_with(&[0; 12]);
         let text = r.render();
         for key in ["SRAM", "TCAM", "VLIW", "Exact Match", "Ternary Match", "Packet Header"] {
             assert!(text.contains(key), "missing {key}");
@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn zero_budget_yields_zero_percent() {
-        let mut chip = ChipProfile::default();
-        chip.ternary_xbar_bits_per_stage = 0;
+        let chip = ChipProfile { ternary_xbar_bits_per_stage: 0, ..Default::default() };
         let r = ResourceReport::new(chip, 0, vec![StageUsage::default(); 12]);
         assert_eq!(r.ternary_xbar_pct(), 0.0);
     }

@@ -100,9 +100,11 @@ fn pcie_savings_grow_for_small_packets() {
 /// behaviour rather than dropping traffic.
 #[test]
 fn tiny_table_degrades_gracefully() {
-    let mut params = ParkParams::default();
-    params.sram_fraction = 0.000_5; // ~11 slots, fewer than a burst in flight
-    params.expiry = 10;
+    let params = ParkParams {
+        sram_fraction: 0.000_5, // ~11 slots, fewer than a burst in flight
+        expiry: 10,
+        ..Default::default()
+    };
     let park = run(&cfg(
         2.0,
         SizeModel::Fixed(512),
@@ -119,9 +121,11 @@ fn tiny_table_degrades_gracefully() {
 /// evictions, which the health criterion flags (the Fig. 14 mechanism).
 #[test]
 fn premature_evictions_surface_as_unhealthy() {
-    let mut params = ParkParams::default();
-    params.sram_fraction = 0.002; // ~190 slots
-    params.expiry = 1;
+    let params = ParkParams {
+        sram_fraction: 0.002, // ~190 slots
+        expiry: 1,
+        ..Default::default()
+    };
     let mut config = cfg(
         30.0,
         SizeModel::Fixed(384),

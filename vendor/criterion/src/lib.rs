@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the subset of the 0.5 API the workspace's bench targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Throughput`], [`Bencher::iter`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple median-of-samples wall-clock harness. It reports ns/iter (plus
+//! derived throughput) to stdout; there is no statistical analysis, HTML
+//! report or run-over-run comparison.
+//!
+//! Set `PP_BENCH_FAST=1` to clamp warm-up/measurement budgets to a few
+//! milliseconds, which keeps `cargo bench` usable as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, and use the
+        // observed speed to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let budget_per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget_per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("PP_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+impl Settings {
+    fn effective(&self) -> (usize, Duration, Duration) {
+        if fast_mode() {
+            (
+                self.sample_size.min(5),
+                self.warm_up.min(Duration::from_millis(5)),
+                self.measurement.min(Duration::from_millis(25)),
+            )
+        } else {
+            (self.sample_size, self.warm_up, self.measurement)
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        let (sample_size, warm_up, measurement) = self.effective();
+        let mut b = Bencher { sample_size, warm_up, measurement, ns_per_iter: 0.0 };
+        f(&mut b);
+        let mut line = format!("bench {id:<44} {:>12.1} ns/iter", b.ns_per_iter);
+        if b.ns_per_iter > 0.0 {
+            match self.throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let gbps = n as f64 * 8.0 / b.ns_per_iter;
+                    line.push_str(&format!("  ({gbps:.2} Gbit/s)"));
+                }
+                Some(Throughput::Elements(n)) => {
+                    let meps = n as f64 * 1e3 / b.ns_per_iter;
+                    line.push_str(&format!("  ({meps:.2} Melem/s)"));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string(), settings: Settings::default() }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        Settings::default().run(id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timing samples taken.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.settings.run(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimiser from discarding `value` (re-export convenience).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("PP_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(64));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * `any::<T>()` for the integer primitives and `bool`;
+//! * integer ranges (`0usize..512`) as strategies;
+//! * [`collection::vec`] and [`Strategy::prop_map`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! seed derived from the test's full path (override with the
+//! `PROPTEST_SEED` environment variable), and failing inputs are reported
+//! but **not shrunk**. Failures print the exact inputs, which together with
+//! the deterministic seed makes reproduction trivial.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// The RNG handed to strategies when generating a case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        rng: SmallRng,
+    }
+
+    impl TestRng {
+        /// Derives a deterministic RNG for the named test, honouring the
+        /// `PROPTEST_SEED` environment variable when set.
+        pub fn for_test(name: &str) -> Self {
+            let base = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0x9702_2020_c0de_5eed);
+            let mut h: u64 = 0xcbf29ce484222325 ^ base;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { rng: SmallRng::seed_from_u64(h) }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.gen()
+        }
+
+        /// Uniform integer in `[lo, hi)`.
+        pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+            if lo >= hi {
+                return lo;
+            }
+            self.rng.gen_range(lo..hi)
+        }
+    }
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Samples an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty => $shift:expr),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    (rng.next_u64() >> $shift) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8 => 56, u16 => 48, u32 => 32, u64 => 0, usize => 0);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, roughly unit-scale values: property tests here use
+            // f64 inputs as probabilities/fractions.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Debug for Any<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("any")
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let raw = rng.next_u64() as u128;
+                    self.start.wrapping_add(((raw * span) >> 64) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (*self).new_value(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_usize(self.len.start, self.len.end);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property: carries the formatted assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let __config = $config;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::strategy::TestRng::for_test(__name);
+            for __case in 0..__config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&::std::format!("{:?}; ", &$arg));
+                    )+
+                    __s
+                };
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    ::std::panic!(
+                        "property {} failed at case {}/{}:\n  {}\n  inputs: {}\n  (no shrinking; rerun with PROPTEST_SEED to vary cases)",
+                        __name, __case + 1, __config.cases, __e, __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+}
+
+/// `assert!` that reports the failing property inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports the failing property inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports the failing property inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` ({})\n  both: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)+), __l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 0usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths(data in collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(data.len() >= 3 && data.len() < 7);
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 200);
+        }
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                fn always_fails(x in 0u8..4) {
+                    prop_assert!(x > 200, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("inputs: x ="), "message: {msg}");
+    }
+}
