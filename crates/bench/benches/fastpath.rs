@@ -1,0 +1,49 @@
+//! The `pp_fastpath` bench: packets/sec of the full Split → NF → Merge
+//! round trip, scalar pipeline vs the sharded, batched engine at
+//! 1/2/4/8 workers over an 8-server §6.2.4 slicing
+//! ([`pp_fastpath::SlicedTestbed`], the same rig the equivalence oracle
+//! and `pp-exp throughput` use).
+//!
+//! Engines are built once per target, so the worker threads are warm and
+//! iterations measure the steady state. Both sides clone the input wave
+//! per iteration (the engine consumes its inputs), keeping the comparison
+//! apples-to-apples. Speedup over scalar scales with the host's core
+//! count: each worker runs a full dataplane, so N cores can retire ~N
+//! shards' worth of batches concurrently, while a single-core host merely
+//! time-slices them. `PP_BENCH_FAST=1` shrinks the measurement to a smoke
+//! pass, as for the other targets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pp_fastpath::{EngineConfig, SlicedTestbed};
+use pp_netsim::time::SimDuration;
+use std::hint::black_box;
+
+fn bench_fastpath(c: &mut Criterion) {
+    let tb = SlicedTestbed::new(8, 2048);
+    let wave = tb.enterprise_wave(11, SimDuration::from_millis(2));
+    let n = wave.len() as u64;
+
+    let mut g = c.benchmark_group("fastpath");
+    g.throughput(Throughput::Elements(n));
+
+    let (mut scalar, _) = tb.build_scalar();
+    g.bench_function("scalar_roundtrip", |b| {
+        b.iter(|| {
+            let inputs = wave.clone();
+            black_box(tb.scalar_roundtrip(&mut scalar, &inputs).len())
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut engine = tb
+            .build_engine(EngineConfig { workers, ..Default::default() })
+            .unwrap();
+        g.bench_function(&format!("engine_{workers}_workers"), |b| {
+            b.iter(|| black_box(engine.process_roundtrip(wave.clone(), tb.sink_mac()).packets()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(fastpath, bench_fastpath);
+criterion_main!(fastpath);

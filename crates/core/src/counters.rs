@@ -79,6 +79,21 @@ impl CounterSnapshot {
         }
     }
 
+    /// Accumulates another snapshot into this one — aggregating the
+    /// counters of sharded workers must equal the unsharded deployment's
+    /// counters (the fastpath equivalence oracle relies on this).
+    pub fn add(&mut self, other: &CounterSnapshot) {
+        self.splits += other.splits;
+        self.merges += other.merges;
+        self.explicit_drops += other.explicit_drops;
+        self.evictions += other.evictions;
+        self.premature_evictions += other.premature_evictions;
+        self.enb0_from_server += other.enb0_from_server;
+        self.disabled_small_payload += other.disabled_small_payload;
+        self.disabled_occupied += other.disabled_occupied;
+        self.crc_fail += other.crc_fail;
+    }
+
     /// Outstanding parked payloads implied by the counters: splits minus
     /// everything that reclaimed a slot.
     pub fn outstanding(&self) -> i64 {

@@ -22,7 +22,9 @@
 //!   [`program::build_baseline_switch`];
 //! * [`counters`] — the prototype's monitoring counters (§5);
 //! * [`control`] — control-plane views: occupancy, counter snapshots,
-//!   table clearing, the Table 1 resource report.
+//!   table clearing, the Table 1 resource report;
+//! * [`shard`] — partitioning a deployment across parallel workers by the
+//!   §6.2.4 port→slice mapping (the `pp_fastpath` engine consumes this).
 //!
 //! # Quick start
 //!
@@ -53,9 +55,11 @@ pub mod control;
 pub mod counters;
 pub mod evictor;
 pub mod program;
+pub mod shard;
 
 pub use config::{ParkConfig, PipePark, SliceSpec, META_ENTRY_BYTES};
 pub use control::PipeControl;
 pub use counters::CounterSnapshot;
 pub use evictor::{AdaptiveConfig, AdaptivePolicy};
 pub use program::{build_baseline_switch, build_switch, BuildError, PipeHandles, MAX_CLK};
+pub use shard::ShardPlan;

@@ -1,0 +1,633 @@
+//! The sharded, batched multi-worker engine.
+//!
+//! An [`Engine`] partitions a PayloadPark deployment with
+//! [`payloadpark::ShardPlan`] (the paper's §6.2.4 port→slice mapping) and
+//! owns one long-lived worker thread per shard. Each worker owns its
+//! shard's [`SwitchModel`] outright — register file included — and is fed
+//! over a pair of lock-free SPSC rings ([`crate::spsc`]): packet batches
+//! and control messages in, result arenas and snapshots out. Workers run
+//! batches through the batched dataplane
+//! ([`SwitchModel::process_batch`]), so MAT dispatch is amortized and
+//! every batch deparses into one arena; the threads persist across waves,
+//! so the steady state costs no spawns and no locks.
+//!
+//! Determinism is preserved: a shard processes its packets in arrival
+//! order, a slice's register cells are only ever touched by its own
+//! shard, and batch execution performs register accesses in the same
+//! per-array order as scalar execution. For any traffic mix the engine's
+//! aggregate counters and merged egress bytes are therefore identical to
+//! the single-threaded pipeline — the oracle in
+//! `tests/functional_equivalence.rs` and this module's tests enforce it
+//! byte for byte.
+
+use crate::adapter::reflect_outputs;
+use crate::spsc::{self, Consumer, Producer};
+use payloadpark::program::build_switch;
+use payloadpark::{BuildError, CounterSnapshot, ParkConfig, PipeControl, ShardPlan};
+use pp_packet::MacAddr;
+use pp_rmt::switch::{BatchOutput, BatchPacket, OutputRef, SwitchStats};
+use pp_rmt::{PortId, SwitchModel, SwitchOutput};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::thread::{JoinHandle, Thread};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; the deployment needs at least this many slices.
+    pub workers: usize,
+    /// Packets per batch message (the unit of amortization).
+    pub batch: usize,
+    /// Messages each SPSC ring can hold in flight.
+    pub ring_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // 128-packet batches keep a batch's PHVs and payloads inside L2
+        // while still amortizing dispatch; measured optimal on the
+        // enterprise mix (64-128, falling off past 512).
+        EngineConfig { workers: 4, batch: 128, ring_depth: 16 }
+    }
+}
+
+/// What the dispatcher sends a worker. The ring is FIFO and the worker
+/// single-threaded, so control messages are ordered with the batches
+/// around them.
+enum WorkerMsg {
+    /// Process one batch, reply with its outputs.
+    Batch(Vec<BatchPacket>),
+    /// Process a batch, bounce every output off this shard's MAC-swap NF
+    /// server (readdressing it to `sink`), process the returns, reply with
+    /// the merge-side outputs. Keeps the whole Split → NF → Merge round
+    /// trip on the worker, as each slice's NF server is its own machine.
+    Roundtrip { pkts: Vec<BatchPacket>, sink: MacAddr },
+    /// Add an L2 forwarding entry (fire and forget).
+    L2Add(MacAddr, PortId),
+    /// Reply with a control-plane snapshot.
+    Query,
+    /// Reply `Flushed` — everything before this message has been processed.
+    Flush,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// What a worker sends back.
+enum WorkerReply {
+    Out(BatchOutput),
+    State { counters: CounterSnapshot, stats: SwitchStats, occupancy: usize },
+    Flushed,
+}
+
+struct WorkerHandle {
+    tx: Producer<WorkerMsg>,
+    rx: Consumer<WorkerReply>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The thread currently driving the engine. Workers unpark it after every
+/// reply; `Engine` re-captures it at the start of each driving call, so
+/// moving the engine to another thread keeps wakeups working (the lock is
+/// taken once per reply message, never per packet).
+type DispatcherSlot = Arc<Mutex<Thread>>;
+
+impl WorkerHandle {
+    /// Wakes the worker to look at its ring.
+    fn wake(&self) {
+        if let Some(join) = &self.join {
+            join.thread().unpark();
+        }
+    }
+
+    /// Pushes a message, parking while the ring is full but giving up if
+    /// the worker died (a panicked worker must not hang the dispatcher).
+    fn send(&mut self, mut msg: WorkerMsg) -> bool {
+        loop {
+            match self.tx.try_push(msg) {
+                Ok(()) => {
+                    self.wake();
+                    return true;
+                }
+                Err(back) => {
+                    if self.join.as_ref().is_none_or(|j| j.is_finished()) {
+                        return false;
+                    }
+                    msg = back;
+                    std::thread::park_timeout(IDLE_PARK);
+                }
+            }
+        }
+    }
+
+    /// Pops the next reply, parking while the ring is empty.
+    fn recv(&mut self) -> Option<WorkerReply> {
+        loop {
+            if let Some(reply) = self.rx.try_pop() {
+                return Some(reply);
+            }
+            if self.join.as_ref().is_none_or(|j| j.is_finished()) {
+                return self.rx.try_pop();
+            }
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+}
+
+/// How long an idle thread sleeps before re-checking its rings — a
+/// safety net against lost wakeups; real wakeups come from `unpark`.
+const IDLE_PARK: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Waits for `poll` to produce a value: a short yield-spin first (on a
+/// busy sibling this hands the core over directly, no futex round trip),
+/// then timed parks until the peer's `unpark` or the backstop fires.
+fn idle_wait<T>(mut poll: impl FnMut() -> Option<T>) -> T {
+    for _ in 0..128 {
+        if let Some(v) = poll() {
+            return v;
+        }
+        std::thread::yield_now();
+    }
+    loop {
+        if let Some(v) = poll() {
+            return v;
+        }
+        std::thread::park_timeout(IDLE_PARK);
+    }
+}
+
+/// The worker thread body: own the shard's switch, drain the ring. The
+/// worker parks while idle and is unparked by the dispatcher when work
+/// arrives; every reply unparks the dispatcher in turn, so neither side
+/// burns the other's cycles busy-polling (which on a single core would
+/// steal half the machine).
+fn worker_main(
+    mut switch: SwitchModel,
+    control: PipeControl,
+    mut rx: Consumer<WorkerMsg>,
+    mut tx: Producer<WorkerReply>,
+    dispatcher: DispatcherSlot,
+) {
+    let reply = |tx: &mut Producer<WorkerReply>, r: WorkerReply| {
+        tx.push(r);
+        dispatcher.lock().expect("dispatcher slot poisoned").unpark();
+    };
+    loop {
+        let msg = idle_wait(|| rx.try_pop());
+        match msg {
+            WorkerMsg::Batch(pkts) => {
+                let mut out = BatchOutput::new();
+                switch.process_batch(&pkts, &mut out);
+                reply(&mut tx, WorkerReply::Out(out));
+            }
+            WorkerMsg::Roundtrip { pkts, sink } => {
+                let mut split_side = BatchOutput::new();
+                switch.process_batch(&pkts, &mut split_side);
+                let back = reflect_outputs(split_side.iter(), sink);
+                let mut merge_side = BatchOutput::new();
+                switch.process_batch(&back, &mut merge_side);
+                reply(&mut tx, WorkerReply::Out(merge_side));
+            }
+            WorkerMsg::L2Add(mac, port) => switch.l2_add(mac, port),
+            WorkerMsg::Query => {
+                let state = WorkerReply::State {
+                    counters: control.counters(&switch),
+                    stats: switch.stats(),
+                    occupancy: control.occupancy(&switch),
+                };
+                reply(&mut tx, state);
+            }
+            WorkerMsg::Flush => reply(&mut tx, WorkerReply::Flushed),
+            WorkerMsg::Shutdown => return,
+        }
+    }
+}
+
+/// The multi-worker Split/Merge execution engine.
+pub struct Engine {
+    plan: ShardPlan,
+    cfg: EngineConfig,
+    workers: Vec<WorkerHandle>,
+    dispatcher: DispatcherSlot,
+}
+
+impl Engine {
+    /// Points the workers' wakeups at the calling thread — every entry
+    /// point that waits on replies does this first, so an `Engine` moved
+    /// across threads keeps its unpark path alive.
+    fn capture_dispatcher(&self) {
+        let current = std::thread::current();
+        let mut slot = self.dispatcher.lock().expect("dispatcher slot poisoned");
+        if slot.id() != current.id() {
+            *slot = current;
+        }
+    }
+}
+
+impl Engine {
+    /// Builds an engine for `park`, sharded `cfg.workers` ways, and starts
+    /// the worker threads. The threads live until the engine is dropped.
+    pub fn new(park: &ParkConfig, cfg: EngineConfig) -> Result<Engine, BuildError> {
+        if cfg.batch == 0 || cfg.ring_depth == 0 {
+            return Err(BuildError::Config("batch and ring_depth must be positive".into()));
+        }
+        let plan = ShardPlan::new(park, cfg.workers).map_err(BuildError::Config)?;
+        let dispatcher: DispatcherSlot = Arc::new(Mutex::new(std::thread::current()));
+        let mut workers = Vec::with_capacity(plan.workers());
+        for (w, shard_cfg) in plan.configs().iter().enumerate() {
+            let (switch, handles) = build_switch(shard_cfg)?;
+            let control = PipeControl::new(handles[0].clone());
+            let (tx, in_rx) = spsc::ring::<WorkerMsg>(cfg.ring_depth);
+            let (out_tx, rx) = spsc::ring::<WorkerReply>(cfg.ring_depth);
+            let slot = Arc::clone(&dispatcher);
+            let join = std::thread::Builder::new()
+                .name(format!("pp-fastpath-{w}"))
+                .spawn(move || worker_main(switch, control, in_rx, out_tx, slot))
+                .expect("spawn fastpath worker");
+            workers.push(WorkerHandle { tx, rx, join: Some(join) });
+        }
+        Ok(Engine { plan, cfg, workers, dispatcher })
+    }
+
+    /// The shard plan in use.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Adds an L2 forwarding entry to every shard (all shards share the
+    /// switch's forwarding view, as all slices of one pipe do).
+    pub fn l2_add(&mut self, mac: MacAddr, port: PortId) {
+        for w in &mut self.workers {
+            w.send(WorkerMsg::L2Add(mac, port));
+        }
+    }
+
+    /// Runs one wave of traffic through the engine.
+    ///
+    /// Packets are routed to shards by ingress port (packets on ports
+    /// outside the plan take the pure L2 path and go to shard 0), cut into
+    /// `batch`-sized messages, and processed concurrently. Within a shard,
+    /// arrival order is preserved end to end.
+    pub fn process(&mut self, inputs: Vec<BatchPacket>) -> EngineOutput {
+        self.run(inputs, None)
+    }
+
+    /// Runs one wave through the full Split → NF → Merge round trip: each
+    /// worker bounces its split-side outputs off its slice's MAC-swap NF
+    /// server (readdressed to `sink`) and merges the returns, so the
+    /// entire per-packet path executes shard-locally. Returns the
+    /// merge-side (sink-bound) outputs.
+    pub fn process_roundtrip(&mut self, inputs: Vec<BatchPacket>, sink: MacAddr) -> EngineOutput {
+        self.run(inputs, Some(sink))
+    }
+
+    fn run(&mut self, inputs: Vec<BatchPacket>, sink: Option<MacAddr>) -> EngineOutput {
+        self.capture_dispatcher();
+        let n = self.workers.len();
+
+        // Shard the inputs by the port→slice mapping, then cut each
+        // shard's queue into batch messages.
+        let mut queues: Vec<Vec<BatchPacket>> = (0..n).map(|_| Vec::new()).collect();
+        for pkt in inputs {
+            let w = self.plan.shard_of_port(pkt.port.0).unwrap_or(0);
+            queues[w].push(pkt);
+        }
+        let mut chunks: Vec<VecDeque<Vec<BatchPacket>>> =
+            queues.into_iter().map(|q| chunked(q, self.cfg.batch)).collect();
+
+        // Dispatch and collect, interleaved so a full ring on either side
+        // can always drain: work is offered with try_push and replies are
+        // drained every round. A final Flush per worker marks the wave's
+        // end.
+        let mut results: Vec<Vec<BatchOutput>> = (0..n).map(|_| Vec::new()).collect();
+        let mut flush_sent = vec![false; n];
+        let mut flushed = vec![false; n];
+        let mut idle_rounds = 0u32;
+        while !flushed.iter().all(|&f| f) {
+            let mut progress = false;
+            for w in 0..n {
+                if !flush_sent[w] {
+                    if let Some(chunk) = chunks[w].pop_front() {
+                        let msg = match sink {
+                            Some(sink) => WorkerMsg::Roundtrip { pkts: chunk, sink },
+                            None => WorkerMsg::Batch(chunk),
+                        };
+                        match self.workers[w].tx.try_push(msg) {
+                            Ok(()) => {
+                                self.workers[w].wake();
+                                progress = true;
+                            }
+                            Err(WorkerMsg::Batch(c))
+                            | Err(WorkerMsg::Roundtrip { pkts: c, .. }) => {
+                                chunks[w].push_front(c);
+                            }
+                            Err(_) => unreachable!("pushed a batch message"),
+                        }
+                    } else if self.workers[w].tx.try_push(WorkerMsg::Flush).is_ok() {
+                        self.workers[w].wake();
+                        flush_sent[w] = true;
+                        progress = true;
+                    }
+                }
+                while let Some(reply) = self.workers[w].rx.try_pop() {
+                    progress = true;
+                    match reply {
+                        WorkerReply::Out(out) => results[w].push(out),
+                        WorkerReply::Flushed => flushed[w] = true,
+                        WorkerReply::State { .. } => {}
+                    }
+                }
+            }
+            if progress {
+                idle_rounds = 0;
+            } else {
+                // A panicked worker can never flush; surface what we have
+                // instead of spinning forever (tests then see the damage).
+                for (w, handle) in self.workers.iter().enumerate() {
+                    if !flushed[w] && handle.join.as_ref().is_none_or(|j| j.is_finished()) {
+                        flushed[w] = true;
+                    }
+                }
+                // Same hybrid as the workers: yield first (direct hand-over
+                // on a saturated core), park once the wave has gone quiet.
+                idle_rounds += 1;
+                if idle_rounds < 128 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::park_timeout(IDLE_PARK);
+                }
+            }
+        }
+
+        EngineOutput { per_worker: results }
+    }
+
+    /// Control-plane snapshots from every worker, in worker order.
+    fn query(&mut self) -> Vec<(CounterSnapshot, SwitchStats, usize)> {
+        self.capture_dispatcher();
+        let mut states = Vec::with_capacity(self.workers.len());
+        for w in &mut self.workers {
+            if !w.send(WorkerMsg::Query) {
+                continue;
+            }
+            loop {
+                match w.recv() {
+                    Some(WorkerReply::State { counters, stats, occupancy }) => {
+                        states.push((counters, stats, occupancy));
+                        break;
+                    }
+                    Some(_) => continue, // stale wave replies cannot occur here, but be safe
+                    None => break,
+                }
+            }
+        }
+        states
+    }
+
+    /// Aggregated PayloadPark counters across all shards.
+    pub fn counters(&mut self) -> CounterSnapshot {
+        let mut total = CounterSnapshot::default();
+        for (c, _, _) in self.query() {
+            total.add(&c);
+        }
+        total
+    }
+
+    /// Aggregated switch statistics across all shards.
+    pub fn switch_stats(&mut self) -> SwitchStats {
+        let mut total = SwitchStats::default();
+        for (_, s, _) in self.query() {
+            total.add(&s);
+        }
+        total
+    }
+
+    /// Occupied lookup-table slots across all shards.
+    pub fn occupancy(&mut self) -> usize {
+        self.query().iter().map(|(_, _, o)| o).sum()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.send(WorkerMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// Cuts a queue into `size`-packet messages, preserving order.
+fn chunked(mut q: Vec<BatchPacket>, size: usize) -> VecDeque<Vec<BatchPacket>> {
+    let mut out = VecDeque::new();
+    loop {
+        if q.len() <= size {
+            if !q.is_empty() {
+                out.push_back(q);
+            }
+            return out;
+        }
+        let rest = q.split_off(size);
+        out.push_back(q);
+        q = rest;
+    }
+}
+
+/// The egress side of one [`Engine::process`] wave: each worker's batch
+/// arenas, kept as produced (no merge copies on the hot path).
+#[derive(Debug, Default)]
+pub struct EngineOutput {
+    per_worker: Vec<Vec<BatchOutput>>,
+}
+
+impl EngineOutput {
+    /// Total packets egressed.
+    pub fn packets(&self) -> usize {
+        self.per_worker.iter().flatten().map(BatchOutput::len).sum()
+    }
+
+    /// Total wire bytes egressed.
+    pub fn wire_bytes(&self) -> usize {
+        self.per_worker.iter().flatten().map(BatchOutput::wire_bytes).sum()
+    }
+
+    /// Packets one worker egressed.
+    pub fn worker_packets(&self, w: usize) -> usize {
+        self.per_worker[w].iter().map(BatchOutput::len).sum()
+    }
+
+    /// Iterates one worker's outputs in that shard's arrival order.
+    pub fn worker_iter(&self, w: usize) -> impl Iterator<Item = OutputRef<'_>> {
+        self.per_worker[w].iter().flat_map(BatchOutput::iter)
+    }
+
+    /// Number of workers that contributed.
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Iterates all outputs, worker by worker.
+    pub fn iter(&self) -> impl Iterator<Item = OutputRef<'_>> {
+        self.per_worker.iter().flatten().flat_map(BatchOutput::iter)
+    }
+
+    /// Copies all outputs out, globally ordered by sequence number — the
+    /// deterministic order the equivalence oracle compares against the
+    /// scalar pipeline's output.
+    pub fn to_seq_sorted(&self) -> Vec<SwitchOutput> {
+        let mut all: Vec<SwitchOutput> = self
+            .per_worker
+            .iter()
+            .flatten()
+            .flat_map(|b| b.to_switch_outputs())
+            .collect();
+        all.sort_by_key(|o| o.seq);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::SlicedTestbed;
+    use pp_packet::builder::UdpPacketBuilder;
+
+    const TB: SlicedTestbed = SlicedTestbed { slices: 4, slots: 512 };
+
+    /// Round-trips `inputs` (split, MAC-swap at the server, merge) through
+    /// the scalar switch, returning sink-side outputs and counters.
+    fn scalar_roundtrip(inputs: &[BatchPacket]) -> (Vec<SwitchOutput>, CounterSnapshot) {
+        let (mut sw, control) = TB.build_scalar();
+        let merged = TB.scalar_roundtrip(&mut sw, inputs);
+        let counters = control.counters(&sw);
+        (merged, counters)
+    }
+
+    fn engine_roundtrip(
+        inputs: Vec<BatchPacket>,
+        workers: usize,
+        fused: bool,
+    ) -> (Vec<SwitchOutput>, CounterSnapshot) {
+        let mut engine = TB
+            .build_engine(EngineConfig { workers, batch: 16, ring_depth: 4 })
+            .unwrap();
+        let merged = if fused {
+            engine.process_roundtrip(inputs, TB.sink_mac())
+        } else {
+            let to_server = engine.process(inputs);
+            let back = reflect_outputs(to_server.iter(), TB.sink_mac());
+            engine.process(back)
+        };
+        (merged.to_seq_sorted(), engine.counters())
+    }
+
+    #[test]
+    fn sharded_engine_matches_scalar_switch() {
+        // 75 packets per slice, well below the 512 slots: no wrap, so the
+        // interleaved scalar reference and both engine drive modes must
+        // agree exactly.
+        let inputs = TB.counted_enterprise_wave(42, 300);
+        let (scalar_out, scalar_counters) = scalar_roundtrip(&inputs);
+        for workers in [1, 2, 4] {
+            for fused in [false, true] {
+                let (engine_out, engine_counters) =
+                    engine_roundtrip(inputs.clone(), workers, fused);
+                assert_eq!(engine_out, scalar_out, "{workers} workers, fused={fused}");
+                assert_eq!(
+                    engine_counters, scalar_counters,
+                    "{workers} workers, fused={fused}"
+                );
+            }
+        }
+        assert!(scalar_counters.splits > 0, "workload must exercise parking");
+    }
+
+    #[test]
+    fn engine_survives_many_waves() {
+        let mut engine = TB
+            .build_engine(EngineConfig { workers: 2, batch: 32, ring_depth: 2 })
+            .unwrap();
+        let mut emitted = 0;
+        for wave in 0..10 {
+            let out = engine.process_roundtrip(
+                TB.counted_enterprise_wave(wave, 64),
+                TB.sink_mac(),
+            );
+            emitted += out.packets();
+            assert_eq!(out.workers(), 2, "wave {wave}");
+        }
+        assert_eq!(emitted, 640);
+        assert_eq!(engine.switch_stats().emitted, 2 * 640, "split pass + merge pass");
+    }
+
+    #[test]
+    fn unknown_port_takes_the_l2_path_on_shard_zero() {
+        let mut engine = TB
+            .build_engine(EngineConfig { workers: 2, ..Default::default() })
+            .unwrap();
+        let pkt = BatchPacket {
+            bytes: UdpPacketBuilder::new()
+                .dst_mac(TB.sink_mac())
+                .total_size(400, 9)
+                .build()
+                .into_bytes(),
+            port: PortId(12), // not in any slice
+            seq: 0,
+        };
+        let out = engine.process(vec![pkt.clone()]);
+        assert_eq!(out.packets(), 1);
+        assert_eq!(out.worker_packets(0), 1, "routed to shard 0");
+        assert_eq!(out.worker_iter(0).count(), 1);
+        assert_eq!(out.iter().next().unwrap().bytes, &pkt.bytes[..], "L2 is byte-transparent");
+        assert_eq!(engine.counters().splits, 0);
+        assert_eq!(engine.switch_stats().emitted, 1);
+        assert_eq!(engine.occupancy(), 0);
+        assert_eq!(engine.workers(), 2);
+        assert_eq!(engine.plan().workers(), 2);
+    }
+
+    #[test]
+    fn engine_moved_across_threads_keeps_its_wakeups() {
+        // The dispatcher slot must follow the driving thread, not the
+        // thread that constructed the engine.
+        let mut engine = TB
+            .build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 })
+            .unwrap();
+        let (merged, counters) = std::thread::spawn(move || {
+            let out = engine
+                .process_roundtrip(TB.counted_enterprise_wave(5, 120), TB.sink_mac());
+            (out.packets(), engine.counters())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(merged, 120);
+        assert!(counters.splits > 0);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(TB.build_engine(EngineConfig { workers: 5, ..Default::default() }).is_err());
+        assert!(TB.build_engine(EngineConfig { batch: 0, ..Default::default() }).is_err());
+        assert!(
+            TB.build_engine(EngineConfig { ring_depth: 0, ..Default::default() }).is_err()
+        );
+    }
+
+    #[test]
+    fn chunking_preserves_order_and_sizes() {
+        let q = TB.counted_enterprise_wave(1, 10);
+        let chunks = chunked(q.clone(), 4);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<u64> = chunks.iter().flatten().map(|p| p.seq).collect();
+        assert_eq!(flat, (0..10).collect::<Vec<u64>>());
+        assert!(chunked(Vec::new(), 4).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! **`pp_fastpath`** — a sharded, batched, multi-worker execution engine
+//! for the PayloadPark Split/Merge dataplane.
+//!
+//! The reproduction's reference pipeline ([`pp_rmt::Pipeline`]) is
+//! deliberately scalar and deterministic: one packet at a time, one thread.
+//! That is the right *oracle*, but it cannot exhibit the property the
+//! paper is about — throughput. This crate runs the same dataplane wide:
+//!
+//! * [`payloadpark::ShardPlan`] partitions a deployment by the paper's
+//!   §6.2.4 port→slice mapping, giving each worker a disjoint slice of the
+//!   parking store's circular buffers;
+//! * [`engine::Engine`] owns one switch per shard and drives N worker
+//!   threads over lock-free SPSC rings ([`spsc`]), each worker processing
+//!   packet *batches* through the batched dataplane
+//!   ([`pp_rmt::SwitchModel::process_batch`]), which amortizes MAT
+//!   dispatch and deparses into a shared arena;
+//! * [`adapter`] bridges [`pp_trafficgen`] streams in (paced ingest) and
+//!   meters packets/sec and goodput out.
+//!
+//! Sharded-batched execution is *observationally identical* to the scalar
+//! pipeline: a slice's register cells are only ever touched by its own
+//! shard, each shard preserves arrival order, and batch execution performs
+//! register accesses in the same per-array order as scalar execution (see
+//! [`pp_rmt::Pipeline::execute_batch`]). `tests/functional_equivalence.rs`
+//! holds the repository's oracle: identical counter totals and
+//! byte-identical merged captures at 2 and 4 shards.
+
+pub mod adapter;
+pub mod engine;
+pub mod spsc;
+pub mod testbed;
+
+pub use adapter::{reflect_outputs, EgressMeter, PacedIngest};
+pub use engine::{Engine, EngineConfig, EngineOutput};
+pub use testbed::SlicedTestbed;
+// The batch I/O types engines speak, re-exported for callers' convenience.
+pub use pp_rmt::switch::{BatchOutput, BatchPacket, OutputRef};

@@ -6,15 +6,18 @@
 //! pp-exp <experiment> [--quick]
 //!
 //! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
-//!              fig15 fig16 table1 headline all
+//!              fig15 fig16 table1 headline throughput all
 //! ```
 //!
 //! Each experiment prints a text table (the repository's rendering of the
 //! corresponding figure). `--quick` uses the reduced test-effort sweep.
+//! `throughput` is the exception: it measures the reproduction itself
+//! (scalar pipeline vs the `pp_fastpath` engine at 1/2/4/8 workers) and
+//! emits a JSON series on stdout for dashboards and trend tracking.
 
 use pp_harness::experiments::{
-    fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15, fig16, headline_fw_nat_40g, table1,
-    Effort,
+    emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15, fig16,
+    headline_fw_nat_40g, table1, Effort,
 };
 
 fn main() {
@@ -25,7 +28,7 @@ fn main() {
 
     let known = [
         "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "table1", "headline", "all",
+        "fig15", "fig16", "table1", "headline", "throughput", "all",
     ];
     if which.is_empty() || !known.contains(&which.as_str()) {
         eprintln!("usage: pp-exp <{}> [--quick]", known.join("|"));
@@ -78,5 +81,9 @@ fn main() {
     }
     if want("table1") {
         println!("{}", table1());
+    }
+    if want("throughput") {
+        // Machine-readable: this subcommand feeds the bench trajectory.
+        println!("{}", emulator_throughput(effort).render_json());
     }
 }

@@ -85,6 +85,41 @@ impl Series {
         }
         out
     }
+
+    /// Renders the series as a JSON object (title, x label, columns, and
+    /// one `[x, v0, v1, …]` row per point) — the machine-readable twin of
+    /// [`Series::render`], used by `pp-exp` subcommands that feed
+    /// dashboards rather than eyes.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        let columns: Vec<String> =
+            self.columns.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut cells = vec![num(p.x)];
+                cells.extend(p.values.iter().map(|&v| num(v)));
+                format!("    [{}]", cells.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"x_label\": \"{}\",\n  \"columns\": [{}],\n  \"points\": [\n{}\n  ]\n}}",
+            esc(&self.title),
+            esc(&self.x_label),
+            columns.join(", "),
+            rows.join(",\n")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +157,28 @@ mod tests {
         assert!(text.contains("payloadpark"));
         assert!(text.contains("12.000"));
         assert!(text.contains("0.5500"));
+    }
+
+    #[test]
+    fn render_json_is_parseable_shape() {
+        let json = sample().render_json();
+        assert!(json.contains("\"title\": \"Fig 7: goodput vs send rate\""));
+        assert!(json.contains("\"x_label\": \"send_gbps\""));
+        assert!(json.contains("\"baseline\", \"payloadpark\""));
+        assert!(json.contains("[2, 0.095, 0.095]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('[').count() + json.matches('{').count();
+        let closes = json.matches(']').count() + json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn render_json_escapes_and_handles_non_finite() {
+        let mut s = Series::new("say \"hi\"", "x", vec!["v".into()]);
+        s.push(1.0, vec![f64::NAN]);
+        let json = s.render_json();
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(json.contains("[1, null]"));
     }
 
     #[test]

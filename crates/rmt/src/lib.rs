@@ -42,4 +42,4 @@ pub use phv::{PayloadBlock, Phv, PpFields, RecircTarget, Verdict, BLOCK_BYTES};
 pub use pipeline::{Pipeline, PipelineBuilder, ProgramError};
 pub use register::{RegisterFile, RegisterId, RegisterSpec};
 pub use resources::{ResourceReport, StageUsage};
-pub use switch::{SwitchModel, SwitchOutput, SwitchStats};
+pub use switch::{BatchOutput, BatchPacket, OutputRef, SwitchModel, SwitchOutput, SwitchStats};

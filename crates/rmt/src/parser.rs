@@ -166,13 +166,20 @@ pub fn deparse_phv(phv: &Phv) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         ETHERNET_HEADER_LEN + 60 + phv.valid_block_bytes() + phv.body.len() + 16,
     );
+    deparse_phv_into(phv, &mut out);
+    out
+}
+
+/// Appends the deparsed bytes of `phv` to `out` without allocating a fresh
+/// buffer — the batch path deparses a whole batch into one arena.
+pub fn deparse_phv_into(phv: &Phv, out: &mut Vec<u8>) {
     out.extend_from_slice(&phv.eth.dst.0);
     out.extend_from_slice(&phv.eth.src.0);
     out.extend_from_slice(&phv.eth.ethertype.to_be_bytes());
 
     let Some(ip) = &phv.ipv4 else {
         out.extend_from_slice(&phv.body);
-        return out;
+        return;
     };
 
     let ihl = (IPV4_HEADER_LEN + ip.options.len()) / 4;
@@ -196,7 +203,7 @@ pub fn deparse_phv(phv: &Phv) -> Vec<u8> {
 
     let Some(udp) = &phv.udp else {
         out.extend_from_slice(&phv.body);
-        return out;
+        return;
     };
     out.extend_from_slice(&udp.src_port.to_be_bytes());
     out.extend_from_slice(&udp.dst_port.to_be_bytes());
@@ -216,7 +223,6 @@ pub fn deparse_phv(phv: &Phv) -> Vec<u8> {
         out.extend_from_slice(&block.data);
     }
     out.extend_from_slice(&phv.body);
-    out
 }
 
 /// Convenience check used by tests: parse + deparse must be the identity on

@@ -169,17 +169,48 @@ impl Pipeline {
         self.packets += 1;
         let Pipeline { stages, registers, counters, .. } = self;
         for stage in stages.iter_mut() {
-            for mat in stage.mats.iter_mut() {
-                if !mat.matches(phv) {
-                    continue;
-                }
-                // At most one register cell per MAT per packet — the
-                // stateful-ALU restriction (§4).
-                let cell = mat
-                    .stateful_index(phv)
-                    .map(|(array, index)| registers.cell_mut(array, index));
-                let mut ctx = ActionCtx { phv, cell, counters };
-                mat.run(&mut ctx);
+            stage_pass(stage, registers, counters, phv);
+        }
+    }
+
+    /// Runs all stages over a whole *batch* of parsed PHVs.
+    ///
+    /// The loop order is stage-outer, packet-middle, MAT-inner: every packet
+    /// of the batch clears stage *s* before any packet enters stage *s*+1 —
+    /// exactly how an RMT chip pipelines packets (packet B occupies stage 0
+    /// while packet A occupies stage 1). Because stateful bindings are
+    /// stage-local (enforced by [`PipelineBuilder::build`]), the sequence of
+    /// register accesses per array is identical to processing the batch one
+    /// packet at a time through [`Pipeline::execute`], so batched and scalar
+    /// execution produce byte-identical PHVs, counters and register state.
+    /// Within a stage each packet still runs the stage's MATs in placement
+    /// order, preserving per-packet intra-stage semantics.
+    pub fn execute_batch(&mut self, phvs: &mut [Phv]) {
+        self.packets += phvs.len() as u64;
+        let Pipeline { stages, registers, counters, .. } = self;
+        for stage in stages.iter_mut() {
+            if stage.mats.is_empty() {
+                continue;
+            }
+            for phv in phvs.iter_mut() {
+                stage_pass(stage, registers, counters, phv);
+            }
+        }
+    }
+
+    /// [`Pipeline::execute_batch`] over a scattered batch: runs the stages
+    /// on `phvs[i]` for each `i` in `idxs`, in that order. Lets a caller
+    /// batch a mixed-pipe wave without moving PHVs into per-pipe buffers
+    /// ([`crate::switch::SwitchModel::process_batch`] does this).
+    pub fn execute_batch_indexed(&mut self, phvs: &mut [Phv], idxs: &[usize]) {
+        self.packets += idxs.len() as u64;
+        let Pipeline { stages, registers, counters, .. } = self;
+        for stage in stages.iter_mut() {
+            if stage.mats.is_empty() {
+                continue;
+            }
+            for &i in idxs {
+                stage_pass(stage, registers, counters, &mut phvs[i]);
             }
         }
     }
@@ -187,6 +218,11 @@ impl Pipeline {
     /// Deparses a PHV with this pipe's deparser.
     pub fn deparse(&self, phv: &Phv) -> Vec<u8> {
         deparse_phv(phv)
+    }
+
+    /// Deparses a PHV, appending to `out` (the batch path's arena deparser).
+    pub fn deparse_into(&self, phv: &Phv, out: &mut Vec<u8>) {
+        crate::parser::deparse_phv_into(phv, out);
     }
 
     /// The parser configuration.
@@ -263,6 +299,28 @@ impl core::fmt::Debug for Pipeline {
             .field("registers", &self.registers.specs().len())
             .field("packets", &self.packets)
             .finish()
+    }
+}
+
+/// Runs one stage's MATs, in placement order, on one PHV.
+#[inline]
+fn stage_pass(
+    stage: &mut Stage,
+    registers: &mut RegisterFile,
+    counters: &mut [u64],
+    phv: &mut Phv,
+) {
+    for mat in stage.mats.iter_mut() {
+        if !mat.matches(phv) {
+            continue;
+        }
+        // At most one register cell per MAT per packet — the stateful-ALU
+        // restriction (§4).
+        let cell = mat
+            .stateful_index(phv)
+            .map(|(array, index)| registers.cell_mut(array, index));
+        let mut ctx = ActionCtx { phv, cell, counters };
+        mat.run(&mut ctx);
     }
 }
 
@@ -469,6 +527,90 @@ mod tests {
         assert_eq!(p.counter("hits"), 5);
         assert_eq!(p.counter("nonexistent"), 0);
         assert_eq!(p.counters(), vec![("hits", 5)]);
+    }
+
+    #[test]
+    fn execute_batch_matches_sequential_execution() {
+        // A two-stage stateful program: stage 0 assigns each packet a
+        // ticket from a shared counter, stage 1 accumulates tickets into a
+        // second register. Batch execution must produce the same PHVs and
+        // the same register state as one-at-a-time execution.
+        let build = || {
+            let mut b = Pipeline::builder(chip());
+            let tickets = b.register(RegisterSpec {
+                name: "tickets".into(),
+                stage: 0,
+                cell_bytes: 4,
+                cells: 1,
+            });
+            let sum = b.register(RegisterSpec {
+                name: "sum".into(),
+                stage: 1,
+                cell_bytes: 4,
+                cells: 1,
+            });
+            b.place(
+                0,
+                Mat::builder("ticket")
+                    .stateful(tickets, |_| Some(0))
+                    .action(|ctx| {
+                        let c = ctx.cell.as_deref_mut().unwrap();
+                        let v = cell::read_u32(c) + 1;
+                        cell::write_u32(c, v);
+                        ctx.phv.meta[0] = v;
+                    })
+                    .build(),
+            );
+            b.place(
+                1,
+                Mat::builder("acc")
+                    .stateful(sum, |_| Some(0))
+                    .action(|ctx| {
+                        let c = ctx.cell.as_deref_mut().unwrap();
+                        let v = cell::read_u32(c) + ctx.phv.meta[0];
+                        cell::write_u32(c, v);
+                        ctx.phv.meta[1] = v;
+                    })
+                    .build(),
+            );
+            b.build().unwrap()
+        };
+        let pkt = UdpPacketBuilder::new().total_size(120, 1).build();
+        let parse = |p: &Pipeline| {
+            (0..8)
+                .map(|i| {
+                    crate::parser::parse_packet(p.parser(), pkt.bytes(), PortId(0), i).unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut scalar = build();
+        let mut expected = parse(&scalar);
+        for phv in expected.iter_mut() {
+            scalar.execute(phv);
+        }
+
+        let mut batched = build();
+        let mut phvs = parse(&batched);
+        batched.execute_batch(&mut phvs);
+
+        assert_eq!(phvs, expected);
+        assert_eq!(batched.packets_processed(), scalar.packets_processed());
+        assert_eq!(
+            cell::read_u32(batched.registers().cell(RegisterId(1), 0)),
+            cell::read_u32(scalar.registers().cell(RegisterId(1), 0)),
+        );
+    }
+
+    #[test]
+    fn deparse_into_appends_to_arena() {
+        let p = Pipeline::builder(chip()).build().unwrap();
+        let pkt = UdpPacketBuilder::new().total_size(150, 2).build();
+        let phv = crate::parser::parse_packet(p.parser(), pkt.bytes(), PortId(0), 0).unwrap();
+        let mut arena = vec![0xAAu8; 3];
+        p.deparse_into(&phv, &mut arena);
+        assert_eq!(&arena[..3], &[0xAA; 3]);
+        assert_eq!(&arena[3..], pkt.bytes());
     }
 
     #[test]

@@ -30,6 +30,21 @@ pub struct SwitchStats {
     pub recirculations: u64,
 }
 
+impl SwitchStats {
+    /// Accumulates another switch's statistics into this one (aggregating
+    /// sharded workers must account for every field, so this lives next
+    /// to the struct).
+    pub fn add(&mut self, other: &SwitchStats) {
+        self.received += other.received;
+        self.emitted += other.emitted;
+        self.dropped_by_program += other.dropped_by_program;
+        self.dropped_no_route += other.dropped_no_route;
+        self.dropped_recirc_limit += other.dropped_recirc_limit;
+        self.parse_errors += other.parse_errors;
+        self.recirculations += other.recirculations;
+    }
+}
+
 /// One packet leaving the switch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchOutput {
@@ -42,6 +57,134 @@ pub struct SwitchOutput {
     pub latency_ns: u64,
     /// Sequence number carried through from ingress.
     pub seq: u64,
+}
+
+/// One packet offered to [`SwitchModel::process_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPacket {
+    /// Wire bytes.
+    pub bytes: Vec<u8>,
+    /// Ingress port.
+    pub port: PortId,
+    /// Sequence number (simulation bookkeeping).
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutputItem {
+    port: PortId,
+    seq: u64,
+    latency_ns: u64,
+    start: usize,
+    end: usize,
+}
+
+/// A borrowed view of one packet inside a [`BatchOutput`].
+#[derive(Debug, Clone, Copy)]
+pub struct OutputRef<'a> {
+    /// Egress port.
+    pub port: PortId,
+    /// Sequence number carried through from ingress.
+    pub seq: u64,
+    /// Nanoseconds spent inside the switch.
+    pub latency_ns: u64,
+    /// Deparsed wire bytes (a slice of the batch arena).
+    pub bytes: &'a [u8],
+}
+
+/// Egress side of one batch pass: all deparsed packets share a single byte
+/// arena, so a batch costs two allocations amortized over every packet
+/// instead of one `Vec` per packet. Reuse the same `BatchOutput` across
+/// calls to keep the arena's capacity warm.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutput {
+    bytes: Vec<u8>,
+    items: Vec<OutputItem>,
+}
+
+impl BatchOutput {
+    /// An empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the contents, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.items.clear();
+    }
+
+    /// Packets held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no packet egressed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total wire bytes emitted (the arena length).
+    pub fn wire_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The `i`-th egressed packet.
+    pub fn get(&self, i: usize) -> OutputRef<'_> {
+        let it = self.items[i];
+        OutputRef {
+            port: it.port,
+            seq: it.seq,
+            latency_ns: it.latency_ns,
+            bytes: &self.bytes[it.start..it.end],
+        }
+    }
+
+    /// Iterates over the egressed packets in egress order.
+    pub fn iter(&self) -> impl Iterator<Item = OutputRef<'_>> {
+        self.items.iter().map(|it| OutputRef {
+            port: it.port,
+            seq: it.seq,
+            latency_ns: it.latency_ns,
+            bytes: &self.bytes[it.start..it.end],
+        })
+    }
+
+    /// Copies the batch out into owned per-packet [`SwitchOutput`]s.
+    pub fn to_switch_outputs(&self) -> Vec<SwitchOutput> {
+        self.iter()
+            .map(|o| SwitchOutput {
+                port: o.port,
+                bytes: o.bytes.to_vec(),
+                latency_ns: o.latency_ns,
+                seq: o.seq,
+            })
+            .collect()
+    }
+
+    /// Appends the outputs of another batch (used when merging per-worker
+    /// results).
+    pub fn append(&mut self, other: &BatchOutput) {
+        let base = self.bytes.len();
+        self.bytes.extend_from_slice(&other.bytes);
+        self.items.extend(other.items.iter().map(|it| OutputItem {
+            start: it.start + base,
+            end: it.end + base,
+            ..*it
+        }));
+    }
+
+    fn push_deparsed(&mut self, pipe: &Pipeline, phv: &crate::phv::Phv, item: (PortId, u64, u64)) {
+        let start = self.bytes.len();
+        pipe.deparse_into(phv, &mut self.bytes);
+        self.items.push(OutputItem {
+            port: item.0,
+            seq: item.1,
+            latency_ns: item.2,
+            start,
+            end: self.bytes.len(),
+        });
+    }
 }
 
 /// A multi-pipe RMT switch.
@@ -102,27 +245,44 @@ impl SwitchModel {
     /// outputs (zero when dropped).
     pub fn process(&mut self, bytes: &[u8], in_port: PortId, seq: u64) -> Vec<SwitchOutput> {
         self.stats.received += 1;
-        let mut pipe_idx = self.chip.pipe_of(in_port);
+        let pipe_idx = self.chip.pipe_of(in_port);
         debug_assert!(pipe_idx < self.pipes.len(), "port {in_port} beyond chip");
-        let mut latency = self.chip.pipeline_latency_ns;
 
-        let mut phv = match self.pipes[pipe_idx].process(bytes, in_port, seq) {
+        let phv = match self.pipes[pipe_idx].process(bytes, in_port, seq) {
             Ok(phv) => phv,
             Err(_) => {
                 self.stats.parse_errors += 1;
                 return Vec::new();
             }
         };
+        match self.finish_passes(phv, pipe_idx, seq) {
+            Some((port, phv, final_pipe, latency_ns)) => {
+                let bytes = self.pipes[final_pipe].deparse(&phv);
+                vec![SwitchOutput { port, bytes, latency_ns, seq }]
+            }
+            None => Vec::new(),
+        }
+    }
 
+    /// Runs the verdict/recirculation loop on an executed PHV and resolves
+    /// egress. Returns `(egress port, final PHV, pipe holding the deparser,
+    /// accumulated latency)`, or `None` when the packet was dropped.
+    fn finish_passes(
+        &mut self,
+        mut phv: crate::phv::Phv,
+        mut pipe_idx: usize,
+        seq: u64,
+    ) -> Option<(PortId, crate::phv::Phv, usize, u64)> {
+        let mut latency = self.chip.pipeline_latency_ns;
         loop {
             if phv.verdict.drop {
                 self.stats.dropped_by_program += 1;
-                return Vec::new();
+                return None;
             }
             let Some(target) = phv.verdict.recirculate else { break };
             if phv.recirc_count >= self.chip.max_recirculations {
                 self.stats.dropped_recirc_limit += 1;
-                return Vec::new();
+                return None;
             }
             debug_assert!(target.pipe < self.pipes.len(), "recirculation to unknown pipe");
             self.stats.recirculations += 1;
@@ -138,7 +298,7 @@ impl SwitchModel {
                 Ok(p) => p,
                 Err(_) => {
                     self.stats.parse_errors += 1;
-                    return Vec::new();
+                    return None;
                 }
             };
             next.recirc_count = phv.recirc_count + 1;
@@ -152,12 +312,65 @@ impl SwitchModel {
         match egress {
             Some(port) => {
                 self.stats.emitted += 1;
-                let bytes = self.pipes[pipe_idx].deparse(&phv);
-                vec![SwitchOutput { port, bytes, latency_ns: latency, seq }]
+                Some((port, phv, pipe_idx, latency))
             }
             None => {
                 self.stats.dropped_no_route += 1;
-                Vec::new()
+                None
+            }
+        }
+    }
+
+    /// Processes a whole batch of packets, appending egressed packets to
+    /// `out` (cleared first) in input order.
+    ///
+    /// Equivalent to calling [`SwitchModel::process`] on each packet in
+    /// order — byte-identical outputs, counters and register state — as
+    /// long as recirculation targets pipes whose register arrays are not
+    /// also written by first-pass traffic (true for PayloadPark, whose
+    /// annex pipe is recirculation-only). The batch amortizes MAT dispatch
+    /// (stage-outer execution via [`Pipeline::execute_batch`]) and
+    /// deparses every packet into one shared arena.
+    pub fn process_batch(&mut self, inputs: &[BatchPacket], out: &mut BatchOutput) {
+        out.clear();
+        self.stats.received += inputs.len() as u64;
+
+        // Parse everything up front (parsing touches no shared state) into
+        // one arrival-ordered buffer; per-pipe index lists let each pipe
+        // batch-execute its packets in place, without moving a PHV.
+        let n_pipes = self.pipes.len();
+        let mut phvs: Vec<crate::phv::Phv> = Vec::with_capacity(inputs.len());
+        let mut origin: Vec<usize> = Vec::with_capacity(inputs.len());
+        let mut by_pipe: Vec<Vec<usize>> = vec![Vec::new(); n_pipes];
+        for (i, pkt) in inputs.iter().enumerate() {
+            let pipe_idx = self.chip.pipe_of(pkt.port);
+            debug_assert!(pipe_idx < n_pipes, "port {} beyond chip", pkt.port);
+            match parse_packet(self.pipes[pipe_idx].parser(), &pkt.bytes, pkt.port, pkt.seq) {
+                Ok(phv) => {
+                    by_pipe[pipe_idx].push(phvs.len());
+                    phvs.push(phv);
+                    origin.push(i);
+                }
+                Err(_) => self.stats.parse_errors += 1,
+            }
+        }
+
+        // One batched pass per ingress pipe, in arrival order per pipe.
+        for (pipe_idx, idxs) in by_pipe.iter().enumerate() {
+            if !idxs.is_empty() {
+                self.pipes[pipe_idx].execute_batch_indexed(&mut phvs, idxs);
+            }
+        }
+
+        // Finish each packet in arrival order: verdicts, recirculation,
+        // egress resolution, arena deparse.
+        for (phv, i) in phvs.into_iter().zip(origin) {
+            let pkt = &inputs[i];
+            let pipe_idx = self.chip.pipe_of(pkt.port);
+            if let Some((port, phv, final_pipe, latency)) =
+                self.finish_passes(phv, pipe_idx, pkt.seq)
+            {
+                out.push_deparsed(&self.pipes[final_pipe], &phv, (port, pkt.seq, latency));
             }
         }
     }
@@ -349,5 +562,112 @@ mod tests {
     fn wrong_pipe_count_panics() {
         let chip = ChipProfile::default();
         SwitchModel::new(chip, vec![]);
+    }
+
+    /// A switch whose program is order-sensitive: a per-pipe stateful
+    /// counter is stamped into each packet's source MAC, so any deviation
+    /// from sequential packet order shows up in the output bytes.
+    fn stamping_switch() -> SwitchModel {
+        use crate::register::{cell, RegisterSpec};
+        let chip = ChipProfile::default();
+        let mut pipes: Vec<Pipeline> = Vec::new();
+        for _ in 0..chip.pipes {
+            let mut b = Pipeline::builder(chip);
+            let arr = b.register(RegisterSpec {
+                name: "stamp".into(),
+                stage: 0,
+                cell_bytes: 4,
+                cells: 1,
+            });
+            b.place(
+                0,
+                Mat::builder("stamp")
+                    .stateful(arr, |_| Some(0))
+                    .action(|ctx| {
+                        let c = ctx.cell.as_deref_mut().unwrap();
+                        let v = cell::read_u32(c) + 1;
+                        cell::write_u32(c, v);
+                        ctx.phv.eth.src.0[5] = v as u8;
+                    })
+                    .build(),
+            );
+            pipes.push(b.build().unwrap());
+        }
+        SwitchModel::new(chip, pipes)
+    }
+
+    #[test]
+    fn batch_matches_sequential_processing() {
+        let dst = MacAddr::from_index(8);
+        let inputs: Vec<BatchPacket> = (0..37)
+            .map(|i| BatchPacket {
+                bytes: UdpPacketBuilder::new()
+                    .dst_mac(dst)
+                    .total_size(100 + (i % 7) * 50, i as u64)
+                    .build()
+                    .into_bytes(),
+                // Spread the batch across two pipes.
+                port: PortId(if i % 3 == 0 { 16 } else { 0 }),
+                seq: i as u64,
+            })
+            .collect();
+
+        let mut seq_switch = stamping_switch();
+        seq_switch.l2_add(dst, PortId(40));
+        let mut expected = Vec::new();
+        for pkt in &inputs {
+            expected.extend(seq_switch.process(&pkt.bytes, pkt.port, pkt.seq));
+        }
+
+        let mut batch_switch = stamping_switch();
+        batch_switch.l2_add(dst, PortId(40));
+        let mut out = BatchOutput::new();
+        batch_switch.process_batch(&inputs, &mut out);
+
+        assert_eq!(out.to_switch_outputs(), expected);
+        assert_eq!(batch_switch.stats(), seq_switch.stats());
+        assert_eq!(out.wire_bytes(), expected.iter().map(|o| o.bytes.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn batch_counts_parse_errors_and_reuses_buffers() {
+        let dst = MacAddr::from_index(8);
+        let mut sw = stamping_switch();
+        sw.l2_add(dst, PortId(40));
+        let good = UdpPacketBuilder::new().dst_mac(dst).total_size(128, 1).build().into_bytes();
+        let inputs = vec![
+            BatchPacket { bytes: vec![0u8; 4], port: PortId(0), seq: 0 },
+            BatchPacket { bytes: good.clone(), port: PortId(0), seq: 1 },
+        ];
+        let mut out = BatchOutput::new();
+        sw.process_batch(&inputs, &mut out);
+        assert_eq!(sw.stats().parse_errors, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.get(0).seq, 1);
+        // A second call clears the previous contents.
+        sw.process_batch(&inputs[1..], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().count(), 1);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn batch_output_append_rebases_slices() {
+        let dst = MacAddr::from_index(8);
+        let mut sw = stamping_switch();
+        sw.l2_add(dst, PortId(40));
+        let pkt = |seq| BatchPacket {
+            bytes: UdpPacketBuilder::new().dst_mac(dst).total_size(90, seq).build().into_bytes(),
+            port: PortId(0),
+            seq,
+        };
+        let (mut a, mut b) = (BatchOutput::new(), BatchOutput::new());
+        sw.process_batch(&[pkt(0)], &mut a);
+        sw.process_batch(&[pkt(1)], &mut b);
+        let b0 = b.get(0).bytes.to_vec();
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(1).seq, 1);
+        assert_eq!(a.get(1).bytes, &b0[..]);
     }
 }

@@ -4,14 +4,16 @@
 //! zero premature evictions.
 
 use payloadpark::program::{build_baseline_switch, build_switch};
-use payloadpark::{ParkConfig, PipeControl};
+use payloadpark::{CounterSnapshot, ParkConfig, PipeControl};
+use pp_fastpath::{reflect_outputs, EngineConfig, SlicedTestbed};
 use pp_packet::pcap::{captures_identical, PcapReader, PcapRecord, PcapWriter};
 use pp_packet::{MacAddr, Packet};
 use pp_rmt::chip::ChipProfile;
-use pp_rmt::switch::SwitchModel;
+use pp_rmt::switch::{BatchPacket, SwitchModel, SwitchOutput};
 use pp_rmt::PortId;
 use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen};
 use pp_netsim::time::SimDuration;
+use proptest::prelude::*;
 
 const SERVER_PORT: u16 = 2;
 const SINK_PORT: u16 = 3;
@@ -114,6 +116,72 @@ fn equivalence_holds_with_recirculation() {
     assert!(counters.functionally_equivalent(), "{counters:?}");
     assert!(counters.splits > 0);
     assert!(park.stats().recirculations >= 2 * counters.splits);
+}
+
+// ---------------------------------------------------------------------
+// pp_fastpath equivalence oracle: for any seeded enterprise traffic mix,
+// the sharded, batched engine must produce the same counter totals and
+// byte-identical merged payloads as the scalar pipeline.
+// ---------------------------------------------------------------------
+
+/// Two-phase reference: every packet splits through the scalar switch,
+/// then every server return merges, in arrival order.
+fn fp_scalar(tb: &SlicedTestbed, inputs: &[BatchPacket]) -> (Vec<SwitchOutput>, CounterSnapshot) {
+    let (mut sw, control) = tb.build_scalar();
+    let merged = tb.scalar_roundtrip_two_phase(&mut sw, inputs);
+    let counters = control.counters(&sw);
+    (merged, counters)
+}
+
+/// The same two phases through the sharded, batched engine.
+fn fp_engine(
+    tb: &SlicedTestbed,
+    inputs: Vec<BatchPacket>,
+    workers: usize,
+) -> (Vec<SwitchOutput>, CounterSnapshot) {
+    let mut engine =
+        tb.build_engine(EngineConfig { workers, batch: 32, ring_depth: 4 }).unwrap();
+    let to_servers = engine.process(inputs);
+    let back = reflect_outputs(to_servers.iter(), tb.sink_mac());
+    let merged = engine.process(back);
+    (merged.to_seq_sorted(), engine.counters())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// §6.2.6, extended to the execution engine: sharded-batched output
+    /// must match the scalar pipeline *exactly* — counter totals and
+    /// byte-identical merged payloads — at 2 and 4 shards, including
+    /// mixes that wrap the circular buffers (evictions and premature
+    /// evictions must then be identical too).
+    #[test]
+    fn fastpath_matches_scalar_pipeline(
+        seed in any::<u64>(),
+        packets in 150usize..350,
+        slots in 24usize..512,
+    ) {
+        let tb = SlicedTestbed::new(4, slots);
+        let inputs = tb.counted_enterprise_wave(seed, packets);
+        let (scalar_merged, scalar_counters) = fp_scalar(&tb, &inputs);
+        prop_assert!(scalar_counters.splits > 0, "workload must exercise parking");
+
+        for workers in [2usize, 4] {
+            let (engine_merged, engine_counters) =
+                fp_engine(&tb, inputs.clone(), workers);
+            prop_assert_eq!(
+                &engine_counters, &scalar_counters,
+                "counter totals diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                engine_merged.len(), scalar_merged.len(),
+                "merged packet count diverged at {} workers", workers
+            );
+            for (e, s) in engine_merged.iter().zip(&scalar_merged) {
+                prop_assert_eq!(e, s, "merged payload diverged at {} workers", workers);
+            }
+        }
+    }
 }
 
 #[test]
