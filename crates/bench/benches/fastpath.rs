@@ -35,9 +35,7 @@ fn bench_fastpath(c: &mut Criterion) {
     });
 
     for workers in [1usize, 2, 4, 8] {
-        let mut engine = tb
-            .build_engine(EngineConfig { workers, ..Default::default() })
-            .unwrap();
+        let mut engine = tb.build_engine(EngineConfig { workers, ..Default::default() }).unwrap();
         g.bench_function(&format!("engine_{workers}_workers"), |b| {
             b.iter(|| black_box(engine.process_roundtrip(wave.clone(), tb.sink_mac()).packets()))
         });

@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pp_harness::experiments::{fig06, table1};
 use pp_harness::multiserver::{run_pipe, MultiServerConfig};
-use pp_harness::testbed::{
-    run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig,
-};
+use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
 use pp_netsim::time::SimDuration;
 use pp_nf::nfs::NF_MEDIUM_CYCLES;
 use pp_nf::server::ServerProfile;
@@ -35,6 +33,7 @@ fn cfg(
         nic_gbps: nic,
         rate_gbps: rate,
         sizes,
+        mix: pp_trafficgen::gen::TrafficMix::UdpOnly,
         duration: SimDuration::from_millis(3),
         chain,
         framework: fw,
@@ -55,13 +54,12 @@ fn bench_figures(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(5));
 
-    g.bench_function("fig06_workload_cdf", |b| {
-        b.iter(|| black_box(fig06().points().len()))
-    });
+    g.bench_function("fig06_workload_cdf", |b| b.iter(|| black_box(fig06().points().len())));
 
     // Fig 7 / Fig 13: FW→NAT→LB on NetBricks, 10GE enterprise, at 11 Gbps.
     let fig07_cfg = |recirc| {
-        let mode = DeployMode::PayloadPark(ParkParams { recirculation: recirc, ..Default::default() });
+        let mode =
+            DeployMode::PayloadPark(ParkParams { recirculation: recirc, ..Default::default() });
         cfg(
             10.0,
             11.0,
@@ -101,10 +99,7 @@ fn bench_figures(c: &mut Criterion) {
         let c = MultiServerConfig {
             rate_gbps: 4.0,
             duration: SimDuration::from_millis(3),
-            mode: DeployMode::PayloadPark(ParkParams {
-                sram_fraction: 0.40,
-                ..Default::default()
-            }),
+            mode: DeployMode::PayloadPark(ParkParams { sram_fraction: 0.40, ..Default::default() }),
             ..Default::default()
         };
         b.iter(|| black_box(run_pipe(&c)[0].goodput_gbps))

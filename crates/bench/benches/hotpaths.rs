@@ -47,9 +47,7 @@ fn bench_rmt_parser(c: &mut Criterion) {
     });
     g.bench_function("parse_split_blocks", |b| {
         b.iter(|| {
-            black_box(
-                parse_packet(&split, pkt.bytes(), PortId(0), 0).unwrap().valid_block_bytes(),
-            )
+            black_box(parse_packet(&split, pkt.bytes(), PortId(0), 0).unwrap().valid_block_bytes())
         })
     });
     g.finish();
@@ -104,10 +102,7 @@ fn bench_nfs(c: &mut Criterion) {
 
     let lb = MaglevLb::with_table_size(
         (0..8)
-            .map(|i| Backend {
-                name: format!("b{i}"),
-                ip: Ipv4Addr::new(10, 50, 0, i as u8 + 1),
-            })
+            .map(|i| Backend { name: format!("b{i}"), ip: Ipv4Addr::new(10, 50, 0, i as u8 + 1) })
             .collect(),
         65_537,
     );
@@ -136,5 +131,11 @@ fn bench_nfs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(hotpaths, bench_packet_primitives, bench_rmt_parser, bench_switch_passes, bench_nfs);
+criterion_group!(
+    hotpaths,
+    bench_packet_primitives,
+    bench_rmt_parser,
+    bench_switch_passes,
+    bench_nfs
+);
 criterion_main!(hotpaths);

@@ -6,13 +6,27 @@
 //! slice owns a contiguous range of lookup-table slots and its own set of
 //! split/merge ports.
 
+use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::phv::BLOCK_BYTES;
-use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
 
-/// Metadata bytes per lookup-table slot (16-bit generation clock + 16-bit
-/// expiry threshold, Fig. 4).
-pub const META_ENTRY_BYTES: usize = 4;
+/// Metadata bytes per lookup-table slot, one 64-bit register cell: 16-bit
+/// generation clock + 16-bit expiry threshold (Fig. 4) + the 16-bit
+/// original transport checksum (parked with the payload — the wire
+/// carries zero while the payload is off the wire) + the 16-bit folded
+/// sum of the 5-tuple words it was computed over, so Merge can repair the
+/// restored checksum incrementally (RFC 1624) when an NF rewrote the
+/// header in flight.
+pub const META_ENTRY_BYTES: usize = 8;
+
+/// Byte offset of the generation clock within a metadata entry.
+pub const META_OFF_CLK: usize = 0;
+/// Byte offset of the expiry threshold within a metadata entry.
+pub const META_OFF_EXP: usize = 2;
+/// Byte offset of the parked transport checksum within a metadata entry.
+pub const META_OFF_XSUM: usize = 4;
+/// Byte offset of the parked 5-tuple checksum contribution.
+pub const META_OFF_TSUM: usize = 6;
 
 /// One NF server's share of a pipe's lookup table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +82,12 @@ pub struct ParkConfig {
 impl ParkConfig {
     /// A single-server deployment on pipe 0 with the paper's defaults:
     /// 160-byte parking, expiry threshold 1.
-    pub fn single_server(chip: ChipProfile, split_ports: Vec<u16>, merge_port: u16, slots: usize) -> Self {
+    pub fn single_server(
+        chip: ChipProfile,
+        split_ports: Vec<u16>,
+        merge_port: u16,
+        slots: usize,
+    ) -> Self {
         ParkConfig {
             chip,
             expiry_threshold: 1,
@@ -239,7 +258,7 @@ mod tests {
         assert_eq!(cfg.capacity_bytes(pipe), 160);
         assert_eq!(cfg.min_split_payload(pipe), 160);
         assert_eq!(cfg.wire_savings_bytes(pipe), 153);
-        assert_eq!(cfg.slot_cost_primary_bytes(), 164);
+        assert_eq!(cfg.slot_cost_primary_bytes(), 168);
     }
 
     #[test]
@@ -258,7 +277,7 @@ mod tests {
     fn sram_fraction_roundtrip() {
         let cfg = base();
         let slots = cfg.slots_for_sram_fraction(0.26);
-        // 26% of ~3.8 MB / 164 B/slot ≈ 6.2k slots.
+        // 26% of ~3.8 MB / 168 B/slot ≈ 6.1k slots.
         assert!((6_000..6_500).contains(&slots), "slots {slots}");
         let frac = cfg.sram_fraction_for_slots(slots);
         assert!((frac - 0.26).abs() < 0.001);

@@ -37,9 +37,16 @@ impl PipeControl {
         crate::evictor::AdaptivePolicy::new(self.handles.expiry.clone(), config)
     }
 
-    /// Reads the pipe's monitoring counters.
+    /// Reads the deployment's monitoring counters. With recirculation the
+    /// annex pipe keeps its own counter block (its length fix-ups can bump
+    /// `len_underflow`); the snapshot aggregates both pipes so no count is
+    /// invisible to the control plane.
     pub fn counters(&self, switch: &SwitchModel) -> CounterSnapshot {
-        CounterSnapshot::read(switch.pipe(self.handles.pipe))
+        let mut snap = CounterSnapshot::read(switch.pipe(self.handles.pipe));
+        if let Some(annex) = self.handles.annex_pipe {
+            snap.add(&CounterSnapshot::read(switch.pipe(annex)));
+        }
+        snap
     }
 
     /// Number of lookup-table slots currently occupied (expiry > 0).

@@ -25,10 +25,15 @@ pub const C_DISABLED_SMALL_PAYLOAD: usize = 6;
 pub const C_DISABLED_OCCUPIED: usize = 7;
 /// Counter index: Merge requests whose tag failed CRC validation.
 pub const C_CRC_FAIL: usize = 8;
+/// Counter index: packets dropped because a length fix-up would have
+/// underflowed (or overflowed) the IPv4/UDP length fields — a malformed or
+/// forged packet that would otherwise leave the switch with a corrupted
+/// length.
+pub const C_LEN_UNDERFLOW: usize = 9;
 
 /// Counter names in index order; the program registers them in this order so
 /// the `C_*` indices are valid inside actions.
-pub const COUNTER_NAMES: [&str; 9] = [
+pub const COUNTER_NAMES: [&str; 10] = [
     "splits",
     "merges",
     "explicit_drops",
@@ -38,6 +43,7 @@ pub const COUNTER_NAMES: [&str; 9] = [
     "disabled_small_payload",
     "disabled_occupied",
     "crc_fail",
+    "len_underflow",
 ];
 
 /// A control-plane snapshot of one pipe's counters.
@@ -61,6 +67,8 @@ pub struct CounterSnapshot {
     pub disabled_occupied: u64,
     /// Merge tags failing CRC validation.
     pub crc_fail: u64,
+    /// Packets dropped by the length-fix-up underflow guard.
+    pub len_underflow: u64,
 }
 
 impl CounterSnapshot {
@@ -76,6 +84,7 @@ impl CounterSnapshot {
             disabled_small_payload: pipe.counter(COUNTER_NAMES[C_DISABLED_SMALL_PAYLOAD]),
             disabled_occupied: pipe.counter(COUNTER_NAMES[C_DISABLED_OCCUPIED]),
             crc_fail: pipe.counter(COUNTER_NAMES[C_CRC_FAIL]),
+            len_underflow: pipe.counter(COUNTER_NAMES[C_LEN_UNDERFLOW]),
         }
     }
 
@@ -92,22 +101,21 @@ impl CounterSnapshot {
         self.disabled_small_payload += other.disabled_small_payload;
         self.disabled_occupied += other.disabled_occupied;
         self.crc_fail += other.crc_fail;
+        self.len_underflow += other.len_underflow;
     }
 
     /// Outstanding parked payloads implied by the counters: splits minus
     /// everything that reclaimed a slot.
     pub fn outstanding(&self) -> i64 {
-        self.splits as i64
-            - self.merges as i64
-            - self.explicit_drops as i64
-            - self.evictions as i64
+        self.splits as i64 - self.merges as i64 - self.explicit_drops as i64 - self.evictions as i64
     }
 
     /// True when the deployment behaved functionally equivalently to the
     /// baseline: no payload was lost to premature eviction (§6.2.6 requires
-    /// zero premature evictions).
+    /// zero premature evictions) and no packet was dropped for a corrupted
+    /// tag or length.
     pub fn functionally_equivalent(&self) -> bool {
-        self.premature_evictions == 0 && self.crc_fail == 0
+        self.premature_evictions == 0 && self.crc_fail == 0 && self.len_underflow == 0
     }
 }
 
@@ -126,6 +134,7 @@ mod tests {
         assert_eq!(COUNTER_NAMES[C_DISABLED_SMALL_PAYLOAD], "disabled_small_payload");
         assert_eq!(COUNTER_NAMES[C_DISABLED_OCCUPIED], "disabled_occupied");
         assert_eq!(COUNTER_NAMES[C_CRC_FAIL], "crc_fail");
+        assert_eq!(COUNTER_NAMES[C_LEN_UNDERFLOW], "len_underflow");
     }
 
     #[test]
@@ -148,6 +157,9 @@ mod tests {
         assert!(!snap.functionally_equivalent());
         snap.premature_evictions = 0;
         snap.crc_fail = 1;
+        assert!(!snap.functionally_equivalent());
+        snap.crc_fail = 0;
+        snap.len_underflow = 1;
         assert!(!snap.functionally_equivalent());
     }
 }

@@ -81,8 +81,7 @@ impl AdaptivePolicy {
     /// (splits refused because slots stay occupied) without premature
     /// evictions means dead payloads are overstaying → lower it.
     pub fn observe(&mut self, now: CounterSnapshot) -> u16 {
-        let premature =
-            now.premature_evictions.saturating_sub(self.last.premature_evictions);
+        let premature = now.premature_evictions.saturating_sub(self.last.premature_evictions);
         let occupied = now.disabled_occupied.saturating_sub(self.last.disabled_occupied);
         self.last = now;
 
@@ -157,7 +156,7 @@ mod tests {
     fn deltas_not_absolutes_drive_decisions() {
         let mut p = policy(5);
         p.observe(snapshot(10, 0)); // 5 -> 6
-        // Same cumulative counters again: delta zero, no change.
+                                    // Same cumulative counters again: delta zero, no change.
         assert_eq!(p.observe(snapshot(10, 0)), 6);
     }
 

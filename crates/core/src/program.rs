@@ -25,13 +25,18 @@
 //! per MAT per packet — the restriction that dictates the circular-buffer
 //! design and the fall-back-to-baseline behaviour (§4).
 
-use crate::config::{ParkConfig, PipePark, META_ENTRY_BYTES};
+use crate::config::{
+    ParkConfig, PipePark, META_ENTRY_BYTES, META_OFF_CLK, META_OFF_EXP, META_OFF_TSUM,
+    META_OFF_XSUM,
+};
 use crate::counters::{
     COUNTER_NAMES, C_CRC_FAIL, C_DISABLED_OCCUPIED, C_DISABLED_SMALL_PAYLOAD, C_ENB0_FROM_SERVER,
-    C_EVICTIONS, C_EXPLICIT_DROPS, C_MERGES, C_PREMATURE_EVICTIONS, C_SPLITS,
+    C_EVICTIONS, C_EXPLICIT_DROPS, C_LEN_UNDERFLOW, C_MERGES, C_PREMATURE_EVICTIONS, C_SPLITS,
 };
+use pp_packet::checksum::Checksum;
 use pp_packet::crc::tag_crc;
 use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
+use pp_packet::{IPV4_HEADER_LEN, UDP_HEADER_LEN};
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::mat::{Mat, MatFootprint, MatchKind};
 use pp_rmt::parser::{BlockRule, ParserConfig};
@@ -53,6 +58,10 @@ pub const META_SPLIT_OK: usize = 2;
 pub const META_MERGE_OK: usize = 3;
 /// Metadata word: memory-slice id + 1 (0 = no slice).
 pub const META_SLICE: usize = 4;
+/// Metadata word: the original transport checksum read back from the
+/// metadata table at Merge, bridged across the annex recirculation so the
+/// annex pipe can restore it after re-attaching the annex blocks.
+pub const META_XSUM: usize = 5;
 
 /// Generation-clock modulus (the tag carries a 16-bit clock).
 pub const MAX_CLK: u32 = 65_536;
@@ -102,14 +111,84 @@ pub struct PipeHandles {
     pub expiry: Arc<AtomicU16>,
 }
 
-/// Adds `delta` to the IPv4 total-length and UDP length fields — the VLIW
-/// arithmetic Split/Merge perform when bytes leave or rejoin the wire.
-fn apply_len_delta(phv: &mut Phv, delta: i32) {
+/// Adds `delta` to the IPv4 total-length and (for UDP) the transport
+/// length field — the VLIW arithmetic Split/Merge perform when bytes leave
+/// or rejoin the wire. TCP carries no length field, so for TCP only the
+/// IPv4 total-length moves (the segment length, and with it the checksum
+/// pseudo-header, is implied by it).
+///
+/// The 16-bit length fields of a malformed or forged packet could be
+/// driven past their bounds by the fix-up; instead of emitting a corrupted
+/// length the guard drops the packet and bumps the `len_underflow`
+/// counter. Neither field is modified on a guarded drop.
+fn apply_len_delta(phv: &mut Phv, delta: i32, counters: &mut [u64]) {
+    if let Some(ip) = phv.ipv4.as_ref() {
+        let floor = (IPV4_HEADER_LEN + ip.options.len()) as i32;
+        let new = i32::from(ip.total_len) + delta;
+        if new < floor || new > i32::from(u16::MAX) {
+            counters[C_LEN_UNDERFLOW] += 1;
+            phv.verdict.drop = true;
+            return;
+        }
+    }
+    if let Some(udp) = phv.udp.as_ref() {
+        let new = i32::from(udp.len) + delta;
+        if new < UDP_HEADER_LEN as i32 || new > i32::from(u16::MAX) {
+            counters[C_LEN_UNDERFLOW] += 1;
+            phv.verdict.drop = true;
+            return;
+        }
+    }
     if let Some(ip) = phv.ipv4.as_mut() {
         ip.total_len = (i32::from(ip.total_len) + delta) as u16;
     }
     if let Some(udp) = phv.udp.as_mut() {
         udp.len = (i32::from(udp.len) + delta) as u16;
+    }
+}
+
+/// The folded one's-complement sum of the transport-checksum-covered
+/// words an NF may rewrite in flight: source/destination IPv4 addresses
+/// (pseudo-header) and transport ports. Split parks this next to the
+/// original checksum; comparing it with the value recomputed at Merge
+/// tells the dataplane whether — and by how much — to repair the
+/// restored checksum (RFC 1624).
+fn tuple_sum(phv: &Phv) -> u16 {
+    let mut c = Checksum::new();
+    if let Some(ip) = &phv.ipv4 {
+        c.add_u32(ip.src);
+        c.add_u32(ip.dst);
+    }
+    if let Some(udp) = &phv.udp {
+        c.add_word(udp.src_port);
+        c.add_word(udp.dst_port);
+    } else if let Some(tcp) = &phv.tcp {
+        c.add_word(tcp.src_port);
+        c.add_word(tcp.dst_port);
+    }
+    // `finish` complements the folded sum; undo that to keep the raw sum.
+    !c.finish()
+}
+
+/// The transport checksum Merge should restore: the parked original,
+/// incrementally repaired (RFC 1624 Eqn. 3) when the NF rewrote any of
+/// the 5-tuple words while the payload was parked. A parked zero means
+/// the endpoint never computed a checksum (RFC 768) and stays zero.
+fn restored_checksum(stored_xsum: u16, stored_tsum: u16, tsum_now: u16) -> u16 {
+    if stored_xsum == 0 || tsum_now == stored_tsum {
+        return stored_xsum;
+    }
+    let mut sum = u32::from(!stored_xsum) + u32::from(!stored_tsum) + u32::from(tsum_now);
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    let ck = !(sum as u16);
+    // A computed checksum of zero is transmitted as 0xFFFF (RFC 768); the
+    // NF-side incremental helpers normalize the same way.
+    if ck == 0 {
+        0xFFFF
+    } else {
+        ck
     }
 }
 
@@ -152,9 +231,7 @@ pub fn build_primary(
     let min_payload = cfg.min_split_payload(pipe_cfg);
     for slice in &pipe_cfg.slices {
         for &p in &slice.split_ports {
-            parser
-                .block_rules
-                .insert(p, BlockRule { blocks: cfg.primary_blocks, min_payload });
+            parser.block_rules.insert(p, BlockRule { blocks: cfg.primary_blocks, min_payload });
         }
         for &p in &slice.merge_ports {
             parser.pp_header_ports.insert(p);
@@ -223,7 +300,7 @@ pub fn build_primary(
         b.place(
             0,
             Mat::builder("slice_select")
-                .gateway(move |p| sp.contains(&p.ingress_port.0) && p.is_udp())
+                .gateway(move |p| sp.contains(&p.ingress_port.0) && p.has_transport())
                 .action(move |ctx| {
                     ctx.phv.meta[META_SLICE] =
                         map.get(&ctx.phv.ingress_port.0).copied().unwrap_or(0);
@@ -248,7 +325,7 @@ pub fn build_primary(
                 .gateway(move |p| mp.contains(&p.ingress_port.0) && p.pp.valid && !p.pp.enb)
                 .action(|ctx| {
                     ctx.phv.pp.valid = false;
-                    apply_len_delta(ctx.phv, -PP_LEN);
+                    apply_len_delta(ctx.phv, -PP_LEN, ctx.counters);
                     ctx.counters[C_ENB0_FROM_SERVER] += 1;
                 })
                 .footprint(gateway_footprint(18, 4))
@@ -261,9 +338,7 @@ pub fn build_primary(
     // co-reside with slice_select without an intra-stage dependency.
     let splittable = {
         let sp = split_ports.clone();
-        move |p: &Phv| {
-            sp.contains(&p.ingress_port.0) && p.blocks.iter().any(|blk| blk.valid)
-        }
+        move |p: &Phv| sp.contains(&p.ingress_port.0) && p.blocks.iter().any(|blk| blk.valid)
     };
     {
         let geom = geom_of_port.clone();
@@ -276,8 +351,7 @@ pub fn build_primary(
                     geom_idx.get(&p.ingress_port.0).map(|&(slice, _, _)| slice)
                 })
                 .action(move |ctx| {
-                    let (_, slice_base, slice_size) =
-                        geom[&ctx.phv.ingress_port.0];
+                    let (_, slice_base, slice_size) = geom[&ctx.phv.ingress_port.0];
                     let cell_ref = ctx.cell.as_deref_mut().expect("ti bound");
                     let ti = (cell::read_u32(cell_ref) + 1) % slice_size;
                     cell::write_u32(cell_ref, ti);
@@ -312,8 +386,7 @@ pub fn build_primary(
     {
         let max_exp = expiry.clone();
         let savings = cfg.primary_blocks as i32 * BLOCK_BYTES as i32 - PP_LEN;
-        let recirc_split =
-            pipe_cfg.annex_pipe.map(|pipe| RecircTarget { pipe, channel: 0 });
+        let recirc_split = pipe_cfg.annex_pipe.map(|pipe| RecircTarget { pipe, channel: 0 });
         b.place(
             1,
             Mat::builder("split_probe")
@@ -321,7 +394,7 @@ pub fn build_primary(
                 .stateful(meta_tbl, |p| Some(p.meta[META_TBL_IDX] as usize))
                 .action(move |ctx| {
                     let cell_ref = ctx.cell.as_deref_mut().expect("meta_tbl bound");
-                    let mut exp = cell::read_u16(&cell_ref[2..4]);
+                    let mut exp = cell::read_u16(&cell_ref[META_OFF_EXP..META_OFF_EXP + 2]);
                     // Alg. 1 lines 11-13: age the occupant.
                     if exp >= 1 {
                         exp -= 1;
@@ -332,11 +405,24 @@ pub fn build_primary(
                     let phv = &mut *ctx.phv;
                     if exp == 0 {
                         // Alg. 1 lines 14-20: slot is free (or just evicted):
-                        // occupy it and enable Split.
+                        // occupy it and enable Split. The original transport
+                        // checksum is parked with the payload — the wire
+                        // copy is zeroed while the payload is off the wire.
                         let clk = phv.meta[META_CLK] as u16;
                         let idx = phv.meta[META_TBL_IDX] as u16;
-                        cell::write_u16(&mut cell_ref[0..2], clk);
-                        cell::write_u16(&mut cell_ref[2..4], max_exp.load(Ordering::Relaxed));
+                        cell::write_u16(&mut cell_ref[META_OFF_CLK..META_OFF_CLK + 2], clk);
+                        cell::write_u16(
+                            &mut cell_ref[META_OFF_EXP..META_OFF_EXP + 2],
+                            max_exp.load(Ordering::Relaxed),
+                        );
+                        cell::write_u16(
+                            &mut cell_ref[META_OFF_XSUM..META_OFF_XSUM + 2],
+                            phv.transport_checksum().unwrap_or(0),
+                        );
+                        cell::write_u16(
+                            &mut cell_ref[META_OFF_TSUM..META_OFF_TSUM + 2],
+                            tuple_sum(phv),
+                        );
                         phv.pp.valid = true;
                         phv.pp.enb = true;
                         phv.pp.op_drop = false;
@@ -345,18 +431,18 @@ pub fn build_primary(
                         phv.pp.crc = tag_crc(idx, clk);
                         phv.meta[META_SPLIT_OK] = 1;
                         ctx.counters[C_SPLITS] += 1;
-                        apply_len_delta(phv, -savings);
+                        apply_len_delta(phv, -savings, ctx.counters);
                         if let Some(t) = recirc_split {
                             phv.verdict.recirculate = Some(t);
                         }
                     } else {
                         // Alg. 1 lines 21-23: occupied — write back the aged
                         // threshold, disable Split for this packet.
-                        cell::write_u16(&mut cell_ref[2..4], exp);
+                        cell::write_u16(&mut cell_ref[META_OFF_EXP..META_OFF_EXP + 2], exp);
                         phv.pp = Default::default();
                         phv.pp.valid = true;
                         ctx.counters[C_DISABLED_OCCUPIED] += 1;
-                        apply_len_delta(phv, PP_LEN);
+                        apply_len_delta(phv, PP_LEN, ctx.counters);
                     }
                 })
                 .footprint(gateway_footprint(52, 6))
@@ -370,7 +456,7 @@ pub fn build_primary(
             Mat::builder("split_small")
                 .gateway(move |p| {
                     sp.contains(&p.ingress_port.0)
-                        && p.is_udp()
+                        && p.has_transport()
                         && !p.blocks.iter().any(|blk| blk.valid)
                 })
                 .action(|ctx| {
@@ -380,7 +466,7 @@ pub fn build_primary(
                     ctx.phv.pp = Default::default();
                     ctx.phv.pp.valid = true;
                     ctx.counters[C_DISABLED_SMALL_PAYLOAD] += 1;
-                    apply_len_delta(ctx.phv, PP_LEN);
+                    apply_len_delta(ctx.phv, PP_LEN, ctx.counters);
                 })
                 .footprint(gateway_footprint(20, 4))
                 .build(),
@@ -389,8 +475,7 @@ pub fn build_primary(
     {
         let mp = merge_ports.clone();
         let restore_primary = cfg.primary_blocks as i32 * BLOCK_BYTES as i32;
-        let recirc_merge =
-            pipe_cfg.annex_pipe.map(|pipe| RecircTarget { pipe, channel: 1 });
+        let recirc_merge = pipe_cfg.annex_pipe.map(|pipe| RecircTarget { pipe, channel: 1 });
         let slots = total_slots;
         b.place(
             1,
@@ -401,16 +486,17 @@ pub fn build_primary(
                     (i < slots).then_some(i)
                 })
                 .action(move |ctx| {
-                    let crc_ok =
-                        tag_crc(ctx.phv.pp.tbl_idx, ctx.phv.pp.clk) == ctx.phv.pp.crc;
+                    let crc_ok = tag_crc(ctx.phv.pp.tbl_idx, ctx.phv.pp.clk) == ctx.phv.pp.crc;
                     let Some(cell_ref) = ctx.cell.as_deref_mut().filter(|_| crc_ok) else {
                         // Corrupted or out-of-range tag: never touch memory.
                         ctx.counters[C_CRC_FAIL] += 1;
                         ctx.phv.verdict.drop = true;
                         return;
                     };
-                    let stored_clk = cell::read_u16(&cell_ref[0..2]);
-                    let exp = cell::read_u16(&cell_ref[2..4]);
+                    let stored_clk = cell::read_u16(&cell_ref[META_OFF_CLK..META_OFF_CLK + 2]);
+                    let exp = cell::read_u16(&cell_ref[META_OFF_EXP..META_OFF_EXP + 2]);
+                    let stored_xsum = cell::read_u16(&cell_ref[META_OFF_XSUM..META_OFF_XSUM + 2]);
+                    let stored_tsum = cell::read_u16(&cell_ref[META_OFF_TSUM..META_OFF_TSUM + 2]);
                     let phv = &mut *ctx.phv;
                     if exp > 0 && stored_clk == phv.pp.clk {
                         // Alg. 2 lines 11-15: generations match — reclaim.
@@ -424,15 +510,22 @@ pub fn build_primary(
                             phv.verdict.drop = true;
                         } else {
                             ctx.counters[C_MERGES] += 1;
+                            // Un-park the original transport checksum along
+                            // with the payload, repaired for any 5-tuple
+                            // rewrite the NF applied in flight; the annex
+                            // path needs it bridged across recirculation.
+                            let xsum = restored_checksum(stored_xsum, stored_tsum, tuple_sum(phv));
+                            phv.set_transport_checksum(xsum);
+                            phv.meta[META_XSUM] = u32::from(xsum);
                             match recirc_merge {
                                 Some(t) => {
                                     // Annex blocks are restored in the annex
                                     // pipe; keep the header for its tag.
-                                    apply_len_delta(phv, restore_primary);
+                                    apply_len_delta(phv, restore_primary, ctx.counters);
                                     phv.verdict.recirculate = Some(t);
                                 }
                                 None => {
-                                    apply_len_delta(phv, restore_primary - PP_LEN);
+                                    apply_len_delta(phv, restore_primary - PP_LEN, ctx.counters);
                                     phv.pp.valid = false;
                                 }
                             }
@@ -457,9 +550,7 @@ pub fn build_primary(
             b.place(
                 st,
                 Mat::builder(format!("split_store_{j}"))
-                    .gateway(move |p| {
-                        sp.contains(&p.ingress_port.0) && p.meta[META_SPLIT_OK] == 1
-                    })
+                    .gateway(move |p| sp.contains(&p.ingress_port.0) && p.meta[META_SPLIT_OK] == 1)
                     .stateful(reg, |p| Some(p.meta[META_TBL_IDX] as usize))
                     .action(move |ctx| {
                         let cell_ref = ctx.cell.as_deref_mut().expect("payload bound");
@@ -475,9 +566,7 @@ pub fn build_primary(
             b.place(
                 st,
                 Mat::builder(format!("merge_load_{j}"))
-                    .gateway(move |p| {
-                        mp.contains(&p.ingress_port.0) && p.meta[META_MERGE_OK] == 1
-                    })
+                    .gateway(move |p| mp.contains(&p.ingress_port.0) && p.meta[META_MERGE_OK] == 1)
                     .stateful(reg, |p| Some(p.meta[META_TBL_IDX] as usize))
                     .action(move |ctx| {
                         let cell_ref = ctx.cell.as_deref_mut().expect("payload bound");
@@ -598,7 +687,7 @@ pub fn build_annex(
         last,
         Mat::builder("annex_finish_store")
             .gateway(move |p| p.ingress_port == rc_store && p.pp.valid && p.pp.enb)
-            .action(move |ctx| apply_len_delta(ctx.phv, -annex_bytes))
+            .action(move |ctx| apply_len_delta(ctx.phv, -annex_bytes, ctx.counters))
             .footprint(gateway_footprint(18, 2))
             .build(),
     );
@@ -607,7 +696,12 @@ pub fn build_annex(
         Mat::builder("annex_finish_load")
             .gateway(move |p| p.ingress_port == rc_load && p.pp.valid && p.pp.enb)
             .action(move |ctx| {
-                apply_len_delta(ctx.phv, annex_bytes - PP_LEN);
+                apply_len_delta(ctx.phv, annex_bytes - PP_LEN, ctx.counters);
+                // The primary pipe bridged the un-parked transport checksum
+                // across the recirculation (the wire copy was zeroed while
+                // the shim was on); restore it now that the packet is whole.
+                let xsum = ctx.phv.meta[META_XSUM] as u16;
+                ctx.phv.set_transport_checksum(xsum);
                 ctx.phv.pp.valid = false;
             })
             .footprint(gateway_footprint(18, 3))
@@ -651,4 +745,157 @@ pub fn build_baseline_switch(chip: ChipProfile) -> Result<SwitchModel, BuildErro
         pipes.push(Pipeline::builder(chip).build()?);
     }
     Ok(SwitchModel::new(chip, pipes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_packet::MacAddr;
+    use pp_rmt::chip::PortId;
+    use pp_rmt::phv::{EthFields, Ipv4Fields, PpFields, TcpFields, UdpFields, Verdict, META_WORDS};
+
+    fn udp_phv(total_len: u16, udp_len: u16) -> Phv {
+        Phv {
+            ingress_port: PortId(0),
+            eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0x0800 },
+            ipv4: Some(Ipv4Fields {
+                total_len,
+                ident: 0,
+                ttl: 64,
+                protocol: 17,
+                src: 1,
+                dst: 2,
+                options: Vec::new(),
+            }),
+            udp: Some(UdpFields { src_port: 1, dst_port: 2, len: udp_len, checksum: 0xBEEF }),
+            tcp: None,
+            pp: PpFields::default(),
+            blocks: Vec::new(),
+            body: Vec::new(),
+            meta: [0; META_WORDS],
+            verdict: Verdict::default(),
+            recirc_count: 0,
+            seq: 0,
+        }
+    }
+
+    fn tcp_phv(total_len: u16) -> Phv {
+        let mut phv = udp_phv(total_len, 8);
+        phv.udp = None;
+        phv.ipv4.as_mut().unwrap().protocol = 6;
+        phv.tcp = Some(TcpFields {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            reserved: 0,
+            flags: 0x10,
+            window: 100,
+            checksum: 0xBEEF,
+            urgent: 0,
+            options: Vec::new(),
+        });
+        phv
+    }
+
+    #[test]
+    fn len_delta_applies_to_ip_and_udp() {
+        let mut phv = udp_phv(500, 480);
+        let mut counters = vec![0u64; COUNTER_NAMES.len()];
+        apply_len_delta(&mut phv, -153, &mut counters);
+        assert_eq!(phv.ipv4.as_ref().unwrap().total_len, 347);
+        assert_eq!(phv.udp.as_ref().unwrap().len, 327);
+        assert!(!phv.verdict.drop);
+        assert_eq!(counters[C_LEN_UNDERFLOW], 0);
+    }
+
+    #[test]
+    fn len_delta_on_tcp_moves_only_the_ip_length() {
+        let mut phv = tcp_phv(500);
+        let mut counters = vec![0u64; COUNTER_NAMES.len()];
+        apply_len_delta(&mut phv, -153, &mut counters);
+        assert_eq!(phv.ipv4.as_ref().unwrap().total_len, 347);
+        assert!(!phv.verdict.drop);
+    }
+
+    #[test]
+    fn len_underflow_drops_instead_of_wrapping() {
+        // A forged/short packet: removing 153 bytes would wrap the u16.
+        let mut phv = udp_phv(100, 80);
+        let mut counters = vec![0u64; COUNTER_NAMES.len()];
+        apply_len_delta(&mut phv, -153, &mut counters);
+        assert!(phv.verdict.drop, "must drop, not wrap");
+        assert_eq!(counters[C_LEN_UNDERFLOW], 1);
+        // Neither field was modified.
+        assert_eq!(phv.ipv4.as_ref().unwrap().total_len, 100);
+        assert_eq!(phv.udp.as_ref().unwrap().len, 80);
+    }
+
+    #[test]
+    fn udp_len_underflow_guards_even_when_ip_len_fits() {
+        // Inconsistent headers: the IPv4 length survives the delta but the
+        // (forged, too-small) UDP length would wrap below its 8-byte floor.
+        let mut phv = udp_phv(500, 20);
+        let mut counters = vec![0u64; COUNTER_NAMES.len()];
+        apply_len_delta(&mut phv, -153, &mut counters);
+        assert!(phv.verdict.drop);
+        assert_eq!(counters[C_LEN_UNDERFLOW], 1);
+        assert_eq!(phv.ipv4.as_ref().unwrap().total_len, 500);
+        assert_eq!(phv.udp.as_ref().unwrap().len, 20);
+    }
+
+    #[test]
+    fn restored_checksum_is_identity_when_header_unchanged() {
+        // Same 5-tuple sum: the parked original comes back verbatim, even
+        // for the ±0 edge representations.
+        for ck in [0x1234u16, 0x0000, 0xFFFF] {
+            assert_eq!(restored_checksum(ck, 0xABCD, 0xABCD), ck);
+        }
+        // A parked zero means "never computed" and stays zero regardless.
+        assert_eq!(restored_checksum(0, 0x1111, 0x2222), 0);
+    }
+
+    #[test]
+    fn restored_checksum_repair_matches_full_recompute() {
+        use pp_packet::checksum::{Checksum, PseudoHeader};
+        // A UDP segment checksummed under its original 5-tuple, then the
+        // source address/port rewritten as a NAT would.
+        let payload = [0x11u8, 0x22, 0x33, 0x44, 0x55];
+        let seg_ck = |src: u32, dst: u32, sp: u16, dp: u16| {
+            let mut c = Checksum::new();
+            let length = 8 + payload.len() as u16;
+            PseudoHeader { src, dst, protocol: 17, length }.add_to(&mut c);
+            c.add_word(sp);
+            c.add_word(dp);
+            c.add_word(length);
+            c.add_bytes(&payload);
+            c.finish()
+        };
+        let (src, dst, sp, dp) = (0x0A00_0001, 0x0A00_0002, 1000, 2000);
+        let (new_src, new_sp) = (0xC633_6401, 40_000);
+        let original = seg_ck(src, dst, sp, dp);
+        let expected = seg_ck(new_src, dst, new_sp, dp);
+
+        let tsum = |s: u32, d: u32, a: u16, b: u16| {
+            let mut c = Checksum::new();
+            c.add_u32(s);
+            c.add_u32(d);
+            c.add_word(a);
+            c.add_word(b);
+            !c.finish()
+        };
+        let repaired =
+            restored_checksum(original, tsum(src, dst, sp, dp), tsum(new_src, dst, new_sp, dp));
+        assert_eq!(repaired, expected);
+    }
+
+    #[test]
+    fn len_overflow_is_guarded_too() {
+        let mut phv = udp_phv(u16::MAX - 10, u16::MAX - 30);
+        let mut counters = vec![0u64; COUNTER_NAMES.len()];
+        apply_len_delta(&mut phv, 160, &mut counters);
+        assert!(phv.verdict.drop);
+        assert_eq!(counters[C_LEN_UNDERFLOW], 1);
+        assert_eq!(phv.ipv4.as_ref().unwrap().total_len, u16::MAX - 10);
+    }
 }

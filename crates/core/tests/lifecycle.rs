@@ -8,7 +8,7 @@
 
 use payloadpark::program::{build_baseline_switch, build_switch};
 use payloadpark::{ParkConfig, PipeControl, SliceSpec};
-use pp_packet::builder::{pattern, UdpPacketBuilder};
+use pp_packet::builder::{pattern, TcpPacketBuilder, UdpPacketBuilder};
 use pp_packet::parse::ParsedPacket;
 use pp_packet::ppark::{PayloadParkHeader, PpOpcode};
 use pp_packet::{MacAddr, UDP_STACK_HEADER_LEN};
@@ -231,8 +231,7 @@ fn explicit_drop_reclaims_without_emitting() {
     let parsed = ParsedPacket::parse(&notify).unwrap();
     let pp_start = parsed.offsets().payload;
     {
-        let mut pp =
-            PayloadParkHeader::new_checked(&mut notify[pp_start..]).unwrap();
+        let mut pp = PayloadParkHeader::new_checked(&mut notify[pp_start..]).unwrap();
         pp.set_opcode(PpOpcode::ExplicitDrop);
     }
     notify[0..6].copy_from_slice(&sink_mac().0);
@@ -264,17 +263,118 @@ fn corrupted_tag_is_rejected_by_crc() {
 }
 
 #[test]
-fn non_udp_traffic_passes_through_untouched() {
+fn non_transport_traffic_passes_through_untouched() {
     let (mut switch, control) = testbed(8, 1);
-    let mut tcp_pkt = gen_packet(512, 3);
-    tcp_pkt[23] = 6; // protocol = TCP
+    let mut gre_pkt = gen_packet(512, 3);
+    gre_pkt[23] = 47; // protocol = GRE: neither UDP nor TCP
     {
-        let mut ip = pp_packet::ipv4::Ipv4Header::new_checked(&mut tcp_pkt[14..]).unwrap();
+        let mut ip = pp_packet::ipv4::Ipv4Header::new_checked(&mut gre_pkt[14..]).unwrap();
         ip.fill_checksum();
     }
-    let out = switch.process(&tcp_pkt, PortId(GEN_PORT), 0);
-    assert_eq!(out[0].bytes, tcp_pkt);
+    let out = switch.process(&gre_pkt, PortId(GEN_PORT), 0);
+    assert_eq!(out[0].bytes, gre_pkt);
     assert_eq!(control.counters(&switch).splits, 0);
+}
+
+#[test]
+fn tcp_split_merge_is_identity_with_valid_checksums() {
+    // TCP is a first-class parked workload: a 512-byte segment parks 160
+    // payload bytes (only the IPv4 total-length moves — TCP has no length
+    // field), the parked leg carries a zeroed transport checksum, and
+    // Merge restores the original byte-for-byte.
+    let (mut switch, control) = testbed(64, 1);
+    let pkt = TcpPacketBuilder::new()
+        .dst_mac(server_mac())
+        .src_mac(MacAddr::from_index(1))
+        .tcp_seq(0x1000)
+        .total_size(512, 9)
+        .build()
+        .into_bytes();
+
+    let out = switch.process(&pkt, PortId(GEN_PORT), 0);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].bytes.len(), 512 - 160 + 7);
+    let parsed = ParsedPacket::parse(&out[0].bytes).unwrap();
+    assert_eq!(parsed.five_tuple().protocol, 6);
+    // Parked leg: transport checksum zeroed (the original is parked).
+    let tr = parsed.offsets().transport;
+    assert_eq!(&out[0].bytes[tr + 16..tr + 18], &[0, 0]);
+
+    let back = bounce(&mut switch, &out[0]);
+    assert_eq!(back.len(), 1);
+    assert_eq!(back[0].bytes.len(), 512);
+    let mut restored = back[0].bytes.clone();
+    restored[0..6].copy_from_slice(&server_mac().0); // undo the NF's MAC swap
+    assert_eq!(restored, pkt, "Split ∘ Merge must be the identity for TCP");
+    assert!(ParsedPacket::parse(&back[0].bytes).unwrap().verify_checksums());
+
+    let c = control.counters(&switch);
+    assert_eq!((c.splits, c.merges), (1, 1));
+    assert!(c.functionally_equivalent());
+}
+
+/// An NF that rewrites the 5-tuple while the payload is parked (NAT): it
+/// sees a zero transport checksum on the parked leg and leaves it alone
+/// (RFC 768); Merge must repair the restored checksum for the rewritten
+/// header, so the sink still receives a fully valid packet.
+#[test]
+fn merge_repairs_checksum_after_nat_style_rewrite() {
+    for tcp in [false, true] {
+        let (mut switch, control) = testbed(64, 1);
+        let pkt = if tcp {
+            TcpPacketBuilder::new()
+                .dst_mac(server_mac())
+                .src_mac(MacAddr::from_index(1))
+                .total_size(512, 21)
+                .build()
+                .into_bytes()
+        } else {
+            gen_packet(512, 21)
+        };
+
+        let out = switch.process(&pkt, PortId(GEN_PORT), 0);
+        let mut at_server = out[0].bytes.clone();
+        at_server[0..6].copy_from_slice(&sink_mac().0);
+        // The NAT: rewrite source IP and port, fix the IP header checksum,
+        // leave the zero ("not computed") transport checksum untouched.
+        at_server[26..30].copy_from_slice(&[198, 51, 100, 1]);
+        at_server[34..36].copy_from_slice(&40_000u16.to_be_bytes());
+        {
+            let mut ip = pp_packet::ipv4::Ipv4Header::new_checked(&mut at_server[14..]).unwrap();
+            ip.fill_checksum();
+        }
+        let tr = 34;
+        let ck_off = if tcp { tr + 16 } else { tr + 6 };
+        assert_eq!(&at_server[ck_off..ck_off + 2], &[0, 0], "parked leg carries no checksum");
+
+        let back = switch.process(&at_server, PortId(SERVER_PORT), 0);
+        assert_eq!(back.len(), 1, "tcp={tcp}");
+        assert_eq!(back[0].bytes.len(), 512);
+        let merged = ParsedPacket::parse(&back[0].bytes).unwrap();
+        assert_eq!(merged.five_tuple().src_port, 40_000);
+        assert!(
+            merged.verify_checksums(),
+            "merged checksum must be valid for the NAT-rewritten header (tcp={tcp})"
+        );
+        assert!(control.counters(&switch).functionally_equivalent());
+    }
+}
+
+#[test]
+fn udp_parked_leg_checksum_is_zeroed_and_restored() {
+    let (mut switch, control) = testbed(64, 1);
+    let pkt = gen_packet(512, 11);
+    let original_ck = pkt[40..42].to_vec();
+    assert_ne!(original_ck, [0, 0]);
+
+    let out = switch.process(&pkt, PortId(GEN_PORT), 0);
+    // Parked leg: RFC 768 "checksum not computed".
+    assert_eq!(&out[0].bytes[40..42], &[0, 0]);
+
+    let back = bounce(&mut switch, &out[0]);
+    assert_eq!(&back[0].bytes[40..42], &original_ck[..], "Merge restores the original");
+    assert!(ParsedPacket::parse(&back[0].bytes).unwrap().verify_checksums());
+    assert!(control.counters(&switch).functionally_equivalent());
 }
 
 #[test]
@@ -389,8 +489,7 @@ fn multi_slice_isolation() {
 
     // Exhaust slice A (expiry 1 means its own slots recycle, so fill 4).
     for i in 0..4u64 {
-        let pkt =
-            UdpPacketBuilder::new().dst_mac(mac_a).total_size(512, i).build().into_bytes();
+        let pkt = UdpPacketBuilder::new().dst_mac(mac_a).total_size(512, i).build().into_bytes();
         switch.process(&pkt, PortId(0), i);
     }
     assert_eq!(control.occupancy(&switch), 4);

@@ -19,8 +19,7 @@ const SERVER_PORT: u16 = 2;
 const SINK_PORT: u16 = 3;
 
 fn testbed(slots: usize, expiry: u16) -> (SwitchModel, PipeControl) {
-    let mut cfg =
-        ParkConfig::single_server(ChipProfile::default(), vec![0, 1], SERVER_PORT, slots);
+    let mut cfg = ParkConfig::single_server(ChipProfile::default(), vec![0, 1], SERVER_PORT, slots);
     cfg.expiry_threshold = expiry;
     let (mut switch, handles) = build_switch(&cfg).unwrap();
     switch.l2_add(MacAddr::from_index(100), PortId(SERVER_PORT));

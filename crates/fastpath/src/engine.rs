@@ -483,12 +483,8 @@ impl EngineOutput {
     /// deterministic order the equivalence oracle compares against the
     /// scalar pipeline's output.
     pub fn to_seq_sorted(&self) -> Vec<SwitchOutput> {
-        let mut all: Vec<SwitchOutput> = self
-            .per_worker
-            .iter()
-            .flatten()
-            .flat_map(|b| b.to_switch_outputs())
-            .collect();
+        let mut all: Vec<SwitchOutput> =
+            self.per_worker.iter().flatten().flat_map(|b| b.to_switch_outputs()).collect();
         all.sort_by_key(|o| o.seq);
         all
     }
@@ -516,9 +512,8 @@ mod tests {
         workers: usize,
         fused: bool,
     ) -> (Vec<SwitchOutput>, CounterSnapshot) {
-        let mut engine = TB
-            .build_engine(EngineConfig { workers, batch: 16, ring_depth: 4 })
-            .unwrap();
+        let mut engine =
+            TB.build_engine(EngineConfig { workers, batch: 16, ring_depth: 4 }).unwrap();
         let merged = if fused {
             engine.process_roundtrip(inputs, TB.sink_mac())
         } else {
@@ -541,10 +536,7 @@ mod tests {
                 let (engine_out, engine_counters) =
                     engine_roundtrip(inputs.clone(), workers, fused);
                 assert_eq!(engine_out, scalar_out, "{workers} workers, fused={fused}");
-                assert_eq!(
-                    engine_counters, scalar_counters,
-                    "{workers} workers, fused={fused}"
-                );
+                assert_eq!(engine_counters, scalar_counters, "{workers} workers, fused={fused}");
             }
         }
         assert!(scalar_counters.splits > 0, "workload must exercise parking");
@@ -552,15 +544,11 @@ mod tests {
 
     #[test]
     fn engine_survives_many_waves() {
-        let mut engine = TB
-            .build_engine(EngineConfig { workers: 2, batch: 32, ring_depth: 2 })
-            .unwrap();
+        let mut engine =
+            TB.build_engine(EngineConfig { workers: 2, batch: 32, ring_depth: 2 }).unwrap();
         let mut emitted = 0;
         for wave in 0..10 {
-            let out = engine.process_roundtrip(
-                TB.counted_enterprise_wave(wave, 64),
-                TB.sink_mac(),
-            );
+            let out = engine.process_roundtrip(TB.counted_enterprise_wave(wave, 64), TB.sink_mac());
             emitted += out.packets();
             assert_eq!(out.workers(), 2, "wave {wave}");
         }
@@ -570,9 +558,8 @@ mod tests {
 
     #[test]
     fn unknown_port_takes_the_l2_path_on_shard_zero() {
-        let mut engine = TB
-            .build_engine(EngineConfig { workers: 2, ..Default::default() })
-            .unwrap();
+        let mut engine =
+            TB.build_engine(EngineConfig { workers: 2, ..Default::default() }).unwrap();
         let pkt = BatchPacket {
             bytes: UdpPacketBuilder::new()
                 .dst_mac(TB.sink_mac())
@@ -598,12 +585,10 @@ mod tests {
     fn engine_moved_across_threads_keeps_its_wakeups() {
         // The dispatcher slot must follow the driving thread, not the
         // thread that constructed the engine.
-        let mut engine = TB
-            .build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 })
-            .unwrap();
+        let mut engine =
+            TB.build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 }).unwrap();
         let (merged, counters) = std::thread::spawn(move || {
-            let out = engine
-                .process_roundtrip(TB.counted_enterprise_wave(5, 120), TB.sink_mac());
+            let out = engine.process_roundtrip(TB.counted_enterprise_wave(5, 120), TB.sink_mac());
             (out.packets(), engine.counters())
         })
         .join()
@@ -616,9 +601,7 @@ mod tests {
     fn rejects_bad_configs() {
         assert!(TB.build_engine(EngineConfig { workers: 5, ..Default::default() }).is_err());
         assert!(TB.build_engine(EngineConfig { batch: 0, ..Default::default() }).is_err());
-        assert!(
-            TB.build_engine(EngineConfig { ring_depth: 0, ..Default::default() }).is_err()
-        );
+        assert!(TB.build_engine(EngineConfig { ring_depth: 0, ..Default::default() }).is_err());
     }
 
     #[test]

@@ -67,11 +67,8 @@ pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be positive");
     let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
         (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
-    let ring = Arc::new(Ring {
-        slots,
-        head: PaddedCounter::default(),
-        tail: PaddedCounter::default(),
-    });
+    let ring =
+        Arc::new(Ring { slots, head: PaddedCounter::default(), tail: PaddedCounter::default() });
     (Producer { ring: Arc::clone(&ring), head_cache: 0 }, Consumer { ring, tail_cache: 0 })
 }
 

@@ -19,7 +19,7 @@ use pp_packet::MacAddr;
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::switch::{BatchPacket, SwitchOutput};
 use pp_rmt::{PortId, SwitchModel};
-use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen};
+use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen, TrafficMix};
 
 /// An N-slice single-pipe deployment with one MAC-swap NF server per
 /// slice and a sink.
@@ -128,9 +128,22 @@ impl SlicedTestbed {
     /// Exactly `packets` enterprise-mix packets, dealt round-robin across
     /// the slices by sequence number: the oracle's seeded workload.
     pub fn counted_enterprise_wave(&self, seed: u64, packets: usize) -> Vec<BatchPacket> {
+        self.counted_wave(seed, packets, TrafficMix::UdpOnly)
+    }
+
+    /// Exactly `packets` of the mixed TCP+UDP enterprise workload (the
+    /// traffic composition the paper's target datacenters actually carry):
+    /// 70 % of flows run TCP connections with SYN/data/FIN phases, dealt
+    /// round-robin across the slices like the UDP wave.
+    pub fn counted_mixed_wave(&self, seed: u64, packets: usize) -> Vec<BatchPacket> {
+        self.counted_wave(seed, packets, TrafficMix::TcpUdp { tcp_fraction: 0.7 })
+    }
+
+    fn counted_wave(&self, seed: u64, packets: usize, mix: TrafficMix) -> Vec<BatchPacket> {
         let mut gen = TrafficGen::new(GenConfig {
             rate_gbps: 4.0,
             sizes: SizeModel::Enterprise,
+            mix,
             flows: 32,
             seed,
             ..Default::default()
@@ -140,11 +153,8 @@ impl SlicedTestbed {
                 let (_, pkt) = gen.next_packet();
                 let seq = pkt.seq();
                 let slice = (seq as usize) % self.slices;
-                let mut pkt = BatchPacket {
-                    bytes: pkt.into_bytes(),
-                    port: self.split_port(slice),
-                    seq,
-                };
+                let mut pkt =
+                    BatchPacket { bytes: pkt.into_bytes(), port: self.split_port(slice), seq };
                 self.stamp_server_mac(&mut pkt);
                 pkt
             })
@@ -216,13 +226,34 @@ mod tests {
         let wave = tb.counted_enterprise_wave(9, 40);
         assert_eq!(wave.len(), 40);
         for k in 0..4 {
-            let slice: Vec<_> =
-                wave.iter().filter(|p| p.port == tb.split_port(k)).collect();
+            let slice: Vec<_> = wave.iter().filter(|p| p.port == tb.split_port(k)).collect();
             assert_eq!(slice.len(), 10, "slice {k}");
             assert!(slice.iter().all(|p| p.bytes[0..6] == tb.server_mac(k).0));
         }
         let paced = tb.enterprise_wave(9, SimDuration::from_micros(200));
         assert!(!paced.is_empty());
+    }
+
+    #[test]
+    fn mixed_wave_carries_both_transports() {
+        let tb = SlicedTestbed::new(4, 64);
+        let wave = tb.counted_mixed_wave(9, 400);
+        assert_eq!(wave.len(), 400);
+        let tcp = wave
+            .iter()
+            .filter(|p| {
+                pp_packet::ParsedPacket::parse(&p.bytes).unwrap().five_tuple().protocol == 6
+            })
+            .count();
+        assert!(tcp > 100 && tcp < 400, "tcp {tcp} of 400");
+        // Dealt across all slices like the UDP wave.
+        for k in 0..4 {
+            assert_eq!(
+                wave.iter().filter(|p| p.port == tb.split_port(k)).count(),
+                100,
+                "slice {k}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! pp-exp <experiment> [--quick]
 //!
 //! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
-//!              fig15 fig16 table1 headline throughput all
+//!              fig15 fig16 table1 headline mixed throughput all
 //! ```
 //!
 //! Each experiment prints a text table (the repository's rendering of the
@@ -17,7 +17,7 @@
 
 use pp_harness::experiments::{
     emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15, fig16,
-    headline_fw_nat_40g, table1, Effort,
+    headline_fw_nat_40g, mixed_goodput, table1, Effort,
 };
 
 fn main() {
@@ -27,8 +27,22 @@ fn main() {
     let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
 
     let known = [
-        "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "table1", "headline", "throughput", "all",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "table1",
+        "headline",
+        "mixed",
+        "throughput",
+        "all",
     ];
     if which.is_empty() || !known.contains(&which.as_str()) {
         eprintln!("usage: pp-exp <{}> [--quick]", known.join("|"));
@@ -78,6 +92,9 @@ fn main() {
     }
     if want("headline") {
         println!("{}", headline_fw_nat_40g(effort).render());
+    }
+    if want("mixed") {
+        println!("{}", mixed_goodput(effort).render());
     }
     if want("table1") {
         println!("{}", table1());

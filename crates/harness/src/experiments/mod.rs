@@ -26,7 +26,7 @@ use pp_nf::nfs::{NF_HEAVY_CYCLES, NF_LIGHT_CYCLES, NF_MEDIUM_CYCLES};
 use pp_nf::server::ServerProfile;
 use pp_rmt::chip::ChipProfile;
 use pp_trafficgen::enterprise::EnterpriseDistribution;
-use pp_trafficgen::gen::SizeModel;
+use pp_trafficgen::gen::{SizeModel, TrafficMix};
 
 /// Sweep density / simulation-window scaling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,18 +105,11 @@ pub fn fig06() -> Series {
 // Fig. 7 / Fig. 13 — FW→NAT→LB goodput & latency vs send rate
 // ---------------------------------------------------------------------
 
-/// Fig. 7: FW→NAT→LB on NetBricks over 10 GE, goodput and average latency
-/// vs send rate; `recirculation` turns it into Fig. 13 (384 B parked).
-pub fn fig07(effort: Effort, recirculation: bool) -> Series {
-    let rates: Vec<f64> = match effort {
-        Effort::Quick => vec![2.0, 6.0, 10.0, 12.0],
-        Effort::Full => vec![1.0, 2.0, 4.0, 6.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0],
-    };
-    let title = if recirculation {
-        "Fig 13: FW->NAT->LB on NetBricks, 10GE, with recirculation (384B parked)"
-    } else {
-        "Fig 7: FW->NAT->LB on NetBricks, 10GE (160B parked)"
-    };
+/// A baseline-vs-PayloadPark send-rate sweep over one testbed
+/// configuration: the Fig. 7-style shape (goodput, average latency and
+/// PCIe bandwidth per deployment at each rate), shared by every sweep
+/// that renders it.
+fn rate_sweep(title: &str, rates: &[f64], mut cfg: TestbedConfig, park: ParkParams) -> Series {
     let mut series = Series::new(
         title,
         "send_gbps",
@@ -129,19 +122,11 @@ pub fn fig07(effort: Effort, recirculation: bool) -> Series {
             "pcie_pp_gbps".into(),
         ],
     );
-    let mut cfg = base_config(effort);
-    cfg.nic_gbps = 10.0;
-    cfg.framework = FrameworkKind::NetBricks;
-    cfg.chain = ChainSpec::FwNatLb { fw_rules: 20 };
-    cfg.sizes = SizeModel::Enterprise;
-    for &rate in &rates {
+    for &rate in rates {
         cfg.rate_gbps = rate;
         cfg.mode = DeployMode::Baseline;
         let base = run(&cfg);
-        cfg.mode = DeployMode::PayloadPark(ParkParams {
-            recirculation,
-            ..Default::default()
-        });
+        cfg.mode = DeployMode::PayloadPark(park);
         let park = run(&cfg);
         series.push(
             rate,
@@ -156,6 +141,50 @@ pub fn fig07(effort: Effort, recirculation: bool) -> Series {
         );
     }
     series
+}
+
+/// Fig. 7: FW→NAT→LB on NetBricks over 10 GE, goodput and average latency
+/// vs send rate; `recirculation` turns it into Fig. 13 (384 B parked).
+pub fn fig07(effort: Effort, recirculation: bool) -> Series {
+    let rates: Vec<f64> = match effort {
+        Effort::Quick => vec![2.0, 6.0, 10.0, 12.0],
+        Effort::Full => vec![1.0, 2.0, 4.0, 6.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0],
+    };
+    let title = if recirculation {
+        "Fig 13: FW->NAT->LB on NetBricks, 10GE, with recirculation (384B parked)"
+    } else {
+        "Fig 7: FW->NAT->LB on NetBricks, 10GE (160B parked)"
+    };
+    let mut cfg = base_config(effort);
+    cfg.nic_gbps = 10.0;
+    cfg.framework = FrameworkKind::NetBricks;
+    cfg.chain = ChainSpec::FwNatLb { fw_rules: 20 };
+    cfg.sizes = SizeModel::Enterprise;
+    rate_sweep(title, &rates, cfg, ParkParams { recirculation, ..Default::default() })
+}
+
+/// The Fig. 7/8/9-style goodput sweep on the *mixed TCP+UDP* enterprise
+/// wave — the traffic composition the paper's target datacenters actually
+/// carry (70 % of flows are TCP connections with SYN/data/FIN phases).
+/// FW→NAT on OpenNetVM over 40 GE: goodput, latency and PCIe bandwidth vs
+/// send rate, baseline against PayloadPark parking both protocols.
+pub fn mixed_goodput(effort: Effort) -> Series {
+    let rates: Vec<f64> = match effort {
+        Effort::Quick => vec![4.0, 12.0, 20.0],
+        Effort::Full => vec![2.0, 6.0, 10.0, 14.0, 18.0, 22.0, 26.0, 30.0],
+    };
+    let mut cfg = base_config(effort);
+    cfg.nic_gbps = 40.0;
+    cfg.framework = FrameworkKind::OpenNetVm;
+    cfg.chain = ChainSpec::FwNat { fw_rules: 1 };
+    cfg.sizes = SizeModel::Enterprise;
+    cfg.mix = TrafficMix::TcpUdp { tcp_fraction: 0.7 };
+    rate_sweep(
+        "Mixed TCP+UDP enterprise wave: FW->NAT on OpenNetVM, 40GE (70% TCP flows)",
+        &rates,
+        cfg,
+        ParkParams::default(),
+    )
 }
 
 /// §6.2.1 headline: FW→NAT on OpenNetVM over 40 GE with the enterprise
@@ -436,11 +465,8 @@ pub fn fig15(effort: Effort) -> Series {
         Effort::Quick => vec![256, 1492],
         Effort::Full => vec![256, 384, 1024, 1492],
     };
-    let nfs: [(&str, u64); 3] = [
-        ("light", NF_LIGHT_CYCLES),
-        ("medium", NF_MEDIUM_CYCLES),
-        ("heavy", NF_HEAVY_CYCLES),
-    ];
+    let nfs: [(&str, u64); 3] =
+        [("light", NF_LIGHT_CYCLES), ("medium", NF_MEDIUM_CYCLES), ("heavy", NF_HEAVY_CYCLES)];
     let mut cols = Vec::new();
     for (n, _) in &nfs {
         cols.push(format!("{n}_base"));
@@ -505,12 +531,7 @@ pub fn fig16(effort: Effort) -> Series {
         let park = run(&cfg);
         series.push(
             rate,
-            vec![
-                base.goodput_gbps,
-                park.goodput_gbps,
-                base.avg_latency_us,
-                park.avg_latency_us,
-            ],
+            vec![base.goodput_gbps, park.goodput_gbps, base.avg_latency_us, park.avg_latency_us],
         );
     }
     series
@@ -601,6 +622,17 @@ mod tests {
     }
 
     #[test]
+    fn mixed_goodput_quick_parks_the_tcp_wave() {
+        let s = mixed_goodput(Effort::Quick);
+        let base = s.column("goodput_base_gbps").unwrap();
+        let park = s.column("goodput_pp_gbps").unwrap();
+        // Below saturation they tie; at the top rate parking must win.
+        assert!((park[0] - base[0]).abs() / base[0] < 0.05, "park {} base {}", park[0], base[0]);
+        let last = base.len() - 1;
+        assert!(park[last] > base[last] * 1.02, "park {} base {}", park[last], base[last]);
+    }
+
+    #[test]
     fn fig16_quick_baseline_caps_first() {
         let s = fig16(Effort::Quick);
         let base = s.column("goodput_base_gbps").unwrap();
@@ -609,4 +641,3 @@ mod tests {
         assert!(park[last] > base[last], "park {} base {}", park[last], base[last]);
     }
 }
-

@@ -55,9 +55,7 @@ fn run_scalar(inputs: &[BatchPacket]) -> (f64, f64) {
 /// shard-locally.
 fn run_engine(inputs: Vec<BatchPacket>, workers: usize) -> (f64, f64) {
     let tb = testbed();
-    let mut engine = tb
-        .build_engine(EngineConfig { workers, ..Default::default() })
-        .unwrap();
+    let mut engine = tb.build_engine(EngineConfig { workers, ..Default::default() }).unwrap();
     let n = inputs.len();
     let start = Instant::now();
     let merged = engine.process_roundtrip(inputs, tb.sink_mac());
@@ -113,10 +111,7 @@ mod tests {
         let wave = workload(Effort::Quick);
         assert!(wave.len() > 500, "window too small: {}", wave.len());
         for k in 0..SLICES {
-            assert!(
-                wave.iter().any(|p| p.port == tb.split_port(k)),
-                "slice {k} unused"
-            );
+            assert!(wave.iter().any(|p| p.port == tb.split_port(k)), "slice {k} unused");
         }
     }
 }

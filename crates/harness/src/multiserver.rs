@@ -129,11 +129,8 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
             profile.framework = config.framework.profile_for(explicit);
             profile.framework.per_byte_cycles = config.per_byte_cycles;
             let chain = config.chain.build(128, src_bases[s]);
-            let mut srv = NfServer::new(
-                profile,
-                chain,
-                DetRng::derive(config.seed, &format!("server{s}")),
-            );
+            let mut srv =
+                NfServer::new(profile, chain, DetRng::derive(config.seed, &format!("server{s}")));
             srv.set_tx_dst_mac(sink_macs[s]);
             srv
         })
@@ -141,10 +138,8 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
 
     let bw = Bandwidth::gbps(config.nic_gbps);
     let prop = SimDuration::from_nanos(500);
-    let mut gen_links = [
-        [Link::new(bw, prop), Link::new(bw, prop)],
-        [Link::new(bw, prop), Link::new(bw, prop)],
-    ];
+    let mut gen_links =
+        [[Link::new(bw, prop), Link::new(bw, prop)], [Link::new(bw, prop), Link::new(bw, prop)]];
     let mut to_server = [Link::new(bw, prop), Link::new(bw, prop)];
     let mut from_server = [Link::new(bw, prop), Link::new(bw, prop)];
     let mut to_sink = [
@@ -160,6 +155,7 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
                 line_rate_gbps: config.nic_gbps * 2.0,
                 burst: 32,
                 sizes: SizeModel::Fixed(config.packet_size),
+                mix: pp_trafficgen::gen::TrafficMix::UdpOnly,
                 flows: 128,
                 dst_mac: server_macs[s],
                 dst_ip: Ipv4Addr::new(10, 10, 0, s as u8 + 1),
@@ -222,8 +218,7 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
                     if let Some(s) = SERVER_PORTS.iter().position(|&p| p == out.port.0) {
                         let arrival = to_server[s].transmit(t_out, fwd.len());
                         queue.schedule(arrival, Ev::Server { server: s, pkt: fwd });
-                    } else if let Some(s) = SINK_PORTS.iter().position(|&p| p == out.port.0)
-                    {
+                    } else if let Some(s) = SINK_PORTS.iter().position(|&p| p == out.port.0) {
                         let arrival = to_sink[s].transmit(t_out, fwd.len());
                         queue.schedule(arrival, Ev::Sink { server: s, pkt: fwd });
                     }
@@ -233,18 +228,14 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
                 RxOutcome::Dropped | RxOutcome::Done { packet: None, .. } => {}
                 RxOutcome::Done { time, packet: Some(out) } => {
                     let arrival = from_server[server].transmit(time, out.len());
-                    queue.schedule(
-                        arrival,
-                        Ev::Switch { port: SERVER_PORTS[server], pkt: out },
-                    );
+                    queue.schedule(arrival, Ev::Switch { port: SERVER_PORTS[server], pkt: out });
                 }
             },
             Ev::Sink { server, pkt } => {
                 delivered_total[server] += 1;
                 if now.nanos() <= duration_ns {
                     goodput[server].record(now, pkt.len());
-                    let dep =
-                        departures[server].get(pkt.seq() as usize).copied().unwrap_or(0);
+                    let dep = departures[server].get(pkt.seq() as usize).copied().unwrap_or(0);
                     latency[server].record(SimDuration::from_nanos(now.nanos() - dep));
                 }
             }
@@ -253,8 +244,7 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
 
     let counters = control.as_ref().map(|c| c.counters(&switch));
     let swstats = switch.stats();
-    let premature_total =
-        counters.map(|c| c.premature_evictions + c.crc_fail).unwrap_or(0);
+    let premature_total = counters.map(|c| c.premature_evictions + c.crc_fail).unwrap_or(0);
 
     core::array::from_fn(|s| {
         let sstats = servers[s].stats();
@@ -268,9 +258,7 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
             ring_drops: sstats.ring_drops,
             premature_eviction_drops: premature,
             other_drops: if s == 0 {
-                swstats.parse_errors
-                    + swstats.dropped_no_route
-                    + swstats.dropped_recirc_limit
+                swstats.parse_errors + swstats.dropped_no_route + swstats.dropped_recirc_limit
             } else {
                 0
             },

@@ -93,6 +93,7 @@ mod tests {
             nic_gbps: 10.0,
             rate_gbps: 1.0,
             sizes: SizeModel::Fixed(512),
+            mix: pp_trafficgen::gen::TrafficMix::UdpOnly,
             duration: SimDuration::from_millis(12),
             chain: ChainSpec::Synthetic { cycles: 2000 },
             framework: FrameworkKind::OpenNetVm,
@@ -114,11 +115,7 @@ mod tests {
         // µ ≈ 2.3e9 / (150 + 2000 + 0.6·512) ≈ 0.94 Mpps ≈ 3.85 Gbps.
         let peak = find_peak_goodput(&cfg(), 1.0, 10.0, 6, 3);
         assert!(peak.report.healthy());
-        assert!(
-            (2.5..5.5).contains(&peak.peak_send_gbps),
-            "peak {}",
-            peak.peak_send_gbps
-        );
+        assert!((2.5..5.5).contains(&peak.peak_send_gbps), "peak {}", peak.peak_send_gbps);
     }
 
     #[test]

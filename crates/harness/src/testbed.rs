@@ -29,7 +29,7 @@ use pp_nf::server::{NfServer, RxOutcome, ServerProfile};
 use pp_packet::{MacAddr, Packet};
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::switch::SwitchModel;
-use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen};
+use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen, TrafficMix};
 use std::net::Ipv4Addr;
 
 /// Generator split-side ports.
@@ -112,12 +112,7 @@ impl ChainSpec {
             ChainSpec::FwNatBlacklist { blocked_pct } => {
                 let blocked = flows * usize::from(blocked_pct) / 100;
                 let rules = (0..blocked)
-                    .map(|i| {
-                        FirewallRule::new(
-                            Ipv4Addr::from(u32::from(src_base) + i as u32),
-                            32,
-                        )
-                    })
+                    .map(|i| FirewallRule::new(Ipv4Addr::from(u32::from(src_base) + i as u32), 32))
                     .collect();
                 NfChain::new(vec![
                     Box::new(Firewall::new(rules)),
@@ -167,12 +162,7 @@ pub struct ParkParams {
 
 impl Default for ParkParams {
     fn default() -> Self {
-        ParkParams {
-            sram_fraction: 0.26,
-            expiry: 1,
-            recirculation: false,
-            explicit_drop: false,
-        }
+        ParkParams { sram_fraction: 0.26, expiry: 1, recirculation: false, explicit_drop: false }
     }
 }
 
@@ -194,6 +184,8 @@ pub struct TestbedConfig {
     pub rate_gbps: f64,
     /// Packet sizing.
     pub sizes: SizeModel,
+    /// Transport-protocol mix of the generated traffic.
+    pub mix: TrafficMix,
     /// Traffic window; events drain after it closes.
     pub duration: SimDuration,
     /// NF chain on the server.
@@ -217,6 +209,7 @@ impl Default for TestbedConfig {
             nic_gbps: 10.0,
             rate_gbps: 4.0,
             sizes: SizeModel::Enterprise,
+            mix: TrafficMix::UdpOnly,
             duration: SimDuration::from_millis(50),
             chain: ChainSpec::FwNatLb { fw_rules: 20 },
             framework: FrameworkKind::NetBricks,
@@ -290,9 +283,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
 
     // --- switch ---
     let (mut switch, control): (SwitchModel, Option<PipeControl>) = match config.mode {
-        DeployMode::Baseline => {
-            (build_baseline_switch(chip).expect("baseline builds"), None)
-        }
+        DeployMode::Baseline => (build_baseline_switch(chip).expect("baseline builds"), None),
         DeployMode::PayloadPark(p) => {
             let mut park = ParkConfig::single_server(
                 chip,
@@ -304,8 +295,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
             if p.recirculation {
                 park.pipes[0].annex_pipe = Some(1);
             }
-            park.pipes[0].slices[0].slots =
-                park.slots_for_sram_fraction(p.sram_fraction).max(1);
+            park.pipes[0].slices[0].slots = park.slots_for_sram_fraction(p.sram_fraction).max(1);
             let (sw, handles) = build_switch(&park).expect("park config builds");
             (sw, Some(PipeControl::new(handles[0].clone())))
         }
@@ -318,8 +308,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
     let mut server_profile = config.server;
     server_profile.framework = config.framework.profile(explicit);
     let chain = config.chain.build(config.flows, src_base);
-    let mut server =
-        NfServer::new(server_profile, chain, DetRng::derive(config.seed, "server"));
+    let mut server = NfServer::new(server_profile, chain, DetRng::derive(config.seed, "server"));
     server.set_tx_dst_mac(sink_mac);
 
     // --- links ---
@@ -338,6 +327,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
         line_rate_gbps: config.nic_gbps * 2.0,
         burst: 32,
         sizes: config.sizes.clone(),
+        mix: config.mix,
         flows: config.flows,
         dst_mac: server_mac,
         dst_ip: Ipv4Addr::new(10, 10, 0, 1),
@@ -412,10 +402,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
                 RxOutcome::Dropped => {}
                 RxOutcome::Done { time, packet: Some(out) } => {
                     let arrival = from_server.transmit(time, out.len());
-                    queue.schedule(
-                        arrival,
-                        Ev::Switch { port: SERVER_PORT, pkt: out },
-                    );
+                    queue.schedule(arrival, Ev::Switch { port: SERVER_PORT, pkt: out });
                 }
                 RxOutcome::Done { time: _, packet: None } => {}
             },
@@ -423,10 +410,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
                 delivered_total += 1;
                 if now.nanos() <= duration_ns {
                     goodput.record(now, pkt.len());
-                    let dep = departures
-                        .get(pkt.seq() as usize)
-                        .copied()
-                        .unwrap_or(0);
+                    let dep = departures.get(pkt.seq() as usize).copied().unwrap_or(0);
                     latency.record(SimDuration::from_nanos(now.nanos() - dep));
                 }
             }
@@ -437,9 +421,7 @@ pub fn run(config: &TestbedConfig) -> RunReport {
     let counters = control.as_ref().map(|c| c.counters(&switch));
     let sstats = server.stats();
     let swstats = switch.stats();
-    let premature = counters
-        .map(|c| c.premature_evictions + c.crc_fail)
-        .unwrap_or(0);
+    let premature = counters.map(|c| c.premature_evictions + c.crc_fail).unwrap_or(0);
     let explicit_consumed = counters.map(|c| c.explicit_drops).unwrap_or(0);
     // Explicit-drop notifications are extra packets consumed by the switch;
     // exclude them from the "program drops" that indicate real loss.
@@ -490,6 +472,7 @@ mod tests {
             nic_gbps: 10.0,
             rate_gbps: rate,
             sizes: SizeModel::Fixed(512),
+            mix: TrafficMix::UdpOnly,
             duration: SimDuration::from_millis(2),
             chain: ChainSpec::MacSwap,
             framework: FrameworkKind::NetBricks,
@@ -551,6 +534,7 @@ mod tests {
             nic_gbps: 40.0,
             rate_gbps: 40.0,
             sizes: SizeModel::Fixed(512),
+            mix: TrafficMix::UdpOnly,
             duration: SimDuration::from_millis(4),
             chain: ChainSpec::Synthetic { cycles: 5000 },
             framework: FrameworkKind::OpenNetVm,
@@ -607,8 +591,7 @@ mod tests {
         assert!(r.healthy(), "{:?}", r.health);
         // Slots of dropped packets were reclaimed by notifications, not by
         // waiting out the conservative expiry threshold.
-        assert_eq!(c.splits as i64 - c.merges as i64 - c.explicit_drops as i64,
-                   c.outstanding());
+        assert_eq!(c.splits as i64 - c.merges as i64 - c.explicit_drops as i64, c.outstanding());
     }
 
     #[test]

@@ -24,11 +24,7 @@ pub struct Series {
 
 impl Series {
     /// Creates an empty series with the given column names.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         Series { title: title.into(), x_label: x_label.into(), columns, points: Vec::new() }
     }
 
@@ -101,8 +97,7 @@ impl Series {
                 "null".into()
             }
         }
-        let columns: Vec<String> =
-            self.columns.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        let columns: Vec<String> = self.columns.iter().map(|c| format!("\"{}\"", esc(c))).collect();
         let rows: Vec<String> = self
             .points
             .iter()

@@ -120,10 +120,7 @@ mod tests {
     use super::*;
 
     fn bus() -> PcieBus {
-        PcieBus::new(PcieConfig {
-            bandwidth: Bandwidth::gbps(8.0),
-            per_packet_overhead_bytes: 100,
-        })
+        PcieBus::new(PcieConfig { bandwidth: Bandwidth::gbps(8.0), per_packet_overhead_bytes: 100 })
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl<T> DropTailQueue<T> {
     /// `capacity` of zero is a configuration error and panics.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        DropTailQueue { items: VecDeque::with_capacity(capacity.min(4096)), capacity, stats: QueueStats::default() }
+        DropTailQueue {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            stats: QueueStats::default(),
+        }
     }
 
     /// Attempts to enqueue; returns the item back if the queue is full.

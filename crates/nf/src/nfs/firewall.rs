@@ -66,9 +66,7 @@ impl Firewall {
     /// default generator addresses — models rule-count cost without drops.
     pub fn with_rule_count(n: usize) -> Self {
         let rules = (0..n)
-            .map(|i| {
-                FirewallRule::new(Ipv4Addr::new(203, 0, (i / 256) as u8, (i % 256) as u8), 32)
-            })
+            .map(|i| FirewallRule::new(Ipv4Addr::new(203, 0, (i / 256) as u8, (i % 256) as u8), 32))
             .collect();
         Firewall::new(rules)
     }
@@ -101,9 +99,7 @@ impl Nf for Firewall {
             probed += 1;
             if rule.matches(src) {
                 self.stats.blocked += 1;
-                return NfResult::drop(
-                    FIREWALL_BASE_CYCLES + FIREWALL_PER_RULE_CYCLES * probed,
-                );
+                return NfResult::drop(FIREWALL_BASE_CYCLES + FIREWALL_PER_RULE_CYCLES * probed);
             }
         }
         NfResult::forward(FIREWALL_BASE_CYCLES + FIREWALL_PER_RULE_CYCLES * probed)

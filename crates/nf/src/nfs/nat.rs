@@ -72,13 +72,7 @@ impl Nat {
         let (ip_off, tr_off, old_src_ip, old_src_port, proto) = {
             let parsed = pkt.parse().expect("caller verified");
             let ft = parsed.five_tuple();
-            (
-                parsed.offsets().ip,
-                parsed.offsets().transport,
-                ft.src_ip,
-                ft.src_port,
-                ft.protocol,
-            )
+            (parsed.offsets().ip, parsed.offsets().transport, ft.src_ip, ft.src_port, ft.protocol)
         };
         let bytes = pkt.bytes_mut();
         // Rewrite the IPv4 source address and fix the IP header checksum.
@@ -101,13 +95,7 @@ impl Nat {
         let (ip_off, tr_off, old_dst_ip, old_dst_port, proto) = {
             let parsed = pkt.parse().expect("caller verified");
             let ft = parsed.five_tuple();
-            (
-                parsed.offsets().ip,
-                parsed.offsets().transport,
-                ft.dst_ip,
-                ft.dst_port,
-                ft.protocol,
-            )
+            (parsed.offsets().ip, parsed.offsets().transport, ft.dst_ip, ft.dst_port, ft.protocol)
         };
         let bytes = pkt.bytes_mut();
         bytes[ip_off + 16..ip_off + 20].copy_from_slice(&orig_ip.octets());

@@ -211,8 +211,7 @@ impl NfServer {
         // Service time: framework model × jitter × slow modulation.
         let cycles = self.profile.framework.service_cycles(wire_in, result.cycles);
         let base_ns = cycles / self.profile.cpu_hz * 1e9;
-        let jitter =
-            1.0 + self.profile.jitter_frac * (self.rng.next_f64() - 0.5);
+        let jitter = 1.0 + self.profile.jitter_frac * (self.rng.next_f64() - 0.5);
         let svc_ns = (base_ns * jitter * self.modulation(start)).max(1.0) as u64;
         let done = start + SimDuration::from_nanos(svc_ns);
         self.busy_until = done;
@@ -259,17 +258,13 @@ impl core::fmt::Debug for NfServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nfs::{Firewall, MacSwap};
     use crate::nfs::firewall::FirewallRule;
+    use crate::nfs::{Firewall, MacSwap};
     use pp_packet::builder::UdpPacketBuilder;
     use std::net::Ipv4Addr;
 
     fn quiet_profile() -> ServerProfile {
-        ServerProfile {
-            jitter_frac: 0.0,
-            modulation_amplitude: 0.0,
-            ..Default::default()
-        }
+        ServerProfile { jitter_frac: 0.0, modulation_amplitude: 0.0, ..Default::default() }
     }
 
     fn server(chain: NfChain) -> NfServer {
@@ -298,9 +293,7 @@ mod tests {
             panic!()
         };
         let mut s2 = server(NfChain::empty());
-        let RxOutcome::Done { time: t_big, .. } = s2.rx(SimTime::ZERO, pkt(512)) else {
-            panic!()
-        };
+        let RxOutcome::Done { time: t_big, .. } = s2.rx(SimTime::ZERO, pkt(512)) else { panic!() };
         assert!(t_small < t_big, "{t_small} !< {t_big}");
     }
 
@@ -333,10 +326,8 @@ mod tests {
     fn firewall_drop_yields_no_packet_without_patch() {
         let fw = Firewall::new(vec![FirewallRule::new(Ipv4Addr::new(10, 0, 0, 1), 32)]);
         let mut s = server(NfChain::new(vec![Box::new(fw)]));
-        let p = UdpPacketBuilder::new()
-            .src_ip(Ipv4Addr::new(10, 0, 0, 1))
-            .total_size(400, 1)
-            .build();
+        let p =
+            UdpPacketBuilder::new().src_ip(Ipv4Addr::new(10, 0, 0, 1)).total_size(400, 1).build();
         let RxOutcome::Done { packet, .. } = s.rx(SimTime::ZERO, p) else { panic!() };
         assert!(packet.is_none());
         assert_eq!(s.stats().nf_dropped, 1);
@@ -356,10 +347,8 @@ mod tests {
         PayloadParkHeader::new_checked(&mut payload[..])
             .unwrap()
             .write_enabled(PpOpcode::Merge, PpTag { table_index: 1, generation: 2 });
-        let p = UdpPacketBuilder::new()
-            .src_ip(Ipv4Addr::new(10, 0, 0, 1))
-            .payload(&payload)
-            .build();
+        let p =
+            UdpPacketBuilder::new().src_ip(Ipv4Addr::new(10, 0, 0, 1)).payload(&payload).build();
         let RxOutcome::Done { packet, .. } = s.rx(SimTime::ZERO, p) else { panic!() };
         let notif = packet.expect("notification");
         assert_eq!(notif.len(), 49);

@@ -28,14 +28,7 @@ fn checksums_valid(pkt: &Packet) -> bool {
     udp.verify_checksum(u32::from(ip.src()), u32::from(ip.dst()))
 }
 
-fn arbitrary_packet(
-    src: u32,
-    dst: u32,
-    sport: u16,
-    dport: u16,
-    size: usize,
-    seed: u64,
-) -> Packet {
+fn arbitrary_packet(src: u32, dst: u32, sport: u16, dport: u16, size: usize, seed: u64) -> Packet {
     UdpPacketBuilder::new()
         .src_ip(Ipv4Addr::from(src))
         .dst_ip(Ipv4Addr::from(dst))

@@ -3,8 +3,9 @@
 use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 use crate::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
 use crate::packet::Packet;
+use crate::tcp::{TcpHeader, TCP_HEADER_LEN};
 use crate::udp::{UdpHeader, UDP_HEADER_LEN};
-use crate::UDP_STACK_HEADER_LEN;
+use crate::{TCP_STACK_HEADER_LEN, UDP_STACK_HEADER_LEN};
 use std::net::Ipv4Addr;
 
 /// Builds complete Ethernet/IPv4/UDP packets with valid checksums.
@@ -172,6 +173,202 @@ impl UdpPacketBuilder {
     }
 }
 
+/// Builds complete Ethernet/IPv4/TCP segments with valid checksums.
+///
+/// The TCP sibling of [`UdpPacketBuilder`]: 54 bytes of headers (no
+/// options) plus the payload. Sequence/ack numbers and flags default to a
+/// plain data segment; SYN/FIN control segments set the flags explicitly.
+#[derive(Debug, Clone)]
+pub struct TcpPacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    ident: u16,
+    tcp_seq: u32,
+    tcp_ack: u32,
+    flags: u8,
+    payload: Vec<u8>,
+}
+
+impl Default for TcpPacketBuilder {
+    fn default() -> Self {
+        TcpPacketBuilder {
+            src_mac: MacAddr::from_index(1),
+            dst_mac: MacAddr::from_index(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 1000,
+            dst_port: 2000,
+            ttl: 64,
+            ident: 0,
+            tcp_seq: 0,
+            tcp_ack: 0,
+            flags: TcpFlags::ACK,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// TCP flag bit constants (byte 13 of the header).
+pub struct TcpFlags;
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+}
+
+impl TcpPacketBuilder {
+    /// Creates a builder with default addressing (a plain ACK data segment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the source MAC address.
+    pub fn src_mac(mut self, mac: MacAddr) -> Self {
+        self.src_mac = mac;
+        self
+    }
+
+    /// Sets the destination MAC address.
+    pub fn dst_mac(mut self, mac: MacAddr) -> Self {
+        self.dst_mac = mac;
+        self
+    }
+
+    /// Sets the source IPv4 address.
+    pub fn src_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.src_ip = ip;
+        self
+    }
+
+    /// Sets the destination IPv4 address.
+    pub fn dst_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.dst_ip = ip;
+        self
+    }
+
+    /// Sets the TCP source port.
+    pub fn src_port(mut self, p: u16) -> Self {
+        self.src_port = p;
+        self
+    }
+
+    /// Sets the TCP destination port.
+    pub fn dst_port(mut self, p: u16) -> Self {
+        self.dst_port = p;
+        self
+    }
+
+    /// Sets the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the IPv4 identification field.
+    pub fn ident(mut self, id: u16) -> Self {
+        self.ident = id;
+        self
+    }
+
+    /// Sets the TCP sequence number.
+    pub fn tcp_seq(mut self, seq: u32) -> Self {
+        self.tcp_seq = seq;
+        self
+    }
+
+    /// Sets the TCP acknowledgement number.
+    pub fn tcp_ack(mut self, ack: u32) -> Self {
+        self.tcp_ack = ack;
+        self
+    }
+
+    /// Sets the TCP flags byte (see [`TcpFlags`]).
+    pub fn flags(mut self, flags: u8) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Sets the TCP payload bytes.
+    pub fn payload(mut self, bytes: &[u8]) -> Self {
+        self.payload = bytes.to_vec();
+        self
+    }
+
+    /// Sets a payload of `len` bytes patterned from `seed`.
+    pub fn patterned_payload(mut self, len: usize, seed: u64) -> Self {
+        self.payload = pattern(len, seed);
+        self
+    }
+
+    /// Sets the *total* on-wire packet size; the payload is patterned from
+    /// `seed`. Panics if `size` is below the 54-byte header stack.
+    pub fn total_size(self, size: usize, seed: u64) -> Self {
+        assert!(
+            size >= TCP_STACK_HEADER_LEN,
+            "packet size {size} below header stack {TCP_STACK_HEADER_LEN}"
+        );
+        self.patterned_payload(size - TCP_STACK_HEADER_LEN, seed)
+    }
+
+    /// Builds the segment.
+    pub fn build(self) -> Packet {
+        let tcp_len = TCP_HEADER_LEN + self.payload.len();
+        let ip_len = IPV4_HEADER_LEN + tcp_len;
+        let total = ETHERNET_HEADER_LEN + ip_len;
+        let mut bytes = vec![0u8; total];
+
+        let mut eth = EthernetFrame::new_checked(&mut bytes[..]).expect("sized above");
+        eth.set_dst(self.dst_mac);
+        eth.set_src(self.src_mac);
+        eth.set_ethertype(EtherType::Ipv4);
+
+        {
+            let ip_bytes = &mut bytes[ETHERNET_HEADER_LEN..];
+            ip_bytes[0] = 0x45;
+            ip_bytes[2..4].copy_from_slice(&(ip_len as u16).to_be_bytes());
+            let mut ip = Ipv4Header::new_checked(&mut *ip_bytes)
+                .unwrap_or_else(|_| unreachable!("fresh buffer with version/ihl/len preset"));
+            ip.init(self.ttl);
+            ip.set_ident(self.ident);
+            ip.set_protocol(IpProtocol::Tcp);
+            ip.set_src(self.src_ip);
+            ip.set_dst(self.dst_ip);
+            ip.fill_checksum();
+        }
+
+        {
+            let tcp_bytes = &mut bytes[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..];
+            tcp_bytes[12] = 5 << 4; // data offset preset for the checked view
+            let mut tcp = TcpHeader::new_checked(&mut *tcp_bytes).expect("offset preset");
+            tcp.init();
+            tcp.set_src_port(self.src_port);
+            tcp.set_dst_port(self.dst_port);
+            tcp.set_seq(self.tcp_seq);
+            tcp.set_ack(self.tcp_ack);
+            tcp.set_flags(self.flags);
+            let buf = tcp.into_inner();
+            buf[TCP_HEADER_LEN..].copy_from_slice(&self.payload);
+            let mut tcp = TcpHeader::new_checked(&mut *buf).expect("offset preset");
+            tcp.fill_checksum(u32::from(self.src_ip), u32::from(self.dst_ip));
+        }
+
+        Packet::new(bytes)
+    }
+}
+
 /// Deterministic byte pattern used for payload content checks.
 ///
 /// Each byte is a simple function of its index and the seed so the
@@ -241,6 +438,49 @@ mod tests {
         assert_eq!(pattern(64, 5), pattern(64, 5));
         assert_ne!(pattern(64, 5), pattern(64, 6));
         assert_eq!(pattern(0, 1).len(), 0);
+    }
+
+    #[test]
+    fn tcp_build_and_reparse() {
+        let pkt = TcpPacketBuilder::new()
+            .src_ip(Ipv4Addr::new(172, 16, 0, 1))
+            .dst_ip(Ipv4Addr::new(172, 16, 0, 2))
+            .src_port(443)
+            .dst_port(51000)
+            .tcp_seq(0x01020304)
+            .tcp_ack(0x0A0B0C0D)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .payload(b"payloadpark")
+            .build();
+        let eth = EthernetFrame::new_checked(pkt.bytes()).unwrap();
+        let ip = Ipv4Header::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(u8::from(ip.protocol()), 6);
+        let tcp = TcpHeader::new_checked(ip.payload()).unwrap();
+        assert_eq!(tcp.src_port(), 443);
+        assert_eq!(tcp.seq(), 0x01020304);
+        assert_eq!(tcp.ack(), 0x0A0B0C0D);
+        assert!(tcp.is_syn());
+        assert_eq!(tcp.payload(), b"payloadpark");
+        assert!(tcp.verify_checksum(u32::from(ip.src()), u32::from(ip.dst())));
+    }
+
+    #[test]
+    fn tcp_total_size_yields_exact_wire_length() {
+        for size in [54usize, 64, 256, 384, 512, 1024, 1492] {
+            let pkt = TcpPacketBuilder::new().total_size(size, 3).build();
+            assert_eq!(pkt.len(), size);
+            let parsed = ParsedPacket::parse(pkt.bytes()).unwrap();
+            assert_eq!(parsed.wire_len(), size);
+            assert_eq!(parsed.udp_payload_len(), size - 54);
+            assert_eq!(parsed.five_tuple().protocol, 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below header stack")]
+    fn tcp_total_size_below_headers_panics() {
+        let _ = TcpPacketBuilder::new().total_size(53, 0);
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl<T: AsRef<[u8]>> Ipv4Header<T> {
         }
         let total = usize::from(hdr.total_len());
         if total < ihl {
-            return Err(ParseError::Malformed { what: "ipv4", why: "total length < header length" });
+            return Err(ParseError::Malformed {
+                what: "ipv4",
+                why: "total length < header length",
+            });
         }
         if len < total {
             return Err(ParseError::Truncated { what: "ipv4", need: total, have: len });

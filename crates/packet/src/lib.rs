@@ -53,12 +53,13 @@ pub mod ppark;
 pub mod tcp;
 pub mod udp;
 
-pub use builder::UdpPacketBuilder;
+pub use builder::{TcpFlags, TcpPacketBuilder, UdpPacketBuilder};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
 pub use packet::Packet;
 pub use parse::{FiveTuple, ParsedPacket};
 pub use ppark::{PayloadParkHeader, PpOpcode, PpTag, PAYLOADPARK_HEADER_LEN};
+pub use tcp::{TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};
 
 /// Errors produced when interpreting a byte buffer as a protocol header.
@@ -114,6 +115,10 @@ pub type Result<T> = core::result::Result<T, ParseError>;
 /// uses as the unit of useful information for goodput (§1, §6.1).
 pub const UDP_STACK_HEADER_LEN: usize = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN;
 
+/// Total bytes of Ethernet + IPv4 + TCP (no options) headers — the header
+/// stack of the enterprise mix's TCP segments.
+pub const TCP_STACK_HEADER_LEN: usize = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +127,12 @@ mod tests {
     fn udp_stack_header_is_42_bytes() {
         // The paper's goodput unit: Ethernet (14) + IPv4 (20) + UDP (8).
         assert_eq!(UDP_STACK_HEADER_LEN, 42);
+    }
+
+    #[test]
+    fn tcp_stack_header_is_54_bytes() {
+        // Ethernet (14) + IPv4 (20) + TCP without options (20).
+        assert_eq!(TCP_STACK_HEADER_LEN, 54);
     }
 
     #[test]

@@ -151,6 +151,26 @@ impl<'a> ParsedPacket<'a> {
     pub fn headers(&self) -> &'a [u8] {
         &self.bytes[..self.offsets.payload]
     }
+
+    /// Verifies both the IPv4 header checksum and the transport (UDP/TCP)
+    /// checksum. A zero UDP checksum counts as valid ("not computed",
+    /// RFC 768); TCP checksums are mandatory.
+    pub fn verify_checksums(&self) -> bool {
+        let ip = Ipv4Header::new_checked(&self.bytes[self.offsets.ip..]).expect("parsed above");
+        if !ip.verify_checksum() {
+            return false;
+        }
+        let (src, dst) = (u32::from(ip.src()), u32::from(ip.dst()));
+        match ip.protocol() {
+            IpProtocol::Udp => {
+                UdpHeader::new_checked(ip.payload()).is_ok_and(|udp| udp.verify_checksum(src, dst))
+            }
+            IpProtocol::Tcp => {
+                TcpHeader::new_checked(ip.payload()).is_ok_and(|tcp| tcp.verify_checksum(src, dst))
+            }
+            IpProtocol::Other(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +204,23 @@ mod tests {
     }
 
     #[test]
+    fn verify_checksums_both_transports() {
+        let udp = UdpPacketBuilder::new().payload(&[9u8; 64]).build();
+        assert!(ParsedPacket::parse(udp.bytes()).unwrap().verify_checksums());
+        let tcp = crate::builder::TcpPacketBuilder::new().payload(&[9u8; 64]).build();
+        assert!(ParsedPacket::parse(tcp.bytes()).unwrap().verify_checksums());
+
+        // Corrupt a payload byte: the transport checksum must catch it.
+        let mut bad = udp.into_bytes();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        assert!(!ParsedPacket::parse(&bad).unwrap().verify_checksums());
+
+        // A zero UDP checksum means "not computed" and is accepted.
+        let none = UdpPacketBuilder::new().payload(&[1, 2, 3]).without_udp_checksum().build();
+        assert!(ParsedPacket::parse(none.bytes()).unwrap().verify_checksums());
+    }
+
+    #[test]
     fn five_tuple_reverse() {
         let ft = FiveTuple {
             src_ip: Ipv4Addr::new(1, 1, 1, 1),
@@ -212,7 +249,7 @@ mod tests {
     fn non_transport_rejected() {
         let mut pkt = UdpPacketBuilder::new().payload(&[0u8; 8]).build().into_bytes();
         pkt[23] = 1; // ICMP
-        // Recompute the IP checksum so the failure is the protocol, not cksum.
+                     // Recompute the IP checksum so the failure is the protocol, not cksum.
         let mut ip = crate::ipv4::Ipv4Header::new_checked(&mut pkt[14..]).unwrap();
         ip.fill_checksum();
         assert!(matches!(

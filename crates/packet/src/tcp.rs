@@ -68,9 +68,32 @@ impl<T: AsRef<[u8]>> TcpHeader<T> {
         usize::from(self.buffer.as_ref()[12] >> 4) * 4
     }
 
+    /// The low nibble of byte 12 (reserved bits + NS), preserved verbatim
+    /// so parse ∘ deparse is the identity even on unusual packets.
+    pub fn reserved_bits(&self) -> u8 {
+        self.buffer.as_ref()[12] & 0x0F
+    }
+
     /// Flags byte (CWR..FIN).
     pub fn flags(&self) -> u8 {
         self.buffer.as_ref()[13]
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Urgent pointer.
+    pub fn urgent(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[18], b[19]])
+    }
+
+    /// Raw option bytes (empty when the data offset is 5).
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[TCP_HEADER_LEN..self.header_len()]
     }
 
     /// True if the SYN flag is set.
@@ -194,6 +217,10 @@ mod tests {
         assert!(!t.is_fin());
         assert!(!t.is_rst());
         assert_eq!(t.payload(), b"hello");
+        assert_eq!(t.window(), 0xFFFF);
+        assert_eq!(t.urgent(), 0);
+        assert_eq!(t.reserved_bits(), 0);
+        assert!(t.options().is_empty());
         assert!(t.verify_checksum(SRC, DST));
     }
 
@@ -216,7 +243,10 @@ mod tests {
 
     #[test]
     fn rejects_short() {
-        assert!(matches!(TcpHeader::new_checked(&[0u8; 19][..]), Err(ParseError::Truncated { .. })));
+        assert!(matches!(
+            TcpHeader::new_checked(&[0u8; 19][..]),
+            Err(ParseError::Truncated { .. })
+        ));
     }
 
     #[test]

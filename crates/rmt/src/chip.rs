@@ -111,8 +111,10 @@ impl ChipProfile {
     pub fn recirc_port(&self, pipe: usize, channel: u8) -> PortId {
         debug_assert!(channel < self.recirc_channels_per_pipe, "channel out of range");
         let base = self.total_ports();
-        PortId((base + pipe * usize::from(self.recirc_channels_per_pipe) + usize::from(channel))
-            as u16)
+        PortId(
+            (base + pipe * usize::from(self.recirc_channels_per_pipe) + usize::from(channel))
+                as u16,
+        )
     }
 
     /// Validates internal consistency (positive budgets).

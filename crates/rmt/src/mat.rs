@@ -210,6 +210,7 @@ mod tests {
             eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0 },
             ipv4: None,
             udp: None,
+            tcp: None,
             pp: PpFields::default(),
             blocks: Vec::new(),
             body: Vec::new(),

@@ -4,23 +4,27 @@
 //! the (possibly modified) PHV. Like a P4 parser, behaviour branches on the
 //! ingress port: on *split* ports the parser extracts payload blocks into
 //! the PHV (so MATs can write them to registers); on *merge* ports it
-//! expects a PayloadPark header after UDP. Recirculation ports combine both
+//! expects a PayloadPark header after the transport header. The parse graph
+//! has a branch per transport — UDP and TCP are both first-class (the
+//! paper's 7-byte shim sits between the transport header and the payload
+//! regardless of protocol). Recirculation ports combine both behaviours
 //! (paper §6.2.5: blocks are striped into a second pipe).
 //!
-//! Non-IPv4 and non-UDP packets degrade gracefully: unparsed bytes ride in
-//! `Phv::body` and the deparser re-emits them verbatim, so the baseline L2
-//! path is byte-transparent.
+//! Non-IPv4 and non-UDP/TCP packets degrade gracefully: unparsed bytes ride
+//! in `Phv::body` and the deparser re-emits them verbatim, so the baseline
+//! L2 path is byte-transparent.
 
 use crate::chip::PortId;
 use crate::phv::{
-    EthFields, Ipv4Fields, PayloadBlock, Phv, PpFields, UdpFields, Verdict, BLOCK_BYTES,
+    EthFields, Ipv4Fields, PayloadBlock, Phv, PpFields, TcpFields, UdpFields, Verdict, BLOCK_BYTES,
     META_WORDS,
 };
 use pp_packet::checksum::Checksum;
 use pp_packet::ethernet::{EthernetFrame, ETHERNET_HEADER_LEN};
 use pp_packet::ipv4::{IpProtocol, Ipv4Header, IPV4_HEADER_LEN};
 use pp_packet::ppark::{PayloadParkHeader, PpOpcode, PAYLOADPARK_HEADER_LEN};
-use pp_packet::udp::UdpHeader;
+use pp_packet::tcp::{TcpHeader, TCP_HEADER_LEN};
+use pp_packet::udp::{UdpHeader, UDP_HEADER_LEN};
 use pp_packet::Result;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -60,7 +64,10 @@ impl ParserConfig {
     pub fn phv_bits(&self) -> u32 {
         let eth = 48 + 48 + 16;
         let ipv4 = 160;
-        let udp = 64;
+        // The two transport branches never coexist in one packet, so the
+        // container allocator overlays them: the wider (TCP, 160 bits)
+        // bounds the cost.
+        let transport = 160;
         let pp = if self.pp_header_ports.is_empty() && self.block_rules.is_empty() {
             0
         } else {
@@ -68,7 +75,7 @@ impl ParserConfig {
         };
         let blocks = (self.phv_block_capacity as u32) * (BLOCK_BYTES as u32) * 8;
         let meta = META_WORDS as u32 * 32;
-        eth + ipv4 + udp + pp + blocks + meta
+        eth + ipv4 + transport + pp + blocks + meta
     }
 }
 
@@ -82,6 +89,7 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
         eth: eth_fields,
         ipv4: None,
         udp: None,
+        tcp: None,
         pp: PpFields::default(),
         blocks: Vec::new(),
         body: Vec::new(),
@@ -108,22 +116,44 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
         options,
     });
 
-    if ip.protocol() != IpProtocol::Udp {
-        phv.body = ip.payload().to_vec();
-        return Ok(phv);
-    }
-
-    let udp = UdpHeader::new_checked(ip.payload())?;
-    phv.udp = Some(UdpFields {
-        src_port: udp.src_port(),
-        dst_port: udp.dst_port(),
-        len: udp.len_field(),
-        checksum: udp.checksum_field(),
-    });
+    // Transport branch of the parse graph: UDP and TCP both continue into
+    // the PayloadPark states; anything else rides in the opaque body.
+    let mut payload = match ip.protocol() {
+        IpProtocol::Udp => {
+            let udp = UdpHeader::new_checked(ip.payload())?;
+            phv.udp = Some(UdpFields {
+                src_port: udp.src_port(),
+                dst_port: udp.dst_port(),
+                len: udp.len_field(),
+                checksum: udp.checksum_field(),
+            });
+            &ip.payload()[UDP_HEADER_LEN..usize::from(udp.len_field())]
+        }
+        IpProtocol::Tcp => {
+            let tcp = TcpHeader::new_checked(ip.payload())?;
+            let header_len = tcp.header_len();
+            phv.tcp = Some(TcpFields {
+                src_port: tcp.src_port(),
+                dst_port: tcp.dst_port(),
+                seq: tcp.seq(),
+                ack: tcp.ack(),
+                reserved: tcp.reserved_bits(),
+                flags: tcp.flags(),
+                window: tcp.window(),
+                checksum: tcp.checksum_field(),
+                urgent: tcp.urgent(),
+                options: tcp.options().to_vec(),
+            });
+            &ip.payload()[header_len..]
+        }
+        IpProtocol::Other(_) => {
+            phv.body = ip.payload().to_vec();
+            return Ok(phv);
+        }
+    };
     if config.phv_block_capacity > 0 {
         phv.blocks = vec![PayloadBlock::default(); config.phv_block_capacity];
     }
-    let mut payload = udp.payload();
 
     if config.pp_header_ports.contains(&port.0) {
         // A PayloadPark header follows the UDP header on this port.
@@ -144,7 +174,8 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
         debug_assert!(rule.blocks <= config.phv_block_capacity, "rule exceeds PHV blocks");
         let take = rule.blocks * BLOCK_BYTES;
         if rule.blocks > 0 && payload.len() >= rule.min_payload.max(take) {
-            for (slot, chunk) in phv.blocks.iter_mut().zip(payload[..take].chunks_exact(BLOCK_BYTES))
+            for (slot, chunk) in
+                phv.blocks.iter_mut().zip(payload[..take].chunks_exact(BLOCK_BYTES))
             {
                 slot.data = chunk.try_into().expect("exact chunk");
                 slot.valid = true;
@@ -160,8 +191,15 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
 ///
 /// Field values are emitted as stored — length fields are the *program's*
 /// responsibility, exactly as in a P4 deparser. The IPv4 header checksum is
-/// recomputed (standard practice for programs that rewrite IP fields); the
-/// UDP checksum is emitted verbatim.
+/// recomputed (standard practice for programs that rewrite IP fields).
+///
+/// The transport checksum is emitted verbatim with one exception: on
+/// header-only packets (a valid PayloadPark header with ENB=1, i.e. the
+/// payload is parked in switch memory) the carried checksum no longer
+/// covers what is on the wire, so it is zeroed — RFC 768's "checksum not
+/// computed" for UDP, and the same marker on the PayloadPark-internal TCP
+/// leg. The Split program parks the original checksum alongside the
+/// payload and Merge restores it, so end-to-end verification still passes.
 pub fn deparse_phv(phv: &Phv) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         ETHERNET_HEADER_LEN + 60 + phv.valid_block_bytes() + phv.body.len() + 16,
@@ -201,14 +239,32 @@ pub fn deparse_phv_into(phv: &Phv, out: &mut Vec<u8>) {
     let ck = c.finish();
     out[ip_start + 10..ip_start + 12].copy_from_slice(&ck.to_be_bytes());
 
-    let Some(udp) = &phv.udp else {
+    // The carried transport checksum is invalid once payload bytes leave
+    // the wire; emit zero on the parked (ENB=1) leg.
+    let parked = phv.pp.valid && phv.pp.enb;
+    if let Some(udp) = &phv.udp {
+        out.extend_from_slice(&udp.src_port.to_be_bytes());
+        out.extend_from_slice(&udp.dst_port.to_be_bytes());
+        out.extend_from_slice(&udp.len.to_be_bytes());
+        let ck = if parked { 0 } else { udp.checksum };
+        out.extend_from_slice(&ck.to_be_bytes());
+    } else if let Some(tcp) = &phv.tcp {
+        out.extend_from_slice(&tcp.src_port.to_be_bytes());
+        out.extend_from_slice(&tcp.dst_port.to_be_bytes());
+        out.extend_from_slice(&tcp.seq.to_be_bytes());
+        out.extend_from_slice(&tcp.ack.to_be_bytes());
+        let data_offset = (TCP_HEADER_LEN + tcp.options.len()) / 4;
+        out.push(((data_offset as u8) << 4) | (tcp.reserved & 0x0F));
+        out.push(tcp.flags);
+        out.extend_from_slice(&tcp.window.to_be_bytes());
+        let ck = if parked { 0 } else { tcp.checksum };
+        out.extend_from_slice(&ck.to_be_bytes());
+        out.extend_from_slice(&tcp.urgent.to_be_bytes());
+        out.extend_from_slice(&tcp.options);
+    } else {
         out.extend_from_slice(&phv.body);
         return;
-    };
-    out.extend_from_slice(&udp.src_port.to_be_bytes());
-    out.extend_from_slice(&udp.dst_port.to_be_bytes());
-    out.extend_from_slice(&udp.len.to_be_bytes());
-    out.extend_from_slice(&udp.checksum.to_be_bytes());
+    }
 
     if phv.pp.valid {
         let mut hdr = [0u8; PAYLOADPARK_HEADER_LEN];
@@ -237,16 +293,14 @@ pub fn roundtrips(config: &ParserConfig, bytes: &[u8], port: PortId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_packet::builder::UdpPacketBuilder;
+    use pp_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
     use pp_packet::ppark::PpTag;
     use pp_packet::ParseError;
 
     fn split_config() -> ParserConfig {
         ParserConfig {
             pp_header_ports: [1u16].into_iter().collect(),
-            block_rules: [(0u16, BlockRule { blocks: 10, min_payload: 160 })]
-                .into_iter()
-                .collect(),
+            block_rules: [(0u16, BlockRule { blocks: 10, min_payload: 160 })].into_iter().collect(),
             phv_block_capacity: 10,
         }
     }
@@ -271,17 +325,116 @@ mod tests {
     }
 
     #[test]
-    fn non_udp_passthrough() {
+    fn non_transport_passthrough() {
         let mut bytes = UdpPacketBuilder::new().total_size(100, 1).build().into_bytes();
-        bytes[23] = 6; // TCP
+        bytes[23] = 47; // GRE: neither UDP nor TCP
         let mut ip = Ipv4Header::new_checked(&mut bytes[14..]).unwrap();
         ip.fill_checksum();
         let cfg = split_config();
         let phv = parse_packet(&cfg, &bytes, PortId(0), 0).unwrap();
         assert!(phv.ipv4.is_some());
-        assert!(phv.udp.is_none());
+        assert!(phv.udp.is_none() && phv.tcp.is_none());
         assert!(phv.blocks.is_empty());
         assert_eq!(deparse_phv(&phv), bytes);
+    }
+
+    #[test]
+    fn tcp_split_port_extracts_blocks() {
+        let pkt = TcpPacketBuilder::new().total_size(54 + 200, 3).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 7).unwrap();
+        assert!(phv.is_tcp() && !phv.is_udp() && phv.has_transport());
+        assert_eq!(phv.blocks.len(), 10);
+        assert!(phv.blocks.iter().all(|b| b.valid));
+        assert_eq!(phv.body.len(), 40);
+        // Deparse without modification restores the original bytes.
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn tcp_small_payload_skips_block_extraction() {
+        let pkt = TcpPacketBuilder::new().total_size(54 + 159, 3).build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        assert!(phv.blocks.iter().all(|b| !b.valid));
+        assert_eq!(phv.body.len(), 159);
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn tcp_control_flags_and_fields_roundtrip() {
+        let pkt = TcpPacketBuilder::new()
+            .tcp_seq(0xDEADBEEF)
+            .tcp_ack(0x01020304)
+            .flags(pp_packet::TcpFlags::SYN)
+            .build();
+        let cfg = split_config();
+        let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        let tcp = phv.tcp.as_ref().unwrap();
+        assert_eq!(tcp.seq, 0xDEADBEEF);
+        assert_eq!(tcp.ack, 0x01020304);
+        assert_eq!(tcp.flags, pp_packet::TcpFlags::SYN);
+        assert_eq!(tcp.window, 0xFFFF);
+        assert!(tcp.options.is_empty());
+        assert_eq!(deparse_phv(&phv), pkt.bytes());
+    }
+
+    #[test]
+    fn tcp_options_preserved_through_roundtrip() {
+        // Hand-build a segment with a 4-byte MSS option (data offset 6).
+        let mut pkt = TcpPacketBuilder::new().payload(&[0u8; 8]).build().into_bytes();
+        // Grow the buffer by 4 option bytes after the 20-byte TCP header.
+        let opt = [0x02, 0x04, 0x05, 0xB4];
+        let insert_at = 14 + 20 + 20;
+        for (i, b) in opt.into_iter().enumerate() {
+            pkt.insert(insert_at + i, b);
+        }
+        pkt[14 + 20 + 12] = 6 << 4; // data offset 6
+        let ip_len = (pkt.len() - 14) as u16;
+        pkt[16..18].copy_from_slice(&ip_len.to_be_bytes());
+        let mut ip = Ipv4Header::new_checked(&mut pkt[14..]).unwrap();
+        ip.fill_checksum();
+        let (src, dst) = {
+            let ip = Ipv4Header::new_checked(&pkt[14..]).unwrap();
+            (u32::from(ip.src()), u32::from(ip.dst()))
+        };
+        let mut tcp = pp_packet::TcpHeader::new_checked(&mut pkt[34..]).unwrap();
+        tcp.fill_checksum(src, dst);
+
+        let phv = parse_packet(&ParserConfig::l2_only(), &pkt, PortId(0), 0).unwrap();
+        assert_eq!(phv.tcp.as_ref().unwrap().options, opt);
+        assert_eq!(deparse_phv(&phv), pkt);
+    }
+
+    #[test]
+    fn parked_leg_zeroes_the_transport_checksum() {
+        // A split-port UDP packet whose program parked the payload: the
+        // deparser must emit checksum 0 (RFC 768 "not computed").
+        let pkt = UdpPacketBuilder::new().total_size(42 + 200, 3).build();
+        let cfg = split_config();
+        let mut phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        phv.pp.valid = true;
+        phv.pp.enb = true;
+        let bytes = deparse_phv(&phv);
+        assert_eq!(&bytes[40..42], &[0, 0], "UDP checksum must be zeroed");
+
+        // Same for TCP (checksum bytes 16-17 of the transport header).
+        let pkt = TcpPacketBuilder::new().total_size(54 + 200, 3).build();
+        let mut phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        assert_ne!(&pkt.bytes()[50..52], &[0, 0]);
+        phv.pp.valid = true;
+        phv.pp.enb = true;
+        let bytes = deparse_phv(&phv);
+        assert_eq!(&bytes[50..52], &[0, 0], "TCP checksum must be zeroed");
+
+        // A disabled (ENB=0) header leaves the checksum untouched: the
+        // payload never left the wire and Merge will strip the shim.
+        let pkt = UdpPacketBuilder::new().total_size(42 + 100, 3).build();
+        let mut phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
+        phv.pp.valid = true;
+        phv.pp.enb = false;
+        let bytes = deparse_phv(&phv);
+        assert_eq!(&bytes[40..42], &pkt.bytes()[40..42]);
     }
 
     #[test]
@@ -347,8 +500,11 @@ mod tests {
         // Blocks are allocated (for the merge MATs to fill) but invalid.
         assert_eq!(phv.blocks.len(), 10);
         assert_eq!(phv.valid_block_bytes(), 0);
-        // Identity holds on the merge side too.
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        // Re-emitting the still-parked (ENB=1) packet is the identity
+        // except for the zeroed transport checksum.
+        let mut expected = pkt.bytes().to_vec();
+        expected[40..42].fill(0);
+        assert_eq!(deparse_phv(&phv), expected);
     }
 
     #[test]
@@ -365,9 +521,7 @@ mod tests {
         let pkt = UdpPacketBuilder::new().payload(&payload).build();
         let cfg = ParserConfig {
             pp_header_ports: [5u16].into_iter().collect(),
-            block_rules: [(5u16, BlockRule { blocks: 14, min_payload: 224 })]
-                .into_iter()
-                .collect(),
+            block_rules: [(5u16, BlockRule { blocks: 14, min_payload: 224 })].into_iter().collect(),
             phv_block_capacity: 24,
         };
         let phv = parse_packet(&cfg, pkt.bytes(), PortId(5), 0).unwrap();
@@ -378,7 +532,9 @@ mod tests {
         assert_eq!(phv.blocks[0].data[0], 0);
         assert_eq!(phv.blocks[1].data[0], 16);
         assert_eq!(phv.body.len(), 250 - 14 * BLOCK_BYTES);
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        let mut expected = pkt.bytes().to_vec();
+        expected[40..42].fill(0); // ENB=1: parked-leg checksum is zeroed
+        assert_eq!(deparse_phv(&phv), expected);
     }
 
     #[test]

@@ -55,6 +55,32 @@ pub struct UdpFields {
     pub checksum: u16,
 }
 
+/// Parsed TCP fields (options preserved verbatim; the data offset is
+/// derived from the option length at deparse time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpFields {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Reserved bits + NS (low nibble of byte 12), carried verbatim.
+    pub reserved: u8,
+    /// Flags byte (CWR..FIN).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// TCP checksum as carried (never recomputed by the dataplane).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Raw option bytes (empty for data offset 5).
+    pub options: Vec<u8>,
+}
+
 /// Parsed (or to-be-emitted) PayloadPark header fields.
 ///
 /// `valid` mirrors P4's `setValid()`/`setInvalid()`: only a valid header is
@@ -128,8 +154,12 @@ pub struct Phv {
     pub eth: EthFields,
     /// IPv4 fields, when the ethertype is IPv4.
     pub ipv4: Option<Ipv4Fields>,
-    /// UDP fields, when IPv4 protocol is UDP.
+    /// UDP fields, when IPv4 protocol is UDP (mutually exclusive with
+    /// `tcp`).
     pub udp: Option<UdpFields>,
+    /// TCP fields, when IPv4 protocol is TCP (mutually exclusive with
+    /// `udp`).
+    pub tcp: Option<TcpFields>,
     /// PayloadPark header fields.
     pub pp: PpFields,
     /// Payload blocks extracted by the parser (split side) or filled from
@@ -171,6 +201,33 @@ impl Phv {
     pub fn is_udp(&self) -> bool {
         self.udp.is_some()
     }
+
+    /// True when this packet carries a TCP segment.
+    pub fn is_tcp(&self) -> bool {
+        self.tcp.is_some()
+    }
+
+    /// True when this packet carries a parseable transport segment (UDP or
+    /// TCP) — the protocols the Split/Merge program can park.
+    pub fn has_transport(&self) -> bool {
+        self.udp.is_some() || self.tcp.is_some()
+    }
+
+    /// The transport checksum as carried in the PHV, if any transport was
+    /// parsed.
+    pub fn transport_checksum(&self) -> Option<u16> {
+        self.udp.as_ref().map(|u| u.checksum).or_else(|| self.tcp.as_ref().map(|t| t.checksum))
+    }
+
+    /// Overwrites the transport checksum field of whichever transport is
+    /// present (Split parks it; Merge restores it).
+    pub fn set_transport_checksum(&mut self, ck: u16) {
+        if let Some(udp) = self.udp.as_mut() {
+            udp.checksum = ck;
+        } else if let Some(tcp) = self.tcp.as_mut() {
+            tcp.checksum = ck;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +240,7 @@ mod tests {
             eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0 },
             ipv4: None,
             udp: None,
+            tcp: None,
             pp: PpFields::default(),
             blocks: Vec::new(),
             body: Vec::new(),
@@ -225,5 +283,38 @@ mod tests {
         assert!(!phv.is_udp());
         phv.udp = Some(UdpFields { src_port: 1, dst_port: 2, len: 8, checksum: 0 });
         assert!(phv.is_udp());
+    }
+
+    #[test]
+    fn transport_helpers_cover_both_protocols() {
+        let mut phv = empty_phv();
+        assert!(!phv.has_transport());
+        assert_eq!(phv.transport_checksum(), None);
+        phv.set_transport_checksum(7); // no transport: a no-op
+        assert_eq!(phv.transport_checksum(), None);
+
+        phv.udp = Some(UdpFields { src_port: 1, dst_port: 2, len: 8, checksum: 0xAB });
+        assert!(phv.has_transport() && !phv.is_tcp());
+        assert_eq!(phv.transport_checksum(), Some(0xAB));
+        phv.set_transport_checksum(0xCD);
+        assert_eq!(phv.udp.as_ref().unwrap().checksum, 0xCD);
+
+        let mut phv = empty_phv();
+        phv.tcp = Some(TcpFields {
+            src_port: 1,
+            dst_port: 2,
+            seq: 3,
+            ack: 4,
+            reserved: 0,
+            flags: 0x10,
+            window: 100,
+            checksum: 0x55,
+            urgent: 0,
+            options: Vec::new(),
+        });
+        assert!(phv.has_transport() && phv.is_tcp() && !phv.is_udp());
+        assert_eq!(phv.transport_checksum(), Some(0x55));
+        phv.set_transport_checksum(0x66);
+        assert_eq!(phv.tcp.as_ref().unwrap().checksum, 0x66);
     }
 }

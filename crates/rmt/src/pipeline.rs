@@ -237,11 +237,7 @@ impl Pipeline {
 
     /// Control-plane read of a statistics counter by name.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counter_names
-            .iter()
-            .position(|n| *n == name)
-            .map(|i| self.counters[i])
-            .unwrap_or(0)
+        self.counter_names.iter().position(|n| *n == name).map(|i| self.counters[i]).unwrap_or(0)
     }
 
     /// All counters as (name, value) pairs.
@@ -267,9 +263,8 @@ impl Pipeline {
 
     /// Computes the resource report for this program (paper Table 1).
     pub fn resource_report(&self) -> ResourceReport {
-        let mut stages: Vec<StageUsage> = (0..self.chip.stages_per_pipe)
-            .map(|_| StageUsage::default())
-            .collect();
+        let mut stages: Vec<StageUsage> =
+            (0..self.chip.stages_per_pipe).map(|_| StageUsage::default()).collect();
         for spec in self.registers.specs() {
             stages[spec.stage].sram_bits += spec.sram_bits();
         }
@@ -316,9 +311,7 @@ fn stage_pass(
         }
         // At most one register cell per MAT per packet — the stateful-ALU
         // restriction (§4).
-        let cell = mat
-            .stateful_index(phv)
-            .map(|(array, index)| registers.cell_mut(array, index));
+        let cell = mat.stateful_index(phv).map(|(array, index)| registers.cell_mut(array, index));
         let mut ctx = ActionCtx { phv, cell, counters };
         mat.run(&mut ctx);
     }
@@ -400,13 +393,8 @@ impl PipelineBuilder {
                     limit: self.chip.max_mats_per_stage,
                 });
             }
-            let mut sram: u64 = self
-                .registers
-                .specs()
-                .iter()
-                .filter(|s| s.stage == i)
-                .map(|s| s.sram_bits())
-                .sum();
+            let mut sram: u64 =
+                self.registers.specs().iter().filter(|s| s.stage == i).map(|s| s.sram_bits()).sum();
             let mut vliw: u32 = 0;
             let mut exact_xbar: u32 = 0;
             let mut ternary_xbar: u32 = 0;
@@ -499,12 +487,8 @@ mod tests {
     #[test]
     fn stateful_mat_updates_register() {
         let mut b = Pipeline::builder(chip());
-        let arr = b.register(RegisterSpec {
-            name: "ctr".into(),
-            stage: 0,
-            cell_bytes: 4,
-            cells: 16,
-        });
+        let arr =
+            b.register(RegisterSpec { name: "ctr".into(), stage: 0, cell_bytes: 4, cells: 16 });
         let hits = b.counter("hits");
         b.place(
             0,
@@ -543,12 +527,8 @@ mod tests {
                 cell_bytes: 4,
                 cells: 1,
             });
-            let sum = b.register(RegisterSpec {
-                name: "sum".into(),
-                stage: 1,
-                cell_bytes: 4,
-                cells: 1,
-            });
+            let sum =
+                b.register(RegisterSpec { name: "sum".into(), stage: 1, cell_bytes: 4, cells: 1 });
             b.place(
                 0,
                 Mat::builder("ticket")
@@ -628,12 +608,7 @@ mod tests {
     #[test]
     fn gateway_mismatch_skips_action_and_register() {
         let mut b = Pipeline::builder(chip());
-        let arr = b.register(RegisterSpec {
-            name: "a".into(),
-            stage: 0,
-            cell_bytes: 4,
-            cells: 1,
-        });
+        let arr = b.register(RegisterSpec { name: "a".into(), stage: 0, cell_bytes: 4, cells: 1 });
         b.place(
             0,
             Mat::builder("gated")
@@ -666,12 +641,7 @@ mod tests {
     #[test]
     fn rejects_cross_stage_stateful_binding() {
         let mut b = Pipeline::builder(chip());
-        let arr = b.register(RegisterSpec {
-            name: "a".into(),
-            stage: 2,
-            cell_bytes: 4,
-            cells: 4,
-        });
+        let arr = b.register(RegisterSpec { name: "a".into(), stage: 2, cell_bytes: 4, cells: 4 });
         b.place(1, Mat::builder("wrong_stage").stateful(arr, |_| Some(0)).build());
         let err = b.build().unwrap_err();
         assert!(matches!(err, ProgramError::CrossStageStatefulBinding { .. }));

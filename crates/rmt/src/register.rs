@@ -144,12 +144,8 @@ mod tests {
 
     fn file_with_array(cells: usize, width: usize) -> (RegisterFile, RegisterId) {
         let mut f = RegisterFile::new();
-        let id = f.allocate(RegisterSpec {
-            name: "test".into(),
-            stage: 2,
-            cell_bytes: width,
-            cells,
-        });
+        let id =
+            f.allocate(RegisterSpec { name: "test".into(), stage: 2, cell_bytes: width, cells });
         (f, id)
     }
 

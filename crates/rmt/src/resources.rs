@@ -110,14 +110,8 @@ impl ResourceReport {
         ));
         out.push_str(&format!("TCAM                        | {:.2}%\n", self.tcam_pct()));
         out.push_str(&format!("VLIW                        | {:.2}%\n", self.vliw_pct()));
-        out.push_str(&format!(
-            "Exact Match Crossbar        | {:.2}%\n",
-            self.exact_xbar_pct()
-        ));
-        out.push_str(&format!(
-            "Ternary Match Crossbar      | {:.2}%\n",
-            self.ternary_xbar_pct()
-        ));
+        out.push_str(&format!("Exact Match Crossbar        | {:.2}%\n", self.exact_xbar_pct()));
+        out.push_str(&format!("Ternary Match Crossbar      | {:.2}%\n", self.ternary_xbar_pct()));
         out.push_str(&format!("Packet Header Vector        | {:.2}%\n", self.phv_pct()));
         out
     }

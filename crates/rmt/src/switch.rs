@@ -293,8 +293,7 @@ impl SwitchModel {
             // (Tofino recirculation headers provide the same facility).
             let wire = self.pipes[pipe_idx].deparse(&phv);
             let port = self.recirc_port(target.pipe, target.channel);
-            let mut next = match parse_packet(self.pipes[target.pipe].parser(), &wire, port, seq)
-            {
+            let mut next = match parse_packet(self.pipes[target.pipe].parser(), &wire, port, seq) {
                 Ok(p) => p,
                 Err(_) => {
                     self.stats.parse_errors += 1;
@@ -401,8 +400,7 @@ mod tests {
 
     fn l2_switch() -> SwitchModel {
         let chip = ChipProfile::default();
-        let pipes =
-            (0..chip.pipes).map(|_| Pipeline::builder(chip).build().unwrap()).collect();
+        let pipes = (0..chip.pipes).map(|_| Pipeline::builder(chip).build().unwrap()).collect();
         SwitchModel::new(chip, pipes)
     }
 
@@ -490,8 +488,7 @@ mod tests {
                     Mat::builder("to_pipe1")
                         .gateway(|p| p.recirc_count == 0 && p.ingress_port == PortId(0))
                         .action(|ctx| {
-                            ctx.phv.verdict.recirculate =
-                                Some(RecircTarget { pipe: 1, channel: 0 })
+                            ctx.phv.verdict.recirculate = Some(RecircTarget { pipe: 1, channel: 0 })
                         })
                         .build(),
                 );

@@ -3,8 +3,8 @@
 use crate::enterprise::EnterpriseDistribution;
 use pp_netsim::rng::DetRng;
 use pp_netsim::time::{Bandwidth, SimDuration, SimTime};
-use pp_packet::builder::UdpPacketBuilder;
-use pp_packet::{MacAddr, Packet, UDP_STACK_HEADER_LEN};
+use pp_packet::builder::{TcpFlags, TcpPacketBuilder, UdpPacketBuilder};
+use pp_packet::{MacAddr, Packet, TCP_STACK_HEADER_LEN, UDP_STACK_HEADER_LEN};
 use std::net::Ipv4Addr;
 
 /// How packet sizes are chosen.
@@ -16,6 +16,33 @@ pub enum SizeModel {
     Enterprise,
     /// Replay an explicit size sequence, cycling when exhausted.
     Replay(Vec<usize>),
+}
+
+/// Transport-protocol composition of the generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TrafficMix {
+    #[default]
+    /// Every packet is UDP (the paper's evaluation traffic).
+    UdpOnly,
+    /// An enterprise TCP/UDP mix: this fraction of the flow pool runs TCP
+    /// connections with SYN/data/FIN phases (header-only control segments,
+    /// data segments from the size model, cumulative sequence numbers);
+    /// the remaining flows send UDP datagrams as before.
+    TcpUdp {
+        /// Fraction of flows that are TCP connections, in `[0, 1]`.
+        tcp_fraction: f64,
+    },
+}
+
+/// Per-flow TCP connection state.
+#[derive(Debug, Clone, Copy, Default)]
+struct TcpFlowState {
+    /// Connection open (SYN already sent)?
+    established: bool,
+    /// Data segments left before the FIN.
+    segs_left: u32,
+    /// Next sequence number to send.
+    next_seq: u32,
 }
 
 /// Generator configuration.
@@ -32,6 +59,8 @@ pub struct GenConfig {
     pub burst: usize,
     /// Packet sizing.
     pub sizes: SizeModel,
+    /// Transport-protocol mix.
+    pub mix: TrafficMix,
     /// Number of distinct flows (distinct source IP/port pairs).
     pub flows: usize,
     /// Destination MAC (the NF server, for L2 forwarding).
@@ -51,6 +80,7 @@ impl Default for GenConfig {
             line_rate_gbps: 40.0,
             burst: 32,
             sizes: SizeModel::Fixed(512),
+            mix: TrafficMix::UdpOnly,
             flows: 64,
             dst_mac: MacAddr::from_index(100),
             dst_ip: Ipv4Addr::new(10, 10, 0, 1),
@@ -77,6 +107,10 @@ pub struct TrafficGen {
     sent_bytes: u64,
     seq: u64,
     replay_idx: usize,
+    /// Number of TCP flows (flow ids below this run TCP connections).
+    tcp_flows: usize,
+    /// Per-TCP-flow connection state, indexed by flow id.
+    tcp_states: Vec<TcpFlowState>,
 }
 
 impl TrafficGen {
@@ -94,6 +128,16 @@ impl TrafficGen {
         );
         assert!(config.burst > 0, "burst must be positive");
         assert!(config.flows > 0, "need at least one flow");
+        let tcp_flows = match config.mix {
+            TrafficMix::UdpOnly => 0,
+            TrafficMix::TcpUdp { tcp_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&tcp_fraction),
+                    "tcp_fraction {tcp_fraction} out of [0, 1]"
+                );
+                (config.flows as f64 * tcp_fraction).round() as usize
+            }
+        };
         let rng = DetRng::derive(config.seed, "trafficgen");
         TrafficGen {
             config,
@@ -103,6 +147,8 @@ impl TrafficGen {
             sent_bytes: 0,
             seq: 0,
             replay_idx: 0,
+            tcp_flows,
+            tcp_states: vec![TcpFlowState::default(); tcp_flows],
         }
     }
 
@@ -133,28 +179,92 @@ impl TrafficGen {
         }
     }
 
-    /// Produces the next `(departure, packet)`.
-    pub fn next_packet(&mut self) -> (SimTime, Packet) {
-        let size = self.next_size().max(UDP_STACK_HEADER_LEN);
-        let seq = self.seq;
-        self.seq += 1;
-
-        // Flow selection: uniform over the pool.
-        let flow = self.rng.gen_range(0, self.config.flows as u64) as u32;
+    /// Builds one UDP datagram for `flow` (the original, paper-faithful
+    /// workload packet).
+    fn build_udp(&mut self, flow: u32, seq: u64, size: usize) -> Packet {
         let src_ip = Ipv4Addr::from(u32::from(self.config.src_ip_base) + flow);
-        let src_port = 10_000 + (flow % 50_000) as u16;
-
-        let pkt = UdpPacketBuilder::new()
+        UdpPacketBuilder::new()
             .src_mac(MacAddr::from_index(1))
             .dst_mac(self.config.dst_mac)
             .src_ip(src_ip)
             .dst_ip(self.config.dst_ip)
-            .src_port(src_port)
+            .src_port(10_000 + (flow % 50_000) as u16)
             .dst_port(5001)
             .ident(seq as u16)
             .total_size(size, seq ^ self.config.seed)
+            .build()
+    }
+
+    /// Advances `flow`'s TCP connection one segment: SYN on a fresh
+    /// connection, then a run of data segments sized by the size model,
+    /// then FIN — after which the flow opens a new connection. Returns the
+    /// built segment and its wire size.
+    fn build_tcp(&mut self, flow: u32, seq: u64) -> (Packet, usize) {
+        let mut st = self.tcp_states[flow as usize];
+        let (payload_len, flags) = if !st.established {
+            st.established = true;
+            // 2-15 data segments per connection: short enterprise
+            // request/response exchanges with an occasional longer pull.
+            st.segs_left = 2 + self.rng.gen_range(0, 14) as u32;
+            st.next_seq = (self.config.seed as u32) ^ flow.wrapping_mul(0x9E37_79B9);
+            (0, TcpFlags::SYN)
+        } else if st.segs_left == 0 {
+            st.established = false;
+            (0, TcpFlags::FIN | TcpFlags::ACK)
+        } else {
+            st.segs_left -= 1;
+            let size = self.next_size().max(TCP_STACK_HEADER_LEN);
+            (size - TCP_STACK_HEADER_LEN, TcpFlags::ACK)
+        };
+        let tcp_seq = st.next_seq;
+        // SYN and FIN each consume one sequence number; data consumes its
+        // payload length.
+        let seq_consumed =
+            payload_len as u32 + u32::from(flags & (TcpFlags::SYN | TcpFlags::FIN) != 0);
+        st.next_seq = st.next_seq.wrapping_add(seq_consumed);
+        self.tcp_states[flow as usize] = st;
+
+        let src_ip = Ipv4Addr::from(u32::from(self.config.src_ip_base) + flow);
+        let pkt = TcpPacketBuilder::new()
+            .src_mac(MacAddr::from_index(1))
+            .dst_mac(self.config.dst_mac)
+            .src_ip(src_ip)
+            .dst_ip(self.config.dst_ip)
+            .src_port(10_000 + (flow % 50_000) as u16)
+            .dst_port(80)
+            .ident(seq as u16)
+            .tcp_seq(tcp_seq)
+            .flags(flags)
+            .patterned_payload(payload_len, seq ^ self.config.seed)
             .build();
-        let mut pkt = pkt;
+        (pkt, payload_len + TCP_STACK_HEADER_LEN)
+    }
+
+    /// Produces the next `(departure, packet)`.
+    pub fn next_packet(&mut self) -> (SimTime, Packet) {
+        let seq = self.seq;
+        self.seq += 1;
+
+        let (mut pkt, size) = match self.config.mix {
+            TrafficMix::UdpOnly => {
+                // Draw order (size, then flow) matches the original
+                // UDP-only generator, keeping seeded streams stable.
+                let size = self.next_size().max(UDP_STACK_HEADER_LEN);
+                let flow = self.rng.gen_range(0, self.config.flows as u64) as u32;
+                (self.build_udp(flow, seq, size), size)
+            }
+            TrafficMix::TcpUdp { .. } => {
+                // Flow selection first: a TCP flow's size depends on its
+                // connection phase.
+                let flow = self.rng.gen_range(0, self.config.flows as u64) as u32;
+                if (flow as usize) < self.tcp_flows {
+                    self.build_tcp(flow, seq)
+                } else {
+                    let size = self.next_size().max(UDP_STACK_HEADER_LEN);
+                    (self.build_udp(flow, seq, size), size)
+                }
+            }
+        };
         pkt.set_seq(seq);
 
         // Pacing: packets within a burst go back-to-back at line rate;
@@ -239,8 +349,7 @@ mod tests {
     fn enterprise_sizes_have_right_mean() {
         let mut g = TrafficGen::new(config(20.0, SizeModel::Enterprise));
         let pkts = g.take_for(SimDuration::from_millis(5));
-        let mean =
-            pkts.iter().map(|(_, p)| p.len() as f64).sum::<f64>() / pkts.len() as f64;
+        let mean = pkts.iter().map(|(_, p)| p.len() as f64).sum::<f64>() / pkts.len() as f64;
         assert!((mean - 882.0).abs() < 40.0, "mean {mean}");
     }
 
@@ -251,10 +360,7 @@ mod tests {
         let (_, b) = g.next_packet();
         let (_, c) = g.next_packet();
         let (_, d) = g.next_packet();
-        assert_eq!(
-            (a.len(), b.len(), c.len(), d.len()),
-            (100, 200, 300, 100)
-        );
+        assert_eq!((a.len(), b.len(), c.len(), d.len()), (100, 200, 300, 100));
     }
 
     #[test]
@@ -277,6 +383,105 @@ mod tests {
         let mut g = TrafficGen::new(config(3.3, SizeModel::Enterprise));
         let pkts = g.take_for(SimDuration::from_millis(2));
         assert!(pkts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    fn mixed_config(tcp_fraction: f64) -> GenConfig {
+        GenConfig {
+            rate_gbps: 5.0,
+            sizes: SizeModel::Enterprise,
+            mix: TrafficMix::TcpUdp { tcp_fraction },
+            flows: 32,
+            seed: 17,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mixed_wave_carries_both_transports_at_the_right_ratio() {
+        let mut g = TrafficGen::new(mixed_config(0.75));
+        let pkts = g.take_for(SimDuration::from_millis(4));
+        assert!(pkts.len() > 500, "window too small: {}", pkts.len());
+        let tcp =
+            pkts.iter().filter(|(_, p)| p.parse().unwrap().five_tuple().protocol == 6).count();
+        let frac = tcp as f64 / pkts.len() as f64;
+        // Flows are drawn uniformly, so the packet ratio tracks the flow
+        // ratio (control segments keep TCP slightly over-represented in
+        // packet count relative to bytes, not count).
+        assert!((frac - 0.75).abs() < 0.06, "tcp fraction {frac}");
+    }
+
+    #[test]
+    fn mixed_wave_packets_all_verify_checksums() {
+        let mut g = TrafficGen::new(mixed_config(0.5));
+        for (_, p) in g.take_for(SimDuration::from_micros(500)) {
+            assert!(p.parse().unwrap().verify_checksums(), "seq {}", p.seq());
+        }
+    }
+
+    #[test]
+    fn tcp_flows_cycle_syn_data_fin_with_cumulative_seq() {
+        use pp_packet::{TcpFlags, TcpHeader};
+        let mut g = TrafficGen::new(GenConfig {
+            rate_gbps: 5.0,
+            sizes: SizeModel::Enterprise,
+            mix: TrafficMix::TcpUdp { tcp_fraction: 1.0 },
+            flows: 1, // a single flow: its phases appear in emission order
+            seed: 9,
+            ..Default::default()
+        });
+        let pkts = g.take_for(SimDuration::from_millis(1));
+        let segs: Vec<(u8, u32, usize)> = pkts
+            .iter()
+            .map(|(_, p)| {
+                let parsed = p.parse().unwrap();
+                let tcp = TcpHeader::new_checked(&p.bytes()[parsed.offsets().transport..]).unwrap();
+                (tcp.flags(), tcp.seq(), parsed.udp_payload_len())
+            })
+            .collect();
+        assert!(segs.len() > 20);
+        // First segment of a connection is a bare SYN with no payload.
+        assert_eq!(segs[0].0, TcpFlags::SYN);
+        assert_eq!(segs[0].2, 0);
+        let mut expected_seq = segs[0].1.wrapping_add(1); // SYN consumes one
+        let mut fins = 0;
+        let mut data_bytes = 0usize;
+        for &(flags, seq, payload) in &segs[1..] {
+            if flags == TcpFlags::SYN {
+                // A new connection: fresh ISN.
+                expected_seq = seq.wrapping_add(1);
+                assert_eq!(payload, 0);
+                continue;
+            }
+            assert_eq!(seq, expected_seq, "cumulative sequence numbers");
+            expected_seq = expected_seq
+                .wrapping_add(payload as u32)
+                .wrapping_add(u32::from(flags & TcpFlags::FIN != 0));
+            if flags & TcpFlags::FIN != 0 {
+                fins += 1;
+                assert_eq!(payload, 0);
+            } else if payload > 0 {
+                data_bytes += payload;
+            }
+            // Zero-payload ACK "data" segments model bare ACKs (the size
+            // model sampled below the 54-byte header stack).
+        }
+        assert!(fins > 0, "the window must close at least one connection");
+        assert!(data_bytes > 1000, "connections must move real payload");
+    }
+
+    #[test]
+    fn udp_only_mix_is_default_and_pure() {
+        let mut g = TrafficGen::new(config(5.0, SizeModel::Enterprise));
+        assert_eq!(g.config().mix, TrafficMix::UdpOnly);
+        for (_, p) in g.take_for(SimDuration::from_micros(300)) {
+            assert_eq!(p.parse().unwrap().five_tuple().protocol, 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn bad_tcp_fraction_panics() {
+        TrafficGen::new(mixed_config(1.5));
     }
 
     #[test]

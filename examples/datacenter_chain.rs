@@ -11,13 +11,14 @@
 use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
 use pp_netsim::time::SimDuration;
 use pp_nf::server::ServerProfile;
-use pp_trafficgen::gen::SizeModel;
+use pp_trafficgen::gen::{SizeModel, TrafficMix};
 
 fn main() {
     let mut cfg = TestbedConfig {
         nic_gbps: 10.0,
         rate_gbps: 0.0, // set per run below
         sizes: SizeModel::Enterprise,
+        mix: TrafficMix::UdpOnly,
         duration: SimDuration::from_millis(20),
         chain: ChainSpec::FwNatLb { fw_rules: 20 },
         framework: FrameworkKind::NetBricks,
@@ -41,11 +42,7 @@ fn main() {
         let park = run(&cfg);
         println!(
             "{:>10.1} {:>16.4} {:>16.4} {:>14.1} {:>14.1}",
-            rate,
-            base.goodput_gbps,
-            park.goodput_gbps,
-            base.avg_latency_us,
-            park.avg_latency_us
+            rate, base.goodput_gbps, park.goodput_gbps, base.avg_latency_us, park.avg_latency_us
         );
     }
     println!();

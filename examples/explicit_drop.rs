@@ -12,13 +12,14 @@
 use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
 use pp_netsim::time::SimDuration;
 use pp_nf::server::ServerProfile;
-use pp_trafficgen::gen::SizeModel;
+use pp_trafficgen::gen::{SizeModel, TrafficMix};
 
 fn main() {
     let base_cfg = TestbedConfig {
         nic_gbps: 40.0,
         rate_gbps: 6.0,
         sizes: SizeModel::Enterprise,
+        mix: TrafficMix::UdpOnly,
         duration: SimDuration::from_millis(15),
         // The firewall blacklists 40% of the generator's flows.
         chain: ChainSpec::FwNatBlacklist { blocked_pct: 40 },

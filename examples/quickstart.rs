@@ -9,7 +9,7 @@
 
 use payloadpark::program::build_switch;
 use payloadpark::{ParkConfig, PipeControl};
-use pp_packet::builder::UdpPacketBuilder;
+use pp_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
 use pp_packet::parse::ParsedPacket;
 use pp_packet::{MacAddr, Packet};
 use pp_rmt::chip::ChipProfile;
@@ -60,11 +60,24 @@ fn main() {
     assert_eq!(original.payload(), restored.payload());
     println!("payload restored byte-for-byte ✓");
 
+    // The shim is protocol-agnostic: a TCP segment parks the same way
+    // (only the IPv4 total-length moves — TCP has no length field), and
+    // the merged packet still carries valid IPv4 + TCP checksums.
+    let tcp = TcpPacketBuilder::new().dst_mac(server_mac).tcp_seq(1).total_size(512, 8).build();
+    let out = switch.process(tcp.bytes(), PortId(0), 1);
+    let mut at_server = out[0].bytes.clone();
+    at_server[0..6].copy_from_slice(&sink_mac.0);
+    let back = switch.process(&at_server, PortId(2), 1);
+    assert_eq!(back[0].bytes.len(), 512);
+    assert!(ParsedPacket::parse(&back[0].bytes).unwrap().verify_checksums());
+    println!("TCP segment parked and restored with valid checksums ✓");
+
     // Control-plane counters (paper §5).
     let c = control.counters(&switch);
     println!(
         "counters: splits={} merges={} premature_evictions={}",
         c.splits, c.merges, c.premature_evictions
     );
+    assert_eq!(c.splits, 2, "one UDP + one TCP split");
     assert!(c.functionally_equivalent());
 }

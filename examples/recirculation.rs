@@ -11,13 +11,14 @@
 use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
 use pp_netsim::time::SimDuration;
 use pp_nf::server::ServerProfile;
-use pp_trafficgen::gen::SizeModel;
+use pp_trafficgen::gen::{SizeModel, TrafficMix};
 
 fn main() {
     let mut cfg = TestbedConfig {
         nic_gbps: 10.0,
         rate_gbps: 12.5,
         sizes: SizeModel::Enterprise,
+        mix: TrafficMix::UdpOnly,
         duration: SimDuration::from_millis(20),
         chain: ChainSpec::FwNatLb { fw_rules: 20 },
         framework: FrameworkKind::NetBricks,
@@ -37,9 +38,8 @@ fn main() {
 
     println!("Enterprise workload at 12.5 Gbps send over a 10 GE server link:");
     println!();
-    let gain = |r: &pp_harness::testbed::RunReport| {
-        (r.goodput_gbps / base.goodput_gbps - 1.0) * 100.0
-    };
+    let gain =
+        |r: &pp_harness::testbed::RunReport| (r.goodput_gbps / base.goodput_gbps - 1.0) * 100.0;
     println!(
         "  baseline              goodput {:.4} Gbps   pcie {:>6.2} Gbps",
         base.goodput_gbps, base.pcie_gbps
@@ -62,7 +62,5 @@ fn main() {
         "  recirculation counters: splits={} merges={} (switch recirculated {} passes)",
         c.splits, c.merges, park384.switch_stats.recirculations
     );
-    println!(
-        "\nThe 384-byte variant roughly doubles the 160-byte gain — the Fig. 13 result."
-    );
+    println!("\nThe 384-byte variant roughly doubles the 160-byte gain — the Fig. 13 result.");
 }

@@ -5,7 +5,7 @@
 use pp_harness::testbed::{run, ChainSpec, DeployMode, FrameworkKind, ParkParams, TestbedConfig};
 use pp_netsim::time::SimDuration;
 use pp_nf::server::ServerProfile;
-use pp_trafficgen::gen::SizeModel;
+use pp_trafficgen::gen::{SizeModel, TrafficMix};
 
 fn quiet_server() -> ServerProfile {
     ServerProfile { jitter_frac: 0.0, modulation_amplitude: 0.0, ..Default::default() }
@@ -16,6 +16,7 @@ fn cfg(rate: f64, size: SizeModel, chain: ChainSpec, mode: DeployMode) -> Testbe
         nic_gbps: 40.0,
         rate_gbps: rate,
         sizes: size,
+        mix: pp_trafficgen::gen::TrafficMix::UdpOnly,
         duration: SimDuration::from_millis(4),
         chain,
         framework: FrameworkKind::OpenNetVm,
@@ -105,12 +106,8 @@ fn tiny_table_degrades_gracefully() {
         expiry: 10,
         ..Default::default()
     };
-    let park = run(&cfg(
-        2.0,
-        SizeModel::Fixed(512),
-        ChainSpec::MacSwap,
-        DeployMode::PayloadPark(params),
-    ));
+    let park =
+        run(&cfg(2.0, SizeModel::Fixed(512), ChainSpec::MacSwap, DeployMode::PayloadPark(params)));
     assert!(park.healthy(), "{:?}", park.health);
     let c = park.counters.unwrap();
     assert!(c.disabled_occupied > 0, "must have hit the occupied path: {c:?}");
@@ -140,6 +137,36 @@ fn premature_evictions_surface_as_unhealthy() {
     let c = r.counters.unwrap();
     assert!(c.premature_evictions > 0, "{c:?}");
     assert!(!r.healthy(), "premature evictions must fail health: {:?}", r.health);
+}
+
+/// The mixed TCP+UDP enterprise wave — the composition the paper's target
+/// datacenters actually carry — runs through the full testbed with TCP
+/// payloads parked: healthy, functionally equivalent, and with a goodput
+/// gain over baseline once the server saturates (the Fig. 7/8-style
+/// mechanism on the realistic mix).
+#[test]
+fn mixed_tcp_udp_wave_parks_and_gains_goodput() {
+    let mut config = cfg(
+        22.0,
+        SizeModel::Fixed(512),
+        ChainSpec::FwNat { fw_rules: 1 },
+        DeployMode::PayloadPark(ParkParams::default()),
+    );
+    config.mix = TrafficMix::TcpUdp { tcp_fraction: 0.7 };
+    let park = run(&config);
+    config.mode = DeployMode::Baseline;
+    let base = run(&config);
+
+    let c = park.counters.unwrap();
+    assert!(c.splits > 0, "TCP-dominated traffic must still park: {c:?}");
+    assert!(c.merges > 0, "{c:?}");
+    assert!(c.functionally_equivalent(), "{c:?}");
+    assert!(
+        park.goodput_gbps > base.goodput_gbps * 1.05,
+        "park {} base {}",
+        park.goodput_gbps,
+        base.goodput_gbps
+    );
 }
 
 /// The switch resource report stays within the paper's Table 1 envelope

@@ -6,13 +6,13 @@
 use payloadpark::program::{build_baseline_switch, build_switch};
 use payloadpark::{CounterSnapshot, ParkConfig, PipeControl};
 use pp_fastpath::{reflect_outputs, EngineConfig, SlicedTestbed};
+use pp_netsim::time::SimDuration;
 use pp_packet::pcap::{captures_identical, PcapReader, PcapRecord, PcapWriter};
-use pp_packet::{MacAddr, Packet};
+use pp_packet::{MacAddr, Packet, ParsedPacket};
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::switch::{BatchPacket, SwitchModel, SwitchOutput};
 use pp_rmt::PortId;
-use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen};
-use pp_netsim::time::SimDuration;
+use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen, TrafficMix};
 use proptest::prelude::*;
 
 const SERVER_PORT: u16 = 2;
@@ -38,31 +38,31 @@ fn capture(switch: &mut SwitchModel, packets: &[(u64, Packet)]) -> Vec<PcapRecor
             bytes[0..6].copy_from_slice(&sink_mac().0);
             for merged in switch.process(&bytes, PortId(SERVER_PORT), out.seq) {
                 assert_eq!(merged.port, PortId(SINK_PORT));
-                records.push(PcapRecord::from_packet(
-                    &Packet::with_seq(merged.bytes, merged.seq),
-                    *t,
-                ));
+                records
+                    .push(PcapRecord::from_packet(&Packet::with_seq(merged.bytes, merged.seq), *t));
             }
         }
     }
     records
 }
 
-fn workload() -> Vec<(u64, Packet)> {
+fn workload_with(mix: TrafficMix) -> Vec<(u64, Packet)> {
     let mut gen = TrafficGen::new(GenConfig {
         rate_gbps: 2.0,
         line_rate_gbps: 20.0,
         burst: 16,
         sizes: SizeModel::Enterprise,
+        mix,
         flows: 32,
         dst_mac: server_mac(),
         seed: 99,
         ..Default::default()
     });
-    gen.take_for(SimDuration::from_millis(2))
-        .into_iter()
-        .map(|(t, p)| (t.nanos(), p))
-        .collect()
+    gen.take_for(SimDuration::from_millis(2)).into_iter().map(|(t, p)| (t.nanos(), p)).collect()
+}
+
+fn workload() -> Vec<(u64, Packet)> {
+    workload_with(TrafficMix::UdpOnly)
 }
 
 #[test]
@@ -92,6 +92,42 @@ fn payloadpark_is_functionally_equivalent_to_baseline() {
     assert!(counters.functionally_equivalent(), "{counters:?}");
     assert!(counters.splits > 0, "the workload must exercise parking");
     assert!(counters.disabled_small_payload > 0, "and the small-payload path");
+}
+
+/// The tentpole workload: the enterprise traffic the paper's target
+/// datacenters actually carry is TCP-dominated. Parking must be
+/// transparent for the mixed wave too, and every packet the sink receives
+/// must carry valid IPv4 *and* transport checksums (the parked leg zeroes
+/// the transport checksum; Merge restores the original).
+#[test]
+fn mixed_tcp_udp_wave_is_functionally_equivalent_to_baseline() {
+    let chip = ChipProfile::default();
+    let packets = workload_with(TrafficMix::TcpUdp { tcp_fraction: 0.7 });
+    let tcp = packets.iter().filter(|(_, p)| p.parse().unwrap().five_tuple().protocol == 6).count();
+    assert!(tcp > 0 && tcp < packets.len(), "need a genuine mix: {tcp}/{}", packets.len());
+
+    let mut baseline = build_baseline_switch(chip).unwrap();
+    baseline.l2_add(server_mac(), PortId(SERVER_PORT));
+    baseline.l2_add(sink_mac(), PortId(SINK_PORT));
+    let base_records = capture(&mut baseline, &packets);
+
+    let cfg = ParkConfig::single_server(chip, vec![0, 1], SERVER_PORT, 8192);
+    let (mut park, handles) = build_switch(&cfg).unwrap();
+    park.l2_add(server_mac(), PortId(SERVER_PORT));
+    park.l2_add(sink_mac(), PortId(SINK_PORT));
+    let park_records = capture(&mut park, &packets);
+
+    assert_eq!(base_records.len(), packets.len());
+    assert!(captures_identical(&base_records, &park_records));
+    for rec in &park_records {
+        let parsed = ParsedPacket::parse(&rec.bytes).unwrap();
+        assert!(parsed.verify_checksums(), "bad checksum on {}", parsed.five_tuple());
+    }
+
+    let counters = PipeControl::new(handles[0].clone()).counters(&park);
+    assert!(counters.functionally_equivalent(), "{counters:?}");
+    assert!(counters.splits > 0, "the mixed workload must exercise parking");
+    assert!(counters.disabled_small_payload > 0, "and the small/control-segment path");
 }
 
 #[test]
@@ -139,8 +175,7 @@ fn fp_engine(
     inputs: Vec<BatchPacket>,
     workers: usize,
 ) -> (Vec<SwitchOutput>, CounterSnapshot) {
-    let mut engine =
-        tb.build_engine(EngineConfig { workers, batch: 32, ring_depth: 4 }).unwrap();
+    let mut engine = tb.build_engine(EngineConfig { workers, batch: 32, ring_depth: 4 }).unwrap();
     let to_servers = engine.process(inputs);
     let back = reflect_outputs(to_servers.iter(), tb.sink_mac());
     let merged = engine.process(back);
@@ -150,21 +185,35 @@ fn fp_engine(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// §6.2.6, extended to the execution engine: sharded-batched output
-    /// must match the scalar pipeline *exactly* — counter totals and
-    /// byte-identical merged payloads — at 2 and 4 shards, including
-    /// mixes that wrap the circular buffers (evictions and premature
-    /// evictions must then be identical too).
+    /// §6.2.6, extended to the execution engine and the mixed TCP+UDP
+    /// enterprise workload: sharded-batched output must match the scalar
+    /// pipeline *exactly* — counter totals and byte-identical merged
+    /// payloads — at 2 and 4 shards, including mixes that wrap the
+    /// circular buffers (evictions and premature evictions of TCP-parked
+    /// slots must then be identical too). Every merged packet must carry
+    /// valid IPv4 and transport checksums.
     #[test]
-    fn fastpath_matches_scalar_pipeline(
+    fn fastpath_matches_scalar_pipeline_on_mixed_traffic(
         seed in any::<u64>(),
         packets in 150usize..350,
         slots in 24usize..512,
     ) {
         let tb = SlicedTestbed::new(4, slots);
-        let inputs = tb.counted_enterprise_wave(seed, packets);
+        let inputs = tb.counted_mixed_wave(seed, packets);
+        let tcp = inputs
+            .iter()
+            .filter(|p| ParsedPacket::parse(&p.bytes).unwrap().five_tuple().protocol == 6)
+            .count();
+        prop_assert!(tcp > 0 && tcp < inputs.len(), "need a genuine mix: {}", tcp);
         let (scalar_merged, scalar_counters) = fp_scalar(&tb, &inputs);
         prop_assert!(scalar_counters.splits > 0, "workload must exercise parking");
+        for out in &scalar_merged {
+            let parsed = ParsedPacket::parse(&out.bytes).unwrap();
+            prop_assert!(
+                parsed.verify_checksums(),
+                "bad checksum on merged seq {} ({})", out.seq, parsed.five_tuple()
+            );
+        }
 
         for workers in [2usize, 4] {
             let (engine_merged, engine_counters) =

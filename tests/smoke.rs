@@ -10,9 +10,10 @@ use payloadpark::program::build_switch;
 use payloadpark::{ParkConfig, PipeControl};
 use pp_nf::chain::Nf;
 use pp_nf::nfs::MacSwap;
-use pp_packet::builder::UdpPacketBuilder;
+use pp_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
 use pp_packet::{MacAddr, Packet};
 use pp_rmt::chip::ChipProfile;
+use pp_rmt::switch::SwitchModel;
 use pp_rmt::PortId;
 
 #[test]
@@ -31,11 +32,8 @@ fn one_packet_split_nf_merge_is_identity() {
     // MacSwap is symmetric in every header byte it touches, so after the NF
     // swaps src/dst we only need to re-point the destination at the sink;
     // the payload must come back untouched regardless.
-    let pkt = UdpPacketBuilder::new()
-        .src_mac(sink_mac)
-        .dst_mac(server_mac)
-        .total_size(512, 7)
-        .build();
+    let pkt =
+        UdpPacketBuilder::new().src_mac(sink_mac).dst_mac(server_mac).total_size(512, 7).build();
     let original = pkt.bytes().to_vec();
 
     // Split: 160 payload bytes parked, 7-byte tag appended to the header.
@@ -71,5 +69,117 @@ fn one_packet_split_nf_merge_is_identity() {
     let c = control.counters(&switch);
     assert_eq!(c.splits, 1);
     assert_eq!(c.merges, 1);
+    assert!(c.functionally_equivalent());
+}
+
+/// Shared rig for the boundary tests below.
+fn boundary_testbed() -> (SwitchModel, PipeControl, MacAddr, MacAddr) {
+    let cfg = ParkConfig::single_server(ChipProfile::default(), vec![0, 1], 2, 4096);
+    let (mut switch, handles) = build_switch(&cfg).expect("config fits the chip");
+    let server_mac = MacAddr::from_index(100);
+    let sink_mac = MacAddr::from_index(200);
+    switch.l2_add(server_mac, PortId(2));
+    switch.l2_add(sink_mac, PortId(3));
+    (switch, PipeControl::new(handles[0].clone()), server_mac, sink_mac)
+}
+
+/// Split → (readdress to sink) → Merge for one packet; returns the bytes
+/// that reach the sink.
+fn roundtrip(switch: &mut SwitchModel, bytes: &[u8], sink_mac: MacAddr) -> Vec<u8> {
+    let out = switch.process(bytes, PortId(0), 0);
+    assert_eq!(out.len(), 1, "forward leg must emit exactly one packet");
+    let mut at_server = out[0].bytes.clone();
+    at_server[0..6].copy_from_slice(&sink_mac.0);
+    let back = switch.process(&at_server, PortId(2), 0);
+    assert_eq!(back.len(), 1, "merge leg must emit exactly one packet");
+    back[0].bytes.clone()
+}
+
+/// Undoes the sink readdressing so the round trip can be compared against
+/// the original bytes.
+fn with_server_dst(mut bytes: Vec<u8>, server_mac: MacAddr) -> Vec<u8> {
+    bytes[0..6].copy_from_slice(&server_mac.0);
+    bytes
+}
+
+/// Boundary: a zero-length payload (42-byte packet) takes the disabled
+/// small-payload path and survives byte-identically.
+#[test]
+fn zero_length_payload_takes_the_disabled_path() {
+    let (mut switch, control, server_mac, sink_mac) = boundary_testbed();
+    let pkt = UdpPacketBuilder::new().dst_mac(server_mac).total_size(42, 1).build();
+    let restored = roundtrip(&mut switch, pkt.bytes(), sink_mac);
+    assert_eq!(with_server_dst(restored, server_mac), pkt.bytes());
+    let c = control.counters(&switch);
+    assert_eq!(c.splits, 0);
+    assert_eq!(c.disabled_small_payload, 1);
+    assert_eq!(c.enb0_from_server, 1, "the disabled shim came back with ENB=0");
+    assert!(c.functionally_equivalent());
+}
+
+/// Boundary: a payload exactly at the 160-byte minimum-park size splits
+/// (leaving a header-only packet on the wire) and merges byte-identically.
+#[test]
+fn payload_exactly_at_minimum_park_size_splits() {
+    let (mut switch, control, server_mac, sink_mac) = boundary_testbed();
+    for (total, bytes) in [
+        (
+            42 + 160,
+            UdpPacketBuilder::new()
+                .dst_mac(server_mac)
+                .total_size(42 + 160, 2)
+                .build()
+                .into_bytes(),
+        ),
+        (
+            54 + 160,
+            TcpPacketBuilder::new()
+                .dst_mac(server_mac)
+                .total_size(54 + 160, 2)
+                .build()
+                .into_bytes(),
+        ),
+    ] {
+        let out = switch.process(&bytes, PortId(0), 0);
+        // The whole payload is parked: headers + 7-byte shim remain.
+        assert_eq!(out[0].bytes.len(), total - 160 + 7);
+        let mut at_server = out[0].bytes.clone();
+        at_server[0..6].copy_from_slice(&sink_mac.0);
+        let back = switch.process(&at_server, PortId(2), 0);
+        assert_eq!(with_server_dst(back[0].bytes.clone(), server_mac), bytes);
+    }
+    // One byte below the minimum takes the disabled path instead.
+    let under = UdpPacketBuilder::new().dst_mac(server_mac).total_size(42 + 159, 3).build();
+    let restored = roundtrip(&mut switch, under.bytes(), sink_mac);
+    assert_eq!(with_server_dst(restored, server_mac), under.bytes());
+    let c = control.counters(&switch);
+    assert_eq!(c.splits, 2, "UDP and TCP at exactly the minimum both split");
+    assert_eq!(c.merges, 2);
+    assert_eq!(c.disabled_small_payload, 1);
+    assert!(c.functionally_equivalent());
+}
+
+/// Boundary: a Merge-port arrival with ENB=0 strips the shim, restores the
+/// lengths, and counts on `enb0_from_server` — it must not touch the
+/// payload table.
+#[test]
+fn merge_with_enb0_strips_and_counts() {
+    let (mut switch, control, server_mac, sink_mac) = boundary_testbed();
+    // A small packet gets the disabled (ENB=0) shim on the way out.
+    let pkt = UdpPacketBuilder::new().dst_mac(server_mac).total_size(100, 4).build();
+    let out = switch.process(pkt.bytes(), PortId(0), 0);
+    assert_eq!(out[0].bytes.len(), 107, "disabled shim adds 7 bytes");
+    // The shim's ENB bit (top bit of the first shim byte at offset 42).
+    assert_eq!(out[0].bytes[42] & 0x80, 0, "ENB must be 0");
+
+    let mut at_server = out[0].bytes.clone();
+    at_server[0..6].copy_from_slice(&sink_mac.0);
+    let back = switch.process(&at_server, PortId(2), 0);
+    assert_eq!(back[0].bytes.len(), 100, "shim stripped, lengths restored");
+    assert_eq!(with_server_dst(back[0].bytes.clone(), server_mac), pkt.bytes());
+    let c = control.counters(&switch);
+    assert_eq!(c.enb0_from_server, 1);
+    assert_eq!(c.merges, 0, "an ENB=0 arrival is not a Merge");
+    assert_eq!(control.occupancy(&switch), 0, "the payload table was never touched");
     assert!(c.functionally_equivalent());
 }
