@@ -41,6 +41,7 @@ fn cfg(
         flows: 64,
         seed: 5,
         mode,
+        ..Default::default()
     }
 }
 

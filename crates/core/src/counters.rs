@@ -1,8 +1,12 @@
 //! The monitoring counters of the PayloadPark prototype (paper §5).
 //!
 //! The paper maintains eight counters; this reproduction adds a ninth
-//! (`crc_fail`) for tags that fail CRC validation, which subsumes corrupted
-//! and forged headers.
+//! (`crc_fail`) for tags that fail CRC validation (subsuming corrupted and
+//! forged headers), a tenth (`len_underflow`) for guarded length fix-ups,
+//! and an eleventh (`dup_merge`) for duplicate merge arrivals whose slot
+//! was already reclaimed — the adversity suite's duplication scenarios
+//! must never double-free a slot, so those packets are counted and
+//! dropped rather than spliced onto stale payloads.
 
 use pp_rmt::pipeline::Pipeline;
 
@@ -30,10 +34,14 @@ pub const C_CRC_FAIL: usize = 8;
 /// forged packet that would otherwise leave the switch with a corrupted
 /// length.
 pub const C_LEN_UNDERFLOW: usize = 9;
+/// Counter index: duplicate Merge arrivals — a validated ENB=1 tag whose
+/// slot was already reclaimed by an earlier Merge or Explicit Drop. The
+/// duplicate is dropped without touching memory (exactly-once restore).
+pub const C_DUP_MERGE: usize = 10;
 
 /// Counter names in index order; the program registers them in this order so
 /// the `C_*` indices are valid inside actions.
-pub const COUNTER_NAMES: [&str; 10] = [
+pub const COUNTER_NAMES: [&str; 11] = [
     "splits",
     "merges",
     "explicit_drops",
@@ -44,6 +52,7 @@ pub const COUNTER_NAMES: [&str; 10] = [
     "disabled_occupied",
     "crc_fail",
     "len_underflow",
+    "dup_merge",
 ];
 
 /// A control-plane snapshot of one pipe's counters.
@@ -69,6 +78,8 @@ pub struct CounterSnapshot {
     pub crc_fail: u64,
     /// Packets dropped by the length-fix-up underflow guard.
     pub len_underflow: u64,
+    /// Duplicate Merge arrivals dropped (slot already reclaimed).
+    pub dup_merge: u64,
 }
 
 impl CounterSnapshot {
@@ -85,6 +96,7 @@ impl CounterSnapshot {
             disabled_occupied: pipe.counter(COUNTER_NAMES[C_DISABLED_OCCUPIED]),
             crc_fail: pipe.counter(COUNTER_NAMES[C_CRC_FAIL]),
             len_underflow: pipe.counter(COUNTER_NAMES[C_LEN_UNDERFLOW]),
+            dup_merge: pipe.counter(COUNTER_NAMES[C_DUP_MERGE]),
         }
     }
 
@@ -102,6 +114,7 @@ impl CounterSnapshot {
         self.disabled_occupied += other.disabled_occupied;
         self.crc_fail += other.crc_fail;
         self.len_underflow += other.len_underflow;
+        self.dup_merge += other.dup_merge;
     }
 
     /// Outstanding parked payloads implied by the counters: splits minus
@@ -115,7 +128,10 @@ impl CounterSnapshot {
     /// zero premature evictions) and no packet was dropped for a corrupted
     /// tag or length.
     pub fn functionally_equivalent(&self) -> bool {
-        self.premature_evictions == 0 && self.crc_fail == 0 && self.len_underflow == 0
+        self.premature_evictions == 0
+            && self.crc_fail == 0
+            && self.len_underflow == 0
+            && self.dup_merge == 0
     }
 }
 
@@ -135,6 +151,7 @@ mod tests {
         assert_eq!(COUNTER_NAMES[C_DISABLED_OCCUPIED], "disabled_occupied");
         assert_eq!(COUNTER_NAMES[C_CRC_FAIL], "crc_fail");
         assert_eq!(COUNTER_NAMES[C_LEN_UNDERFLOW], "len_underflow");
+        assert_eq!(COUNTER_NAMES[C_DUP_MERGE], "dup_merge");
     }
 
     #[test]
@@ -160,6 +177,11 @@ mod tests {
         assert!(!snap.functionally_equivalent());
         snap.crc_fail = 0;
         snap.len_underflow = 1;
+        assert!(!snap.functionally_equivalent());
+        snap.len_underflow = 0;
+        // A duplicate delivered once by the baseline but consumed by Merge
+        // is an observable difference too.
+        snap.dup_merge = 1;
         assert!(!snap.functionally_equivalent());
     }
 }

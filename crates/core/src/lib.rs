@@ -23,6 +23,9 @@
 //! * [`counters`] — the prototype's monitoring counters (§5);
 //! * [`control`] — control-plane views: occupancy, counter snapshots,
 //!   table clearing, the Table 1 resource report;
+//! * [`oracle`] — the conformance oracle: slot-leak/counter-balance and
+//!   delivered-integrity invariants that must hold after every wave, even
+//!   under injected loss, reordering, duplication and truncation;
 //! * [`shard`] — partitioning a deployment across parallel workers by the
 //!   §6.2.4 port→slice mapping (the `pp_fastpath` engine consumes this).
 //!
@@ -54,6 +57,7 @@ pub mod config;
 pub mod control;
 pub mod counters;
 pub mod evictor;
+pub mod oracle;
 pub mod program;
 pub mod shard;
 
@@ -61,5 +65,6 @@ pub use config::{ParkConfig, PipePark, SliceSpec, META_ENTRY_BYTES};
 pub use control::PipeControl;
 pub use counters::CounterSnapshot;
 pub use evictor::{AdaptiveConfig, AdaptivePolicy};
+pub use oracle::OracleReport;
 pub use program::{build_baseline_switch, build_switch, BuildError, PipeHandles, MAX_CLK};
 pub use shard::ShardPlan;

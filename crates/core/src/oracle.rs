@@ -1,0 +1,209 @@
+//! The conformance oracle: invariant checks for adversarial runs.
+//!
+//! The paper's §6.2.6 functional-equivalence argument assumes a benign
+//! network; the adversity engine (loss, reordering, duplication,
+//! truncation, blackouts) deliberately breaks that assumption, so
+//! "behaves correctly" needs a definition that survives misfortune. This
+//! module is that definition — a set of invariants every execution path
+//! (scalar switch loops, the sharded `pp_fastpath` engine at any width,
+//! the discrete-event harness) must uphold after **every** wave,
+//! regardless of what the network did:
+//!
+//! 1. **No slot leaks / counter balance.** Every parked payload is
+//!    eventually merged, explicitly dropped, or evicted — so the counters
+//!    must satisfy `splits = merges + explicit_drops + evictions +
+//!    occupied_slots` exactly. A leaked slot (payload parked forever with
+//!    no occupant record) or a double-free (a duplicate Merge reclaiming a
+//!    slot twice) both break this equation.
+//! 2. **Exactly-once restore.** Duplicate ENB=1 Merge arrivals must be
+//!    counted (`dup_merge`) and dropped, never spliced onto a stale or
+//!    re-occupied slot; a double restore would show up either as a
+//!    balance violation (1) or as a corrupt delivered packet (3).
+//! 3. **Delivered packets are whole.** Everything that reaches the sink
+//!    parses and passes IPv4 *and* transport checksum verification
+//!    ([`ParsedPacket::verify_checksums`]) — Merge restored the exact
+//!    payload and checksum that were parked. (Skip this check for
+//!    scenarios that corrupt packet bytes in flight: the baseline would
+//!    deliver those corrupted too.)
+//!
+//! All checks are pure over a [`CounterSnapshot`] + occupancy (+ the
+//! delivered bytes), so they apply equally to a single [`SwitchModel`]
+//! and to aggregated per-shard state.
+
+use crate::control::PipeControl;
+use crate::counters::CounterSnapshot;
+use pp_packet::ParsedPacket;
+use pp_rmt::switch::SwitchModel;
+
+/// The outcome of a conformance check: empty means every invariant held.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    violations: Vec<String>,
+}
+
+impl OracleReport {
+    /// True when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found, human-readable.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Panics with the violation list unless every invariant held.
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        assert!(self.ok(), "conformance oracle violated:\n  {}", self.violations.join("\n  "));
+    }
+
+    /// Folds another report's findings into this one.
+    pub fn merge(&mut self, other: OracleReport) {
+        self.violations.extend(other.violations);
+    }
+
+    fn expect(&mut self, cond: bool, msg: impl FnOnce() -> String) {
+        if !cond {
+            self.violations.push(msg());
+        }
+    }
+}
+
+/// Checks the slot-leak / counter-balance invariants against the actual
+/// number of occupied lookup-table slots.
+pub fn check_counters(c: &CounterSnapshot, occupancy: usize) -> OracleReport {
+    let mut r = OracleReport::default();
+    r.expect(c.outstanding() >= 0, || {
+        format!(
+            "double-free: merges + drops + evictions exceed splits \
+             (outstanding {} < 0) in {c:?}",
+            c.outstanding()
+        )
+    });
+    r.expect(c.outstanding() == occupancy as i64, || {
+        format!(
+            "slot leak: counters imply {} parked payloads but {} slots are \
+             occupied (splits {} = merges {} + explicit_drops {} + evictions {} \
+             + occupied?) in {c:?}",
+            c.outstanding(),
+            occupancy,
+            c.splits,
+            c.merges,
+            c.explicit_drops,
+            c.evictions
+        )
+    });
+    r
+}
+
+/// Checks that every delivered packet parses and carries valid IPv4 and
+/// transport checksums — a merged packet must be byte-whole, with the
+/// parked checksum restored. Not applicable to corruption scenarios (the
+/// baseline delivers corrupted packets too).
+pub fn check_delivered<'a>(delivered: impl IntoIterator<Item = &'a [u8]>) -> OracleReport {
+    let mut r = OracleReport::default();
+    for (i, bytes) in delivered.into_iter().enumerate() {
+        match ParsedPacket::parse(bytes) {
+            Ok(parsed) => r.expect(parsed.verify_checksums(), || {
+                format!(
+                    "delivered packet {i} ({}) fails checksum verification",
+                    parsed.five_tuple()
+                )
+            }),
+            Err(e) => r.violations.push(format!("delivered packet {i} does not parse: {e:?}")),
+        }
+    }
+    r
+}
+
+/// The full per-wave conformance check: counter balance plus delivered
+/// integrity. `occupancy` is the number of occupied lookup-table slots
+/// (aggregated across shards for the engine).
+pub fn check_wave<'a>(
+    c: &CounterSnapshot,
+    occupancy: usize,
+    delivered: impl IntoIterator<Item = &'a [u8]>,
+) -> OracleReport {
+    let mut r = check_counters(c, occupancy);
+    r.merge(check_delivered(delivered));
+    r
+}
+
+/// [`check_wave`] over a live scalar switch: reads the counters and
+/// occupancy through its control plane.
+pub fn check_switch<'a>(
+    control: &PipeControl,
+    switch: &SwitchModel,
+    delivered: impl IntoIterator<Item = &'a [u8]>,
+) -> OracleReport {
+    check_wave(&control.counters(switch), control.occupancy(switch), delivered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_packet::builder::UdpPacketBuilder;
+
+    fn snap(splits: u64, merges: u64, explicit: u64, evictions: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            splits,
+            merges,
+            explicit_drops: explicit,
+            evictions,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn balanced_counters_pass() {
+        // 100 splits: 60 merged, 10 explicitly dropped, 25 evicted, 5 parked.
+        let r = check_counters(&snap(100, 60, 10, 25), 5);
+        assert!(r.ok(), "{:?}", r.violations());
+        r.assert_ok();
+    }
+
+    #[test]
+    fn slot_leak_is_caught() {
+        // Counters say 5 payloads are parked, but 7 slots are occupied.
+        let r = check_counters(&snap(100, 60, 10, 25), 7);
+        assert!(!r.ok());
+        assert!(r.violations()[0].contains("slot leak"), "{:?}", r.violations());
+    }
+
+    #[test]
+    fn double_free_is_caught() {
+        // More reclaims than splits: a duplicate merge freed a slot twice.
+        let r = check_counters(&snap(10, 11, 0, 0), 0);
+        assert!(!r.ok());
+        assert!(r.violations()[0].contains("double-free"), "{:?}", r.violations());
+    }
+
+    #[test]
+    fn delivered_integrity_checks_checksums() {
+        let good = UdpPacketBuilder::new().payload(&[7u8; 64]).build().into_bytes();
+        assert!(check_delivered([good.as_slice()]).ok());
+
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        let r = check_delivered([good.as_slice(), bad.as_slice()]);
+        assert_eq!(r.violations().len(), 1);
+        assert!(r.violations()[0].contains("packet 1"), "{:?}", r.violations());
+
+        let r = check_delivered([&[0u8; 4][..]]);
+        assert!(r.violations()[0].contains("does not parse"), "{:?}", r.violations());
+    }
+
+    #[test]
+    fn check_wave_merges_both_layers() {
+        let bad = vec![0u8; 3];
+        let r = check_wave(&snap(10, 9, 0, 0), 3, [bad.as_slice()]);
+        assert_eq!(r.violations().len(), 2, "{:?}", r.violations());
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance oracle violated")]
+    fn assert_ok_panics_on_violation() {
+        check_counters(&snap(1, 2, 0, 0), 0).assert_ok();
+    }
+}

@@ -30,8 +30,9 @@ use crate::config::{
     META_OFF_XSUM,
 };
 use crate::counters::{
-    COUNTER_NAMES, C_CRC_FAIL, C_DISABLED_OCCUPIED, C_DISABLED_SMALL_PAYLOAD, C_ENB0_FROM_SERVER,
-    C_EVICTIONS, C_EXPLICIT_DROPS, C_LEN_UNDERFLOW, C_MERGES, C_PREMATURE_EVICTIONS, C_SPLITS,
+    COUNTER_NAMES, C_CRC_FAIL, C_DISABLED_OCCUPIED, C_DISABLED_SMALL_PAYLOAD, C_DUP_MERGE,
+    C_ENB0_FROM_SERVER, C_EVICTIONS, C_EXPLICIT_DROPS, C_LEN_UNDERFLOW, C_MERGES,
+    C_PREMATURE_EVICTIONS, C_SPLITS,
 };
 use pp_packet::checksum::Checksum;
 use pp_packet::crc::tag_crc;
@@ -530,9 +531,20 @@ pub fn build_primary(
                                 }
                             }
                         }
+                    } else if exp == 0 && cell_ref.iter().all(|b| *b == 0) {
+                        // A cleared slot with a validated tag: the slot was
+                        // already reclaimed by an earlier Merge or Explicit
+                        // Drop, so this is a duplicate (or replayed)
+                        // arrival. Drop it without touching memory — the
+                        // payload was restored exactly once and a lossy
+                        // link's duplicate must never double-free the slot
+                        // or splice a stale payload.
+                        ctx.counters[C_DUP_MERGE] += 1;
+                        phv.verdict.drop = true;
                     } else {
-                        // Premature eviction: the payload is gone. Drop the
-                        // packet and record it (§3.3).
+                        // Premature eviction: the payload is gone (the slot
+                        // was aged out, and possibly re-occupied by a newer
+                        // Split). Drop the packet and record it (§3.3).
                         ctx.counters[C_PREMATURE_EVICTIONS] += 1;
                         phv.verdict.drop = true;
                     }

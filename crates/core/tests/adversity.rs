@@ -1,0 +1,191 @@
+//! Evictor and Merge behaviour under adversarial arrival schedules.
+//!
+//! These tests drive hand-crafted loss/blackout/duplication/reordering
+//! schedules through a small deployment — precise control over *which*
+//! packet is lost or replayed, where the top-level adversity matrix uses
+//! the seeded scenario engine — and assert the conformance oracle's
+//! invariants: no slot leaks, exactly-once payload restore, and the
+//! adaptive policy stepping toward conservative expiry when live payloads
+//! get evicted.
+
+use payloadpark::program::build_switch;
+use payloadpark::{oracle, AdaptiveConfig, ParkConfig, PipeControl};
+use pp_packet::{MacAddr, ParsedPacket, UdpPacketBuilder};
+use pp_rmt::chip::ChipProfile;
+use pp_rmt::switch::{SwitchModel, SwitchOutput};
+use pp_rmt::PortId;
+
+const SPLIT_PORT: u16 = 0;
+const MERGE_PORT: u16 = 2;
+const SINK_PORT: u16 = 3;
+
+fn server_mac() -> MacAddr {
+    MacAddr::from_index(100)
+}
+fn sink_mac() -> MacAddr {
+    MacAddr::from_index(200)
+}
+
+fn park_switch(slots: usize, expiry: u16) -> (SwitchModel, PipeControl) {
+    let mut cfg =
+        ParkConfig::single_server(ChipProfile::default(), vec![SPLIT_PORT, 1], MERGE_PORT, slots);
+    cfg.expiry_threshold = expiry;
+    let (mut sw, handles) = build_switch(&cfg).expect("config builds");
+    sw.l2_add(server_mac(), PortId(MERGE_PORT));
+    sw.l2_add(sink_mac(), PortId(SINK_PORT));
+    (sw, PipeControl::new(handles[0].clone()))
+}
+
+/// A parkable packet: 512 wire bytes leave a 470-byte payload, well past
+/// the 160-byte minimum.
+fn pkt(seq: u64, size: usize) -> Vec<u8> {
+    UdpPacketBuilder::new().dst_mac(server_mac()).total_size(size, seq).build().into_bytes()
+}
+
+/// Splits `seqs` one by one, returning the header packets bound for the
+/// NF server.
+fn split_wave(sw: &mut SwitchModel, seqs: std::ops::Range<u64>, size: usize) -> Vec<SwitchOutput> {
+    seqs.flat_map(|seq| {
+        let out = sw.process(&pkt(seq, size), PortId(SPLIT_PORT), seq);
+        assert!(out.iter().all(|o| o.port == PortId(MERGE_PORT)), "split output to server");
+        out
+    })
+    .collect()
+}
+
+/// The MAC-swap NF + merge ingress for one returning header packet.
+fn merge_one(sw: &mut SwitchModel, out: &SwitchOutput) -> Vec<SwitchOutput> {
+    let mut back = out.bytes.clone();
+    back[0..6].copy_from_slice(&sink_mac().0);
+    sw.process(&back, PortId(MERGE_PORT), out.seq)
+}
+
+/// §3.3 under a scripted blackout: an 8-slot table, one full wave whose
+/// NF-leg returns all vanish (a blacked-out server), then a double wave
+/// whose splits must evict the orphans — and whose own first half gets
+/// evicted in turn, so its late merges come back prematurely. Zero slot
+/// leaks, every counter balanced, and the §7 adaptive policy reacts by
+/// stepping toward conservative expiry.
+#[test]
+fn blackout_on_the_nf_leg_evicts_orphans_without_leaking_slots() {
+    let (mut sw, control) = park_switch(8, 1);
+
+    // Wave A: 8 splits; the blackout swallows every return.
+    let blacked_out = split_wave(&mut sw, 0..8, 512);
+    assert_eq!(blacked_out.len(), 8);
+    assert_eq!(control.occupancy(&sw), 8, "all 8 slots parked and orphaned");
+
+    // Wave B: 16 splits wrap the table twice — the first 8 evict wave A's
+    // orphans, the second 8 evict wave B's own first half.
+    let returns = split_wave(&mut sw, 8..24, 512);
+    let c = control.counters(&sw);
+    assert_eq!(c.splits, 24);
+    assert_eq!(c.evictions, 16, "8 orphans + 8 of wave B aged out");
+
+    // All of wave B returns (late): the first half finds its slots
+    // re-occupied — premature evictions — and the second half merges.
+    let mut delivered = Vec::new();
+    for out in &returns {
+        delivered.extend(merge_one(&mut sw, out));
+    }
+    let c = control.counters(&sw);
+    assert_eq!(c.premature_evictions, 8, "{c:?}");
+    assert_eq!(c.merges, 8, "{c:?}");
+    assert_eq!(delivered.len(), 8);
+
+    // The conformance oracle: counters balance against occupancy (zero
+    // leaks: 24 splits = 8 merges + 16 evictions + 0 occupied), and every
+    // delivered packet is whole.
+    assert_eq!(control.occupancy(&sw), 0);
+    oracle::check_switch(&control, &sw, delivered.iter().map(|o| o.bytes.as_slice())).assert_ok();
+
+    // The §7 adaptive policy sees the premature evictions and steps the
+    // live threshold toward the conservative end.
+    let mut policy = control.adaptive_policy(AdaptiveConfig::default());
+    assert_eq!(policy.current(), 1, "started aggressive");
+    let next = policy.observe(control.counters(&sw));
+    assert_eq!(next, 2, "premature evictions must raise the threshold");
+    assert_eq!(control.handles().expiry.load(std::sync::atomic::Ordering::Relaxed), 2);
+    assert_eq!(policy.adjustments(), 1);
+}
+
+/// Duplicate and reordered ENB=1 merge arrivals: the payload is restored
+/// exactly once per Split, duplicates are counted in `dup_merge` and
+/// dropped without double-freeing the slot or splicing a stale payload,
+/// and the surviving output is byte-identical to the calm run.
+#[test]
+fn duplicate_and_reordered_merges_restore_exactly_once() {
+    // Calm reference: split + merge in order, no adversity.
+    let (mut calm_sw, calm_control) = park_switch(64, 4);
+    let mut reference = std::collections::BTreeMap::new();
+    for out in split_wave(&mut calm_sw, 0..12, 420) {
+        for merged in merge_one(&mut calm_sw, &out) {
+            reference.insert(merged.seq, merged.bytes);
+        }
+    }
+    assert_eq!(reference.len(), 12);
+    assert!(calm_control.counters(&calm_sw).functionally_equivalent());
+
+    // Adverse run: the same 12 packets, but the NF leg reverses the
+    // returns (reordering far beyond any batch boundary) and delivers
+    // every one of them twice.
+    let (mut sw, control) = park_switch(64, 4);
+    let returns = split_wave(&mut sw, 0..12, 420);
+    let mut delivered = Vec::new();
+    for out in returns.iter().rev() {
+        for copy in 0..2 {
+            let merged = merge_one(&mut sw, out);
+            if copy == 0 {
+                assert_eq!(merged.len(), 1, "first arrival must merge");
+            } else {
+                assert!(merged.is_empty(), "duplicate must be consumed");
+            }
+            delivered.extend(merged);
+        }
+    }
+
+    let c = control.counters(&sw);
+    assert_eq!(c.merges, 12, "{c:?}");
+    assert_eq!(c.dup_merge, 12, "every duplicate counted: {c:?}");
+    assert_eq!(c.premature_evictions, 0, "{c:?}");
+    assert_eq!(c.crc_fail, 0, "{c:?}");
+
+    // Exactly-once, order-independent restore: every surviving packet is
+    // byte-identical to the calm run's delivery for the same seq.
+    assert_eq!(delivered.len(), 12);
+    for out in &delivered {
+        assert_eq!(&out.bytes, reference.get(&out.seq).expect("seq delivered in calm run"));
+        assert!(ParsedPacket::parse(&out.bytes).unwrap().verify_checksums());
+    }
+
+    // No slot leaked, none double-freed.
+    assert_eq!(control.occupancy(&sw), 0);
+    oracle::check_switch(&control, &sw, delivered.iter().map(|o| o.bytes.as_slice())).assert_ok();
+}
+
+/// A duplicated ENB=0 (small-payload) return takes the baseline path:
+/// both copies are delivered whole, exactly as a baseline L2 switch would
+/// forward a duplicated packet — nothing is parked, so nothing can leak.
+#[test]
+fn duplicated_disabled_shim_returns_take_the_baseline_path() {
+    let (mut sw, control) = park_switch(16, 1);
+    // 100 wire bytes → 58-byte payload, far under the 160-byte minimum:
+    // Split attaches a disabled shim instead of parking.
+    let out = sw.process(&pkt(5, 100), PortId(SPLIT_PORT), 5);
+    assert_eq!(out.len(), 1);
+    let c = control.counters(&sw);
+    assert_eq!(c.disabled_small_payload, 1);
+    assert_eq!(c.splits, 0);
+
+    let mut delivered = Vec::new();
+    for _ in 0..2 {
+        delivered.extend(merge_one(&mut sw, &out[0]));
+    }
+    let c = control.counters(&sw);
+    assert_eq!(delivered.len(), 2, "baseline semantics: duplicates pass through");
+    assert_eq!(c.enb0_from_server, 2, "{c:?}");
+    assert_eq!(c.dup_merge, 0, "no parked state was touched: {c:?}");
+    assert_eq!(delivered[0].bytes, delivered[1].bytes);
+    assert_eq!(control.occupancy(&sw), 0);
+    oracle::check_switch(&control, &sw, delivered.iter().map(|o| o.bytes.as_slice())).assert_ok();
+}

@@ -21,9 +21,11 @@
 //! byte for byte.
 
 use crate::adapter::reflect_outputs;
+use crate::adversity::adverse_return_wave;
 use crate::spsc::{self, Consumer, Producer};
 use payloadpark::program::build_switch;
 use payloadpark::{BuildError, CounterSnapshot, ParkConfig, PipeControl, ShardPlan};
+use pp_netsim::adversity::{AdversityProfile, FaultTally};
 use pp_packet::MacAddr;
 use pp_rmt::switch::{BatchOutput, BatchPacket, OutputRef, SwitchStats};
 use pp_rmt::{PortId, SwitchModel, SwitchOutput};
@@ -61,7 +63,14 @@ enum WorkerMsg {
     /// server (readdressing it to `sink`), process the returns, reply with
     /// the merge-side outputs. Keeps the whole Split → NF → Merge round
     /// trip on the worker, as each slice's NF server is its own machine.
-    Roundtrip { pkts: Vec<BatchPacket>, sink: MacAddr },
+    /// With `adversity` set, the worker's own injector mangles the two
+    /// internal legs (switch → NF and NF → switch) — every per-packet
+    /// fault is keyed on the sequence number, so per-shard injection
+    /// drops/duplicates/mutates exactly the packets a global injector
+    /// would. Reordering is the one batch-scoped effect: displacement
+    /// cannot carry a packet past the end of its batch, since each
+    /// Roundtrip merges its own returns before the next batch splits.
+    Roundtrip { pkts: Vec<BatchPacket>, sink: MacAddr, adversity: Option<Arc<AdversityProfile>> },
     /// Add an L2 forwarding entry (fire and forget).
     L2Add(MacAddr, PortId),
     /// Reply with a control-plane snapshot.
@@ -75,7 +84,7 @@ enum WorkerMsg {
 /// What a worker sends back.
 enum WorkerReply {
     Out(BatchOutput),
-    State { counters: CounterSnapshot, stats: SwitchStats, occupancy: usize },
+    State { counters: CounterSnapshot, stats: SwitchStats, occupancy: usize, tally: FaultTally },
     Flushed,
 }
 
@@ -171,6 +180,7 @@ fn worker_main(
         tx.push(r);
         dispatcher.lock().expect("dispatcher slot poisoned").unpark();
     };
+    let mut tally = FaultTally::default();
     loop {
         let msg = idle_wait(|| rx.try_pop());
         match msg {
@@ -179,10 +189,19 @@ fn worker_main(
                 switch.process_batch(&pkts, &mut out);
                 reply(&mut tx, WorkerReply::Out(out));
             }
-            WorkerMsg::Roundtrip { pkts, sink } => {
+            WorkerMsg::Roundtrip { pkts, sink, adversity } => {
                 let mut split_side = BatchOutput::new();
                 switch.process_batch(&pkts, &mut split_side);
-                let back = reflect_outputs(split_side.iter(), sink);
+                let back = match &adversity {
+                    None => reflect_outputs(split_side.iter(), sink),
+                    Some(adv) => {
+                        // This shard's own injector: mangle the two
+                        // internal legs around the MAC-swap NF.
+                        let outs =
+                            split_side.to_switch_outputs().into_iter().map(BatchPacket::from);
+                        adverse_return_wave(adv, outs.collect(), sink, &mut tally)
+                    }
+                };
                 let mut merge_side = BatchOutput::new();
                 switch.process_batch(&back, &mut merge_side);
                 reply(&mut tx, WorkerReply::Out(merge_side));
@@ -193,6 +212,7 @@ fn worker_main(
                     counters: control.counters(&switch),
                     stats: switch.stats(),
                     occupancy: control.occupancy(&switch),
+                    tally,
                 };
                 reply(&mut tx, state);
             }
@@ -273,7 +293,7 @@ impl Engine {
     /// `batch`-sized messages, and processed concurrently. Within a shard,
     /// arrival order is preserved end to end.
     pub fn process(&mut self, inputs: Vec<BatchPacket>) -> EngineOutput {
-        self.run(inputs, None)
+        self.run(inputs, None, None)
     }
 
     /// Runs one wave through the full Split → NF → Merge round trip: each
@@ -282,10 +302,36 @@ impl Engine {
     /// entire per-packet path executes shard-locally. Returns the
     /// merge-side (sink-bound) outputs.
     pub fn process_roundtrip(&mut self, inputs: Vec<BatchPacket>, sink: MacAddr) -> EngineOutput {
-        self.run(inputs, Some(sink))
+        self.run(inputs, Some(sink), None)
     }
 
-    fn run(&mut self, inputs: Vec<BatchPacket>, sink: Option<MacAddr>) -> EngineOutput {
+    /// [`Engine::process_roundtrip`] under an adversity scenario: each
+    /// worker's own injector mangles the switch → NF and NF → switch legs
+    /// of its shard. Decisions are keyed on `(seed, leg, seq)`, so the
+    /// scenario is replayable from the profile's seed, and which packets
+    /// are lost, duplicated, truncated or corrupted is independent of the
+    /// worker count or batch size. Reorder displacement is additionally
+    /// clamped to the batch span (the fused round trip merges each batch
+    /// before the next one splits) — drive the engine in two phases with
+    /// [`adverse_return_wave`] applied globally, as the equivalence suite
+    /// does, when cross-batch reordering must match the scalar reference.
+    /// [`Engine::fault_tally`] reports what was injected.
+    pub fn process_roundtrip_adverse(
+        &mut self,
+        inputs: Vec<BatchPacket>,
+        sink: MacAddr,
+        adversity: &AdversityProfile,
+    ) -> EngineOutput {
+        let adv = (!adversity.is_disabled()).then(|| Arc::new(adversity.clone()));
+        self.run(inputs, Some(sink), adv)
+    }
+
+    fn run(
+        &mut self,
+        inputs: Vec<BatchPacket>,
+        sink: Option<MacAddr>,
+        adversity: Option<Arc<AdversityProfile>>,
+    ) -> EngineOutput {
         self.capture_dispatcher();
         let n = self.workers.len();
 
@@ -313,7 +359,11 @@ impl Engine {
                 if !flush_sent[w] {
                     if let Some(chunk) = chunks[w].pop_front() {
                         let msg = match sink {
-                            Some(sink) => WorkerMsg::Roundtrip { pkts: chunk, sink },
+                            Some(sink) => WorkerMsg::Roundtrip {
+                                pkts: chunk,
+                                sink,
+                                adversity: adversity.clone(),
+                            },
                             None => WorkerMsg::Batch(chunk),
                         };
                         match self.workers[w].tx.try_push(msg) {
@@ -367,7 +417,7 @@ impl Engine {
     }
 
     /// Control-plane snapshots from every worker, in worker order.
-    fn query(&mut self) -> Vec<(CounterSnapshot, SwitchStats, usize)> {
+    fn query(&mut self) -> Vec<(CounterSnapshot, SwitchStats, usize, FaultTally)> {
         self.capture_dispatcher();
         let mut states = Vec::with_capacity(self.workers.len());
         for w in &mut self.workers {
@@ -376,8 +426,8 @@ impl Engine {
             }
             loop {
                 match w.recv() {
-                    Some(WorkerReply::State { counters, stats, occupancy }) => {
-                        states.push((counters, stats, occupancy));
+                    Some(WorkerReply::State { counters, stats, occupancy, tally }) => {
+                        states.push((counters, stats, occupancy, tally));
                         break;
                     }
                     Some(_) => continue, // stale wave replies cannot occur here, but be safe
@@ -391,7 +441,7 @@ impl Engine {
     /// Aggregated PayloadPark counters across all shards.
     pub fn counters(&mut self) -> CounterSnapshot {
         let mut total = CounterSnapshot::default();
-        for (c, _, _) in self.query() {
+        for (c, _, _, _) in self.query() {
             total.add(&c);
         }
         total
@@ -400,7 +450,7 @@ impl Engine {
     /// Aggregated switch statistics across all shards.
     pub fn switch_stats(&mut self) -> SwitchStats {
         let mut total = SwitchStats::default();
-        for (_, s, _) in self.query() {
+        for (_, s, _, _) in self.query() {
             total.add(&s);
         }
         total
@@ -408,7 +458,16 @@ impl Engine {
 
     /// Occupied lookup-table slots across all shards.
     pub fn occupancy(&mut self) -> usize {
-        self.query().iter().map(|(_, _, o)| o).sum()
+        self.query().iter().map(|(_, _, o, _)| o).sum()
+    }
+
+    /// Aggregated fault tally of the per-shard adversity injectors.
+    pub fn fault_tally(&mut self) -> FaultTally {
+        let mut total = FaultTally::default();
+        for (_, _, _, t) in self.query() {
+            total.add(&t);
+        }
+        total
     }
 }
 
@@ -595,6 +654,60 @@ mod tests {
         .unwrap();
         assert_eq!(merged, 120);
         assert!(counters.splits > 0);
+    }
+
+    #[test]
+    fn adverse_roundtrip_replays_byte_identically_from_its_seed() {
+        use pp_netsim::adversity::LegProfile;
+        let adv = AdversityProfile {
+            seed: 42,
+            to_nf: LegProfile::loss(0.05),
+            from_nf: LegProfile {
+                drop: 0.1,
+                duplicate: 0.1,
+                truncate: 0.1,
+                reorder: 0.3,
+                max_displacement: 8,
+                ..Default::default()
+            },
+        };
+        let run = |adv: &AdversityProfile| {
+            let mut engine =
+                TB.build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 }).unwrap();
+            let out = engine.process_roundtrip_adverse(
+                TB.counted_enterprise_wave(7, 240),
+                TB.sink_mac(),
+                adv,
+            );
+            (out.to_seq_sorted(), engine.counters(), engine.occupancy(), engine.fault_tally())
+        };
+        let (out_a, counters_a, occ_a, tally_a) = run(&adv);
+        let (out_b, counters_b, occ_b, tally_b) = run(&adv);
+        assert_eq!(out_a, out_b, "same seed must replay byte-identically");
+        assert_eq!(counters_a, counters_b);
+        assert_eq!(tally_a, tally_b);
+        assert!(tally_a.lost() > 0, "{tally_a:?}");
+        // The invariants hold even under loss + dup + truncation + reorder.
+        payloadpark::oracle::check_counters(&counters_a, occ_a).assert_ok();
+        payloadpark::oracle::check_counters(&counters_b, occ_b).assert_ok();
+        // A different seed is a different scenario.
+        let (_, _, _, tally_c) = run(&AdversityProfile { seed: 43, ..adv });
+        assert_ne!(tally_a, tally_c, "seed must select the scenario");
+    }
+
+    #[test]
+    fn disabled_adversity_is_the_plain_roundtrip() {
+        let inputs = TB.counted_enterprise_wave(9, 120);
+        let mut plain =
+            TB.build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 }).unwrap();
+        let expected = plain.process_roundtrip(inputs.clone(), TB.sink_mac()).to_seq_sorted();
+        let mut adverse =
+            TB.build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 }).unwrap();
+        let got = adverse
+            .process_roundtrip_adverse(inputs, TB.sink_mac(), &AdversityProfile::disabled())
+            .to_seq_sorted();
+        assert_eq!(got, expected);
+        assert_eq!(adverse.fault_tally(), Default::default());
     }
 
     #[test]

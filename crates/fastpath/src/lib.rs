@@ -15,7 +15,11 @@
 //!   ([`pp_rmt::SwitchModel::process_batch`]), which amortizes MAT
 //!   dispatch and deparses into a shared arena;
 //! * [`adapter`] bridges [`pp_trafficgen`] streams in (paced ingest) and
-//!   meters packets/sec and goodput out.
+//!   meters packets/sec and goodput out;
+//! * [`adversity`] applies [`pp_netsim::adversity`] scenarios to engine
+//!   waves: per-shard injectors mangle the internal NF legs with seeded
+//!   loss/reorder/duplication/truncation, deterministically enough that
+//!   scalar and sharded runs suffer identical misfortune.
 //!
 //! Sharded-batched execution is *observationally identical* to the scalar
 //! pipeline: a slice's register cells are only ever touched by its own
@@ -26,11 +30,13 @@
 //! byte-identical merged captures at 2 and 4 shards.
 
 pub mod adapter;
+pub mod adversity;
 pub mod engine;
 pub mod spsc;
 pub mod testbed;
 
 pub use adapter::{reflect_outputs, EgressMeter, PacedIngest};
+pub use adversity::{adverse_return_wave, apply_leg_wave, internal_leg_protected_prefix};
 pub use engine::{Engine, EngineConfig, EngineOutput};
 pub use testbed::SlicedTestbed;
 // The batch I/O types engines speak, re-exported for callers' convenience.

@@ -11,9 +11,11 @@
 //! deployment; if the slicing shape or the NF-reflection convention ever
 //! changes, it changes everywhere at once.
 
+use crate::adversity::adverse_return_wave;
 use crate::engine::{Engine, EngineConfig};
 use payloadpark::program::build_switch;
 use payloadpark::{BuildError, ParkConfig, PipeControl, SliceSpec};
+use pp_netsim::adversity::{AdversityProfile, FaultTally};
 use pp_netsim::time::SimDuration;
 use pp_packet::MacAddr;
 use pp_rmt::chip::ChipProfile;
@@ -148,9 +150,9 @@ impl SlicedTestbed {
             seed,
             ..Default::default()
         });
-        (0..packets)
-            .map(|_| {
-                let (_, pkt) = gen.next_packet();
+        gen.take_count(packets)
+            .into_iter()
+            .map(|(_, pkt)| {
                 let seq = pkt.seq();
                 let slice = (seq as usize) % self.slices;
                 let mut pkt =
@@ -199,6 +201,37 @@ impl SlicedTestbed {
             let mut back = out.bytes;
             back[0..6].copy_from_slice(&self.sink_mac().0);
             merged.extend(sw.process(&back, out.port, out.seq));
+        }
+        merged
+    }
+
+    /// The two-phase scalar reference under an adversity scenario: all
+    /// Splits, then the split-side wave suffers the profile's switch → NF
+    /// and NF → switch legs (loss, reordering, duplication, truncation,
+    /// blackouts) around the MAC-swap NF, then the survivors Merge. This
+    /// is the oracle the sharded engine is compared against under
+    /// identical seeded misfortune.
+    pub fn scalar_roundtrip_two_phase_adverse(
+        &self,
+        sw: &mut SwitchModel,
+        inputs: &[BatchPacket],
+        adversity: &AdversityProfile,
+        tally: &mut FaultTally,
+    ) -> Vec<SwitchOutput> {
+        let mut to_servers = Vec::new();
+        for pkt in inputs {
+            to_servers.extend(
+                sw.process(&pkt.bytes, pkt.port, pkt.seq).into_iter().map(|o| BatchPacket {
+                    bytes: o.bytes,
+                    port: o.port,
+                    seq: o.seq,
+                }),
+            );
+        }
+        let back = adverse_return_wave(adversity, to_servers, self.sink_mac(), tally);
+        let mut merged = Vec::new();
+        for pkt in back {
+            merged.extend(sw.process(&pkt.bytes, pkt.port, pkt.seq));
         }
         merged
     }

@@ -6,18 +6,21 @@
 //! pp-exp <experiment> [--quick]
 //!
 //! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
-//!              fig15 fig16 table1 headline mixed throughput all
+//!              fig15 fig16 table1 headline mixed throughput adversity all
 //! ```
 //!
 //! Each experiment prints a text table (the repository's rendering of the
 //! corresponding figure). `--quick` uses the reduced test-effort sweep.
-//! `throughput` is the exception: it measures the reproduction itself
-//! (scalar pipeline vs the `pp_fastpath` engine at 1/2/4/8 workers) and
-//! emits a JSON series on stdout for dashboards and trend tracking.
+//! Two experiments measure the reproduction itself and emit JSON series on
+//! stdout for dashboards and trend tracking: `throughput` (scalar pipeline
+//! vs the `pp_fastpath` engine at 1/2/4/8 workers) and `adversity`
+//! (goodput/eviction curves vs injected NF-leg loss under a fixed scenario
+//! seed — the same seed always produces byte-identical output, so the
+//! series doubles as a replay/regression artifact).
 
 use pp_harness::experiments::{
-    emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15, fig16,
-    headline_fw_nat_40g, mixed_goodput, table1, Effort,
+    adversity_sweep, emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15,
+    fig16, headline_fw_nat_40g, mixed_goodput, table1, Effort,
 };
 
 fn main() {
@@ -42,6 +45,7 @@ fn main() {
         "headline",
         "mixed",
         "throughput",
+        "adversity",
         "all",
     ];
     if which.is_empty() || !known.contains(&which.as_str()) {
@@ -102,5 +106,10 @@ fn main() {
     if want("throughput") {
         // Machine-readable: this subcommand feeds the bench trajectory.
         println!("{}", emulator_throughput(effort).render_json());
+    }
+    if want("adversity") {
+        // Machine-readable and byte-reproducible for a given seed: CI
+        // uploads this series as an artifact on every push.
+        println!("{}", adversity_sweep(effort).render_json());
     }
 }

@@ -9,8 +9,10 @@
 //! fraction, expiry threshold) follow §6.1 of the paper; see DESIGN.md's
 //! per-experiment index for the mapping.
 
+pub mod adversity;
 pub mod throughput;
 
+pub use adversity::adversity as adversity_sweep;
 pub use throughput::throughput as emulator_throughput;
 
 use crate::multiserver::{run_pipe, MultiServerConfig};

@@ -278,6 +278,8 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
             counters,
             server_stats: sstats,
             switch_stats: swstats,
+            fault_tally: Default::default(),
+            oracle_violations: Vec::new(),
         }
     })
 }

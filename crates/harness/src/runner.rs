@@ -106,6 +106,7 @@ mod tests {
             flows: 16,
             seed: 5,
             mode: DeployMode::Baseline,
+            ..Default::default()
         }
     }
 

@@ -16,6 +16,7 @@
 use payloadpark::program::{build_baseline_switch, build_switch};
 use payloadpark::{CounterSnapshot, ParkConfig, PipeControl};
 use pp_metrics::{GoodputMeter, HealthTracker, LatencyStats};
+use pp_netsim::adversity::{internal_leg_protected_prefix, AdversityProfile, FaultTally, Leg};
 use pp_netsim::event::EventQueue;
 use pp_netsim::link::Link;
 use pp_netsim::rng::DetRng;
@@ -201,6 +202,12 @@ pub struct TestbedConfig {
     pub seed: u64,
     /// Deployment under test.
     pub mode: DeployMode,
+    /// Adversity scenario on the internal switch ↔ NF-server legs
+    /// (disabled by default). Loss and blackouts skip the delivery, delay
+    /// and reordering add latency, duplication schedules the packet twice,
+    /// truncation and corruption mangle the wire bytes in flight — all
+    /// decisions keyed on `(seed, leg, seq)` so a run replays exactly.
+    pub adversity: AdversityProfile,
 }
 
 impl Default for TestbedConfig {
@@ -217,6 +224,7 @@ impl Default for TestbedConfig {
             flows: 128,
             seed: 1,
             mode: DeployMode::Baseline,
+            adversity: AdversityProfile::disabled(),
         }
     }
 }
@@ -251,6 +259,11 @@ pub struct RunReport {
     pub server_stats: pp_nf::server::ServerStats,
     /// Switch-side statistics.
     pub switch_stats: pp_rmt::switch::SwitchStats,
+    /// What the adversity injectors actually did on the internal legs.
+    pub fault_tally: FaultTally,
+    /// Conformance-oracle findings (empty when every invariant held;
+    /// always empty for baseline runs, which have no parking state).
+    pub oracle_violations: Vec<String>,
 }
 
 impl RunReport {
@@ -272,6 +285,43 @@ enum Ev {
     Server { pkt: Packet },
     /// A packet's last bit arrives at the sink.
     Sink { pkt: Packet },
+}
+
+/// Applies one internal leg's adversity to a packet about to be
+/// transmitted. `None` means the packet was lost (random drop or
+/// blackout); otherwise the bytes may have been truncated/corrupted in
+/// place and the result carries the extra latency to add and whether a
+/// duplicate copy should be transmitted as well.
+fn inject(
+    adv: &AdversityProfile,
+    leg: Leg,
+    pkt: &mut Packet,
+    tally: &mut FaultTally,
+) -> Option<(SimDuration, bool)> {
+    if adv.leg(leg).is_noop() {
+        return Some((SimDuration::from_nanos(0), false));
+    }
+    tally.seen += 1;
+    let plan = adv.plan(leg, pkt.seq());
+    if plan.blackout {
+        tally.blacked_out += 1;
+        return None;
+    }
+    if plan.drop {
+        tally.dropped += 1;
+        return None;
+    }
+    if plan.truncate.is_some() || plan.corrupt.is_some() {
+        let protected = internal_leg_protected_prefix(pkt.bytes());
+        plan.mutate(pkt.bytes_mut(), protected, tally);
+    }
+    if plan.displacement > 0 {
+        tally.displaced += 1;
+    }
+    if plan.duplicate {
+        tally.duplicated += 1;
+    }
+    Some((SimDuration::from_nanos(plan.extra_delay_ns), plan.duplicate))
 }
 
 /// Runs one experiment.
@@ -344,6 +394,8 @@ pub fn run(config: &TestbedConfig) -> RunReport {
 
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut next_gen: Option<(SimTime, Packet)> = Some(gen.next_packet());
+    let adversity = &config.adversity;
+    let mut fault_tally = FaultTally::default();
 
     loop {
         // Interleave generation with event processing in time order.
@@ -384,8 +436,19 @@ pub fn run(config: &TestbedConfig) -> RunReport {
                     let mut fwd = Packet::with_seq(out.bytes, out.seq);
                     match out.port.0 {
                         SERVER_PORT => {
+                            // The switch → NF leg is where the adversity
+                            // engine lives (§3.3's lossy links).
+                            let Some((extra, dup)) =
+                                inject(adversity, Leg::ToNf, &mut fwd, &mut fault_tally)
+                            else {
+                                continue;
+                            };
+                            if dup {
+                                let again = to_server.transmit(t_out, fwd.len());
+                                queue.schedule(again + extra, Ev::Server { pkt: fwd.clone() });
+                            }
                             let arrival = to_server.transmit(t_out, fwd.len());
-                            queue.schedule(arrival, Ev::Server { pkt: fwd });
+                            queue.schedule(arrival + extra, Ev::Server { pkt: fwd });
                         }
                         SINK_PORT => {
                             let arrival = to_sink.transmit(t_out, fwd.len());
@@ -400,9 +463,23 @@ pub fn run(config: &TestbedConfig) -> RunReport {
             }
             Ev::Server { pkt } => match server.rx(now, pkt) {
                 RxOutcome::Dropped => {}
-                RxOutcome::Done { time, packet: Some(out) } => {
+                RxOutcome::Done { time, packet: Some(mut out) } => {
+                    // The NF → switch leg: losses here orphan parked
+                    // payloads until the evictor reclaims their slots.
+                    let Some((extra, dup)) =
+                        inject(adversity, Leg::FromNf, &mut out, &mut fault_tally)
+                    else {
+                        continue;
+                    };
+                    if dup {
+                        let again = from_server.transmit(time, out.len());
+                        queue.schedule(
+                            again + extra,
+                            Ev::Switch { port: SERVER_PORT, pkt: out.clone() },
+                        );
+                    }
                     let arrival = from_server.transmit(time, out.len());
-                    queue.schedule(arrival, Ev::Switch { port: SERVER_PORT, pkt: out });
+                    queue.schedule(arrival + extra, Ev::Switch { port: SERVER_PORT, pkt: out });
                 }
                 RxOutcome::Done { time: _, packet: None } => {}
             },
@@ -423,20 +500,36 @@ pub fn run(config: &TestbedConfig) -> RunReport {
     let swstats = switch.stats();
     let premature = counters.map(|c| c.premature_evictions + c.crc_fail).unwrap_or(0);
     let explicit_consumed = counters.map(|c| c.explicit_drops).unwrap_or(0);
-    // Explicit-drop notifications are extra packets consumed by the switch;
-    // exclude them from the "program drops" that indicate real loss.
+    // Explicit-drop notifications and consumed duplicate merges are extra
+    // packets the switch absorbs by design; exclude them from the
+    // "program drops" that indicate real loss.
+    let dup_consumed = counters.map(|c| c.dup_merge).unwrap_or(0);
     let program_drops_other =
-        swstats.dropped_by_program.saturating_sub(premature + explicit_consumed);
+        swstats.dropped_by_program.saturating_sub(premature + explicit_consumed + dup_consumed);
     let health = HealthTracker {
         offered: gen.generated(),
         delivered: delivered_total,
         intended_drops: sstats.nf_dropped,
         ring_drops: sstats.ring_drops,
         premature_eviction_drops: premature,
+        // Injected losses (drops + blackouts) count as unintended: the
+        // sweep's whole point is to watch health degrade with adversity.
+        // (With duplication, `in_flight` can go slightly negative —
+        // baseline duplicates are delivered twice but offered once.)
         other_drops: swstats.parse_errors
             + swstats.dropped_no_route
             + swstats.dropped_recirc_limit
-            + program_drops_other,
+            + program_drops_other
+            + fault_tally.lost(),
+    };
+    // The conformance oracle: whatever the network did, the counters must
+    // balance against the slots actually occupied (no leaks, no
+    // double-frees).
+    let oracle_violations = match (&control, &counters) {
+        (Some(ctl), Some(c)) => {
+            payloadpark::oracle::check_counters(c, ctl.occupancy(&switch)).violations().to_vec()
+        }
+        _ => Vec::new(),
     };
 
     // Deliveries after the window closed were queued somewhere at cutoff.
@@ -456,6 +549,8 @@ pub fn run(config: &TestbedConfig) -> RunReport {
         counters,
         server_stats: sstats,
         switch_stats: swstats,
+        fault_tally,
+        oracle_violations,
     }
 }
 
@@ -480,6 +575,7 @@ mod tests {
             flows: 16,
             seed: 3,
             mode,
+            ..Default::default()
         })
     }
 
@@ -542,6 +638,7 @@ mod tests {
             flows: 16,
             seed: 3,
             mode: DeployMode::Baseline,
+            ..Default::default()
         };
         cfg.server.ring_capacity = 512;
         let r = run(&cfg);
@@ -556,6 +653,67 @@ mod tests {
         assert_eq!(a.health, b.health);
         assert_eq!(a.goodput_gbps, b.goodput_gbps);
         assert_eq!(a.avg_latency_us, b.avg_latency_us);
+        assert_eq!(a.fault_tally, FaultTally::default(), "no adversity by default");
+        assert!(a.oracle_violations.is_empty(), "{:?}", a.oracle_violations);
+    }
+
+    fn adverse(mode: DeployMode, adversity: AdversityProfile) -> RunReport {
+        run(&TestbedConfig {
+            nic_gbps: 10.0,
+            rate_gbps: 2.0,
+            sizes: SizeModel::Fixed(512),
+            duration: SimDuration::from_millis(2),
+            chain: ChainSpec::MacSwap,
+            server: quiet_server(),
+            flows: 16,
+            seed: 3,
+            mode,
+            adversity,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn nf_leg_loss_orphans_payloads_and_the_oracle_still_balances() {
+        // 20% loss on the NF → switch leg: parked payloads are orphaned
+        // and only the evictor can reclaim their slots. A small table
+        // (few slots) guarantees wraps inside the window.
+        let params = ParkParams { sram_fraction: 0.002, expiry: 2, ..Default::default() };
+        let r = adverse(DeployMode::PayloadPark(params), AdversityProfile::nf_loss(3, 0.2));
+        assert!(r.fault_tally.dropped > 50, "{:?}", r.fault_tally);
+        let c = r.counters.unwrap();
+        assert!(c.evictions > 0, "orphaned slots must be aged out: {c:?}");
+        assert!(!r.healthy(), "20% loss cannot be healthy");
+        // The conformance oracle holds regardless: every split is merged,
+        // evicted or still occupying a slot.
+        assert!(r.oracle_violations.is_empty(), "{:?}", r.oracle_violations);
+        // Loss is fully accounted (tally vs HealthTracker).
+        assert!(r.health.other_drops >= r.fault_tally.lost());
+    }
+
+    #[test]
+    fn adverse_runs_replay_from_their_seed() {
+        let adv = AdversityProfile {
+            seed: 11,
+            from_nf: pp_netsim::adversity::LegProfile {
+                drop: 0.1,
+                duplicate: 0.1,
+                reorder: 0.3,
+                max_displacement: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = adverse(DeployMode::PayloadPark(ParkParams::default()), adv.clone());
+        let b = adverse(DeployMode::PayloadPark(ParkParams::default()), adv);
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.fault_tally, b.fault_tally);
+        assert_eq!(a.counters, b.counters);
+        assert!(a.fault_tally.duplicated > 0 && a.fault_tally.displaced > 0, "{:?}", a.fault_tally);
+        // Duplicate ENB=1 merges were consumed exactly once each.
+        let c = a.counters.unwrap();
+        assert!(c.dup_merge > 0, "{c:?}");
+        assert!(a.oracle_violations.is_empty(), "{:?}", a.oracle_violations);
     }
 
     #[test]

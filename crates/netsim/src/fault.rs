@@ -7,6 +7,8 @@
 //! by lossy links and other components" (§3.3).
 
 use crate::rng::DetRng;
+use pp_packet::ppark::{PayloadParkHeader, PAYLOADPARK_HEADER_LEN};
+use pp_packet::ParsedPacket;
 
 /// Fault-injection configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -15,6 +17,15 @@ pub struct FaultConfig {
     pub drop_chance: f64,
     /// Probability of flipping one random bit in each surviving packet.
     pub corrupt_chance: f64,
+    /// Allow corruption to hit the bytes of a parked-payload shim.
+    ///
+    /// Off by default: on the internal NF leg every packet carries the
+    /// 7-byte PayloadPark header, and a bit flipped inside its tag words
+    /// aliases *another* lookup-table slot — a forged-tag scenario, not a
+    /// lossy link. Real links corrupt payloads far more often than they
+    /// mint consistent tags, so the injector skips an ENB=1 shim unless
+    /// this is explicitly enabled.
+    pub corrupt_shim: bool,
 }
 
 /// Statistics kept by the injector.
@@ -59,6 +70,11 @@ impl FaultInjector {
     }
 
     /// Applies faults to `packet`; may flip a bit in place.
+    ///
+    /// Unless [`FaultConfig::corrupt_shim`] is set, the flipped bit never
+    /// lands inside a validated ENB=1 PayloadPark shim — corrupting the
+    /// tag words would silently alias another slot rather than model link
+    /// noise (see [`shim_span`]).
     pub fn apply(&mut self, packet: &mut [u8]) -> FaultOutcome {
         self.stats.seen += 1;
         if self.rng.chance(self.config.drop_chance) {
@@ -66,7 +82,17 @@ impl FaultInjector {
             return FaultOutcome::Drop;
         }
         if !packet.is_empty() && self.rng.chance(self.config.corrupt_chance) {
-            let byte = self.rng.gen_range(0, packet.len() as u64) as usize;
+            let protected = if self.config.corrupt_shim { None } else { shim_span(packet) };
+            let choices = packet.len() - protected.map_or(0, |(s, e)| e - s);
+            if choices == 0 {
+                return FaultOutcome::Pass;
+            }
+            let mut byte = self.rng.gen_range(0, choices as u64) as usize;
+            if let Some((start, end)) = protected {
+                if byte >= start {
+                    byte += end - start;
+                }
+            }
             let bit = self.rng.gen_range(0, 8) as u8;
             packet[byte] ^= 1 << bit;
             self.stats.corrupted += 1;
@@ -84,6 +110,22 @@ impl FaultInjector {
     pub fn config(&self) -> FaultConfig {
         self.config
     }
+}
+
+/// Locates a validated ENB=1 PayloadPark shim within `packet`, returning
+/// its half-open byte span. `None` when the packet does not parse, carries
+/// no shim at the payload offset, or the shim's tag CRC does not verify
+/// (a disabled all-zero shim is indistinguishable from payload and is not
+/// protected).
+pub fn shim_span(packet: &[u8]) -> Option<(usize, usize)> {
+    let parsed = ParsedPacket::parse(packet).ok()?;
+    let start = parsed.offsets().payload;
+    let end = start + PAYLOADPARK_HEADER_LEN;
+    if packet.len() < end {
+        return None;
+    }
+    let shim = PayloadParkHeader::new_checked(&packet[start..end]).ok()?;
+    (shim.enabled() && shim.verify_tag().is_ok()).then_some((start, end))
 }
 
 #[cfg(test)]
@@ -104,7 +146,7 @@ mod tests {
     #[test]
     fn drop_rate_is_plausible() {
         let mut inj = FaultInjector::new(
-            FaultConfig { drop_chance: 0.15, corrupt_chance: 0.0 },
+            FaultConfig { drop_chance: 0.15, ..Default::default() },
             DetRng::from_seed(42),
         );
         let mut pkt = vec![0u8; 8];
@@ -115,7 +157,7 @@ mod tests {
     #[test]
     fn corruption_flips_exactly_one_bit() {
         let mut inj = FaultInjector::new(
-            FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 },
+            FaultConfig { corrupt_chance: 1.0, ..Default::default() },
             DetRng::from_seed(1),
         );
         let original = vec![0x55u8; 32];
@@ -129,17 +171,81 @@ mod tests {
     #[test]
     fn empty_packet_never_corrupted() {
         let mut inj = FaultInjector::new(
-            FaultConfig { drop_chance: 0.0, corrupt_chance: 1.0 },
+            FaultConfig { corrupt_chance: 1.0, ..Default::default() },
             DetRng::from_seed(2),
         );
         assert_eq!(inj.apply(&mut []), FaultOutcome::Pass);
+    }
+
+    /// A post-Split internal-leg packet: stack headers, then a validated
+    /// ENB=1 shim, then remaining payload bytes.
+    fn split_leg_packet() -> Vec<u8> {
+        use pp_packet::builder::UdpPacketBuilder;
+        use pp_packet::ppark::{PpOpcode, PpTag};
+        let mut shim_and_rest = vec![0u8; PAYLOADPARK_HEADER_LEN + 25];
+        PayloadParkHeader::new_checked(&mut shim_and_rest[..])
+            .unwrap()
+            .write_enabled(PpOpcode::Merge, PpTag { table_index: 0x0123, generation: 0x0BEE });
+        UdpPacketBuilder::new().payload(&shim_and_rest).build().into_bytes()
+    }
+
+    #[test]
+    fn corruption_never_touches_a_validated_shim_by_default() {
+        // Regression: a bit flipped inside the shim's tag words would
+        // alias another lookup-table slot. With the default config the
+        // shim bytes must survive any number of corruption draws.
+        let pristine = split_leg_packet();
+        let (start, end) = shim_span(&pristine).expect("shim present");
+        assert_eq!(end - start, PAYLOADPARK_HEADER_LEN);
+        let mut inj = FaultInjector::new(
+            FaultConfig { corrupt_chance: 1.0, ..Default::default() },
+            DetRng::from_seed(6),
+        );
+        for _ in 0..500 {
+            let mut pkt = pristine.clone();
+            assert_eq!(inj.apply(&mut pkt), FaultOutcome::Corrupted);
+            assert_eq!(&pkt[start..end], &pristine[start..end], "shim bytes altered");
+        }
+    }
+
+    #[test]
+    fn corrupt_shim_opt_in_reaches_the_tag_words() {
+        let pristine = split_leg_packet();
+        let (start, end) = shim_span(&pristine).expect("shim present");
+        let mut inj = FaultInjector::new(
+            FaultConfig { corrupt_chance: 1.0, corrupt_shim: true, ..Default::default() },
+            DetRng::from_seed(6),
+        );
+        let mut hit = false;
+        for _ in 0..500 {
+            let mut pkt = pristine.clone();
+            inj.apply(&mut pkt);
+            hit |= pkt[start..end] != pristine[start..end];
+        }
+        assert!(hit, "explicitly configured shim corruption never landed");
+    }
+
+    #[test]
+    fn shim_span_ignores_disabled_and_corrupt_shims() {
+        // No shim at all (plain payload).
+        use pp_packet::builder::UdpPacketBuilder;
+        let plain = UdpPacketBuilder::new().payload(&[0xAA; 40]).build().into_bytes();
+        assert_eq!(shim_span(&plain), None);
+        // A valid shim whose CRC was already damaged is not protected —
+        // it no longer names a real slot.
+        let mut forged = split_leg_packet();
+        let (start, _) = shim_span(&forged).unwrap();
+        forged[start + 1] ^= 0x40;
+        assert_eq!(shim_span(&forged), None);
+        // Unparseable bytes are not protected either.
+        assert_eq!(shim_span(&[0u8; 5]), None);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
             let mut inj = FaultInjector::new(
-                FaultConfig { drop_chance: 0.3, corrupt_chance: 0.3 },
+                FaultConfig { drop_chance: 0.3, corrupt_chance: 0.3, ..Default::default() },
                 DetRng::from_seed(seed),
             );
             let mut pkt = vec![9u8; 16];

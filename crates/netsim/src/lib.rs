@@ -15,12 +15,17 @@
 //!   (config, seed);
 //! * [`fault`] — probabilistic drop/corrupt injection (in the spirit of the
 //!   smoltcp examples' `--drop-chance`/`--corrupt-chance` options);
+//! * [`adversity`] — the deterministic adversity engine: seeded, replayable
+//!   loss/reorder/duplication/truncation/blackout scenarios whose per-packet
+//!   decisions are pure functions of `(seed, leg, seq)`, so every execution
+//!   path sees identical misfortune;
 //! * [`trace`] — a bounded in-memory trace log for debugging runs.
 //!
 //! Design note: simulation is CPU-bound and must be reproducible, so the
 //! substrate is fully synchronous — no async runtime, no threads. The
 //! multi-server experiment parallelises *across* independent simulations.
 
+pub mod adversity;
 pub mod event;
 pub mod fault;
 pub mod link;
@@ -30,6 +35,10 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use adversity::{
+    internal_leg_protected_prefix, AdversityProfile, FaultPlan, FaultTally, Leg, LegProfile,
+    SeqWindow,
+};
 pub use event::EventQueue;
 pub use fault::FaultInjector;
 pub use link::Link;

@@ -70,6 +70,15 @@ pub struct BatchPacket {
     pub seq: u64,
 }
 
+impl From<SwitchOutput> for BatchPacket {
+    /// Re-offering an egressed packet to the switch (NF reflection, merge
+    /// return waves): the egress port doubles as the re-ingress port in
+    /// the testbed wiring, and the sequence number rides along.
+    fn from(o: SwitchOutput) -> Self {
+        BatchPacket { bytes: o.bytes, port: o.port, seq: o.seq }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct OutputItem {
     port: PortId,

@@ -285,6 +285,14 @@ impl TrafficGen {
     }
 
     /// Generates all departures within `[0, duration)`.
+    /// Exactly `count` packets with their departure times — the counted
+    /// sibling of [`TrafficGen::take_for`] for wave-based rigs (the
+    /// sliced testbed, the adversity matrix) that need a fixed packet
+    /// budget rather than a time window.
+    pub fn take_count(&mut self, count: usize) -> Vec<(SimTime, Packet)> {
+        (0..count).map(|_| self.next_packet()).collect()
+    }
+
     pub fn take_for(&mut self, duration: SimDuration) -> Vec<(SimTime, Packet)> {
         let mut out = Vec::new();
         loop {
@@ -304,6 +312,20 @@ mod tests {
 
     fn config(rate: f64, sizes: SizeModel) -> GenConfig {
         GenConfig { rate_gbps: rate, sizes, ..Default::default() }
+    }
+
+    #[test]
+    fn take_count_yields_exactly_n_and_matches_the_stream() {
+        let mut a = TrafficGen::new(config(4.0, SizeModel::Enterprise));
+        let mut b = TrafficGen::new(config(4.0, SizeModel::Enterprise));
+        let counted = a.take_count(25);
+        assert_eq!(counted.len(), 25);
+        for (t, p) in counted {
+            let (t2, p2) = b.next_packet();
+            assert_eq!(t, t2);
+            assert_eq!(p.bytes(), p2.bytes());
+        }
+        assert_eq!(a.generated(), 25);
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn main() {
         flows: 128,
         seed: 7,
         mode: DeployMode::Baseline,
+        ..Default::default()
     };
 
     println!("FW -> NAT -> LB on NetBricks, 10 GE, enterprise workload (mean 882 B)");

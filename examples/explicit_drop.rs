@@ -28,6 +28,7 @@ fn main() {
         flows: 128,
         seed: 9,
         mode: DeployMode::Baseline,
+        ..Default::default()
     };
 
     println!("FW(40% drops) -> NAT, enterprise workload, 6 Gbps send:");

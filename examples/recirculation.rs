@@ -26,6 +26,7 @@ fn main() {
         flows: 128,
         seed: 7,
         mode: DeployMode::Baseline,
+        ..Default::default()
     };
 
     let base = run(&cfg);

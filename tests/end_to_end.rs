@@ -24,6 +24,7 @@ fn cfg(rate: f64, size: SizeModel, chain: ChainSpec, mode: DeployMode) -> Testbe
         flows: 64,
         seed: 21,
         mode,
+        ..Default::default()
     }
 }
 

@@ -4,8 +4,9 @@
 //! zero premature evictions.
 
 use payloadpark::program::{build_baseline_switch, build_switch};
-use payloadpark::{CounterSnapshot, ParkConfig, PipeControl};
-use pp_fastpath::{reflect_outputs, EngineConfig, SlicedTestbed};
+use payloadpark::{oracle, CounterSnapshot, ParkConfig, PipeControl};
+use pp_fastpath::{adverse_return_wave, reflect_outputs, EngineConfig, SlicedTestbed};
+use pp_netsim::adversity::{AdversityProfile, FaultTally, LegProfile};
 use pp_netsim::time::SimDuration;
 use pp_packet::pcap::{captures_identical, PcapReader, PcapRecord, PcapWriter};
 use pp_packet::{MacAddr, Packet, ParsedPacket};
@@ -228,6 +229,106 @@ proptest! {
             );
             for (e, s) in engine_merged.iter().zip(&scalar_merged) {
                 prop_assert_eq!(e, s, "merged payload diverged at {} workers", workers);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The adversity equivalence oracle: for any seeded mix of loss,
+    /// duplication, truncation and bounded reordering on the internal NF
+    /// legs, the sharded engine at 2 and 4 workers must agree with the
+    /// scalar pipeline *exactly* — identical counter totals, identical
+    /// fault tallies, and identical delivered byte sets — because every
+    /// fault decision is a pure function of `(seed, leg, seq)`. The
+    /// conformance oracle (no slot leaks, counters balance, delivered
+    /// packets verify) must hold on every path.
+    #[test]
+    fn fastpath_matches_scalar_under_identical_seeded_adversity(
+        seed in any::<u64>(),
+        packets in 150usize..300,
+        slots in 24usize..256,
+        loss_pm in 0u32..300,
+        dup_pm in 0u32..300,
+        trunc_pm in 0u32..250,
+        reorder_pm in 0u32..500,
+    ) {
+        // Per-mille knobs: the vendored proptest has no float strategies.
+        let (loss, dup, trunc, reorder) = (
+            f64::from(loss_pm) / 1000.0,
+            f64::from(dup_pm) / 1000.0,
+            f64::from(trunc_pm) / 1000.0,
+            f64::from(reorder_pm) / 1000.0,
+        );
+        let tb = SlicedTestbed::new(4, slots);
+        let inputs = tb.counted_mixed_wave(seed, packets);
+        let adv = AdversityProfile {
+            seed,
+            to_nf: LegProfile::loss(loss * 0.3),
+            from_nf: LegProfile {
+                drop: loss,
+                duplicate: dup,
+                truncate: trunc,
+                reorder,
+                max_displacement: 32,
+                ..Default::default()
+            },
+        };
+
+        // Scalar two-phase reference under the scenario.
+        let (mut sw, control) = tb.build_scalar();
+        let mut scalar_tally = FaultTally::default();
+        let scalar_merged =
+            tb.scalar_roundtrip_two_phase_adverse(&mut sw, &inputs, &adv, &mut scalar_tally);
+        let scalar_counters = control.counters(&sw);
+        let scalar_occupancy = control.occupancy(&sw);
+        prop_assert!(scalar_counters.splits > 0, "workload must exercise parking");
+        let report = oracle::check_wave(
+            &scalar_counters,
+            scalar_occupancy,
+            scalar_merged.iter().map(|o| o.bytes.as_slice()),
+        );
+        prop_assert!(report.ok(), "scalar oracle: {:?}", report.violations());
+
+        let canonical = |mut outs: Vec<(u64, Vec<u8>)>| {
+            outs.sort();
+            outs
+        };
+        let scalar_set =
+            canonical(scalar_merged.into_iter().map(|o| (o.seq, o.bytes)).collect());
+
+        for workers in [2usize, 4] {
+            let mut engine =
+                tb.build_engine(EngineConfig { workers, batch: 32, ring_depth: 4 }).unwrap();
+            let mut tally = FaultTally::default();
+            let outs = engine
+                .process(inputs.clone())
+                .to_seq_sorted()
+                .into_iter()
+                .map(BatchPacket::from)
+                .collect();
+            let back = adverse_return_wave(&adv, outs, tb.sink_mac(), &mut tally);
+            let merged = engine.process(back);
+            prop_assert_eq!(&tally, &scalar_tally, "tallies diverged at {} workers", workers);
+            prop_assert_eq!(
+                &engine.counters(), &scalar_counters,
+                "counters diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                engine.occupancy(), scalar_occupancy,
+                "occupancy diverged at {} workers", workers
+            );
+            let engine_set = canonical(
+                merged.to_seq_sorted().into_iter().map(|o| (o.seq, o.bytes)).collect(),
+            );
+            prop_assert_eq!(
+                engine_set.len(), scalar_set.len(),
+                "delivered count diverged at {} workers", workers
+            );
+            for (e, s) in engine_set.iter().zip(&scalar_set) {
+                prop_assert_eq!(e, s, "delivered byte set diverged at {} workers", workers);
             }
         }
     }
