@@ -16,6 +16,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pp_fastpath::{EngineConfig, SlicedTestbed};
 use pp_netsim::time::SimDuration;
+use pp_rmt::switch::BatchOutput;
 use std::hint::black_box;
 
 fn bench_fastpath(c: &mut Criterion) {
@@ -27,10 +28,12 @@ fn bench_fastpath(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n));
 
     let (mut scalar, _) = tb.build_scalar();
+    let mut merged = BatchOutput::new();
     g.bench_function("scalar_roundtrip", |b| {
         b.iter(|| {
             let inputs = wave.clone();
-            black_box(tb.scalar_roundtrip(&mut scalar, &inputs).len())
+            tb.scalar_roundtrip_into(&mut scalar, &inputs, &mut merged);
+            black_box(merged.len())
         })
     });
 

@@ -1,0 +1,60 @@
+//! Parse → deparse round-trip micro-benchmarks for the zero-copy hot
+//! path: [`parse_packet_into`] fills a recycled PHV whose body/options are
+//! [`Span`]s into the source frame, and [`deparse_phv_into`] splices those
+//! spans back into a recycled output arena. Measured for both transports
+//! (UDP and TCP share the PayloadPark states of the parse graph) on the
+//! plain L2 parser and on a split-port parser that lifts ten 16-byte
+//! payload blocks into the PHV.
+//!
+//! [`Span`]: pp_rmt::phv::Span
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pp_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
+use pp_rmt::parser::{deparse_phv_into, parse_packet_into, ParserConfig};
+use pp_rmt::{BlockRule, Phv, PortId};
+use std::hint::black_box;
+
+const PKT_SIZE: usize = 512;
+
+fn split_config() -> ParserConfig {
+    let mut cfg = ParserConfig { phv_block_capacity: 10, ..Default::default() };
+    cfg.block_rules.insert(0, BlockRule { blocks: 10, min_payload: 160 });
+    cfg
+}
+
+/// One steady-state round trip: recycled PHV in, recycled arena out.
+fn roundtrip(cfg: &ParserConfig, bytes: &[u8], phv: &mut Phv, out: &mut Vec<u8>) -> usize {
+    parse_packet_into(cfg, bytes, PortId(0), 0, phv).unwrap();
+    out.clear();
+    deparse_phv_into(phv, bytes, out);
+    out.len()
+}
+
+fn bench_parse_deparse(c: &mut Criterion) {
+    let udp = UdpPacketBuilder::new().total_size(PKT_SIZE, 7).build();
+    let tcp = TcpPacketBuilder::new().total_size(PKT_SIZE, 7).build();
+    let l2 = ParserConfig::l2_only();
+    let split = split_config();
+
+    let mut g = c.benchmark_group("parse_deparse");
+    g.throughput(Throughput::Bytes(PKT_SIZE as u64));
+    for (name, cfg, pkt) in [
+        ("udp_l2_512B", &l2, &udp),
+        ("tcp_l2_512B", &l2, &tcp),
+        ("udp_split_512B", &split, &udp),
+        ("tcp_split_512B", &split, &tcp),
+    ] {
+        let mut phv = Phv::default();
+        let mut out = Vec::new();
+        // Warm the recycled buffers so the timed loop is allocation-free.
+        roundtrip(cfg, pkt.bytes(), &mut phv, &mut out);
+        assert_eq!(out, pkt.bytes(), "{name}: round trip must be the identity");
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(roundtrip(cfg, pkt.bytes(), &mut phv, &mut out)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(parse_deparse, bench_parse_deparse);
+criterion_main!(parse_deparse);

@@ -38,14 +38,13 @@ use pp_packet::checksum::Checksum;
 use pp_packet::crc::tag_crc;
 use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
 use pp_packet::{IPV4_HEADER_LEN, UDP_HEADER_LEN};
-use pp_rmt::chip::ChipProfile;
+use pp_rmt::chip::{ChipProfile, PortSet};
 use pp_rmt::mat::{Mat, MatFootprint, MatchKind};
 use pp_rmt::parser::{BlockRule, ParserConfig};
 use pp_rmt::phv::{Phv, RecircTarget, BLOCK_BYTES};
 use pp_rmt::pipeline::{Pipeline, ProgramError};
 use pp_rmt::register::{cell, RegisterId, RegisterSpec};
 use pp_rmt::switch::SwitchModel;
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::Arc;
 
@@ -244,20 +243,28 @@ pub fn build_primary(
         let _ = b.counter(name);
     }
 
-    // Shared lookup structures captured by the MAT closures.
-    let split_ports: Arc<BTreeSet<u16>> =
+    // Shared lookup structures captured by the MAT closures. Gateways run
+    // once per MAT per packet, so both the port sets and the per-port
+    // geometry are flat port-indexed tables (one load each), not trees.
+    let split_ports: Arc<PortSet> =
         Arc::new(pipe_cfg.slices.iter().flat_map(|s| s.split_ports.iter().copied()).collect());
-    let merge_ports: Arc<BTreeSet<u16>> =
+    let merge_ports: Arc<PortSet> =
         Arc::new(pipe_cfg.slices.iter().flat_map(|s| s.merge_ports.iter().copied()).collect());
     // Per-port slice lookup: slice id + 1 (for META_SLICE) and the slice's
     // (base, size) geometry within the pipe's global table index space.
-    let mut slice_of_port = BTreeMap::new();
-    let mut geom_of_port = BTreeMap::new();
+    let max_port = pipe_cfg
+        .slices
+        .iter()
+        .flat_map(|s| s.split_ports.iter().copied())
+        .max()
+        .map_or(0, usize::from);
+    let mut slice_of_port = vec![0u32; max_port + 1];
+    let mut geom_of_port: Vec<Option<(usize, u32, u32)>> = vec![None; max_port + 1];
     let mut base = 0u32;
     for (idx, slice) in pipe_cfg.slices.iter().enumerate() {
         for &p in &slice.split_ports {
-            slice_of_port.insert(p, idx as u32 + 1);
-            geom_of_port.insert(p, (idx, base, slice.slots as u32));
+            slice_of_port[usize::from(p)] = idx as u32 + 1;
+            geom_of_port[usize::from(p)] = Some((idx, base, slice.slots as u32));
         }
         base += slice.slots as u32;
     }
@@ -301,10 +308,10 @@ pub fn build_primary(
         b.place(
             0,
             Mat::builder("slice_select")
-                .gateway(move |p| sp.contains(&p.ingress_port.0) && p.has_transport())
+                .gateway(move |p| sp.contains(p.ingress_port.0) && p.has_transport())
                 .action(move |ctx| {
                     ctx.phv.meta[META_SLICE] =
-                        map.get(&ctx.phv.ingress_port.0).copied().unwrap_or(0);
+                        map.get(usize::from(ctx.phv.ingress_port.0)).copied().unwrap_or(0);
                 })
                 .footprint(MatFootprint {
                     match_kind: MatchKind::Ternary,
@@ -323,7 +330,7 @@ pub fn build_primary(
         b.place(
             0,
             Mat::builder("merge_strip_disabled")
-                .gateway(move |p| mp.contains(&p.ingress_port.0) && p.pp.valid && !p.pp.enb)
+                .gateway(move |p| p.pp.valid && !p.pp.enb && mp.contains(p.ingress_port.0))
                 .action(|ctx| {
                     ctx.phv.pp.valid = false;
                     apply_len_delta(ctx.phv, -PP_LEN, ctx.counters);
@@ -339,7 +346,7 @@ pub fn build_primary(
     // co-reside with slice_select without an intra-stage dependency.
     let splittable = {
         let sp = split_ports.clone();
-        move |p: &Phv| sp.contains(&p.ingress_port.0) && p.blocks.iter().any(|blk| blk.valid)
+        move |p: &Phv| sp.contains(p.ingress_port.0) && p.blocks.iter().any(|blk| blk.valid)
     };
     {
         let geom = geom_of_port.clone();
@@ -349,10 +356,15 @@ pub fn build_primary(
             Mat::builder("tagger_ti")
                 .gateway(splittable.clone())
                 .stateful(ti_reg, move |p| {
-                    geom_idx.get(&p.ingress_port.0).map(|&(slice, _, _)| slice)
+                    geom_idx
+                        .get(usize::from(p.ingress_port.0))
+                        .copied()
+                        .flatten()
+                        .map(|(slice, _, _)| slice)
                 })
                 .action(move |ctx| {
-                    let (_, slice_base, slice_size) = geom[&ctx.phv.ingress_port.0];
+                    let (_, slice_base, slice_size) = geom[usize::from(ctx.phv.ingress_port.0)]
+                        .expect("splittable gateway implies a split port");
                     let cell_ref = ctx.cell.as_deref_mut().expect("ti bound");
                     let ti = (cell::read_u32(cell_ref) + 1) % slice_size;
                     cell::write_u32(cell_ref, ti);
@@ -369,7 +381,11 @@ pub fn build_primary(
             Mat::builder("tagger_clk")
                 .gateway(splittable.clone())
                 .stateful(clk_reg, move |p| {
-                    geom_idx.get(&p.ingress_port.0).map(|&(slice, _, _)| slice)
+                    geom_idx
+                        .get(usize::from(p.ingress_port.0))
+                        .copied()
+                        .flatten()
+                        .map(|(slice, _, _)| slice)
                 })
                 .action(|ctx| {
                     let cell_ref = ctx.cell.as_deref_mut().expect("clk bound");
@@ -456,7 +472,7 @@ pub fn build_primary(
             1,
             Mat::builder("split_small")
                 .gateway(move |p| {
-                    sp.contains(&p.ingress_port.0)
+                    sp.contains(p.ingress_port.0)
                         && p.has_transport()
                         && !p.blocks.iter().any(|blk| blk.valid)
                 })
@@ -481,7 +497,7 @@ pub fn build_primary(
         b.place(
             1,
             Mat::builder("merge_validate")
-                .gateway(move |p| mp.contains(&p.ingress_port.0) && p.pp.valid && p.pp.enb)
+                .gateway(move |p| p.pp.valid && p.pp.enb && mp.contains(p.ingress_port.0))
                 .stateful(meta_tbl, move |p| {
                     let i = usize::from(p.pp.tbl_idx);
                     (i < slots).then_some(i)
@@ -562,7 +578,7 @@ pub fn build_primary(
             b.place(
                 st,
                 Mat::builder(format!("split_store_{j}"))
-                    .gateway(move |p| sp.contains(&p.ingress_port.0) && p.meta[META_SPLIT_OK] == 1)
+                    .gateway(move |p| p.meta[META_SPLIT_OK] == 1 && sp.contains(p.ingress_port.0))
                     .stateful(reg, |p| Some(p.meta[META_TBL_IDX] as usize))
                     .action(move |ctx| {
                         let cell_ref = ctx.cell.as_deref_mut().expect("payload bound");
@@ -578,7 +594,7 @@ pub fn build_primary(
             b.place(
                 st,
                 Mat::builder(format!("merge_load_{j}"))
-                    .gateway(move |p| mp.contains(&p.ingress_port.0) && p.meta[META_MERGE_OK] == 1)
+                    .gateway(move |p| p.meta[META_MERGE_OK] == 1 && mp.contains(p.ingress_port.0))
                     .stateful(reg, |p| Some(p.meta[META_TBL_IDX] as usize))
                     .action(move |ctx| {
                         let cell_ref = ctx.cell.as_deref_mut().expect("payload bound");
@@ -764,7 +780,7 @@ mod tests {
     use super::*;
     use pp_packet::MacAddr;
     use pp_rmt::chip::PortId;
-    use pp_rmt::phv::{EthFields, Ipv4Fields, PpFields, TcpFields, UdpFields, Verdict, META_WORDS};
+    use pp_rmt::phv::{EthFields, Ipv4Fields, Span, TcpFields, UdpFields};
 
     fn udp_phv(total_len: u16, udp_len: u16) -> Phv {
         Phv {
@@ -777,17 +793,10 @@ mod tests {
                 protocol: 17,
                 src: 1,
                 dst: 2,
-                options: Vec::new(),
+                options: Span::EMPTY,
             }),
             udp: Some(UdpFields { src_port: 1, dst_port: 2, len: udp_len, checksum: 0xBEEF }),
-            tcp: None,
-            pp: PpFields::default(),
-            blocks: Vec::new(),
-            body: Vec::new(),
-            meta: [0; META_WORDS],
-            verdict: Verdict::default(),
-            recirc_count: 0,
-            seq: 0,
+            ..Phv::default()
         }
     }
 
@@ -805,7 +814,7 @@ mod tests {
             window: 100,
             checksum: 0xBEEF,
             urgent: 0,
-            options: Vec::new(),
+            options: Span::EMPTY,
         });
         phv
     }

@@ -181,6 +181,9 @@ fn worker_main(
         dispatcher.lock().expect("dispatcher slot poisoned").unpark();
     };
     let mut tally = FaultTally::default();
+    // Split-side scratch, reused across round trips: only the merge-side
+    // arena crosses the ring, so this one's capacity stays with the worker.
+    let mut split_side = BatchOutput::new();
     loop {
         let msg = idle_wait(|| rx.try_pop());
         match msg {
@@ -190,16 +193,23 @@ fn worker_main(
                 reply(&mut tx, WorkerReply::Out(out));
             }
             WorkerMsg::Roundtrip { pkts, sink, adversity } => {
-                let mut split_side = BatchOutput::new();
                 switch.process_batch(&pkts, &mut split_side);
                 let back = match &adversity {
                     None => reflect_outputs(split_side.iter(), sink),
                     Some(adv) => {
                         // This shard's own injector: mangle the two
-                        // internal legs around the MAC-swap NF.
-                        let outs =
-                            split_side.to_switch_outputs().into_iter().map(BatchPacket::from);
-                        adverse_return_wave(adv, outs.collect(), sink, &mut tally)
+                        // internal legs around the MAC-swap NF. The wave
+                        // is built straight off the arena views (one copy,
+                        // unavoidable: the injector mutates bytes).
+                        let outs = split_side
+                            .iter()
+                            .map(|o| BatchPacket {
+                                bytes: o.bytes.to_vec(),
+                                port: o.port,
+                                seq: o.seq,
+                            })
+                            .collect();
+                        adverse_return_wave(adv, outs, sink, &mut tally)
                     }
                 };
                 let mut merge_side = BatchOutput::new();
@@ -538,14 +548,21 @@ impl EngineOutput {
         self.per_worker.iter().flatten().flat_map(BatchOutput::iter)
     }
 
-    /// Copies all outputs out, globally ordered by sequence number — the
-    /// deterministic order the equivalence oracle compares against the
-    /// scalar pipeline's output.
-    pub fn to_seq_sorted(&self) -> Vec<SwitchOutput> {
-        let mut all: Vec<SwitchOutput> =
-            self.per_worker.iter().flatten().flat_map(|b| b.to_switch_outputs()).collect();
+    /// Borrowed views of all outputs, globally ordered by sequence number
+    /// — the zero-copy way to walk a wave in deterministic order (the
+    /// bytes stay in the workers' batch arenas).
+    pub fn sorted_refs(&self) -> Vec<OutputRef<'_>> {
+        let mut all: Vec<OutputRef<'_>> = self.iter().collect();
         all.sort_by_key(|o| o.seq);
         all
+    }
+
+    /// Copies all outputs out, globally ordered by sequence number — the
+    /// deterministic order the equivalence oracle compares against the
+    /// scalar pipeline's output. Clones every packet; hot paths should use
+    /// [`EngineOutput::sorted_refs`].
+    pub fn to_seq_sorted(&self) -> Vec<SwitchOutput> {
+        self.sorted_refs().into_iter().map(|o| o.to_owned()).collect()
     }
 }
 

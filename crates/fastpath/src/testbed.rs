@@ -19,7 +19,7 @@ use pp_netsim::adversity::{AdversityProfile, FaultTally};
 use pp_netsim::time::SimDuration;
 use pp_packet::MacAddr;
 use pp_rmt::chip::ChipProfile;
-use pp_rmt::switch::{BatchPacket, SwitchOutput};
+use pp_rmt::switch::{BatchOutput, BatchPacket, SwitchOutput};
 use pp_rmt::{PortId, SwitchModel};
 use pp_trafficgen::gen::{GenConfig, SizeModel, TrafficGen, TrafficMix};
 
@@ -172,15 +172,35 @@ impl SlicedTestbed {
         sw: &mut SwitchModel,
         inputs: &[BatchPacket],
     ) -> Vec<SwitchOutput> {
-        let mut merged = Vec::new();
+        let mut merged = BatchOutput::new();
+        self.scalar_roundtrip_into(sw, inputs, &mut merged);
+        merged.to_switch_outputs()
+    }
+
+    /// [`SlicedTestbed::scalar_roundtrip`] into a reusable [`BatchOutput`]
+    /// (cleared first): the allocation-free form the throughput experiment
+    /// times. All per-packet scratch (PHV, deparse arena, NF bounce frame)
+    /// is pooled, so a warm switch runs the whole loop without touching
+    /// the heap.
+    pub fn scalar_roundtrip_into(
+        &self,
+        sw: &mut SwitchModel,
+        inputs: &[BatchPacket],
+        merged: &mut BatchOutput,
+    ) {
+        merged.clear();
+        let mut split_out = BatchOutput::new();
+        let mut back: Vec<u8> = Vec::new();
         for pkt in inputs {
-            for out in sw.process(&pkt.bytes, pkt.port, pkt.seq) {
-                let mut back = out.bytes;
+            split_out.clear();
+            sw.process_into(&pkt.bytes, pkt.port, pkt.seq, &mut split_out);
+            for out in split_out.iter() {
+                back.clear();
+                back.extend_from_slice(out.bytes);
                 back[0..6].copy_from_slice(&self.sink_mac().0);
-                merged.extend(sw.process(&back, out.port, out.seq));
+                sw.process_into(&back, out.port, out.seq, merged);
             }
         }
-        merged
     }
 
     /// The scalar reference in two phases — all Splits, then all Merges

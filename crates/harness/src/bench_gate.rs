@@ -1,0 +1,135 @@
+//! Throughput-regression gate for the CI bench trajectory.
+//!
+//! `pp-exp throughput --out BENCH_fastpath.json` snapshots the emulator
+//! throughput series; `--baseline FILE [--tolerance T]` compares a fresh
+//! run against the committed snapshot and fails when any worker width
+//! lost more than `T` of its packets/sec (default 15 % — wall-clock
+//! throughput on shared CI runners is noisy, so the bar is deliberately
+//! loose; the committed baseline should come from a quiet host).
+
+use pp_metrics::Series;
+
+/// Default allowed fractional throughput loss before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// The gate's verdict: per-row comparison lines, plus the failures.
+pub struct GateReport {
+    /// One human-readable line per compared row.
+    pub lines: Vec<String>,
+    /// Rows that regressed beyond the tolerance.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// True when no row regressed beyond the tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares the `pps` column of `current` against `baseline`, row-matched
+/// on the x value (the worker count; `0` is the scalar pipeline). A row
+/// fails when its throughput drops below `baseline * (1 - tolerance)`.
+/// Rows present on only one side are reported but never fail the gate —
+/// adding a worker width must not invalidate an old baseline.
+///
+/// Errors (malformed baseline, missing `pps` column) are distinct from
+/// regressions: they mean the comparison itself could not run.
+pub fn compare_throughput(
+    current: &Series,
+    baseline: &Series,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    let cur_pps = current.column_index("pps").ok_or("current series has no pps column")?;
+    let base_pps = baseline.column_index("pps").ok_or("baseline series has no pps column")?;
+    let mut report = GateReport { lines: Vec::new(), failures: Vec::new() };
+    for cur in current.points() {
+        let Some(base) = baseline.points().iter().find(|p| p.x == cur.x) else {
+            report.lines.push(format!("workers={}: no baseline row (skipped)", cur.x));
+            continue;
+        };
+        let (now, then) = (cur.values[cur_pps], base.values[base_pps]);
+        if !now.is_finite() || !then.is_finite() || then <= 0.0 {
+            return Err(format!("workers={}: non-finite pps (now={now}, baseline={then})", cur.x));
+        }
+        let ratio = now / then;
+        let verdict = if ratio >= 1.0 - tolerance { "ok" } else { "REGRESSED" };
+        report.lines.push(format!(
+            "workers={}: {:.0} pps vs baseline {:.0} ({:+.1}%) {}",
+            cur.x,
+            now,
+            then,
+            (ratio - 1.0) * 100.0,
+            verdict
+        ));
+        if ratio < 1.0 - tolerance {
+            report.failures.push(format!(
+                "workers={}: {:.0} pps is {:.1}% below baseline {:.0} (tolerance {:.0}%)",
+                cur.x,
+                now,
+                (1.0 - ratio) * 100.0,
+                then,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if report.lines.is_empty() {
+        return Err("no comparable rows between current and baseline".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(rows: &[(f64, f64)]) -> Series {
+        let mut s = Series::new("t", "workers", vec!["pps".into(), "egress_gbps".into()]);
+        for &(x, pps) in rows {
+            s.push(x, vec![pps, 1.0]);
+        }
+        s
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = series(&[(0.0, 1_000_000.0), (2.0, 2_000_000.0)]);
+        let cur = series(&[(0.0, 900_000.0), (2.0, 1_800_000.0)]);
+        let r = compare_throughput(&cur, &base, 0.15).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.lines.len(), 2);
+    }
+
+    #[test]
+    fn beyond_tolerance_fails_with_the_offending_row() {
+        let base = series(&[(0.0, 1_000_000.0), (2.0, 2_000_000.0)]);
+        let cur = series(&[(0.0, 800_000.0), (2.0, 2_100_000.0)]);
+        let r = compare_throughput(&cur, &base, 0.15).unwrap();
+        assert!(!r.passed());
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("workers=0"), "{}", r.failures[0]);
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = series(&[(0.0, 1_000_000.0)]);
+        let cur = series(&[(0.0, 3_000_000.0)]);
+        assert!(compare_throughput(&cur, &base, 0.15).unwrap().passed());
+    }
+
+    #[test]
+    fn unmatched_rows_are_skipped_not_failed() {
+        let base = series(&[(0.0, 1_000_000.0)]);
+        let cur = series(&[(0.0, 1_000_000.0), (8.0, 5_000_000.0)]);
+        let r = compare_throughput(&cur, &base, 0.15).unwrap();
+        assert!(r.passed());
+        assert!(r.lines.iter().any(|l| l.contains("no baseline row")));
+    }
+
+    #[test]
+    fn missing_pps_column_is_an_error_not_a_regression() {
+        let base = Series::new("t", "workers", vec!["other".into()]);
+        let cur = series(&[(0.0, 1.0)]);
+        assert!(compare_throughput(&cur, &base, 0.15).is_err());
+    }
+}

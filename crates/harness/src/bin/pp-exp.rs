@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! pp-exp <experiment> [--quick]
+//! pp-exp <experiment> [--quick] [--out FILE] [--baseline FILE] [--tolerance T]
 //!
 //! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
 //!              fig15 fig16 table1 headline mixed throughput adversity all
@@ -17,17 +17,48 @@
 //! (goodput/eviction curves vs injected NF-leg loss under a fixed scenario
 //! seed — the same seed always produces byte-identical output, so the
 //! series doubles as a replay/regression artifact).
+//!
+//! For `throughput`, `--out FILE` also writes the JSON series to `FILE`
+//! (the committed `BENCH_fastpath.json` trajectory snapshot), and
+//! `--baseline FILE` compares the fresh run against a committed snapshot,
+//! exiting 1 when any worker width lost more than `--tolerance` (default
+//! 0.15) of its packets/sec.
 
+use pp_harness::bench_gate::{compare_throughput, DEFAULT_TOLERANCE};
 use pp_harness::experiments::{
     adversity_sweep, emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15,
     fig16, headline_fw_nat_40g, mixed_goodput, table1, Effort,
 };
+use pp_metrics::Series;
+
+/// The value following a `--flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let effort = if quick { Effort::Quick } else { Effort::Full };
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let out_path = flag_value(&args, "--out");
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance = match flag_value(&args, "--tolerance") {
+        Some(t) => t.parse().unwrap_or_else(|_| {
+            eprintln!("--tolerance must be a number, got {t:?}");
+            std::process::exit(2);
+        }),
+        None => DEFAULT_TOLERANCE,
+    };
+    let flags_taking_value = ["--out", "--baseline", "--tolerance"];
+    let which = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            let is_flag_value = *i > 0 && flags_taking_value.contains(&args[i - 1].as_str());
+            !a.starts_with("--") && !is_flag_value
+        })
+        .map(|(_, a)| a.clone())
+        .unwrap_or_default();
 
     let known = [
         "fig06",
@@ -49,7 +80,10 @@ fn main() {
         "all",
     ];
     if which.is_empty() || !known.contains(&which.as_str()) {
-        eprintln!("usage: pp-exp <{}> [--quick]", known.join("|"));
+        eprintln!(
+            "usage: pp-exp <{}> [--quick] [--out FILE] [--baseline FILE] [--tolerance T]",
+            known.join("|")
+        );
         std::process::exit(2);
     }
 
@@ -105,7 +139,42 @@ fn main() {
     }
     if want("throughput") {
         // Machine-readable: this subcommand feeds the bench trajectory.
-        println!("{}", emulator_throughput(effort).render_json());
+        let series = emulator_throughput(effort);
+        let json = series.render_json();
+        println!("{json}");
+        if let Some(path) = &out_path {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(path) = &baseline_path {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let baseline = Series::parse_json(&text).unwrap_or_else(|| {
+                eprintln!("baseline {path} is not a valid series JSON");
+                std::process::exit(1);
+            });
+            match compare_throughput(&series, &baseline, tolerance) {
+                Ok(report) => {
+                    for line in &report.lines {
+                        eprintln!("{line}");
+                    }
+                    if !report.passed() {
+                        for failure in &report.failures {
+                            eprintln!("throughput regression: {failure}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("baseline comparison failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     if want("adversity") {
         // Machine-readable and byte-reproducible for a given seed: CI

@@ -15,6 +15,7 @@
 //! evaluation; each returns a [`pp_metrics::Series`] whose rendered table is
 //! this repository's equivalent of the figure.
 
+pub mod bench_gate;
 pub mod experiments;
 pub mod multiserver;
 pub mod runner;

@@ -10,6 +10,140 @@ impl core::fmt::Display for PortId {
     }
 }
 
+/// A set of port numbers backed by a bit vector.
+///
+/// MAT gateways test port membership once per packet per table; a tree or
+/// hash set spends more time walking nodes than the rest of the gateway
+/// combined. This is a flat bitmap sized to the largest member, so
+/// membership is one bounds check and one bit test.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortSet {
+    bits: Vec<u64>,
+}
+
+impl PortSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a port.
+    pub fn insert(&mut self, port: u16) {
+        let word = usize::from(port) / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1u64 << (port % 64);
+    }
+
+    /// Whether `port` is a member.
+    #[inline]
+    pub fn contains(&self, port: u16) -> bool {
+        match self.bits.get(usize::from(port) / 64) {
+            Some(w) => w & (1u64 << (port % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Number of member ports.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no port is a member.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over the member ports in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.bits.iter().enumerate().flat_map(|(word, &w)| {
+            (0..64)
+                .filter(move |bit| w & (1u64 << bit) != 0)
+                .map(move |bit| (word * 64 + bit) as u16)
+        })
+    }
+}
+
+impl FromIterator<u16> for PortSet {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        let mut set = PortSet::new();
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+}
+
+/// A map from port number to `T`, backed by a flat port-indexed vector.
+///
+/// Same rationale as [`PortSet`]: the parser consults per-port rules once
+/// per packet, so lookups must be a single indexed load, not a tree walk.
+/// Sized to the largest inserted port; suited to the small, dense port
+/// numbers of a chip config, not to sparse arbitrary u16 keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMap<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> Default for PortMap<T> {
+    fn default() -> Self {
+        PortMap::new()
+    }
+}
+
+impl<T> PortMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        PortMap { slots: Vec::new() }
+    }
+
+    /// Maps `port` to `value`, replacing any previous mapping.
+    pub fn insert(&mut self, port: u16, value: T) {
+        let i = usize::from(port);
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(value);
+    }
+
+    /// The value mapped to `port`, if any.
+    #[inline]
+    pub fn get(&self, port: u16) -> Option<&T> {
+        self.slots.get(usize::from(port)).and_then(Option::as_ref)
+    }
+
+    /// Whether `port` has a mapping.
+    pub fn contains(&self, port: u16) -> bool {
+        self.get(port).is_some()
+    }
+
+    /// Number of mapped ports.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no port is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Iterates over `(port, value)` pairs in ascending port order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &T)> {
+        self.slots.iter().enumerate().filter_map(|(p, s)| s.as_ref().map(|v| (p as u16, v)))
+    }
+}
+
+impl<T> FromIterator<(u16, T)> for PortMap<T> {
+    fn from_iter<I: IntoIterator<Item = (u16, T)>>(iter: I) -> Self {
+        let mut map = PortMap::new();
+        for (p, v) in iter {
+            map.insert(p, v);
+        }
+        map
+    }
+}
+
 /// Static resource budgets of the emulated ASIC.
 ///
 /// The paper withholds the Tofino's exact numbers for confidentiality (§5
@@ -168,5 +302,39 @@ mod tests {
     #[test]
     fn port_display() {
         assert_eq!(PortId(7).to_string(), "port7");
+    }
+
+    #[test]
+    fn port_set_membership_and_iteration() {
+        let set: PortSet = [0u16, 5, 63, 64, 130].into_iter().collect();
+        assert_eq!(set.len(), 5);
+        assert!(!set.is_empty());
+        for p in [0u16, 5, 63, 64, 130] {
+            assert!(set.contains(p), "port {p}");
+        }
+        for p in [1u16, 62, 65, 129, 131, 9999] {
+            assert!(!set.contains(p), "port {p}");
+        }
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 5, 63, 64, 130]);
+        assert!(PortSet::new().is_empty());
+        assert!(!PortSet::new().contains(0));
+    }
+
+    #[test]
+    fn port_map_basics() {
+        let mut map: PortMap<&str> = PortMap::new();
+        assert!(map.is_empty());
+        map.insert(3, "three");
+        map.insert(64, "sixty-four");
+        map.insert(3, "replaced");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(3), Some(&"replaced"));
+        assert_eq!(map.get(64), Some(&"sixty-four"));
+        assert_eq!(map.get(4), None);
+        assert_eq!(map.get(1000), None);
+        assert!(map.contains(64) && !map.contains(0));
+        assert_eq!(map.iter().collect::<Vec<_>>(), vec![(3, &"replaced"), (64, &"sixty-four")]);
+        let from: PortMap<u8> = [(1u16, 9u8)].into_iter().collect();
+        assert_eq!(from.get(1), Some(&9));
     }
 }

@@ -201,24 +201,8 @@ impl MatBuilder {
 mod tests {
     use super::*;
     use crate::chip::PortId;
-    use crate::phv::{EthFields, PpFields, Verdict, META_WORDS};
-    use pp_packet::MacAddr;
-
     fn phv(port: u16) -> Phv {
-        Phv {
-            ingress_port: PortId(port),
-            eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0 },
-            ipv4: None,
-            udp: None,
-            tcp: None,
-            pp: PpFields::default(),
-            blocks: Vec::new(),
-            body: Vec::new(),
-            meta: [0; META_WORDS],
-            verdict: Verdict::default(),
-            recirc_count: 0,
-            seq: 0,
-        }
+        Phv { ingress_port: PortId(port), ..Phv::default() }
     }
 
     #[test]

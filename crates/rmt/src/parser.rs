@@ -10,14 +10,15 @@
 //! regardless of protocol). Recirculation ports combine both behaviours
 //! (paper §6.2.5: blocks are striped into a second pipe).
 //!
-//! Non-IPv4 and non-UDP/TCP packets degrade gracefully: unparsed bytes ride
-//! in `Phv::body` and the deparser re-emits them verbatim, so the baseline
-//! L2 path is byte-transparent.
+//! Non-IPv4 and non-UDP/TCP packets degrade gracefully: unparsed bytes stay
+//! in the source frame, referenced by `Phv::body` as a [`Span`], and the
+//! deparser splices them back verbatim, so the baseline L2 path is
+//! byte-transparent — and zero-copy: parsing never duplicates payload bytes.
 
-use crate::chip::PortId;
+use crate::chip::{PortId, PortMap, PortSet};
 use crate::phv::{
-    EthFields, Ipv4Fields, PayloadBlock, Phv, PpFields, TcpFields, UdpFields, Verdict, BLOCK_BYTES,
-    META_WORDS,
+    EthFields, Ipv4Fields, PayloadBlock, Phv, PpFields, Span, TcpFields, UdpFields, Verdict,
+    BLOCK_BYTES, META_WORDS,
 };
 use pp_packet::checksum::Checksum;
 use pp_packet::ethernet::{EthernetFrame, ETHERNET_HEADER_LEN};
@@ -26,7 +27,6 @@ use pp_packet::ppark::{PayloadParkHeader, PpOpcode, PAYLOADPARK_HEADER_LEN};
 use pp_packet::tcp::{TcpHeader, TCP_HEADER_LEN};
 use pp_packet::udp::{UdpHeader, UDP_HEADER_LEN};
 use pp_packet::Result;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-port payload-block extraction rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,10 +44,10 @@ pub struct BlockRule {
 pub struct ParserConfig {
     /// Ports whose packets carry a PayloadPark header after the UDP header
     /// (packets returning from the NF server, and recirculated packets).
-    pub pp_header_ports: BTreeSet<u16>,
+    pub pp_header_ports: PortSet,
     /// Ports where the parser extracts payload blocks into the PHV, with
     /// their extraction rules.
-    pub block_rules: BTreeMap<u16, BlockRule>,
+    pub block_rules: PortMap<BlockRule>,
     /// Number of payload-block slots the PHV carries (10 × 16 B = 160 B in
     /// the paper's prototype; 24 with recirculation). Blocks beyond what the
     /// port's rule extracts start out invalid, ready for MATs to fill.
@@ -79,33 +79,61 @@ impl ParserConfig {
     }
 }
 
-/// Parses `bytes` arriving on `port` into a PHV.
-pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64) -> Result<Phv> {
-    let eth = EthernetFrame::new_checked(bytes)?;
-    let eth_fields =
-        EthFields { dst: eth.dst(), src: eth.src(), ethertype: u16::from(eth.ethertype()) };
-    let mut phv = Phv {
-        ingress_port: port,
-        eth: eth_fields,
-        ipv4: None,
-        udp: None,
-        tcp: None,
-        pp: PpFields::default(),
-        blocks: Vec::new(),
-        body: Vec::new(),
-        meta: [0; META_WORDS],
-        verdict: Verdict::default(),
-        recirc_count: 0,
-        seq,
-    };
+/// The span `sub` occupies within `frame`. `sub` must be a subslice of
+/// `frame` (everything the parser touches is), which makes this pure
+/// pointer arithmetic — the parse graph never copies payload bytes.
+fn span_of(frame: &[u8], sub: &[u8]) -> Span {
+    let off = sub.as_ptr() as usize - frame.as_ptr() as usize;
+    debug_assert!(off + sub.len() <= frame.len());
+    Span::new(off, sub.len())
+}
 
-    if eth_fields.ethertype != 0x0800 {
-        phv.body = eth.payload().to_vec();
-        return Ok(phv);
+/// Parses `bytes` arriving on `port` into a fresh PHV.
+///
+/// The PHV's [`Span`] fields (`body`, IP/TCP options) reference `bytes`;
+/// pass the same frame back to [`deparse_phv`] / [`deparse_phv_into`]. Hot
+/// paths that recycle PHVs should call [`parse_packet_into`] instead.
+pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64) -> Result<Phv> {
+    let mut phv = Phv::default();
+    parse_packet_into(config, bytes, port, seq, &mut phv)?;
+    Ok(phv)
+}
+
+/// Parses `bytes` arriving on `port` into an existing PHV, reusing its
+/// heap capacity (the `blocks` vector) — the batch hot path recycles PHVs
+/// across batches so steady state performs no allocation at all.
+///
+/// Every field is reset; no state from the previous packet survives. On
+/// error the PHV is left reset but partially populated and must not be fed
+/// to the pipeline.
+pub fn parse_packet_into(
+    config: &ParserConfig,
+    bytes: &[u8],
+    port: PortId,
+    seq: u64,
+    phv: &mut Phv,
+) -> Result<()> {
+    phv.ingress_port = port;
+    phv.ipv4 = None;
+    phv.udp = None;
+    phv.tcp = None;
+    phv.pp = PpFields::default();
+    phv.blocks.clear();
+    phv.body = Span::EMPTY;
+    phv.meta = [0; META_WORDS];
+    phv.verdict = Verdict::default();
+    phv.recirc_count = 0;
+    phv.seq = seq;
+
+    let eth = EthernetFrame::new_checked(bytes)?;
+    phv.eth = EthFields { dst: eth.dst(), src: eth.src(), ethertype: u16::from(eth.ethertype()) };
+
+    if phv.eth.ethertype != 0x0800 {
+        phv.body = span_of(bytes, eth.payload());
+        return Ok(());
     }
 
     let ip = Ipv4Header::new_checked(eth.payload())?;
-    let options = eth.payload()[IPV4_HEADER_LEN..ip.header_len()].to_vec();
     phv.ipv4 = Some(Ipv4Fields {
         total_len: ip.total_len(),
         ident: ip.ident(),
@@ -113,7 +141,7 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
         protocol: ip.protocol().into(),
         src: u32::from(ip.src()),
         dst: u32::from(ip.dst()),
-        options,
+        options: span_of(bytes, &eth.payload()[IPV4_HEADER_LEN..ip.header_len()]),
     });
 
     // Transport branch of the parse graph: UDP and TCP both continue into
@@ -142,20 +170,20 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
                 window: tcp.window(),
                 checksum: tcp.checksum_field(),
                 urgent: tcp.urgent(),
-                options: tcp.options().to_vec(),
+                options: span_of(bytes, tcp.options()),
             });
             &ip.payload()[header_len..]
         }
         IpProtocol::Other(_) => {
-            phv.body = ip.payload().to_vec();
-            return Ok(phv);
+            phv.body = span_of(bytes, ip.payload());
+            return Ok(());
         }
     };
     if config.phv_block_capacity > 0 {
-        phv.blocks = vec![PayloadBlock::default(); config.phv_block_capacity];
+        phv.blocks.resize(config.phv_block_capacity, PayloadBlock::default());
     }
 
-    if config.pp_header_ports.contains(&port.0) {
+    if config.pp_header_ports.contains(port.0) {
         // A PayloadPark header follows the UDP header on this port.
         let pp = PayloadParkHeader::new_checked(payload)?;
         let tag = pp.tag();
@@ -170,7 +198,7 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
         payload = &payload[PAYLOADPARK_HEADER_LEN..];
     }
 
-    if let Some(rule) = config.block_rules.get(&port.0) {
+    if let Some(rule) = config.block_rules.get(port.0) {
         debug_assert!(rule.blocks <= config.phv_block_capacity, "rule exceeds PHV blocks");
         let take = rule.blocks * BLOCK_BYTES;
         if rule.blocks > 0 && payload.len() >= rule.min_payload.max(take) {
@@ -183,8 +211,8 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
             payload = &payload[take..];
         }
     }
-    phv.body = payload.to_vec();
-    Ok(phv)
+    phv.body = span_of(bytes, payload);
+    Ok(())
 }
 
 /// Re-serializes a PHV into packet bytes.
@@ -200,23 +228,26 @@ pub fn parse_packet(config: &ParserConfig, bytes: &[u8], port: PortId, seq: u64)
 /// computed" for UDP, and the same marker on the PayloadPark-internal TCP
 /// leg. The Split program parks the original checksum alongside the
 /// payload and Merge restores it, so end-to-end verification still passes.
-pub fn deparse_phv(phv: &Phv) -> Vec<u8> {
+pub fn deparse_phv(phv: &Phv, frame: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         ETHERNET_HEADER_LEN + 60 + phv.valid_block_bytes() + phv.body.len() + 16,
     );
-    deparse_phv_into(phv, &mut out);
+    deparse_phv_into(phv, frame, &mut out);
     out
 }
 
 /// Appends the deparsed bytes of `phv` to `out` without allocating a fresh
-/// buffer — the batch path deparses a whole batch into one arena.
-pub fn deparse_phv_into(phv: &Phv, out: &mut Vec<u8>) {
+/// buffer — the batch path deparses a whole batch into one arena. `frame`
+/// is the source frame the PHV was parsed from; the PHV's spans (body,
+/// IP/TCP options) are spliced out of it rather than copied through the
+/// pipeline.
+pub fn deparse_phv_into(phv: &Phv, frame: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&phv.eth.dst.0);
     out.extend_from_slice(&phv.eth.src.0);
     out.extend_from_slice(&phv.eth.ethertype.to_be_bytes());
 
     let Some(ip) = &phv.ipv4 else {
-        out.extend_from_slice(&phv.body);
+        out.extend_from_slice(phv.body.slice(frame));
         return;
     };
 
@@ -232,7 +263,7 @@ pub fn deparse_phv_into(phv: &Phv, out: &mut Vec<u8>) {
     out.extend_from_slice(&[0, 0]); // checksum placeholder
     out.extend_from_slice(&ip.src.to_be_bytes());
     out.extend_from_slice(&ip.dst.to_be_bytes());
-    out.extend_from_slice(&ip.options);
+    out.extend_from_slice(ip.options.slice(frame));
     let ip_end = out.len();
     let mut c = Checksum::new();
     c.add_bytes(&out[ip_start..ip_end]);
@@ -260,9 +291,9 @@ pub fn deparse_phv_into(phv: &Phv, out: &mut Vec<u8>) {
         let ck = if parked { 0 } else { tcp.checksum };
         out.extend_from_slice(&ck.to_be_bytes());
         out.extend_from_slice(&tcp.urgent.to_be_bytes());
-        out.extend_from_slice(&tcp.options);
+        out.extend_from_slice(tcp.options.slice(frame));
     } else {
-        out.extend_from_slice(&phv.body);
+        out.extend_from_slice(phv.body.slice(frame));
         return;
     }
 
@@ -278,14 +309,14 @@ pub fn deparse_phv_into(phv: &Phv, out: &mut Vec<u8>) {
     for block in phv.blocks.iter().filter(|b| b.valid) {
         out.extend_from_slice(&block.data);
     }
-    out.extend_from_slice(&phv.body);
+    out.extend_from_slice(phv.body.slice(frame));
 }
 
 /// Convenience check used by tests: parse + deparse must be the identity on
 /// well-formed packets when no MAT modified the PHV.
 pub fn roundtrips(config: &ParserConfig, bytes: &[u8], port: PortId) -> bool {
     match parse_packet(config, bytes, port, 0) {
-        Ok(phv) => deparse_phv(&phv) == bytes,
+        Ok(phv) => deparse_phv(&phv, bytes) == bytes,
         Err(_) => false,
     }
 }
@@ -321,7 +352,7 @@ mod tests {
         let cfg = ParserConfig::l2_only();
         let phv = parse_packet(&cfg, &bytes, PortId(0), 0).unwrap();
         assert!(phv.ipv4.is_none());
-        assert_eq!(deparse_phv(&phv), bytes);
+        assert_eq!(deparse_phv(&phv, &bytes), bytes);
     }
 
     #[test]
@@ -335,7 +366,7 @@ mod tests {
         assert!(phv.ipv4.is_some());
         assert!(phv.udp.is_none() && phv.tcp.is_none());
         assert!(phv.blocks.is_empty());
-        assert_eq!(deparse_phv(&phv), bytes);
+        assert_eq!(deparse_phv(&phv, &bytes), bytes);
     }
 
     #[test]
@@ -348,7 +379,7 @@ mod tests {
         assert!(phv.blocks.iter().all(|b| b.valid));
         assert_eq!(phv.body.len(), 40);
         // Deparse without modification restores the original bytes.
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), pkt.bytes());
     }
 
     #[test]
@@ -358,7 +389,7 @@ mod tests {
         let phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
         assert!(phv.blocks.iter().all(|b| !b.valid));
         assert_eq!(phv.body.len(), 159);
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), pkt.bytes());
     }
 
     #[test]
@@ -376,7 +407,7 @@ mod tests {
         assert_eq!(tcp.flags, pp_packet::TcpFlags::SYN);
         assert_eq!(tcp.window, 0xFFFF);
         assert!(tcp.options.is_empty());
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), pkt.bytes());
     }
 
     #[test]
@@ -402,8 +433,8 @@ mod tests {
         tcp.fill_checksum(src, dst);
 
         let phv = parse_packet(&ParserConfig::l2_only(), &pkt, PortId(0), 0).unwrap();
-        assert_eq!(phv.tcp.as_ref().unwrap().options, opt);
-        assert_eq!(deparse_phv(&phv), pkt);
+        assert_eq!(phv.tcp.as_ref().unwrap().options.slice(&pkt), opt);
+        assert_eq!(deparse_phv(&phv, &pkt), pkt);
     }
 
     #[test]
@@ -415,7 +446,7 @@ mod tests {
         let mut phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
         phv.pp.valid = true;
         phv.pp.enb = true;
-        let bytes = deparse_phv(&phv);
+        let bytes = deparse_phv(&phv, pkt.bytes());
         assert_eq!(&bytes[40..42], &[0, 0], "UDP checksum must be zeroed");
 
         // Same for TCP (checksum bytes 16-17 of the transport header).
@@ -424,7 +455,7 @@ mod tests {
         assert_ne!(&pkt.bytes()[50..52], &[0, 0]);
         phv.pp.valid = true;
         phv.pp.enb = true;
-        let bytes = deparse_phv(&phv);
+        let bytes = deparse_phv(&phv, pkt.bytes());
         assert_eq!(&bytes[50..52], &[0, 0], "TCP checksum must be zeroed");
 
         // A disabled (ENB=0) header leaves the checksum untouched: the
@@ -433,7 +464,7 @@ mod tests {
         let mut phv = parse_packet(&cfg, pkt.bytes(), PortId(0), 0).unwrap();
         phv.pp.valid = true;
         phv.pp.enb = false;
-        let bytes = deparse_phv(&phv);
+        let bytes = deparse_phv(&phv, pkt.bytes());
         assert_eq!(&bytes[40..42], &pkt.bytes()[40..42]);
     }
 
@@ -447,7 +478,7 @@ mod tests {
         assert_eq!(phv.body.len(), 40);
         assert_eq!(phv.seq, 7);
         // Deparse without modification restores the original bytes.
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), pkt.bytes());
     }
 
     #[test]
@@ -458,7 +489,7 @@ mod tests {
         assert_eq!(phv.blocks.len(), 10);
         assert!(phv.blocks.iter().all(|b| !b.valid));
         assert_eq!(phv.body.len(), 159);
-        assert_eq!(deparse_phv(&phv), pkt.bytes());
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), pkt.bytes());
     }
 
     #[test]
@@ -504,7 +535,7 @@ mod tests {
         // except for the zeroed transport checksum.
         let mut expected = pkt.bytes().to_vec();
         expected[40..42].fill(0);
-        assert_eq!(deparse_phv(&phv), expected);
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), expected);
     }
 
     #[test]
@@ -534,7 +565,7 @@ mod tests {
         assert_eq!(phv.body.len(), 250 - 14 * BLOCK_BYTES);
         let mut expected = pkt.bytes().to_vec();
         expected[40..42].fill(0); // ENB=1: parked-leg checksum is zeroed
-        assert_eq!(deparse_phv(&phv), expected);
+        assert_eq!(deparse_phv(&phv, pkt.bytes()), expected);
     }
 
     #[test]

@@ -2,11 +2,71 @@
 //!
 //! The parser populates a `Phv` from packet bytes; match-action stages read
 //! and modify it; the deparser re-serializes it. Fields the parser did not
-//! extract stay in [`Phv::body`] as opaque bytes (they flow through the
-//! switch's packet buffer untouched, as on real hardware).
+//! extract stay behind [`Phv::body`], a [`Span`] into the *source frame*
+//! the PHV was parsed from — they flow through the switch's packet buffer
+//! untouched, exactly as on real hardware, and are never copied between
+//! ingress and egress. The deparser splices them back out of the frame.
 
 use crate::chip::PortId;
 use pp_packet::MacAddr;
+
+/// A `(offset, len)` view into the source frame a PHV was parsed from.
+///
+/// The PISA model keeps the packet body in the switch's packet buffer while
+/// only the header vector travels through the MAT pipeline; `Span` is that
+/// buffer reference. Spans produced by [`crate::parser::parse_packet`] are
+/// always in bounds of the frame that produced them, and the deparser
+/// resolves them against the same frame — so the opaque bytes of a packet
+/// cost zero copies between ingress and egress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset from the start of the source frame.
+    pub off: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl Span {
+    /// An empty span (offset 0, length 0).
+    pub const EMPTY: Span = Span { off: 0, len: 0 };
+
+    /// A span covering `range` of the source frame.
+    pub fn new(off: usize, len: usize) -> Span {
+        debug_assert!(off <= u32::MAX as usize && len <= u32::MAX as usize);
+        Span { off: off as u32, len: len as u32 }
+    }
+
+    /// Length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The byte range covered within the source frame.
+    pub fn range(&self) -> core::ops::Range<usize> {
+        self.off as usize..self.off as usize + self.len as usize
+    }
+
+    /// Resolves the span against the frame it was produced from.
+    ///
+    /// Panics if the span is out of bounds for `frame` — which means the
+    /// caller paired a PHV with a frame it was not parsed from (a wiring
+    /// bug, never a traffic-dependent condition: the parser only emits
+    /// in-bounds spans).
+    pub fn slice<'a>(&self, frame: &'a [u8]) -> &'a [u8] {
+        &frame[self.range()]
+    }
+
+    /// True when every byte of the span lies within `frame`.
+    pub fn in_bounds(&self, frame: &[u8]) -> bool {
+        self.off as usize + self.len as usize <= frame.len()
+    }
+}
 
 /// Width of one payload block — the unit in which PayloadPark stripes
 /// payload bytes across MAT-local register arrays (paper Fig. 4).
@@ -23,8 +83,9 @@ pub struct EthFields {
     pub ethertype: u16,
 }
 
-/// Parsed IPv4 fields (options preserved verbatim).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Parsed IPv4 fields (options preserved verbatim in the source frame,
+/// referenced by span).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ipv4Fields {
     /// Total datagram length (header + payload).
     pub total_len: u16,
@@ -38,8 +99,8 @@ pub struct Ipv4Fields {
     pub src: u32,
     /// Destination address.
     pub dst: u32,
-    /// Raw option bytes (empty for IHL = 5).
-    pub options: Vec<u8>,
+    /// Option bytes in the source frame (empty for IHL = 5).
+    pub options: Span,
 }
 
 /// Parsed UDP fields.
@@ -55,9 +116,9 @@ pub struct UdpFields {
     pub checksum: u16,
 }
 
-/// Parsed TCP fields (options preserved verbatim; the data offset is
-/// derived from the option length at deparse time).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Parsed TCP fields (options preserved verbatim in the source frame; the
+/// data offset is derived from the option length at deparse time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpFields {
     /// Source port.
     pub src_port: u16,
@@ -77,8 +138,8 @@ pub struct TcpFields {
     pub checksum: u16,
     /// Urgent pointer.
     pub urgent: u16,
-    /// Raw option bytes (empty for data offset 5).
-    pub options: Vec<u8>,
+    /// Option bytes in the source frame (empty for data offset 5).
+    pub options: Span,
 }
 
 /// Parsed (or to-be-emitted) PayloadPark header fields.
@@ -165,8 +226,8 @@ pub struct Phv {
     /// Payload blocks extracted by the parser (split side) or filled from
     /// registers (merge side).
     pub blocks: Vec<PayloadBlock>,
-    /// Unparsed remainder of the packet.
-    pub body: Vec<u8>,
+    /// Unparsed remainder of the packet, as a span into the source frame.
+    pub body: Span,
     /// User-defined metadata words (the paper's `meta` struct).
     pub meta: [u32; META_WORDS],
     /// Forwarding decision.
@@ -176,6 +237,28 @@ pub struct Phv {
     /// Sequence number carried through from the input packet (simulation
     /// bookkeeping, not visible to the dataplane program).
     pub seq: u64,
+}
+
+impl Default for Phv {
+    /// A blank PHV (no headers parsed, empty spans) — the starting state
+    /// [`crate::parser::parse_packet_into`] fills in, and what pooled PHVs
+    /// are initialised to.
+    fn default() -> Self {
+        Phv {
+            ingress_port: PortId(0),
+            eth: EthFields { dst: MacAddr::default(), src: MacAddr::default(), ethertype: 0 },
+            ipv4: None,
+            udp: None,
+            tcp: None,
+            pp: PpFields::default(),
+            blocks: Vec::new(),
+            body: Span::EMPTY,
+            meta: [0; META_WORDS],
+            verdict: Verdict::default(),
+            recirc_count: 0,
+            seq: 0,
+        }
+    }
 }
 
 impl Phv {
@@ -243,7 +326,7 @@ mod tests {
             tcp: None,
             pp: PpFields::default(),
             blocks: Vec::new(),
-            body: Vec::new(),
+            body: Span::EMPTY,
             meta: [0; META_WORDS],
             verdict: Verdict::default(),
             recirc_count: 0,
@@ -252,11 +335,25 @@ mod tests {
     }
 
     #[test]
+    fn span_accessors() {
+        let frame = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        let s = Span::new(2, 3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.range(), 2..5);
+        assert_eq!(s.slice(&frame), &[2, 3, 4]);
+        assert!(s.in_bounds(&frame));
+        assert!(!Span::new(6, 3).in_bounds(&frame));
+        assert!(Span::EMPTY.is_empty());
+        assert_eq!(Span::default(), Span::EMPTY);
+    }
+
+    #[test]
     fn block_byte_accounting() {
         let mut phv = empty_phv();
         phv.blocks = vec![PayloadBlock { data: [1; BLOCK_BYTES], valid: true }; 10];
         phv.blocks[9].valid = false;
-        phv.body = vec![0; 30];
+        phv.body = Span::new(0, 30);
         assert_eq!(phv.valid_block_bytes(), 9 * BLOCK_BYTES);
         assert_eq!(phv.wire_payload_len(), 9 * BLOCK_BYTES + 30);
         phv.invalidate_blocks();
@@ -310,7 +407,7 @@ mod tests {
             window: 100,
             checksum: 0x55,
             urgent: 0,
-            options: Vec::new(),
+            options: Span::EMPTY,
         });
         assert!(phv.has_transport() && phv.is_tcp() && !phv.is_udp());
         assert_eq!(phv.transport_checksum(), Some(0x55));

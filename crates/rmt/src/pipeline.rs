@@ -215,14 +215,15 @@ impl Pipeline {
         }
     }
 
-    /// Deparses a PHV with this pipe's deparser.
-    pub fn deparse(&self, phv: &Phv) -> Vec<u8> {
-        deparse_phv(phv)
+    /// Deparses a PHV with this pipe's deparser. `frame` is the source
+    /// frame the PHV was parsed from (its spans are spliced out of it).
+    pub fn deparse(&self, phv: &Phv, frame: &[u8]) -> Vec<u8> {
+        deparse_phv(phv, frame)
     }
 
     /// Deparses a PHV, appending to `out` (the batch path's arena deparser).
-    pub fn deparse_into(&self, phv: &Phv, out: &mut Vec<u8>) {
-        crate::parser::deparse_phv_into(phv, out);
+    pub fn deparse_into(&self, phv: &Phv, frame: &[u8], out: &mut Vec<u8>) {
+        crate::parser::deparse_phv_into(phv, frame, out);
     }
 
     /// The parser configuration.
@@ -480,7 +481,7 @@ mod tests {
         let mut p = Pipeline::builder(chip()).build().unwrap();
         let pkt = UdpPacketBuilder::new().total_size(200, 1).build();
         let phv = p.process(pkt.bytes(), PortId(0), 0).unwrap();
-        assert_eq!(p.deparse(&phv), pkt.bytes());
+        assert_eq!(p.deparse(&phv, pkt.bytes()), pkt.bytes());
         assert_eq!(p.packets_processed(), 1);
     }
 
@@ -588,7 +589,7 @@ mod tests {
         let pkt = UdpPacketBuilder::new().total_size(150, 2).build();
         let phv = crate::parser::parse_packet(p.parser(), pkt.bytes(), PortId(0), 0).unwrap();
         let mut arena = vec![0xAAu8; 3];
-        p.deparse_into(&phv, &mut arena);
+        p.deparse_into(&phv, pkt.bytes(), &mut arena);
         assert_eq!(&arena[..3], &[0xAA; 3]);
         assert_eq!(&arena[3..], pkt.bytes());
     }

@@ -6,10 +6,38 @@
 //! pipes never share stateful state.
 
 use crate::chip::{ChipProfile, PortId};
-use crate::parser::parse_packet;
+use crate::parser::parse_packet_into;
+use crate::phv::Phv;
 use crate::pipeline::Pipeline;
+use core::hash::{BuildHasherDefault, Hasher};
+use core::mem;
 use pp_packet::MacAddr;
 use std::collections::HashMap;
+
+/// FNV-1a, used for the L2 table.
+///
+/// The forwarding lookup runs once per pipeline pass on a 6-byte key;
+/// SipHash's per-lookup setup costs more than the rest of egress
+/// resolution. FNV is not DoS-resistant, but the L2 table is populated by
+/// the control plane, not by packet contents.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type L2Table = HashMap<MacAddr, PortId, BuildHasherDefault<FnvHasher>>;
 
 /// Counters kept by the switch model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -101,6 +129,19 @@ pub struct OutputRef<'a> {
     pub bytes: &'a [u8],
 }
 
+impl OutputRef<'_> {
+    /// Copies this view out into an owned [`SwitchOutput`] (the one place
+    /// a clone happens — hot paths stay on the borrowed view).
+    pub fn to_owned(&self) -> SwitchOutput {
+        SwitchOutput {
+            port: self.port,
+            bytes: self.bytes.to_vec(),
+            latency_ns: self.latency_ns,
+            seq: self.seq,
+        }
+    }
+}
+
 /// Egress side of one batch pass: all deparsed packets share a single byte
 /// arena, so a batch costs two allocations amortized over every packet
 /// instead of one `Vec` per packet. Reuse the same `BatchOutput` across
@@ -160,15 +201,12 @@ impl BatchOutput {
     }
 
     /// Copies the batch out into owned per-packet [`SwitchOutput`]s.
+    ///
+    /// This clones every packet's bytes — it exists for tests and cold
+    /// paths that want owned data. Hot paths should consume the borrowed
+    /// views from [`BatchOutput::iter`] / [`BatchOutput::get`] instead.
     pub fn to_switch_outputs(&self) -> Vec<SwitchOutput> {
-        self.iter()
-            .map(|o| SwitchOutput {
-                port: o.port,
-                bytes: o.bytes.to_vec(),
-                latency_ns: o.latency_ns,
-                seq: o.seq,
-            })
-            .collect()
+        self.iter().map(|o| o.to_owned()).collect()
     }
 
     /// Appends the outputs of another batch (used when merging per-worker
@@ -183,9 +221,15 @@ impl BatchOutput {
         }));
     }
 
-    fn push_deparsed(&mut self, pipe: &Pipeline, phv: &crate::phv::Phv, item: (PortId, u64, u64)) {
+    fn push_deparsed(
+        &mut self,
+        pipe: &Pipeline,
+        phv: &Phv,
+        frame: &[u8],
+        item: (PortId, u64, u64),
+    ) {
         let start = self.bytes.len();
-        pipe.deparse_into(phv, &mut self.bytes);
+        pipe.deparse_into(phv, frame, &mut self.bytes);
         self.items.push(OutputItem {
             port: item.0,
             seq: item.1,
@@ -200,8 +244,18 @@ impl BatchOutput {
 pub struct SwitchModel {
     chip: ChipProfile,
     pipes: Vec<Pipeline>,
-    l2: HashMap<MacAddr, PortId>,
+    l2: L2Table,
     stats: SwitchStats,
+    // Pooled scratch for the batch path, retained across process_batch
+    // calls so a warm switch performs no heap allocation per batch.
+    phv_pool: Vec<Phv>,
+    origin: Vec<usize>,
+    by_pipe: Vec<Vec<usize>>,
+    // Ping-pong buffers for recirculation: the wire image of the current
+    // recirculation pass lives in `recirc_frame` (the PHV's spans point
+    // into it) while `recirc_spare` is free for the next deparse.
+    recirc_frame: Vec<u8>,
+    recirc_spare: Vec<u8>,
 }
 
 impl SwitchModel {
@@ -211,7 +265,17 @@ impl SwitchModel {
     /// count — a wiring bug, not a runtime condition.
     pub fn new(chip: ChipProfile, pipes: Vec<Pipeline>) -> Self {
         assert_eq!(pipes.len(), chip.pipes, "one pipeline per pipe required");
-        SwitchModel { chip, pipes, l2: HashMap::new(), stats: SwitchStats::default() }
+        SwitchModel {
+            chip,
+            pipes,
+            l2: L2Table::default(),
+            stats: SwitchStats::default(),
+            phv_pool: Vec::new(),
+            origin: Vec::new(),
+            by_pipe: Vec::new(),
+            recirc_frame: Vec::new(),
+            recirc_spare: Vec::new(),
+        }
     }
 
     /// The chip profile.
@@ -252,37 +316,81 @@ impl SwitchModel {
 
     /// Processes one packet arriving on `in_port`; returns zero or one
     /// outputs (zero when dropped).
+    ///
+    /// The PHV comes from the switch's pool; only the returned output is a
+    /// fresh allocation. Per-packet hot loops that can reuse a
+    /// [`BatchOutput`] should call [`SwitchModel::process_into`] instead.
     pub fn process(&mut self, bytes: &[u8], in_port: PortId, seq: u64) -> Vec<SwitchOutput> {
         self.stats.received += 1;
         let pipe_idx = self.chip.pipe_of(in_port);
         debug_assert!(pipe_idx < self.pipes.len(), "port {in_port} beyond chip");
 
-        let phv = match self.pipes[pipe_idx].process(bytes, in_port, seq) {
-            Ok(phv) => phv,
-            Err(_) => {
-                self.stats.parse_errors += 1;
-                return Vec::new();
-            }
-        };
-        match self.finish_passes(phv, pipe_idx, seq) {
-            Some((port, phv, final_pipe, latency_ns)) => {
-                let bytes = self.pipes[final_pipe].deparse(&phv);
-                vec![SwitchOutput { port, bytes, latency_ns, seq }]
+        let mut phv = self.phv_pool.pop().unwrap_or_default();
+        let parsed =
+            parse_packet_into(self.pipes[pipe_idx].parser(), bytes, in_port, seq, &mut phv);
+        if parsed.is_err() {
+            self.stats.parse_errors += 1;
+            self.phv_pool.push(phv);
+            return Vec::new();
+        }
+        self.pipes[pipe_idx].execute(&mut phv);
+        let result = match self.finish_passes(&mut phv, bytes, pipe_idx, seq) {
+            Some((port, final_pipe, latency_ns, recirced)) => {
+                let frame: &[u8] = if recirced { &self.recirc_frame } else { bytes };
+                let deparsed = self.pipes[final_pipe].deparse(&phv, frame);
+                vec![SwitchOutput { port, bytes: deparsed, latency_ns, seq }]
             }
             None => Vec::new(),
+        };
+        self.phv_pool.push(phv);
+        result
+    }
+
+    /// Processes one packet, appending its egress (if any) to `out`.
+    ///
+    /// The packet's PHV comes from the switch's pool and the deparsed bytes
+    /// land in `out`'s arena, so a warm switch driven through a reused
+    /// `out` performs no heap allocation per packet. `out` is appended to,
+    /// not cleared — the caller owns its lifecycle.
+    pub fn process_into(&mut self, bytes: &[u8], in_port: PortId, seq: u64, out: &mut BatchOutput) {
+        self.stats.received += 1;
+        let pipe_idx = self.chip.pipe_of(in_port);
+        debug_assert!(pipe_idx < self.pipes.len(), "port {in_port} beyond chip");
+
+        let mut phv = self.phv_pool.pop().unwrap_or_default();
+        let parsed =
+            parse_packet_into(self.pipes[pipe_idx].parser(), bytes, in_port, seq, &mut phv);
+        if parsed.is_err() {
+            self.stats.parse_errors += 1;
+            self.phv_pool.push(phv);
+            return;
         }
+        self.pipes[pipe_idx].execute(&mut phv);
+        if let Some((port, final_pipe, latency_ns, recirced)) =
+            self.finish_passes(&mut phv, bytes, pipe_idx, seq)
+        {
+            let frame: &[u8] = if recirced { &self.recirc_frame } else { bytes };
+            out.push_deparsed(&self.pipes[final_pipe], &phv, frame, (port, seq, latency_ns));
+        }
+        self.phv_pool.push(phv);
     }
 
     /// Runs the verdict/recirculation loop on an executed PHV and resolves
-    /// egress. Returns `(egress port, final PHV, pipe holding the deparser,
-    /// accumulated latency)`, or `None` when the packet was dropped.
+    /// egress. `frame` is the source frame `phv` was parsed from. Returns
+    /// `(egress port, pipe holding the deparser, accumulated latency,
+    /// recirculated)`, or `None` when the packet was dropped. When
+    /// `recirculated` is true the PHV's spans reference the switch-owned
+    /// `recirc_frame` buffer instead of `frame` — the caller must deparse
+    /// from there before the next packet's recirculation overwrites it.
     fn finish_passes(
         &mut self,
-        mut phv: crate::phv::Phv,
+        phv: &mut Phv,
+        frame: &[u8],
         mut pipe_idx: usize,
         seq: u64,
-    ) -> Option<(PortId, crate::phv::Phv, usize, u64)> {
+    ) -> Option<(PortId, usize, u64, bool)> {
         let mut latency = self.chip.pipeline_latency_ns;
+        let mut recirced = false;
         loop {
             if phv.verdict.drop {
                 self.stats.dropped_by_program += 1;
@@ -297,22 +405,30 @@ impl SwitchModel {
             self.stats.recirculations += 1;
             latency += self.chip.pipeline_latency_ns + self.chip.recirculation_penalty_ns;
 
-            // Deparse on the current pipe, re-parse on the target pipe's
-            // recirculation port. User metadata is bridged across the pass
-            // (Tofino recirculation headers provide the same facility).
-            let wire = self.pipes[pipe_idx].deparse(&phv);
+            // Deparse on the current pipe into the spare recirculation
+            // buffer, re-parse on the target pipe's recirculation port.
+            // The two switch-owned buffers ping-pong (the PHV's spans must
+            // keep referencing the pass it was parsed from), so steady-state
+            // recirculation allocates nothing. User metadata is bridged
+            // across the pass (Tofino recirculation headers provide the
+            // same facility).
+            let mut wire = mem::take(&mut self.recirc_spare);
+            wire.clear();
+            let src: &[u8] = if recirced { &self.recirc_frame } else { frame };
+            self.pipes[pipe_idx].deparse_into(phv, src, &mut wire);
             let port = self.recirc_port(target.pipe, target.channel);
-            let mut next = match parse_packet(self.pipes[target.pipe].parser(), &wire, port, seq) {
-                Ok(p) => p,
-                Err(_) => {
-                    self.stats.parse_errors += 1;
-                    return None;
-                }
-            };
-            next.recirc_count = phv.recirc_count + 1;
-            next.meta = phv.meta;
-            self.pipes[target.pipe].execute(&mut next);
-            phv = next;
+            let saved_meta = phv.meta;
+            let saved_recirc = phv.recirc_count;
+            let parsed = parse_packet_into(self.pipes[target.pipe].parser(), &wire, port, seq, phv);
+            self.recirc_spare = mem::replace(&mut self.recirc_frame, wire);
+            recirced = true;
+            if parsed.is_err() {
+                self.stats.parse_errors += 1;
+                return None;
+            }
+            phv.recirc_count = saved_recirc + 1;
+            phv.meta = saved_meta;
+            self.pipes[target.pipe].execute(phv);
             pipe_idx = target.pipe;
         }
 
@@ -320,7 +436,7 @@ impl SwitchModel {
         match egress {
             Some(port) => {
                 self.stats.emitted += 1;
-                Some((port, phv, pipe_idx, latency))
+                Some((port, pipe_idx, latency, recirced))
             }
             None => {
                 self.stats.dropped_no_route += 1;
@@ -344,20 +460,32 @@ impl SwitchModel {
         self.stats.received += inputs.len() as u64;
 
         // Parse everything up front (parsing touches no shared state) into
-        // one arrival-ordered buffer; per-pipe index lists let each pipe
-        // batch-execute its packets in place, without moving a PHV.
+        // the pooled, arrival-ordered PHV buffer; per-pipe index lists let
+        // each pipe batch-execute its packets in place, without moving a
+        // PHV. All scratch is taken out of `self` (borrowck: the pipes are
+        // borrowed mutably below) and put back at the end, so a warm
+        // switch allocates nothing here.
         let n_pipes = self.pipes.len();
-        let mut phvs: Vec<crate::phv::Phv> = Vec::with_capacity(inputs.len());
-        let mut origin: Vec<usize> = Vec::with_capacity(inputs.len());
-        let mut by_pipe: Vec<Vec<usize>> = vec![Vec::new(); n_pipes];
+        let mut phvs = mem::take(&mut self.phv_pool);
+        let mut origin = mem::take(&mut self.origin);
+        let mut by_pipe = mem::take(&mut self.by_pipe);
+        origin.clear();
+        by_pipe.iter_mut().for_each(Vec::clear);
+        by_pipe.resize_with(n_pipes, Vec::new);
+
+        let mut live = 0usize; // phvs[..live] hold this batch's packets
         for (i, pkt) in inputs.iter().enumerate() {
             let pipe_idx = self.chip.pipe_of(pkt.port);
             debug_assert!(pipe_idx < n_pipes, "port {} beyond chip", pkt.port);
-            match parse_packet(self.pipes[pipe_idx].parser(), &pkt.bytes, pkt.port, pkt.seq) {
-                Ok(phv) => {
-                    by_pipe[pipe_idx].push(phvs.len());
-                    phvs.push(phv);
+            if live == phvs.len() {
+                phvs.push(Phv::default());
+            }
+            let parser = self.pipes[pipe_idx].parser();
+            match parse_packet_into(parser, &pkt.bytes, pkt.port, pkt.seq, &mut phvs[live]) {
+                Ok(()) => {
+                    by_pipe[pipe_idx].push(live);
                     origin.push(i);
+                    live += 1;
                 }
                 Err(_) => self.stats.parse_errors += 1,
             }
@@ -371,16 +499,24 @@ impl SwitchModel {
         }
 
         // Finish each packet in arrival order: verdicts, recirculation,
-        // egress resolution, arena deparse.
-        for (phv, i) in phvs.into_iter().zip(origin) {
+        // egress resolution, arena deparse (splicing body spans out of the
+        // input frame — or the recirculation buffer if the packet took
+        // another pass).
+        for (k, &i) in origin.iter().enumerate() {
             let pkt = &inputs[i];
             let pipe_idx = self.chip.pipe_of(pkt.port);
-            if let Some((port, phv, final_pipe, latency)) =
-                self.finish_passes(phv, pipe_idx, pkt.seq)
+            let phv = &mut phvs[k];
+            if let Some((port, final_pipe, latency, recirced)) =
+                self.finish_passes(phv, &pkt.bytes, pipe_idx, pkt.seq)
             {
-                out.push_deparsed(&self.pipes[final_pipe], &phv, (port, pkt.seq, latency));
+                let frame: &[u8] = if recirced { &self.recirc_frame } else { &pkt.bytes };
+                out.push_deparsed(&self.pipes[final_pipe], phv, frame, (port, pkt.seq, latency));
             }
         }
+
+        self.phv_pool = phvs;
+        self.origin = origin;
+        self.by_pipe = by_pipe;
     }
 
     /// Clears per-run statistics (register contents are left alone).

@@ -2,18 +2,32 @@
 
 use proptest::prelude::*;
 
-use pp_packet::builder::UdpPacketBuilder;
+use pp_packet::builder::{TcpPacketBuilder, UdpPacketBuilder};
 use pp_packet::MacAddr;
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::parser::{deparse_phv, parse_packet, BlockRule, ParserConfig};
 use pp_rmt::pipeline::Pipeline;
 use pp_rmt::switch::SwitchModel;
-use pp_rmt::PortId;
+use pp_rmt::{Phv, PortId};
 
 fn l2_switch() -> SwitchModel {
     let chip = ChipProfile::default();
     let pipes = (0..chip.pipes).map(|_| Pipeline::builder(chip).build().unwrap()).collect();
     SwitchModel::new(chip, pipes)
+}
+
+/// Every [`Span`](pp_rmt::phv::Span) the parser produced must reference
+/// bytes inside the source frame — the zero-copy deparser splices them
+/// back without further bounds checks.
+fn assert_spans_in_bounds(phv: &Phv, frame: &[u8]) -> Result<(), TestCaseError> {
+    prop_assert!(phv.body.in_bounds(frame), "body span {:?} escapes frame", phv.body);
+    if let Some(ip) = &phv.ipv4 {
+        prop_assert!(ip.options.in_bounds(frame), "IP options span escapes frame");
+    }
+    if let Some(tcp) = &phv.tcp {
+        prop_assert!(tcp.options.in_bounds(frame), "TCP options span escapes frame");
+    }
+    Ok(())
 }
 
 proptest! {
@@ -36,7 +50,7 @@ proptest! {
             cfg.block_rules.insert(0, BlockRule { blocks, min_payload });
         }
         let phv = parse_packet(&cfg, pkt.bytes(), PortId(port), 0).unwrap();
-        prop_assert_eq!(deparse_phv(&phv), pkt.bytes());
+        prop_assert_eq!(deparse_phv(&phv, pkt.bytes()), pkt.bytes());
     }
 
     /// An L2 switch is byte-transparent for any routed packet and drops
@@ -77,6 +91,78 @@ proptest! {
         let s = sw.stats();
         prop_assert_eq!(s.received, 1);
         prop_assert_eq!(s.emitted + s.parse_errors + s.dropped_no_route, 1);
+    }
+
+    /// Truncating a well-formed packet (UDP or TCP) at any point never
+    /// panics the parser: it either rejects the prefix or yields a PHV
+    /// whose spans all stay inside the truncated frame, and deparsing
+    /// that PHV never reads out of bounds.
+    #[test]
+    fn parser_survives_truncation(
+        size in 54usize..1492,
+        seed in any::<u64>(),
+        cut in 0usize..1492,
+        tcp in any::<bool>(),
+        port in 0u16..8,
+    ) {
+        let pkt = if tcp {
+            TcpPacketBuilder::new().total_size(size, seed).build()
+        } else {
+            UdpPacketBuilder::new().total_size(size, seed).build()
+        };
+        let frame = &pkt.bytes()[..cut.min(pkt.len())];
+        let mut cfg = ParserConfig { phv_block_capacity: 10, ..Default::default() };
+        cfg.pp_header_ports.insert(1);
+        cfg.block_rules.insert(0, BlockRule { blocks: 10, min_payload: 160 });
+        if let Ok(phv) = parse_packet(&cfg, frame, PortId(port), 0) {
+            assert_spans_in_bounds(&phv, frame)?;
+            let out = deparse_phv(&phv, frame);
+            prop_assert!(out.len() <= frame.len() + 16, "deparse invented bytes");
+        }
+    }
+
+    /// Arbitrary garbage bytes — including mutated headers with lying
+    /// length fields — never panic the parser, and any spans it hands out
+    /// stay inside the frame.
+    #[test]
+    fn parser_survives_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        port in 0u16..8,
+    ) {
+        let mut cfg = ParserConfig { phv_block_capacity: 10, ..Default::default() };
+        cfg.pp_header_ports.insert(1);
+        cfg.block_rules.insert(0, BlockRule { blocks: 10, min_payload: 160 });
+        if let Ok(phv) = parse_packet(&cfg, &data, PortId(port), 0) {
+            assert_spans_in_bounds(&phv, &data)?;
+            deparse_phv(&phv, &data); // must not panic
+        }
+    }
+
+    /// Flipping bytes of a well-formed packet (corrupting length fields,
+    /// IHL, data offset, ethertype...) never panics parse or deparse.
+    #[test]
+    fn parser_survives_byte_flips(
+        size in 54usize..600,
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((0usize..600, any::<u8>()), 1..8),
+        tcp in any::<bool>(),
+    ) {
+        let pkt = if tcp {
+            TcpPacketBuilder::new().total_size(size, seed).build()
+        } else {
+            UdpPacketBuilder::new().total_size(size, seed).build()
+        };
+        let mut bytes = pkt.into_bytes();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] = val;
+        }
+        let mut cfg = ParserConfig { phv_block_capacity: 10, ..Default::default() };
+        cfg.block_rules.insert(0, BlockRule { blocks: 10, min_payload: 160 });
+        if let Ok(phv) = parse_packet(&cfg, &bytes, PortId(0), 0) {
+            assert_spans_in_bounds(&phv, &bytes)?;
+            deparse_phv(&phv, &bytes); // must not panic
+        }
     }
 
     /// Block extraction conserves bytes: valid blocks + body always equal

@@ -1,0 +1,73 @@
+//! Steady-state allocation discipline of the batched hot path.
+//!
+//! The zero-copy refactor pools every per-packet buffer the switch needs
+//! (PHVs, origin/by-pipe scratch, the deparse arena, recirculation
+//! ping-pong frames), so a warm [`SwitchModel::process_batch`] must not
+//! touch the heap at all. This test wraps the system allocator in a
+//! counting shim, runs two warm-up batches to size the pools, and then
+//! asserts the third batch performs exactly zero allocations.
+
+use pp_fastpath::SlicedTestbed;
+use pp_rmt::switch::BatchOutput;
+use pp_rmt::SwitchModel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator (deallocations are free to happen — returning pooled memory
+/// is not the property under test).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Runs `batches` identical waves through `process_batch` and returns the
+/// allocation count of the last one.
+fn allocs_in_last_batch(sw: &mut SwitchModel, tb: &SlicedTestbed, batches: usize) -> u64 {
+    let wave = tb.counted_mixed_wave(17, 256);
+    let mut out = BatchOutput::new();
+    let mut last = 0;
+    for _ in 0..batches {
+        let before = allocs();
+        sw.process_batch(&wave, &mut out);
+        last = allocs() - before;
+        assert!(!out.is_empty(), "the wave must produce egress packets");
+    }
+    last
+}
+
+#[test]
+fn warm_process_batch_never_allocates() {
+    let tb = SlicedTestbed::new(8, 2048);
+
+    // The full PayloadPark program: split-side block extraction, register
+    // stores, metadata table writes, shim insertion.
+    let (mut park, _) = tb.build_scalar();
+    let park_allocs = allocs_in_last_batch(&mut park, &tb, 3);
+    assert_eq!(
+        park_allocs, 0,
+        "3rd batch through the PayloadPark program allocated {park_allocs} times"
+    );
+}
