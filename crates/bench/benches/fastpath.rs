@@ -37,6 +37,19 @@ fn bench_fastpath(c: &mut Criterion) {
         })
     });
 
+    // Telemetry (flight recorder + stage profiling) is on by default; this
+    // leg is the same roundtrip with it switched off, so the trajectory
+    // tracks the observability overhead (`pp-exp overhead` gates it ≤3 %).
+    let (mut dark, _) = tb.build_scalar();
+    dark.set_telemetry(false);
+    g.bench_function("scalar_roundtrip_no_telemetry", |b| {
+        b.iter(|| {
+            let inputs = wave.clone();
+            tb.scalar_roundtrip_into(&mut dark, &inputs, &mut merged);
+            black_box(merged.len())
+        })
+    });
+
     for workers in [1usize, 2, 4, 8] {
         let mut engine = tb.build_engine(EngineConfig { workers, ..Default::default() }).unwrap();
         g.bench_function(&format!("engine_{workers}_workers"), |b| {

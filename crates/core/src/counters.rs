@@ -117,6 +117,24 @@ impl CounterSnapshot {
         self.dup_merge += other.dup_merge;
     }
 
+    /// The counters paired with their [`COUNTER_NAMES`] entries, in index
+    /// order — the iteration telemetry exporters are built on.
+    pub fn named(&self) -> [(&'static str, u64); COUNTER_NAMES.len()] {
+        [
+            (COUNTER_NAMES[C_SPLITS], self.splits),
+            (COUNTER_NAMES[C_MERGES], self.merges),
+            (COUNTER_NAMES[C_EXPLICIT_DROPS], self.explicit_drops),
+            (COUNTER_NAMES[C_EVICTIONS], self.evictions),
+            (COUNTER_NAMES[C_PREMATURE_EVICTIONS], self.premature_evictions),
+            (COUNTER_NAMES[C_ENB0_FROM_SERVER], self.enb0_from_server),
+            (COUNTER_NAMES[C_DISABLED_SMALL_PAYLOAD], self.disabled_small_payload),
+            (COUNTER_NAMES[C_DISABLED_OCCUPIED], self.disabled_occupied),
+            (COUNTER_NAMES[C_CRC_FAIL], self.crc_fail),
+            (COUNTER_NAMES[C_LEN_UNDERFLOW], self.len_underflow),
+            (COUNTER_NAMES[C_DUP_MERGE], self.dup_merge),
+        ]
+    }
+
     /// Outstanding parked payloads implied by the counters: splits minus
     /// everything that reclaimed a slot.
     pub fn outstanding(&self) -> i64 {

@@ -34,6 +34,7 @@ use crate::control::PipeControl;
 use crate::counters::CounterSnapshot;
 use pp_packet::ParsedPacket;
 use pp_rmt::switch::SwitchModel;
+use pp_rmt::trace::FlightRecorder;
 
 /// The outcome of a conformance check: empty means every invariant held.
 #[derive(Debug, Clone, Default)]
@@ -140,6 +141,18 @@ pub fn check_switch<'a>(
     check_wave(&control.counters(switch), control.occupancy(switch), delivered)
 }
 
+/// On violation, snapshots a flight recorder as JSONL — the forensic
+/// record that accompanies a failed oracle report (the recent trace
+/// events, oldest first, including the decisions taken for the offending
+/// packets). Returns `None` when every invariant held or the recorder
+/// captured nothing.
+pub fn flight_dump(report: &OracleReport, recorder: &FlightRecorder) -> Option<String> {
+    if report.ok() || recorder.is_empty() {
+        return None;
+    }
+    Some(recorder.to_jsonl())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +218,29 @@ mod tests {
     #[should_panic(expected = "conformance oracle violated")]
     fn assert_ok_panics_on_violation() {
         check_counters(&snap(1, 2, 0, 0), 0).assert_ok();
+    }
+
+    #[test]
+    fn flight_dump_only_on_violation() {
+        use pp_rmt::trace::{decision, TraceEvent, TracePoint, TraceReason};
+        let mut rec = FlightRecorder::with_capacity(8);
+        rec.record(TraceEvent {
+            seq: 77,
+            port: 4,
+            pipe: 0,
+            point: TracePoint::Gateway,
+            decision: decision::SPLIT,
+            reason: TraceReason::None,
+        });
+
+        // A clean report never dumps; a violated one dumps the events.
+        assert!(flight_dump(&check_counters(&snap(10, 10, 0, 0), 0), &rec).is_none());
+        let bad = check_counters(&snap(10, 11, 0, 0), 0);
+        let dump = flight_dump(&bad, &rec).expect("violation with events dumps");
+        assert!(dump.contains("\"seq\":77"), "{dump}");
+        assert!(dump.contains("split"), "{dump}");
+
+        // A violated report with an empty recorder has nothing to dump.
+        assert!(flight_dump(&bad, &FlightRecorder::with_capacity(8)).is_none());
     }
 }

@@ -45,6 +45,7 @@ use pp_rmt::phv::{Phv, RecircTarget, BLOCK_BYTES};
 use pp_rmt::pipeline::{Pipeline, ProgramError};
 use pp_rmt::register::{cell, RegisterId, RegisterSpec};
 use pp_rmt::switch::SwitchModel;
+use pp_rmt::trace::decision;
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::Arc;
 
@@ -127,6 +128,7 @@ fn apply_len_delta(phv: &mut Phv, delta: i32, counters: &mut [u64]) {
         let new = i32::from(ip.total_len) + delta;
         if new < floor || new > i32::from(u16::MAX) {
             counters[C_LEN_UNDERFLOW] += 1;
+            phv.trace_flags |= decision::LEN_UNDERFLOW;
             phv.verdict.drop = true;
             return;
         }
@@ -135,6 +137,7 @@ fn apply_len_delta(phv: &mut Phv, delta: i32, counters: &mut [u64]) {
         let new = i32::from(udp.len) + delta;
         if new < UDP_HEADER_LEN as i32 || new > i32::from(u16::MAX) {
             counters[C_LEN_UNDERFLOW] += 1;
+            phv.trace_flags |= decision::LEN_UNDERFLOW;
             phv.verdict.drop = true;
             return;
         }
@@ -335,6 +338,7 @@ pub fn build_primary(
                     ctx.phv.pp.valid = false;
                     apply_len_delta(ctx.phv, -PP_LEN, ctx.counters);
                     ctx.counters[C_ENB0_FROM_SERVER] += 1;
+                    ctx.phv.trace_flags |= decision::ENB0;
                 })
                 .footprint(gateway_footprint(18, 4))
                 .build(),
@@ -417,6 +421,7 @@ pub fn build_primary(
                         exp -= 1;
                         if exp == 0 {
                             ctx.counters[C_EVICTIONS] += 1;
+                            ctx.phv.trace_flags |= decision::EVICT;
                         }
                     }
                     let phv = &mut *ctx.phv;
@@ -448,6 +453,7 @@ pub fn build_primary(
                         phv.pp.crc = tag_crc(idx, clk);
                         phv.meta[META_SPLIT_OK] = 1;
                         ctx.counters[C_SPLITS] += 1;
+                        phv.trace_flags |= decision::SPLIT;
                         apply_len_delta(phv, -savings, ctx.counters);
                         if let Some(t) = recirc_split {
                             phv.verdict.recirculate = Some(t);
@@ -459,6 +465,7 @@ pub fn build_primary(
                         phv.pp = Default::default();
                         phv.pp.valid = true;
                         ctx.counters[C_DISABLED_OCCUPIED] += 1;
+                        phv.trace_flags |= decision::DISABLED_OCCUPIED;
                         apply_len_delta(phv, PP_LEN, ctx.counters);
                     }
                 })
@@ -483,6 +490,7 @@ pub fn build_primary(
                     ctx.phv.pp = Default::default();
                     ctx.phv.pp.valid = true;
                     ctx.counters[C_DISABLED_SMALL_PAYLOAD] += 1;
+                    ctx.phv.trace_flags |= decision::DISABLED_SMALL;
                     apply_len_delta(ctx.phv, PP_LEN, ctx.counters);
                 })
                 .footprint(gateway_footprint(20, 4))
@@ -507,6 +515,7 @@ pub fn build_primary(
                     let Some(cell_ref) = ctx.cell.as_deref_mut().filter(|_| crc_ok) else {
                         // Corrupted or out-of-range tag: never touch memory.
                         ctx.counters[C_CRC_FAIL] += 1;
+                        ctx.phv.trace_flags |= decision::CRC_FAIL;
                         ctx.phv.verdict.drop = true;
                         return;
                     };
@@ -523,10 +532,12 @@ pub fn build_primary(
                         if phv.pp.op_drop {
                             // Explicit Drop (§6.2.4): reclaim only.
                             ctx.counters[C_EXPLICIT_DROPS] += 1;
+                            phv.trace_flags |= decision::EXPLICIT_DROP;
                             phv.pp.valid = false;
                             phv.verdict.drop = true;
                         } else {
                             ctx.counters[C_MERGES] += 1;
+                            phv.trace_flags |= decision::MERGE;
                             // Un-park the original transport checksum along
                             // with the payload, repaired for any 5-tuple
                             // rewrite the NF applied in flight; the annex
@@ -556,12 +567,14 @@ pub fn build_primary(
                         // link's duplicate must never double-free the slot
                         // or splice a stale payload.
                         ctx.counters[C_DUP_MERGE] += 1;
+                        phv.trace_flags |= decision::DUP_MERGE;
                         phv.verdict.drop = true;
                     } else {
                         // Premature eviction: the payload is gone (the slot
                         // was aged out, and possibly re-occupied by a newer
                         // Split). Drop the packet and record it (§3.3).
                         ctx.counters[C_PREMATURE_EVICTIONS] += 1;
+                        phv.trace_flags |= decision::PREMATURE_EVICT;
                         phv.verdict.drop = true;
                     }
                 })

@@ -479,6 +479,45 @@ impl Engine {
         }
         total
     }
+
+    /// One telemetry registry for the whole engine: each worker's state
+    /// becomes a shard-labelled registry (plus that shard's inbound-ring
+    /// depth high-water mark), merged with an unlabelled aggregate view —
+    /// so the exposition carries both per-shard series and deployment
+    /// totals.
+    pub fn telemetry_registry(&mut self) -> pp_metrics::MetricsRegistry {
+        let states = self.query();
+        let mut total = pp_metrics::MetricsRegistry::new();
+        let mut agg_counters = CounterSnapshot::default();
+        let mut agg_stats = SwitchStats::default();
+        let mut agg_occupancy = 0;
+        let mut agg_tally = FaultTally::default();
+        for (w, (counters, stats, occupancy, tally)) in states.iter().enumerate() {
+            let shard = w.to_string();
+            let labels = [("shard", shard.as_str())];
+            let mut reg =
+                crate::telemetry::dataplane_registry(counters, stats, *occupancy, tally, &labels);
+            let hw = reg.highwater(
+                "pp_ring_depth_highwater",
+                "Deepest observed in-flight depth of the shard's inbound SPSC ring.",
+                &labels,
+            );
+            reg.observe_high(hw, self.workers[w].tx.high_water() as u64);
+            total.merge_from(&reg);
+            agg_counters.add(counters);
+            agg_stats.add(stats);
+            agg_occupancy += occupancy;
+            agg_tally.add(tally);
+        }
+        total.merge_from(&crate::telemetry::dataplane_registry(
+            &agg_counters,
+            &agg_stats,
+            agg_occupancy,
+            &agg_tally,
+            &[],
+        ));
+        total
+    }
 }
 
 impl Drop for Engine {
@@ -630,6 +669,26 @@ mod tests {
         }
         assert_eq!(emitted, 640);
         assert_eq!(engine.switch_stats().emitted, 2 * 640, "split pass + merge pass");
+    }
+
+    #[test]
+    fn telemetry_registry_aggregates_shards() {
+        let mut engine =
+            TB.build_engine(EngineConfig { workers: 2, batch: 16, ring_depth: 4 }).unwrap();
+        let _ = engine.process_roundtrip(TB.counted_enterprise_wave(3, 120), TB.sink_mac());
+        let counters = engine.counters();
+        assert!(counters.splits > 0);
+        let reg = engine.telemetry_registry();
+        // The unlabelled aggregate equals the summed per-shard series.
+        assert_eq!(reg.get("pp_splits_total", &[]).unwrap().value(), counters.splits as f64);
+        let s0 = reg.get("pp_splits_total", &[("shard", "0")]).unwrap().value();
+        let s1 = reg.get("pp_splits_total", &[("shard", "1")]).unwrap().value();
+        assert_eq!(s0 + s1, counters.splits as f64);
+        // Every shard pushed batches, so its ring saw at least one message.
+        for shard in ["0", "1"] {
+            let hw = reg.get("pp_ring_depth_highwater", &[("shard", shard)]).unwrap();
+            assert!(hw.value() >= 1.0, "shard {shard}: {}", hw.value());
+        }
     }
 
     #[test]

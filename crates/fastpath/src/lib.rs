@@ -33,11 +33,13 @@ pub mod adapter;
 pub mod adversity;
 pub mod engine;
 pub mod spsc;
+pub mod telemetry;
 pub mod testbed;
 
 pub use adapter::{reflect_outputs, EgressMeter, PacedIngest};
 pub use adversity::{adverse_return_wave, apply_leg_wave, internal_leg_protected_prefix};
 pub use engine::{Engine, EngineConfig, EngineOutput};
+pub use telemetry::dataplane_registry;
 pub use testbed::SlicedTestbed;
 // The batch I/O types engines speak, re-exported for callers' convenience.
 pub use pp_rmt::switch::{BatchOutput, BatchPacket, OutputRef};

@@ -53,6 +53,10 @@ pub struct Producer<T> {
     ring: Arc<Ring<T>>,
     /// Local cache of the consumer's head, refreshed only on apparent full.
     head_cache: usize,
+    /// Deepest in-flight depth this producer has observed at push time —
+    /// a high-water mark for backpressure telemetry. Computed against the
+    /// cached head, so it costs nothing extra on the hot path.
+    high_water: usize,
 }
 
 /// The receiving endpoint of a ring. Not clonable — single consumer.
@@ -69,7 +73,10 @@ pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
     let ring =
         Arc::new(Ring { slots, head: PaddedCounter::default(), tail: PaddedCounter::default() });
-    (Producer { ring: Arc::clone(&ring), head_cache: 0 }, Consumer { ring, tail_cache: 0 })
+    (
+        Producer { ring: Arc::clone(&ring), head_cache: 0, high_water: 0 },
+        Consumer { ring, tail_cache: 0 },
+    )
 }
 
 impl<T> Producer<T> {
@@ -87,6 +94,7 @@ impl<T> Producer<T> {
         // observe it until the release store below.
         unsafe { (*self.ring.slots[idx].get()).write(value) };
         self.ring.tail.0.store(tail + 1, Ordering::Release);
+        self.high_water = self.high_water.max(tail + 1 - self.head_cache);
         Ok(())
     }
 
@@ -106,6 +114,13 @@ impl<T> Producer<T> {
     /// Elements currently in flight (approximate under concurrency).
     pub fn in_flight(&self) -> usize {
         self.ring.tail.0.load(Ordering::Relaxed) - self.ring.head.0.load(Ordering::Relaxed)
+    }
+
+    /// Deepest in-flight depth observed by this producer. An upper bound
+    /// relative to the consumer's true progress (the cached head lags), so
+    /// it never under-reports a backlog.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -152,6 +167,7 @@ mod tests {
         }
         assert_eq!(tx.try_push(99), Err(99), "ring is full");
         assert_eq!(tx.in_flight(), 4);
+        assert_eq!(tx.high_water(), 4);
         for v in 0..4 {
             assert_eq!(rx.try_pop(), Some(v));
         }
@@ -165,6 +181,9 @@ mod tests {
             tx.push(v);
             assert_eq!(rx.pop(), v);
         }
+        // Only one element was ever in flight, but the producer's cached
+        // head may lag, so the mark is bounded by the ring capacity.
+        assert!(tx.high_water() >= 1 && tx.high_water() <= 3, "{}", tx.high_water());
     }
 
     #[test]

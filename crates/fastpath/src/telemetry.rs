@@ -1,0 +1,156 @@
+//! Building [`pp_metrics`] registries from dataplane state.
+//!
+//! [`dataplane_registry`] is the one place the counter/stat/tally families
+//! get their Prometheus names and help strings; every execution path — a
+//! scalar [`SwitchModel`](pp_rmt::SwitchModel) loop, the DES harness, or
+//! the sharded [`Engine`](crate::Engine) — feeds the same builder with its
+//! own labels, so the exposition is structurally identical everywhere and
+//! per-shard registries aggregate with
+//! [`MetricsRegistry::merge_from`].
+
+use payloadpark::CounterSnapshot;
+use pp_metrics::MetricsRegistry;
+use pp_netsim::adversity::FaultTally;
+use pp_rmt::switch::SwitchStats;
+
+/// Help text for a PayloadPark counter family (`COUNTER_NAMES` entry).
+pub fn counter_help(name: &str) -> &'static str {
+    match name {
+        "splits" => "Successful Split operations.",
+        "merges" => "Successful Merge operations.",
+        "explicit_drops" => "Explicit Drop operations (slot reclaimed, packet dropped).",
+        "evictions" => "Parked payloads evicted by the expiry mechanism.",
+        "premature_evictions" => "Merges that found their payload prematurely evicted.",
+        "enb0_from_server" => "Split-disabled packets returning from the NF server.",
+        "disabled_small_payload" => "Splits skipped: payload under the minimum size.",
+        "disabled_occupied" => "Splits skipped: probed slot occupied.",
+        "crc_fail" => "Merge tags failing CRC validation.",
+        "len_underflow" => "Packets dropped by the length fix-up underflow guard.",
+        "dup_merge" => "Duplicate Merge arrivals dropped (slot already reclaimed).",
+        _ => "PayloadPark counter.",
+    }
+}
+
+fn switch_stat_help(name: &str) -> &'static str {
+    match name {
+        "received" => "Packets offered to the switch.",
+        "emitted" => "Packets emitted on an egress port.",
+        "dropped_by_program" => "Packets dropped by a program verdict.",
+        "dropped_no_route" => "Packets dropped for lack of an L2 route.",
+        "dropped_recirc_limit" => "Packets dropped at the recirculation limit.",
+        "parse_errors" => "Packets the parser rejected.",
+        "recirculations" => "Recirculation passes performed.",
+        _ => "Switch statistic.",
+    }
+}
+
+fn fault_help(name: &str) -> &'static str {
+    match name {
+        "seen" => "Packets offered to an active adversity leg injector.",
+        "dropped" => "Packets dropped by random loss.",
+        "blacked_out" => "Packets dropped by blackout windows.",
+        "duplicated" => "Duplicates inserted by the injector.",
+        "truncated" => "Packets with tail bytes cut.",
+        "corrupted" => "Packets with a bit flipped.",
+        "displaced" => "Packets displaced later in the stream.",
+        _ => "Adversity fault tally.",
+    }
+}
+
+/// Builds one execution context's registry under `labels`: the 11
+/// PayloadPark counters (`pp_<name>_total`), park-table occupancy
+/// (`pp_park_table_occupancy`), the switch statistics
+/// (`pp_switch_<name>_total`) and the adversity fault tally
+/// (`pp_fault_<name>_total`, omitted entirely when the tally saw nothing —
+/// benign runs carry no fault families).
+pub fn dataplane_registry(
+    counters: &CounterSnapshot,
+    stats: &SwitchStats,
+    occupancy: usize,
+    tally: &FaultTally,
+    labels: &[(&str, &str)],
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for (name, v) in counters.named() {
+        let id = reg.counter(&format!("pp_{name}_total"), counter_help(name), labels);
+        reg.set_counter(id, v);
+    }
+    let occ = reg.gauge("pp_park_table_occupancy", "Occupied lookup-table slots.", labels);
+    reg.set(occ, occupancy as f64);
+    for (name, v) in stats.named() {
+        let id = reg.counter(&format!("pp_switch_{name}_total"), switch_stat_help(name), labels);
+        reg.set_counter(id, v);
+    }
+    if tally.seen > 0 {
+        for (name, v) in tally.named() {
+            let id = reg.counter(&format!("pp_fault_{name}_total"), fault_help(name), labels);
+            reg.set_counter(id, v);
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payloadpark::counters::COUNTER_NAMES;
+
+    #[test]
+    fn every_counter_family_is_present_once() {
+        let counters = CounterSnapshot { splits: 12, merges: 7, ..Default::default() };
+        let reg = dataplane_registry(
+            &counters,
+            &SwitchStats::default(),
+            3,
+            &FaultTally::default(),
+            &[("shard", "0")],
+        );
+        for name in COUNTER_NAMES {
+            let family = format!("pp_{name}_total");
+            let hits = reg.metrics().iter().filter(|m| m.name() == family).count();
+            assert_eq!(hits, 1, "{family}");
+        }
+        assert_eq!(reg.get("pp_splits_total", &[("shard", "0")]).unwrap().value(), 12.0);
+        assert_eq!(reg.get("pp_park_table_occupancy", &[("shard", "0")]).unwrap().value(), 3.0);
+        assert!(
+            !reg.metrics().iter().any(|m| m.name().starts_with("pp_fault_")),
+            "benign runs export no fault families"
+        );
+    }
+
+    #[test]
+    fn fault_families_appear_when_the_injector_acted() {
+        let tally = FaultTally { seen: 10, dropped: 2, ..Default::default() };
+        let reg = dataplane_registry(
+            &CounterSnapshot::default(),
+            &SwitchStats::default(),
+            0,
+            &tally,
+            &[],
+        );
+        assert_eq!(reg.get("pp_fault_dropped_total", &[]).unwrap().value(), 2.0);
+        assert_eq!(reg.get("pp_fault_seen_total", &[]).unwrap().value(), 10.0);
+    }
+
+    #[test]
+    fn per_shard_registries_merge_into_totals() {
+        let mut a = dataplane_registry(
+            &CounterSnapshot { splits: 5, ..Default::default() },
+            &SwitchStats { emitted: 5, ..Default::default() },
+            2,
+            &FaultTally::default(),
+            &[],
+        );
+        let b = dataplane_registry(
+            &CounterSnapshot { splits: 3, ..Default::default() },
+            &SwitchStats { emitted: 3, ..Default::default() },
+            1,
+            &FaultTally::default(),
+            &[],
+        );
+        a.merge_from(&b);
+        assert_eq!(a.get("pp_splits_total", &[]).unwrap().value(), 8.0);
+        assert_eq!(a.get("pp_switch_emitted_total", &[]).unwrap().value(), 8.0);
+        assert_eq!(a.get("pp_park_table_occupancy", &[]).unwrap().value(), 3.0);
+    }
+}

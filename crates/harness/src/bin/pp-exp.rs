@@ -4,90 +4,72 @@
 //!
 //! ```text
 //! pp-exp <experiment> [--quick] [--out FILE] [--baseline FILE] [--tolerance T]
+//!        [--telemetry FILE]
 //!
 //! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
-//!              fig15 fig16 table1 headline mixed throughput adversity all
+//!              fig15 fig16 table1 headline mixed throughput adversity
+//!              overhead all
 //! ```
 //!
 //! Each experiment prints a text table (the repository's rendering of the
 //! corresponding figure). `--quick` uses the reduced test-effort sweep.
-//! Two experiments measure the reproduction itself and emit JSON series on
-//! stdout for dashboards and trend tracking: `throughput` (scalar pipeline
-//! vs the `pp_fastpath` engine at 1/2/4/8 workers) and `adversity`
+//! Unknown flags and experiments are rejected with this usage and exit
+//! code 2 — see [`pp_harness::cli`].
+//!
+//! Three experiments measure the reproduction itself and emit JSON series
+//! on stdout for dashboards and trend tracking: `throughput` (scalar
+//! pipeline vs the `pp_fastpath` engine at 1/2/4/8 workers), `adversity`
 //! (goodput/eviction curves vs injected NF-leg loss under a fixed scenario
 //! seed — the same seed always produces byte-identical output, so the
-//! series doubles as a replay/regression artifact).
+//! series doubles as a replay/regression artifact), and `overhead` (the
+//! scalar hot path with the always-on telemetry — flight recorder + stage
+//! profiling — vs with it switched off; exits 1 when the slowdown exceeds
+//! `--tolerance`, default 3 %).
 //!
 //! For `throughput`, `--out FILE` also writes the JSON series to `FILE`
 //! (the committed `BENCH_fastpath.json` trajectory snapshot), and
 //! `--baseline FILE` compares the fresh run against a committed snapshot,
 //! exiting 1 when any worker width lost more than `--tolerance` (default
 //! 0.15) of its packets/sec.
+//!
+//! `--telemetry FILE` (on `throughput`, `mixed` and `adversity`) writes a
+//! Prometheus text-exposition snapshot of a representative run's dataplane
+//! telemetry — the PayloadPark counters, switch statistics, park-table
+//! occupancy, fault tally, and (for `throughput`) per-shard ring
+//! high-water marks.
 
 use pp_harness::bench_gate::{compare_throughput, DEFAULT_TOLERANCE};
+use pp_harness::cli;
 use pp_harness::experiments::{
-    adversity_sweep, emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15,
-    fig16, headline_fw_nat_40g, mixed_goodput, table1, Effort,
+    adversity_report, adversity_sweep, emulator_throughput, fig06, fig07, fig08_09, fig10_11,
+    fig12, fig14, fig15, fig16, headline_fw_nat_40g, mixed_goodput, mixed_report, table1,
+    telemetry_overhead, throughput_telemetry, Effort,
 };
-use pp_metrics::Series;
+use pp_harness::telemetry::{registry_from_report, write_prom};
+use pp_metrics::{MetricsRegistry, Series};
 
-/// The value following a `--flag`, if present.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+/// Default `overhead` gate: telemetry may cost at most 3 % of scalar pps.
+const DEFAULT_OVERHEAD_TOLERANCE: f64 = 0.03;
+
+fn write_telemetry(path: &str, registry: &MetricsRegistry) {
+    if let Err(e) = write_prom(std::path::Path::new(path), registry) {
+        eprintln!("failed to write telemetry {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let effort = if quick { Effort::Quick } else { Effort::Full };
-    let out_path = flag_value(&args, "--out");
-    let baseline_path = flag_value(&args, "--baseline");
-    let tolerance = match flag_value(&args, "--tolerance") {
-        Some(t) => t.parse().unwrap_or_else(|_| {
-            eprintln!("--tolerance must be a number, got {t:?}");
+    let cli = match cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("pp-exp: {e}");
+            eprintln!("{}", cli::usage());
             std::process::exit(2);
-        }),
-        None => DEFAULT_TOLERANCE,
+        }
     };
-    let flags_taking_value = ["--out", "--baseline", "--tolerance"];
-    let which = args
-        .iter()
-        .enumerate()
-        .find(|(i, a)| {
-            let is_flag_value = *i > 0 && flags_taking_value.contains(&args[i - 1].as_str());
-            !a.starts_with("--") && !is_flag_value
-        })
-        .map(|(_, a)| a.clone())
-        .unwrap_or_default();
-
-    let known = [
-        "fig06",
-        "fig07",
-        "fig08",
-        "fig09",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "fig15",
-        "fig16",
-        "table1",
-        "headline",
-        "mixed",
-        "throughput",
-        "adversity",
-        "all",
-    ];
-    if which.is_empty() || !known.contains(&which.as_str()) {
-        eprintln!(
-            "usage: pp-exp <{}> [--quick] [--out FILE] [--baseline FILE] [--tolerance T]",
-            known.join("|")
-        );
-        std::process::exit(2);
-    }
-
-    let want = |name: &str| which == name || which == "all";
+    let effort = if cli.quick { Effort::Quick } else { Effort::Full };
+    let want = |name: &str| cli.which == name || cli.which == "all";
 
     if want("fig06") {
         println!("{}", fig06().render());
@@ -133,6 +115,10 @@ fn main() {
     }
     if want("mixed") {
         println!("{}", mixed_goodput(effort).render());
+        if let Some(path) = &cli.telemetry {
+            let reg = registry_from_report(&mixed_report(effort), &[("experiment", "mixed")]);
+            write_telemetry(path, &reg);
+        }
     }
     if want("table1") {
         println!("{}", table1());
@@ -142,13 +128,16 @@ fn main() {
         let series = emulator_throughput(effort);
         let json = series.render_json();
         println!("{json}");
-        if let Some(path) = &out_path {
+        if let Some(path) = &cli.out {
             if let Err(e) = std::fs::write(path, format!("{json}\n")) {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
             }
         }
-        if let Some(path) = &baseline_path {
+        if let Some(path) = &cli.telemetry {
+            write_telemetry(path, &throughput_telemetry(effort));
+        }
+        if let Some(path) = &cli.baseline {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("failed to read baseline {path}: {e}");
                 std::process::exit(1);
@@ -157,6 +146,7 @@ fn main() {
                 eprintln!("baseline {path} is not a valid series JSON");
                 std::process::exit(1);
             });
+            let tolerance = cli.tolerance.unwrap_or(DEFAULT_TOLERANCE);
             match compare_throughput(&series, &baseline, tolerance) {
                 Ok(report) => {
                     for line in &report.lines {
@@ -180,5 +170,29 @@ fn main() {
         // Machine-readable and byte-reproducible for a given seed: CI
         // uploads this series as an artifact on every push.
         println!("{}", adversity_sweep(effort).render_json());
+        if let Some(path) = &cli.telemetry {
+            let reg =
+                registry_from_report(&adversity_report(effort), &[("experiment", "adversity")]);
+            write_telemetry(path, &reg);
+        }
+    }
+    if want("overhead") {
+        let report = telemetry_overhead(effort);
+        let tolerance = cli.tolerance.unwrap_or(DEFAULT_OVERHEAD_TOLERANCE);
+        println!(
+            "{{\"on_pps\":{:.0},\"off_pps\":{:.0},\"overhead\":{:.4},\"tolerance\":{:.4}}}",
+            report.on_pps,
+            report.off_pps,
+            report.overhead(),
+            tolerance
+        );
+        if report.overhead() > tolerance {
+            eprintln!(
+                "telemetry overhead {:.2}% exceeds the {:.2}% gate",
+                report.overhead() * 100.0,
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 }

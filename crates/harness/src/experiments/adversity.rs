@@ -22,6 +22,54 @@ use pp_trafficgen::gen::SizeModel;
 /// The sweep's fixed scenario seed (reseeding is the replay knob).
 const SCENARIO_SEED: u64 = 7;
 
+/// One operating point of the sweep: `loss` on the NF → switch leg (plus
+/// the companion reorder once loss is non-zero), everything else pinned to
+/// the scenario seed. Mode is left at the default; callers set it.
+fn point_config(loss: f64, effort: Effort) -> TestbedConfig {
+    let adv = AdversityProfile {
+        seed: SCENARIO_SEED,
+        from_nf: LegProfile {
+            drop: loss,
+            reorder: (loss > 0.0) as u8 as f64 * 0.1,
+            max_displacement: 16,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut cfg = TestbedConfig {
+        nic_gbps: 10.0,
+        rate_gbps: 3.0,
+        sizes: SizeModel::Fixed(512),
+        duration: match effort {
+            Effort::Quick => pp_netsim::time::SimDuration::from_millis(2),
+            Effort::Full => pp_netsim::time::SimDuration::from_millis(12),
+        },
+        chain: ChainSpec::MacSwap,
+        flows: 32,
+        seed: SCENARIO_SEED,
+        adversity: adv,
+        ..Default::default()
+    };
+    cfg.server.jitter_frac = 0.0;
+    cfg.server.modulation_amplitude = 0.0;
+    cfg
+}
+
+/// The sweep's PayloadPark deployment: a deliberately small lookup table
+/// (≈0.2 % of pipe SRAM) so the evictor, not just the link, is under test.
+fn park_mode() -> DeployMode {
+    DeployMode::PayloadPark(ParkParams { sram_fraction: 0.002, expiry: 2, ..Default::default() })
+}
+
+/// One representative PayloadPark run at the sweep's harshest loss point —
+/// the run `pp-exp adversity --telemetry FILE` exports, chosen because it
+/// exercises every counter family (splits, merges, evictions, faults).
+pub fn adversity_report(effort: Effort) -> crate::testbed::RunReport {
+    let mut cfg = point_config(0.08, effort);
+    cfg.mode = park_mode();
+    run(&cfg)
+}
+
 /// Goodput / premature-eviction curves vs NF-leg loss rate, baseline
 /// against PayloadPark. A deliberately small lookup table (≈0.2 % of pipe
 /// SRAM) keeps the circular buffers wrapping inside the window so the
@@ -45,40 +93,11 @@ pub fn adversity(effort: Effort) -> Series {
         ],
     );
     for &loss in &losses {
-        let adv = AdversityProfile {
-            seed: SCENARIO_SEED,
-            from_nf: LegProfile {
-                drop: loss,
-                reorder: (loss > 0.0) as u8 as f64 * 0.1,
-                max_displacement: 16,
-                ..Default::default()
-            },
-            ..Default::default()
-        };
-        let mut cfg = TestbedConfig {
-            nic_gbps: 10.0,
-            rate_gbps: 3.0,
-            sizes: SizeModel::Fixed(512),
-            duration: match effort {
-                Effort::Quick => pp_netsim::time::SimDuration::from_millis(2),
-                Effort::Full => pp_netsim::time::SimDuration::from_millis(12),
-            },
-            chain: ChainSpec::MacSwap,
-            flows: 32,
-            seed: SCENARIO_SEED,
-            adversity: adv,
-            ..Default::default()
-        };
-        cfg.server.jitter_frac = 0.0;
-        cfg.server.modulation_amplitude = 0.0;
+        let mut cfg = point_config(loss, effort);
 
         cfg.mode = DeployMode::Baseline;
         let base = run(&cfg);
-        cfg.mode = DeployMode::PayloadPark(ParkParams {
-            sram_fraction: 0.002,
-            expiry: 2,
-            ..Default::default()
-        });
+        cfg.mode = park_mode();
         let park = run(&cfg);
         // The conformance oracle must hold at every operating point.
         assert!(

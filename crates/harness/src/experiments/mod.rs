@@ -12,8 +12,10 @@
 pub mod adversity;
 pub mod throughput;
 
-pub use adversity::adversity as adversity_sweep;
-pub use throughput::throughput as emulator_throughput;
+pub use adversity::{adversity as adversity_sweep, adversity_report};
+pub use throughput::{
+    telemetry_overhead, throughput as emulator_throughput, throughput_telemetry, OverheadReport,
+};
 
 use crate::multiserver::{run_pipe, MultiServerConfig};
 use crate::runner::find_peak_goodput;
@@ -187,6 +189,20 @@ pub fn mixed_goodput(effort: Effort) -> Series {
         cfg,
         ParkParams::default(),
     )
+}
+
+/// One representative PayloadPark run of the mixed TCP+UDP sweep at a
+/// mid-sweep send rate — the run `pp-exp mixed --telemetry FILE` exports.
+pub fn mixed_report(effort: Effort) -> RunReport {
+    let mut cfg = base_config(effort);
+    cfg.nic_gbps = 40.0;
+    cfg.framework = FrameworkKind::OpenNetVm;
+    cfg.chain = ChainSpec::FwNat { fw_rules: 1 };
+    cfg.sizes = SizeModel::Enterprise;
+    cfg.mix = TrafficMix::TcpUdp { tcp_fraction: 0.7 };
+    cfg.rate_gbps = 12.0;
+    cfg.mode = DeployMode::PayloadPark(ParkParams::default());
+    run(&cfg)
 }
 
 /// §6.2.1 headline: FW→NAT on OpenNetVM over 40 GE with the enterprise

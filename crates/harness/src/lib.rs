@@ -16,9 +16,11 @@
 //! this repository's equivalent of the figure.
 
 pub mod bench_gate;
+pub mod cli;
 pub mod experiments;
 pub mod multiserver;
 pub mod runner;
+pub mod telemetry;
 pub mod testbed;
 
 pub use runner::{find_peak_goodput, PeakResult};

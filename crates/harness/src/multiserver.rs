@@ -276,10 +276,13 @@ pub fn run_pipe(config: &MultiServerConfig) -> [RunReport; 2] {
             health,
             backlog_pkts,
             counters,
+            occupancy: 0,
             server_stats: sstats,
             switch_stats: swstats,
             fault_tally: Default::default(),
+            latency: latency[s].clone(),
             oracle_violations: Vec::new(),
+            flight_dump: None,
         }
     })
 }

@@ -1,0 +1,141 @@
+//! Prometheus-text telemetry export for harness runs.
+//!
+//! Turns a [`RunReport`] into a [`MetricsRegistry`] — the PayloadPark
+//! counter set, park-table occupancy, switch statistics and fault tally
+//! via [`pp_fastpath::telemetry::dataplane_registry`] (so the DES harness
+//! exports the exact same families as a scalar switch loop or the sharded
+//! engine), plus the harness-level goodput and latency-percentile series —
+//! and renders it with [`pp_metrics::textfmt`]. Every quantity is computed
+//! from simulation state (sim-time latency, deterministic generators), so
+//! a seeded run renders byte-identically; `tests/telemetry_golden.rs`
+//! holds that snapshot invariant.
+
+use crate::testbed::RunReport;
+use pp_fastpath::telemetry::dataplane_registry;
+use pp_metrics::{textfmt, MetricsRegistry};
+use std::io;
+use std::path::Path;
+
+/// The latency quantiles the exporter renders, as `quantile` label values.
+pub const LATENCY_QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// Builds the full telemetry registry for one run under `labels`.
+pub fn registry_from_report(report: &RunReport, labels: &[(&str, &str)]) -> MetricsRegistry {
+    let counters = report.counters.unwrap_or_default();
+    let mut reg = dataplane_registry(
+        &counters,
+        &report.switch_stats,
+        report.occupancy,
+        &report.fault_tally,
+        labels,
+    );
+
+    let gauge = |reg: &mut MetricsRegistry, name: &str, help: &str, value: f64| {
+        let id = reg.gauge(name, help, labels);
+        reg.set(id, value);
+    };
+    gauge(&mut reg, "pp_send_gbps", "Offered send rate (Gbps of wire bytes).", report.send_gbps);
+    gauge(&mut reg, "pp_goodput_gbps", "Goodput in UDP-header units (Gbps).", report.goodput_gbps);
+    gauge(
+        &mut reg,
+        "pp_throughput_gbps",
+        "Conventional delivered throughput (Gbps).",
+        report.throughput_gbps,
+    );
+    gauge(&mut reg, "pp_rate_mpps", "Delivered packet rate (Mpps).", report.rate_mpps);
+    gauge(
+        &mut reg,
+        "pp_pcie_gbps",
+        "Achieved PCIe bandwidth on the server (Gbps, both directions).",
+        report.pcie_gbps,
+    );
+    gauge(
+        &mut reg,
+        "pp_backlog_pkts",
+        "Packets still inside the system when the send window closed.",
+        report.backlog_pkts as f64,
+    );
+    gauge(
+        &mut reg,
+        "pp_oracle_violations",
+        "Conformance-oracle violations found after the run.",
+        report.oracle_violations.len() as f64,
+    );
+
+    for (q, qname) in LATENCY_QUANTILES {
+        let mut ql: Vec<(&str, &str)> = labels.to_vec();
+        ql.push(("quantile", qname));
+        let id = reg.gauge(
+            "pp_latency_us",
+            "End-to-end latency quantiles (microseconds, sim time).",
+            &ql,
+        );
+        reg.set(id, report.latency.percentile_us(q));
+    }
+    gauge(
+        &mut reg,
+        "pp_latency_avg_us",
+        "Average end-to-end latency (microseconds).",
+        report.latency.avg_us(),
+    );
+    gauge(
+        &mut reg,
+        "pp_latency_max_us",
+        "Maximum end-to-end latency (microseconds).",
+        report.latency.max_us(),
+    );
+    reg
+}
+
+/// Renders one run as Prometheus exposition text.
+pub fn render_report(report: &RunReport, labels: &[(&str, &str)]) -> String {
+    textfmt::render(&registry_from_report(report, labels))
+}
+
+/// Writes a rendered registry to `path` (the `--telemetry FILE.prom` sink).
+pub fn write_prom(path: &Path, registry: &MetricsRegistry) -> io::Result<()> {
+    std::fs::write(path, textfmt::render(registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{run, DeployMode, ParkParams, TestbedConfig};
+    use pp_netsim::time::SimDuration;
+    use pp_trafficgen::gen::{SizeModel, TrafficMix};
+
+    fn quick_report() -> RunReport {
+        run(&TestbedConfig {
+            rate_gbps: 2.0,
+            sizes: SizeModel::Fixed(512),
+            mix: TrafficMix::UdpOnly,
+            duration: SimDuration::from_millis(1),
+            flows: 16,
+            seed: 7,
+            mode: DeployMode::PayloadPark(ParkParams::default()),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn report_registry_carries_harness_series() {
+        let report = quick_report();
+        let reg = registry_from_report(&report, &[("path", "des")]);
+        let labels = [("path", "des")];
+        assert_eq!(
+            reg.get("pp_goodput_gbps", &labels).unwrap().value(),
+            report.goodput_gbps,
+            "goodput gauge mirrors the report"
+        );
+        assert_eq!(
+            reg.get("pp_splits_total", &labels).unwrap().value(),
+            report.counters.unwrap().splits as f64
+        );
+        let p99 = reg.get("pp_latency_us", &[("path", "des"), ("quantile", "0.99")]).unwrap();
+        assert_eq!(p99.value(), report.latency.percentile_us(0.99));
+        let text = render_report(&report, &labels);
+        assert!(text.contains("# TYPE pp_splits_total counter"), "{text}");
+        assert!(text.contains("pp_latency_us{path=\"des\",quantile=\"0.5\"}"), "{text}");
+    }
+}

@@ -255,15 +255,24 @@ pub struct RunReport {
     pub backlog_pkts: u64,
     /// PayloadPark counters (None for baseline runs).
     pub counters: Option<CounterSnapshot>,
+    /// Occupied lookup-table slots when the run ended (0 for baseline).
+    pub occupancy: usize,
     /// Server-side statistics.
     pub server_stats: pp_nf::server::ServerStats,
     /// Switch-side statistics.
     pub switch_stats: pp_rmt::switch::SwitchStats,
     /// What the adversity injectors actually did on the internal legs.
     pub fault_tally: FaultTally,
+    /// End-to-end latency distribution (sim time, so deterministic for a
+    /// seed) — the telemetry exporter renders its percentile series.
+    pub latency: LatencyStats,
     /// Conformance-oracle findings (empty when every invariant held;
     /// always empty for baseline runs, which have no parking state).
     pub oracle_violations: Vec<String>,
+    /// The switch's flight recorder dumped as JSONL when the oracle found
+    /// a violation: the recent sampled trace events (seq, port, stage,
+    /// decision, reason), oldest first.
+    pub flight_dump: Option<String>,
 }
 
 impl RunReport {
@@ -524,12 +533,16 @@ pub fn run(config: &TestbedConfig) -> RunReport {
     };
     // The conformance oracle: whatever the network did, the counters must
     // balance against the slots actually occupied (no leaks, no
-    // double-frees).
-    let oracle_violations = match (&control, &counters) {
-        (Some(ctl), Some(c)) => {
-            payloadpark::oracle::check_counters(c, ctl.occupancy(&switch)).violations().to_vec()
+    // double-frees). On a violation the flight recorder's recent events
+    // are dumped as JSONL — the forensic trail for the offending packets.
+    let occupancy = control.as_ref().map(|ctl| ctl.occupancy(&switch)).unwrap_or(0);
+    let (oracle_violations, flight_dump) = match &counters {
+        Some(c) => {
+            let report = payloadpark::oracle::check_counters(c, occupancy);
+            let dump = payloadpark::oracle::flight_dump(&report, switch.recorder());
+            (report.violations().to_vec(), dump)
         }
-        _ => Vec::new(),
+        None => (Vec::new(), None),
     };
 
     // Deliveries after the window closed were queued somewhere at cutoff.
@@ -547,10 +560,13 @@ pub fn run(config: &TestbedConfig) -> RunReport {
         health,
         backlog_pkts,
         counters,
+        occupancy,
         server_stats: sstats,
         switch_stats: swstats,
         fault_tally,
+        latency,
         oracle_violations,
+        flight_dump,
     }
 }
 

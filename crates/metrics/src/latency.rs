@@ -12,7 +12,9 @@ const BUCKETS: usize = 20_000;
 /// Online latency statistics.
 #[derive(Clone)]
 pub struct LatencyStats {
-    histogram: Vec<u32>,
+    // u64 buckets: long-horizon runs can put more than 4.29 G samples in
+    // one bucket, which would wrap a u32.
+    histogram: Vec<u64>,
     overflow: u64,
     count: u64,
     sum_ns: u128,
@@ -23,6 +25,17 @@ pub struct LatencyStats {
 impl Default for LatencyStats {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// Summarize rather than dumping 20k buckets into debug output.
+impl core::fmt::Debug for LatencyStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LatencyStats")
+            .field("count", &self.count)
+            .field("avg_us", &self.avg_us())
+            .field("max_us", &self.max_us())
+            .finish_non_exhaustive()
     }
 }
 
@@ -41,16 +54,25 @@ impl LatencyStats {
 
     /// Records one sample.
     pub fn record(&mut self, latency: SimDuration) {
+        self.record_n(latency, 1);
+    }
+
+    /// Records `n` identical samples — bulk ingestion for aggregation and
+    /// long-horizon tests that would otherwise loop billions of times.
+    pub fn record_n(&mut self, latency: SimDuration, n: u64) {
+        if n == 0 {
+            return;
+        }
         let ns = latency.nanos();
-        self.count += 1;
-        self.sum_ns += u128::from(ns);
+        self.count += n;
+        self.sum_ns += u128::from(ns) * u128::from(n);
         self.max_ns = self.max_ns.max(ns);
         self.min_ns = self.min_ns.min(ns);
         let bucket = (ns / BUCKET_NS) as usize;
         if bucket < BUCKETS {
-            self.histogram[bucket] += 1;
+            self.histogram[bucket] += n;
         } else {
-            self.overflow += 1;
+            self.overflow += n;
         }
     }
 
@@ -89,6 +111,10 @@ impl LatencyStats {
     }
 
     /// The `q`-quantile (0 < q ≤ 1) in microseconds, at 1 µs resolution.
+    ///
+    /// Bucket resolution rounds up to the bucket's upper edge, but the
+    /// result is clamped to the exact maximum so no quantile can report
+    /// above the largest sample actually observed.
     pub fn percentile_us(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -97,22 +123,13 @@ impl LatencyStats {
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.histogram.iter().enumerate() {
-            seen += u64::from(c);
+            seen += c;
             if seen >= target {
-                return ((i as u64 + 1) * BUCKET_NS) as f64 / 1e3;
+                let edge = ((i as u64 + 1) * BUCKET_NS) as f64 / 1e3;
+                return edge.min(self.max_us());
             }
         }
         self.max_us()
-    }
-}
-
-impl core::fmt::Debug for LatencyStats {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("LatencyStats")
-            .field("count", &self.count)
-            .field("avg_us", &self.avg_us())
-            .field("max_us", &self.max_us())
-            .finish()
     }
 }
 
@@ -172,7 +189,56 @@ mod tests {
     fn sub_microsecond_resolution_truncates_to_bucket() {
         let mut s = LatencyStats::new();
         s.record(SimDuration::from_nanos(1_499));
-        assert!((s.percentile_us(1.0) - 2.0).abs() < 1e-9); // bucket upper edge
+        // The bucket's upper edge is 2 µs, but the quantile clamps to the
+        // exact maximum (1.499 µs): no percentile exceeds the observed max.
+        assert!((s.percentile_us(1.0) - 1.499).abs() < 1e-9);
         assert!((s.avg_us() - 1.499).abs() < 1e-9); // average is exact
+    }
+
+    #[test]
+    fn percentile_never_exceeds_max() {
+        // Regression: a single 10 µs sample used to report p50 = 11 µs
+        // (the bucket's upper edge) while max was 10 µs.
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_micros(10));
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert!(
+                s.percentile_us(q) <= s.max_us() + 1e-12,
+                "p{q} = {} > max {}",
+                s.percentile_us(q),
+                s.max_us()
+            );
+        }
+        assert!((s.percentile_us(0.5) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_counts_survive_u32_overflow() {
+        // Regression: buckets were u32 and wrapped past 4.29 G samples in
+        // one bucket on long-horizon runs.
+        let mut s = LatencyStats::new();
+        let n = u64::from(u32::MAX) + 5;
+        s.record_n(SimDuration::from_micros(3), n);
+        assert_eq!(s.count(), n);
+        // A wrapped u32 bucket would make the quantile scan miss the
+        // target and fall through to max; with u64 buckets the median of a
+        // single-bucket distribution is that bucket.
+        assert!((s.percentile_us(0.5) - 3.0).abs() < 1e-9);
+        assert!((s.avg_us() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = LatencyStats::new();
+        let mut each = LatencyStats::new();
+        bulk.record_n(SimDuration::from_micros(7), 4);
+        bulk.record_n(SimDuration::from_micros(9), 0); // no-op
+        for _ in 0..4 {
+            each.record(SimDuration::from_micros(7));
+        }
+        assert_eq!(bulk.count(), each.count());
+        assert_eq!(bulk.avg_us(), each.avg_us());
+        assert_eq!(bulk.percentile_us(0.5), each.percentile_us(0.5));
+        assert_eq!(bulk.min_us(), each.min_us());
     }
 }

@@ -7,14 +7,20 @@
 //!   histogram-backed percentiles;
 //! * [`health`] — the 0.1 % drop-rate health criterion used to find peak
 //!   goodput;
-//! * [`series`] — sweep results rendered as paper-style text tables.
+//! * [`series`] — sweep results rendered as paper-style text tables;
+//! * [`registry`] — the always-on telemetry registry (counters, gauges,
+//!   high-water marks, log-bucketed histograms; alloc-free updates);
+//! * [`textfmt`] — Prometheus text exposition of a registry.
 
 pub mod goodput;
 pub mod health;
 pub mod latency;
+pub mod registry;
 pub mod series;
+pub mod textfmt;
 
 pub use goodput::GoodputMeter;
 pub use health::HealthTracker;
 pub use latency::LatencyStats;
+pub use registry::{MetricId, MetricKind, MetricsRegistry};
 pub use series::{Series, SeriesPoint};

@@ -1,0 +1,384 @@
+//! A registry of named metrics: counters, gauges, high-water marks and
+//! fixed-size log-bucketed histograms.
+//!
+//! All registration happens at build time and returns an index handle;
+//! hot-path updates ([`MetricsRegistry::inc`], [`set`](MetricsRegistry::set),
+//! [`observe`](MetricsRegistry::observe)…) are plain array writes and never
+//! allocate, so the registry can stay enabled inside the warm-batch
+//! zero-allocation invariant of `tests/alloc_steady_state.rs`.
+//!
+//! Metrics carry registration-time label sets (`pipe="0"`, `shard="3"`,
+//! `port="12"`…), and [`MetricsRegistry::merge_from`] folds registries
+//! together — same `(name, labels)` entries combine by kind (counters and
+//! gauges sum, high-water marks take the max, histograms add bucket-wise),
+//! unseen entries append — which is how the engine aggregates N worker
+//! registries into one view.
+
+/// Number of log₂ buckets a histogram carries: bucket `i` counts values
+/// `v` with `2^(i-1) < v ≤ 2^i` (bucket 0 counts `v ≤ 1`), and the last
+/// bucket is the overflow. 32 buckets cover values up to 2³¹.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// What a metric measures, which also fixes its merge rule and its
+/// Prometheus `# TYPE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count; merges by summing.
+    Counter,
+    /// Point-in-time value; merges by summing (per-shard gauges aggregate
+    /// to the deployment total, e.g. park-table occupancy).
+    Gauge,
+    /// Maximum value ever observed (ring depth high-water); merges by max.
+    Highwater,
+    /// Log₂-bucketed distribution; merges bucket-wise.
+    Histogram,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Highwater(u64),
+    Histogram { buckets: Box<[u64; HISTOGRAM_BUCKETS]>, sum: u64, count: u64 },
+}
+
+/// One registered metric: name, help text, labels and current value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    value: MetricValue,
+}
+
+impl Metric {
+    /// The metric family name (without labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The help text.
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// The registration-time labels.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// The metric's kind.
+    pub fn kind(&self) -> MetricKind {
+        match self.value {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Highwater(_) => MetricKind::Highwater,
+            MetricValue::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+
+    /// The scalar value of a counter/gauge/high-water metric (counters and
+    /// high-water marks as exact integers cast to f64). Histograms return
+    /// their observation count.
+    pub fn value(&self) -> f64 {
+        match &self.value {
+            MetricValue::Counter(v) => *v as f64,
+            MetricValue::Gauge(v) => *v,
+            MetricValue::Highwater(v) => *v as f64,
+            MetricValue::Histogram { count, .. } => *count as f64,
+        }
+    }
+
+    /// Histogram internals: (buckets, sum, count); `None` for scalars.
+    pub fn histogram(&self) -> Option<(&[u64; HISTOGRAM_BUCKETS], u64, u64)> {
+        match &self.value {
+            MetricValue::Histogram { buckets, sum, count } => Some((buckets, *sum, *count)),
+            _ => None,
+        }
+    }
+
+    fn key_eq(&self, name: &str, labels: &[(String, String)]) -> bool {
+        self.name == name && self.labels == labels
+    }
+
+    fn merge_value(&mut self, other: &MetricValue) {
+        match (&mut self.value, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+            (MetricValue::Highwater(a), MetricValue::Highwater(b)) => *a = (*a).max(*b),
+            (
+                MetricValue::Histogram { buckets: a, sum: sa, count: ca },
+                MetricValue::Histogram { buckets: b, sum: sb, count: cb },
+            ) => {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x += y;
+                }
+                *sa = sa.saturating_add(*sb);
+                *ca += cb;
+            }
+            _ => panic!("merge kind mismatch for metric {:?}", self.name),
+        }
+    }
+}
+
+/// Handle returned by registration; updates address metrics by index, so
+/// the hot path never hashes or compares strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// The registry. See the module docs for the design.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+    ) -> MetricId {
+        debug_assert!(
+            name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "metric names are snake_case: {name:?}"
+        );
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        if let Some(existing) = self.metrics.iter().find(|m| m.key_eq(name, &labels)) {
+            panic!("metric {:?} with labels {:?} registered twice", name, existing.labels);
+        }
+        self.metrics.push(Metric { name: name.to_string(), help: help.to_string(), labels, value });
+        MetricId(self.metrics.len() - 1)
+    }
+
+    /// Registers a counter (monotone event count), starting at zero.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, help, labels, MetricValue::Counter(0))
+    }
+
+    /// Registers a gauge (point-in-time value), starting at zero.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, help, labels, MetricValue::Gauge(0.0))
+    }
+
+    /// Registers a high-water mark, starting at zero.
+    pub fn highwater(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, help, labels, MetricValue::Highwater(0))
+    }
+
+    /// Registers a log₂-bucketed histogram. The bucket array is allocated
+    /// here, once; `observe` never allocates.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(
+            name,
+            help,
+            labels,
+            MetricValue::Histogram { buckets: Box::new([0; HISTOGRAM_BUCKETS]), sum: 0, count: 0 },
+        )
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: MetricId, n: u64) {
+        match &mut self.metrics[id.0].value {
+            MetricValue::Counter(v) => *v += n,
+            _ => debug_assert!(false, "inc on a non-counter"),
+        }
+    }
+
+    /// Sets a counter to an absolute total (snapshot-style ingestion from
+    /// an existing counter block).
+    #[inline]
+    pub fn set_counter(&mut self, id: MetricId, total: u64) {
+        match &mut self.metrics[id.0].value {
+            MetricValue::Counter(v) => *v = total,
+            _ => debug_assert!(false, "set_counter on a non-counter"),
+        }
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, value: f64) {
+        match &mut self.metrics[id.0].value {
+            MetricValue::Gauge(v) => *v = value,
+            _ => debug_assert!(false, "set on a non-gauge"),
+        }
+    }
+
+    /// Raises a high-water mark to `value` if it is the new maximum.
+    #[inline]
+    pub fn observe_high(&mut self, id: MetricId, value: u64) {
+        match &mut self.metrics[id.0].value {
+            MetricValue::Highwater(v) => *v = (*v).max(value),
+            _ => debug_assert!(false, "observe_high on a non-highwater"),
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        match &mut self.metrics[id.0].value {
+            MetricValue::Histogram { buckets, sum, count } => {
+                let b = (bucket_index(value)).min(HISTOGRAM_BUCKETS - 1);
+                buckets[b] += 1;
+                *sum = sum.saturating_add(value);
+                *count += 1;
+            }
+            _ => debug_assert!(false, "observe on a non-histogram"),
+        }
+    }
+
+    /// The registered metrics, in registration order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Looks a metric up by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        self.metrics.iter().find(|m| m.key_eq(name, &labels))
+    }
+
+    /// Folds `other` into this registry: entries with the same
+    /// `(name, labels)` combine by kind (counter/gauge sum, high-water
+    /// max, histogram bucket-wise), entries this registry has not seen are
+    /// appended. Aggregating N per-shard registries this way yields the
+    /// deployment-wide view.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for m in &other.metrics {
+            match self.metrics.iter_mut().find(|e| e.key_eq(&m.name, &m.labels)) {
+                Some(existing) => {
+                    assert_eq!(
+                        existing.kind(),
+                        m.kind(),
+                        "merge kind mismatch for metric {:?}",
+                        m.name
+                    );
+                    existing.merge_value(&m.value)
+                }
+                None => self.metrics.push(m.clone()),
+            }
+        }
+    }
+}
+
+/// The log₂ bucket index for `value`: 0 for `value ≤ 1`, else
+/// `ceil(log2(value))`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        (64 - (value - 1).leading_zeros()) as usize
+    }
+}
+
+/// The inclusive upper bound of histogram bucket `i` (`2^i`); the final
+/// bucket is rendered as `+Inf`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_update_by_handle() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("pp_splits_total", "Splits.", &[("pipe", "0")]);
+        let g = r.gauge("pp_occupancy", "Occupied slots.", &[]);
+        r.inc(c, 3);
+        r.inc(c, 2);
+        r.set(g, 17.0);
+        assert_eq!(r.get("pp_splits_total", &[("pipe", "0")]).unwrap().value(), 5.0);
+        assert_eq!(r.get("pp_occupancy", &[]).unwrap().value(), 17.0);
+        assert!(r.get("pp_splits_total", &[]).is_none(), "labels are part of the key");
+    }
+
+    #[test]
+    fn highwater_keeps_the_maximum() {
+        let mut r = MetricsRegistry::new();
+        let h = r.highwater("pp_ring_depth_highwater", "Ring depth.", &[("shard", "1")]);
+        for v in [3u64, 9, 4] {
+            r.observe_high(h, v);
+        }
+        assert_eq!(r.metrics()[0].value(), 9.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("pp_batch_bytes", "Batch sizes.", &[]);
+        r.observe(h, 1);
+        r.observe(h, 4);
+        r.observe(h, 4);
+        r.observe(h, u64::MAX); // lands in the overflow bucket
+        let (buckets, sum, count) = r.metrics()[0].histogram().unwrap();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[2], 2);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(count, 4);
+        assert_eq!(sum, u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn merge_sums_maxes_and_appends() {
+        let build = |shard: &str, splits: u64, depth: u64| {
+            let mut r = MetricsRegistry::new();
+            let c = r.counter("pp_splits_total", "Splits.", &[]);
+            let h = r.highwater("pp_ring_depth_highwater", "Depth.", &[("shard", shard)]);
+            let g = r.gauge("pp_occupancy", "Slots.", &[]);
+            let hist = r.histogram("pp_batch_pkts", "Batch.", &[]);
+            r.inc(c, splits);
+            r.observe_high(h, depth);
+            r.set(g, splits as f64);
+            r.observe(hist, depth);
+            r
+        };
+        let mut total = build("0", 10, 7);
+        total.merge_from(&build("1", 5, 3));
+        // Shared keys combined: counter summed, gauge summed, histogram
+        // bucket-wise; per-shard high-water marks appended separately.
+        assert_eq!(total.get("pp_splits_total", &[]).unwrap().value(), 15.0);
+        assert_eq!(total.get("pp_occupancy", &[]).unwrap().value(), 15.0);
+        assert_eq!(total.get("pp_batch_pkts", &[]).unwrap().value(), 2.0);
+        assert_eq!(total.get("pp_ring_depth_highwater", &[("shard", "0")]).unwrap().value(), 7.0);
+        assert_eq!(total.get("pp_ring_depth_highwater", &[("shard", "1")]).unwrap().value(), 3.0);
+
+        // Same-key high-water marks merge by max.
+        let mut a = MetricsRegistry::new();
+        let h = a.highwater("pp_ring_depth_highwater", "Depth.", &[]);
+        a.observe_high(h, 4);
+        let mut b = MetricsRegistry::new();
+        let h = b.highwater("pp_ring_depth_highwater", "Depth.", &[]);
+        b.observe_high(h, 9);
+        a.merge_from(&b);
+        assert_eq!(a.metrics()[0].value(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter("pp_splits_total", "Splits.", &[]);
+        r.counter("pp_splits_total", "Splits again.", &[]);
+    }
+}

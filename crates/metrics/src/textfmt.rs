@@ -1,0 +1,188 @@
+//! Prometheus text exposition format for a [`MetricsRegistry`].
+//!
+//! [`render`] emits the version-0.0.4 text format: one `# HELP` / `# TYPE`
+//! pair per metric family followed by every sample of that family, in
+//! registration order. No timestamps are emitted and floats render through
+//! a fixed formatter, so the output is byte-stable for a deterministic run
+//! — the golden-snapshot test and CI's artifact diff rely on that.
+//!
+//! Conventions enforced here (and checked by the exposition test):
+//! counters end in `_total`, high-water marks render as gauges (Prometheus
+//! has no native max-aggregation type), histograms expand to cumulative
+//! `_bucket{le="..."}` samples plus `_sum` and `_count`.
+
+use crate::registry::{bucket_upper_bound, Metric, MetricKind, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+/// Renders the whole registry in Prometheus text format.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let metrics = registry.metrics();
+    for (i, m) in metrics.iter().enumerate() {
+        // HELP/TYPE once per family: only for the first sample of a name.
+        if !metrics[..i].iter().any(|p| p.name() == m.name()) {
+            render_header(&mut out, m);
+        }
+        render_samples(&mut out, m);
+    }
+    out
+}
+
+fn render_header(out: &mut String, m: &Metric) {
+    out.push_str("# HELP ");
+    out.push_str(m.name());
+    out.push(' ');
+    out.push_str(&escape_help(m.help()));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(m.name());
+    out.push(' ');
+    out.push_str(match m.kind() {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge | MetricKind::Highwater => "gauge",
+        MetricKind::Histogram => "histogram",
+    });
+    out.push('\n');
+}
+
+fn render_samples(out: &mut String, m: &Metric) {
+    match m.histogram() {
+        None => {
+            out.push_str(m.name());
+            render_labels(out, m.labels(), None);
+            out.push(' ');
+            out.push_str(&format_value(m.value()));
+            out.push('\n');
+        }
+        Some((buckets, sum, count)) => {
+            let mut cumulative = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                cumulative += c;
+                let le = if i == HISTOGRAM_BUCKETS - 1 {
+                    "+Inf".to_string()
+                } else {
+                    bucket_upper_bound(i).to_string()
+                };
+                out.push_str(m.name());
+                out.push_str("_bucket");
+                render_labels(out, m.labels(), Some(&le));
+                out.push(' ');
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            out.push_str(m.name());
+            out.push_str("_sum");
+            render_labels(out, m.labels(), None);
+            out.push(' ');
+            out.push_str(&sum.to_string());
+            out.push('\n');
+            out.push_str(m.name());
+            out.push_str("_count");
+            render_labels(out, m.labels(), None);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Deterministic value formatting: integral values (the common case —
+/// counters, occupancy, high-water marks) print without a fraction;
+/// everything else prints with full round-trip precision.
+fn format_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_families_render_in_registration_order() {
+        let mut r = MetricsRegistry::new();
+        let c0 = r.counter("pp_splits_total", "Successful Split operations.", &[("pipe", "0")]);
+        let c1 = r.counter("pp_splits_total", "Successful Split operations.", &[("pipe", "1")]);
+        let g = r.gauge("pp_park_occupancy_slots", "Occupied park-table slots.", &[]);
+        let h = r.highwater("pp_ring_depth_highwater", "SPSC ring depth.", &[("shard", "0")]);
+        r.inc(c0, 12);
+        r.inc(c1, 3);
+        r.set(g, 7.0);
+        r.observe_high(h, 5);
+        let text = render(&r);
+        assert_eq!(
+            text,
+            "# HELP pp_splits_total Successful Split operations.\n\
+             # TYPE pp_splits_total counter\n\
+             pp_splits_total{pipe=\"0\"} 12\n\
+             pp_splits_total{pipe=\"1\"} 3\n\
+             # HELP pp_park_occupancy_slots Occupied park-table slots.\n\
+             # TYPE pp_park_occupancy_slots gauge\n\
+             pp_park_occupancy_slots 7\n\
+             # HELP pp_ring_depth_highwater SPSC ring depth.\n\
+             # TYPE pp_ring_depth_highwater gauge\n\
+             pp_ring_depth_highwater{shard=\"0\"} 5\n"
+        );
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("pp_batch_pkts", "Packets per batch.", &[]);
+        r.observe(h, 1);
+        r.observe(h, 3);
+        let text = render(&r);
+        assert!(text.contains("# TYPE pp_batch_pkts histogram\n"), "{text}");
+        assert!(text.contains("pp_batch_pkts_bucket{le=\"1\"} 1\n"), "{text}");
+        // Cumulative: the le=4 bucket includes both samples.
+        assert!(text.contains("pp_batch_pkts_bucket{le=\"4\"} 2\n"), "{text}");
+        assert!(text.contains("pp_batch_pkts_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.ends_with("pp_batch_pkts_sum 4\npp_batch_pkts_count 2\n"), "{text}");
+    }
+
+    #[test]
+    fn rendering_is_byte_stable() {
+        let mut r = MetricsRegistry::new();
+        let g = r.gauge("pp_goodput_gbps", "Goodput.", &[]);
+        r.set(g, 38.4375);
+        assert_eq!(render(&r), render(&r));
+        assert!(render(&r).contains("pp_goodput_gbps 38.4375\n"));
+    }
+}

@@ -400,6 +400,20 @@ impl FaultTally {
         self.corrupted += other.corrupted;
         self.displaced += other.displaced;
     }
+
+    /// The tally fields paired with stable snake_case names, for telemetry
+    /// exporters.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("seen", self.seen),
+            ("dropped", self.dropped),
+            ("blacked_out", self.blacked_out),
+            ("duplicated", self.duplicated),
+            ("truncated", self.truncated),
+            ("corrupted", self.corrupted),
+            ("displaced", self.displaced),
+        ]
+    }
 }
 
 /// Mixes `(seed, leg, seq)` into an independent per-packet RNG seed

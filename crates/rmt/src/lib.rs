@@ -34,12 +34,14 @@ pub mod pipeline;
 pub mod register;
 pub mod resources;
 pub mod switch;
+pub mod trace;
 
 pub use chip::{ChipProfile, PortId};
 pub use mat::{ActionCtx, Mat, MatBuilder, MatFootprint, MatchKind};
 pub use parser::{deparse_phv, parse_packet, BlockRule, ParserConfig};
 pub use phv::{PayloadBlock, Phv, PpFields, RecircTarget, Verdict, BLOCK_BYTES};
-pub use pipeline::{Pipeline, PipelineBuilder, ProgramError};
+pub use pipeline::{Pipeline, PipelineBuilder, ProgramError, StageProfile};
 pub use register::{RegisterFile, RegisterId, RegisterSpec};
 pub use resources::{ResourceReport, StageUsage};
 pub use switch::{BatchOutput, BatchPacket, OutputRef, SwitchModel, SwitchOutput, SwitchStats};
+pub use trace::{FlightRecorder, TraceEvent, TracePoint, TraceReason};

@@ -124,6 +124,7 @@ pub fn parse_packet_into(
     phv.verdict = Verdict::default();
     phv.recirc_count = 0;
     phv.seq = seq;
+    phv.trace_flags = 0;
 
     let eth = EthernetFrame::new_checked(bytes)?;
     phv.eth = EthFields { dst: eth.dst(), src: eth.src(), ethertype: u16::from(eth.ethertype()) };

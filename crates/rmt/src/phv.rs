@@ -237,6 +237,10 @@ pub struct Phv {
     /// Sequence number carried through from the input packet (simulation
     /// bookkeeping, not visible to the dataplane program).
     pub seq: u64,
+    /// Decision bits ([`crate::trace::decision`]) accumulated by the
+    /// program for the flight recorder (simulation bookkeeping, not
+    /// visible to the dataplane program).
+    pub trace_flags: u16,
 }
 
 impl Default for Phv {
@@ -257,6 +261,7 @@ impl Default for Phv {
             verdict: Verdict::default(),
             recirc_count: 0,
             seq: 0,
+            trace_flags: 0,
         }
     }
 }
@@ -331,6 +336,7 @@ mod tests {
             verdict: Verdict::default(),
             recirc_count: 0,
             seq: 0,
+            trace_flags: 0,
         }
     }
 

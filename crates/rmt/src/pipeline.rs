@@ -130,6 +130,28 @@ impl Stage {
     }
 }
 
+/// Wall-clock execution profile of one pipeline stage, accumulated by the
+/// batch execution paths: one timestamp pair per stage per *batch*, so the
+/// per-packet cost is amortized to near zero while still yielding per-stage
+/// packets/sec and time share.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Wall-clock nanoseconds spent inside this stage's batch loops.
+    pub nanos: u64,
+    /// Packets that passed through this stage via a batch path.
+    pub packets: u64,
+}
+
+impl StageProfile {
+    /// Packets per second through this stage (0 when unmeasured).
+    pub fn packets_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            return 0.0;
+        }
+        self.packets as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
 /// A compiled pipeline program for one pipe.
 pub struct Pipeline {
     chip: ChipProfile,
@@ -139,6 +161,8 @@ pub struct Pipeline {
     counters: Vec<u64>,
     counter_names: Vec<&'static str>,
     packets: u64,
+    stage_profile: Vec<StageProfile>,
+    profiling: bool,
 }
 
 impl Pipeline {
@@ -187,13 +211,18 @@ impl Pipeline {
     /// order, preserving per-packet intra-stage semantics.
     pub fn execute_batch(&mut self, phvs: &mut [Phv]) {
         self.packets += phvs.len() as u64;
-        let Pipeline { stages, registers, counters, .. } = self;
-        for stage in stages.iter_mut() {
+        let Pipeline { stages, registers, counters, stage_profile, profiling, .. } = self;
+        for (si, stage) in stages.iter_mut().enumerate() {
             if stage.mats.is_empty() {
                 continue;
             }
+            let t0 = profiling.then(std::time::Instant::now);
             for phv in phvs.iter_mut() {
                 stage_pass(stage, registers, counters, phv);
+            }
+            if let Some(t0) = t0 {
+                stage_profile[si].nanos += t0.elapsed().as_nanos() as u64;
+                stage_profile[si].packets += phvs.len() as u64;
             }
         }
     }
@@ -204,13 +233,18 @@ impl Pipeline {
     /// ([`crate::switch::SwitchModel::process_batch`] does this).
     pub fn execute_batch_indexed(&mut self, phvs: &mut [Phv], idxs: &[usize]) {
         self.packets += idxs.len() as u64;
-        let Pipeline { stages, registers, counters, .. } = self;
-        for stage in stages.iter_mut() {
+        let Pipeline { stages, registers, counters, stage_profile, profiling, .. } = self;
+        for (si, stage) in stages.iter_mut().enumerate() {
             if stage.mats.is_empty() {
                 continue;
             }
+            let t0 = profiling.then(std::time::Instant::now);
             for &i in idxs {
                 stage_pass(stage, registers, counters, &mut phvs[i]);
+            }
+            if let Some(t0) = t0 {
+                stage_profile[si].nanos += t0.elapsed().as_nanos() as u64;
+                stage_profile[si].packets += idxs.len() as u64;
             }
         }
     }
@@ -260,6 +294,25 @@ impl Pipeline {
     /// Packets processed (pipeline passes, recirculations included).
     pub fn packets_processed(&self) -> u64 {
         self.packets
+    }
+
+    /// The accumulated per-stage batch-execution profile (index = stage).
+    /// Wall-clock, so excluded from deterministic telemetry snapshots.
+    pub fn stage_profile(&self) -> &[StageProfile] {
+        &self.stage_profile
+    }
+
+    /// Turns per-stage batch timing on/off (on by default; the telemetry
+    /// overhead A/B switch).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Zeroes the accumulated stage profile.
+    pub fn reset_stage_profile(&mut self) {
+        for p in &mut self.stage_profile {
+            *p = StageProfile::default();
+        }
     }
 
     /// Computes the resource report for this program (paper Table 1).
@@ -453,6 +506,7 @@ impl PipelineBuilder {
         }
 
         let n_counters = self.counter_names.len();
+        let stage_profile = vec![StageProfile::default(); n_stages];
         Ok(Pipeline {
             chip: self.chip,
             parser: self.parser,
@@ -461,6 +515,8 @@ impl PipelineBuilder {
             counters: vec![0; n_counters],
             counter_names: self.counter_names,
             packets: 0,
+            stage_profile,
+            profiling: true,
         })
     }
 }
@@ -581,6 +637,33 @@ mod tests {
             cell::read_u32(batched.registers().cell(RegisterId(1), 0)),
             cell::read_u32(scalar.registers().cell(RegisterId(1), 0)),
         );
+    }
+
+    #[test]
+    fn batch_paths_accumulate_stage_profile() {
+        let mut b = Pipeline::builder(chip());
+        b.place(0, Mat::builder("touch").action(|ctx| ctx.phv.meta[0] += 1).build());
+        b.place(2, Mat::builder("touch2").action(|ctx| ctx.phv.meta[1] += 1).build());
+        let mut p = b.build().unwrap();
+        let pkt = UdpPacketBuilder::new().total_size(100, 1).build();
+        let mut phvs: Vec<Phv> = (0..4)
+            .map(|i| crate::parser::parse_packet(p.parser(), pkt.bytes(), PortId(0), i).unwrap())
+            .collect();
+        p.execute_batch(&mut phvs);
+        let prof = p.stage_profile();
+        assert_eq!(prof.len(), chip().stages_per_pipe);
+        assert_eq!(prof[0].packets, 4);
+        assert_eq!(prof[2].packets, 4);
+        // Empty stages are skipped entirely — no timestamps, no packets.
+        assert_eq!(prof[1], StageProfile::default());
+        assert!(prof[0].packets_per_sec() >= 0.0);
+
+        // The A/B switch stops accumulation; reset zeroes it.
+        p.set_profiling(false);
+        p.execute_batch_indexed(&mut phvs, &[0, 1]);
+        assert_eq!(p.stage_profile()[0].packets, 4);
+        p.reset_stage_profile();
+        assert_eq!(p.stage_profile()[0], StageProfile::default());
     }
 
     #[test]

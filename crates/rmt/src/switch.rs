@@ -9,6 +9,7 @@ use crate::chip::{ChipProfile, PortId};
 use crate::parser::parse_packet_into;
 use crate::phv::Phv;
 use crate::pipeline::Pipeline;
+use crate::trace::{decision, FlightRecorder, TraceEvent, TracePoint, TraceReason};
 use core::hash::{BuildHasherDefault, Hasher};
 use core::mem;
 use pp_packet::MacAddr;
@@ -70,6 +71,20 @@ impl SwitchStats {
         self.dropped_recirc_limit += other.dropped_recirc_limit;
         self.parse_errors += other.parse_errors;
         self.recirculations += other.recirculations;
+    }
+
+    /// The statistics paired with stable snake_case names, for telemetry
+    /// exporters.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("received", self.received),
+            ("emitted", self.emitted),
+            ("dropped_by_program", self.dropped_by_program),
+            ("dropped_no_route", self.dropped_no_route),
+            ("dropped_recirc_limit", self.dropped_recirc_limit),
+            ("parse_errors", self.parse_errors),
+            ("recirculations", self.recirculations),
+        ]
     }
 }
 
@@ -256,6 +271,9 @@ pub struct SwitchModel {
     // into it) while `recirc_spare` is free for the next deparse.
     recirc_frame: Vec<u8>,
     recirc_spare: Vec<u8>,
+    // Flight recorder: sampled per-packet trace events at the parse,
+    // gateway and deparse boundaries (pre-allocated ring, overwrite-oldest).
+    recorder: FlightRecorder,
 }
 
 impl SwitchModel {
@@ -275,6 +293,27 @@ impl SwitchModel {
             by_pipe: Vec::new(),
             recirc_frame: Vec::new(),
             recirc_spare: Vec::new(),
+            recorder: FlightRecorder::default(),
+        }
+    }
+
+    /// The flight recorder (read side: iterate, dump as JSONL).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable flight-recorder access (enable/disable, clear).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
+    /// Master telemetry switch: toggles the flight recorder and per-stage
+    /// pipeline profiling together. Both default to on; turning them off
+    /// gives the zero-telemetry baseline used by the overhead benchmarks.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.recorder.set_enabled(on);
+        for pipe in &mut self.pipes {
+            pipe.set_profiling(on);
         }
     }
 
@@ -330,6 +369,14 @@ impl SwitchModel {
             parse_packet_into(self.pipes[pipe_idx].parser(), bytes, in_port, seq, &mut phv);
         if parsed.is_err() {
             self.stats.parse_errors += 1;
+            self.recorder.record(TraceEvent {
+                seq,
+                port: in_port.0,
+                pipe: pipe_idx as u8,
+                point: TracePoint::Parse,
+                decision: 0,
+                reason: TraceReason::ParseError,
+            });
             self.phv_pool.push(phv);
             return Vec::new();
         }
@@ -362,6 +409,14 @@ impl SwitchModel {
             parse_packet_into(self.pipes[pipe_idx].parser(), bytes, in_port, seq, &mut phv);
         if parsed.is_err() {
             self.stats.parse_errors += 1;
+            self.recorder.record(TraceEvent {
+                seq,
+                port: in_port.0,
+                pipe: pipe_idx as u8,
+                point: TracePoint::Parse,
+                decision: 0,
+                reason: TraceReason::ParseError,
+            });
             self.phv_pool.push(phv);
             return;
         }
@@ -391,19 +446,70 @@ impl SwitchModel {
     ) -> Option<(PortId, usize, u64, bool)> {
         let mut latency = self.chip.pipeline_latency_ns;
         let mut recirced = false;
+        // A pass is traced when its program took an anomalous decision
+        // (state lost, reclaimed, or rejected — see
+        // `decision::ANOMALY_MASK`), dropped the packet, or hit the
+        // 1-in-64 sample that also covers plain and normal-decision
+        // traffic; `traced` carries the last pass's state to the egress
+        // event below. All checks are branch-and-mask — no allocation.
+        let mut traced;
         loop {
+            traced = self.recorder.enabled()
+                && (phv.trace_flags & decision::ANOMALY_MASK != 0
+                    || phv.verdict.drop
+                    || self.recorder.sample_plain(seq));
+            if traced {
+                self.recorder.record(TraceEvent {
+                    seq,
+                    port: phv.ingress_port.0,
+                    pipe: pipe_idx as u8,
+                    point: TracePoint::Gateway,
+                    decision: phv.trace_flags,
+                    reason: TraceReason::None,
+                });
+            }
             if phv.verdict.drop {
                 self.stats.dropped_by_program += 1;
+                if traced {
+                    self.recorder.record(TraceEvent {
+                        seq,
+                        port: phv.ingress_port.0,
+                        pipe: pipe_idx as u8,
+                        point: TracePoint::Deparse,
+                        decision: phv.trace_flags,
+                        reason: TraceReason::DropProgram,
+                    });
+                }
                 return None;
             }
             let Some(target) = phv.verdict.recirculate else { break };
             if phv.recirc_count >= self.chip.max_recirculations {
                 self.stats.dropped_recirc_limit += 1;
+                if traced {
+                    self.recorder.record(TraceEvent {
+                        seq,
+                        port: phv.ingress_port.0,
+                        pipe: pipe_idx as u8,
+                        point: TracePoint::Deparse,
+                        decision: phv.trace_flags,
+                        reason: TraceReason::DropRecircLimit,
+                    });
+                }
                 return None;
             }
             debug_assert!(target.pipe < self.pipes.len(), "recirculation to unknown pipe");
             self.stats.recirculations += 1;
             latency += self.chip.pipeline_latency_ns + self.chip.recirculation_penalty_ns;
+            if traced {
+                self.recorder.record(TraceEvent {
+                    seq,
+                    port: phv.ingress_port.0,
+                    pipe: pipe_idx as u8,
+                    point: TracePoint::Deparse,
+                    decision: phv.trace_flags,
+                    reason: TraceReason::Recirculated,
+                });
+            }
 
             // Deparse on the current pipe into the spare recirculation
             // buffer, re-parse on the target pipe's recirculation port.
@@ -419,15 +525,27 @@ impl SwitchModel {
             let port = self.recirc_port(target.pipe, target.channel);
             let saved_meta = phv.meta;
             let saved_recirc = phv.recirc_count;
+            let saved_flags = phv.trace_flags;
             let parsed = parse_packet_into(self.pipes[target.pipe].parser(), &wire, port, seq, phv);
             self.recirc_spare = mem::replace(&mut self.recirc_frame, wire);
             recirced = true;
             if parsed.is_err() {
                 self.stats.parse_errors += 1;
+                self.recorder.record(TraceEvent {
+                    seq,
+                    port: port.0,
+                    pipe: target.pipe as u8,
+                    point: TracePoint::Parse,
+                    decision: saved_flags,
+                    reason: TraceReason::ParseError,
+                });
                 return None;
             }
             phv.recirc_count = saved_recirc + 1;
             phv.meta = saved_meta;
+            // Decision bits accumulate across passes so the final egress
+            // event carries the packet's whole story.
+            phv.trace_flags = saved_flags | decision::RECIRCULATE;
             self.pipes[target.pipe].execute(phv);
             pipe_idx = target.pipe;
         }
@@ -436,10 +554,30 @@ impl SwitchModel {
         match egress {
             Some(port) => {
                 self.stats.emitted += 1;
+                if traced {
+                    self.recorder.record(TraceEvent {
+                        seq,
+                        port: port.0,
+                        pipe: pipe_idx as u8,
+                        point: TracePoint::Deparse,
+                        decision: phv.trace_flags,
+                        reason: TraceReason::Egress,
+                    });
+                }
                 Some((port, pipe_idx, latency, recirced))
             }
             None => {
                 self.stats.dropped_no_route += 1;
+                if traced {
+                    self.recorder.record(TraceEvent {
+                        seq,
+                        port: phv.ingress_port.0,
+                        pipe: pipe_idx as u8,
+                        point: TracePoint::Deparse,
+                        decision: phv.trace_flags,
+                        reason: TraceReason::DropNoRoute,
+                    });
+                }
                 None
             }
         }
@@ -487,7 +625,17 @@ impl SwitchModel {
                     origin.push(i);
                     live += 1;
                 }
-                Err(_) => self.stats.parse_errors += 1,
+                Err(_) => {
+                    self.stats.parse_errors += 1;
+                    self.recorder.record(TraceEvent {
+                        seq: pkt.seq,
+                        port: pkt.port.0,
+                        pipe: pipe_idx as u8,
+                        point: TracePoint::Parse,
+                        decision: 0,
+                        reason: TraceReason::ParseError,
+                    });
+                }
             }
         }
 

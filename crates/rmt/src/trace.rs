@@ -1,0 +1,387 @@
+//! Flight recorder: a fixed-capacity ring of sampled per-packet
+//! [`TraceEvent`]s.
+//!
+//! The switch records an event at the parse, gateway (post-pipeline) and
+//! deparse boundaries for every packet the program made a decision about
+//! (split/merge/evict/drop…, accumulated as [`decision`] bits in
+//! `Phv::trace_flags`) and for every drop; undecided forwards are sampled
+//! 1-in-[`PLAIN_SAMPLE_MASK`]+1 by sequence number so steady traffic still
+//! leaves a trail. The ring is pre-allocated and overwrites its oldest
+//! entry when full, so recording is a bounds-checked array write — no
+//! allocation, cheap enough to stay on inside the warm-batch
+//! zero-allocation invariant.
+//!
+//! When the conformance oracle finds a violation, the recorder's contents
+//! are dumped as JSONL ([`FlightRecorder::to_jsonl`]) so the failure ships
+//! with the packet history that produced it.
+
+/// Decision bits a program sets in `Phv::trace_flags`. Several can apply
+//  to one packet (a Split that also evicted the slot's previous tenant).
+pub mod decision {
+    /// Payload parked (successful Split).
+    pub const SPLIT: u16 = 1 << 0;
+    /// Payload restored (successful Merge).
+    pub const MERGE: u16 = 1 << 1;
+    /// The probed slot's previous tenant was evicted by the expiry clock.
+    pub const EVICT: u16 = 1 << 2;
+    /// Explicit Drop opcode reclaimed the slot.
+    pub const EXPLICIT_DROP: u16 = 1 << 3;
+    /// Merge found its payload prematurely evicted (packet dropped).
+    pub const PREMATURE_EVICT: u16 = 1 << 4;
+    /// Duplicate Merge arrival on an already-reclaimed slot (dropped).
+    pub const DUP_MERGE: u16 = 1 << 5;
+    /// Tag failed CRC validation (dropped).
+    pub const CRC_FAIL: u16 = 1 << 6;
+    /// Length fix-up would have under/overflowed (dropped).
+    pub const LEN_UNDERFLOW: u16 = 1 << 7;
+    /// Split disabled: payload under the minimum size.
+    pub const DISABLED_SMALL: u16 = 1 << 8;
+    /// Split disabled: probed slot occupied.
+    pub const DISABLED_OCCUPIED: u16 = 1 << 9;
+    /// ENB=0 shim stripped (server declined parking).
+    pub const ENB0: u16 = 1 << 10;
+    /// Packet was sent through a recirculation channel.
+    pub const RECIRCULATE: u16 = 1 << 11;
+
+    /// The decisions that force a packet's trace into the recorder
+    /// regardless of sampling: everything that loses, reclaims, or
+    /// rejects state. Normal-path decisions (Split, Merge, the expected
+    /// disable/strip cases, recirculation) are sampled like plain
+    /// traffic — on an enterprise wave nearly every packet takes one, and
+    /// recording them all would put the recorder on the hot path's
+    /// critical cost (~4 % of scalar packets/sec; sampled, it is noise).
+    pub const ANOMALY_MASK: u16 =
+        EVICT | EXPLICIT_DROP | PREMATURE_EVICT | DUP_MERGE | CRC_FAIL | LEN_UNDERFLOW;
+
+    /// Renders the set bits as a stable `+`-joined token list ("split",
+    /// "split+evict", or "none").
+    pub fn render(flags: u16) -> String {
+        const NAMES: [(u16, &str); 12] = [
+            (SPLIT, "split"),
+            (MERGE, "merge"),
+            (EVICT, "evict"),
+            (EXPLICIT_DROP, "explicit_drop"),
+            (PREMATURE_EVICT, "premature_evict"),
+            (DUP_MERGE, "dup_merge"),
+            (CRC_FAIL, "crc_fail"),
+            (LEN_UNDERFLOW, "len_underflow"),
+            (DISABLED_SMALL, "disabled_small"),
+            (DISABLED_OCCUPIED, "disabled_occupied"),
+            (ENB0, "enb0"),
+            (RECIRCULATE, "recirculate"),
+        ];
+        let mut out = String::new();
+        for (bit, name) in NAMES {
+            if flags & bit != 0 {
+                if !out.is_empty() {
+                    out.push('+');
+                }
+                out.push_str(name);
+            }
+        }
+        if out.is_empty() {
+            out.push_str("none");
+        }
+        out
+    }
+}
+
+/// Which boundary of the switch recorded the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePoint {
+    /// The parser (only parse errors are recorded here).
+    Parse,
+    /// After the MAT pipeline ran, before the verdict is resolved.
+    Gateway,
+    /// Verdict resolution / deparse: egress, drop, or recirculation.
+    Deparse,
+}
+
+impl TracePoint {
+    fn as_str(self) -> &'static str {
+        match self {
+            TracePoint::Parse => "parse",
+            TracePoint::Gateway => "gateway",
+            TracePoint::Deparse => "deparse",
+        }
+    }
+}
+
+/// Why a packet left the switch (or didn't) at the deparse boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceReason {
+    /// Nothing noteworthy (forwarded, or a non-deparse event).
+    #[default]
+    None,
+    /// Emitted on an egress port.
+    Egress,
+    /// Dropped by the program's verdict.
+    DropProgram,
+    /// Dropped: no L2 route and no explicit egress.
+    DropNoRoute,
+    /// Dropped: recirculation limit exceeded.
+    DropRecircLimit,
+    /// Rejected by the parser.
+    ParseError,
+    /// Sent around a recirculation channel for another pass.
+    Recirculated,
+}
+
+impl TraceReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceReason::None => "none",
+            TraceReason::Egress => "egress",
+            TraceReason::DropProgram => "drop_program",
+            TraceReason::DropNoRoute => "drop_no_route",
+            TraceReason::DropRecircLimit => "drop_recirc_limit",
+            TraceReason::ParseError => "parse_error",
+            TraceReason::Recirculated => "recirculated",
+        }
+    }
+
+    /// True for the drop/reject reasons.
+    pub fn is_drop(self) -> bool {
+        matches!(
+            self,
+            TraceReason::DropProgram
+                | TraceReason::DropNoRoute
+                | TraceReason::DropRecircLimit
+                | TraceReason::ParseError
+        )
+    }
+}
+
+/// One sampled per-packet event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Packet sequence number.
+    pub seq: u64,
+    /// Ingress port of the pass that recorded the event.
+    pub port: u16,
+    /// Pipe the pass ran in.
+    pub pipe: u8,
+    /// Boundary that recorded the event.
+    pub point: TracePoint,
+    /// Program decision bits ([`decision`]).
+    pub decision: u16,
+    /// Outcome at the deparse boundary.
+    pub reason: TraceReason,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (one JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"port\":{},\"pipe\":{},\"point\":\"{}\",\"decision\":\"{}\",\"reason\":\"{}\"}}",
+            self.seq,
+            self.port,
+            self.pipe,
+            self.point.as_str(),
+            decision::render(self.decision),
+            self.reason.as_str()
+        )
+    }
+}
+
+/// Undecided forwards are sampled when `seq & PLAIN_SAMPLE_MASK == 0`.
+pub const PLAIN_SAMPLE_MASK: u64 = 63;
+
+/// Default ring capacity (events, not packets — a decided packet records
+/// two events per pass).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The fixed-capacity event ring. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<TraceEvent>,
+    /// Ring capacity (stored explicitly: `Vec::with_capacity` may round
+    /// up, and the wrap arithmetic needs the exact modulus).
+    cap: usize,
+    /// Next write position.
+    head: usize,
+    /// Total events ever recorded (including overwritten ones).
+    recorded: u64,
+    enabled: bool,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` events, enabled, fully
+    /// pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        FlightRecorder { ring: Vec::with_capacity(cap), cap, head: 0, recorded: 0, enabled: true }
+    }
+
+    /// Turns recording on/off (the overhead A/B switch).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Is recording on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    ///
+    /// `#[cold]` + never-inline: call sites sit inside the per-packet
+    /// verdict loop but fire for at most 1-in-64 packets — keeping the
+    /// body (and the caller's `TraceEvent` construction) out of line keeps
+    /// the hot loop's code footprint at its telemetry-off size.
+    #[cold]
+    #[inline(never)]
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.recorded += 1;
+        if self.ring.len() < self.cap {
+            self.ring.push(event);
+            self.head = self.ring.len() % self.cap;
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Should an undecided forward with this sequence number be sampled?
+    #[inline]
+    pub fn sample_plain(&self, seq: u64) -> bool {
+        self.enabled && seq & PLAIN_SAMPLE_MASK == 0
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever recorded, including ones the ring overwrote.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Discards all held events (recording stays on).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+    }
+
+    /// Events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        // While filling, head == len and `older` is the whole fill; once
+        // wrapped, entries at head.. are the oldest.
+        let (newer, older) = self.ring.split_at(self.head.min(self.ring.len()));
+        older.iter().chain(newer.iter())
+    }
+
+    /// Every held event for one packet, oldest-first.
+    pub fn events_for_seq(&self, seq: u64) -> Vec<TraceEvent> {
+        self.iter().filter(|e| e.seq == seq).copied().collect()
+    }
+
+    /// The whole ring as JSONL, oldest-first, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            port: 3,
+            pipe: 0,
+            point: TracePoint::Gateway,
+            decision: decision::SPLIT,
+            reason: TraceReason::None,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = FlightRecorder::with_capacity(4);
+        for seq in 0..6 {
+            r.record(ev(seq));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 6);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "oldest-first, oldest two overwritten");
+        assert_eq!(r.events_for_seq(5).len(), 1);
+        assert!(r.events_for_seq(1).is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = FlightRecorder::with_capacity(4);
+        r.set_enabled(false);
+        r.record(ev(0));
+        assert!(r.is_empty());
+        assert!(!r.sample_plain(0));
+        r.set_enabled(true);
+        assert!(r.sample_plain(0));
+        assert!(!r.sample_plain(1));
+        assert!(r.sample_plain(64));
+    }
+
+    #[test]
+    fn jsonl_renders_one_event_per_line() {
+        let mut r = FlightRecorder::with_capacity(8);
+        r.record(ev(7));
+        r.record(TraceEvent {
+            seq: 8,
+            port: 1,
+            pipe: 2,
+            point: TracePoint::Deparse,
+            decision: decision::MERGE | decision::EVICT,
+            reason: TraceReason::DropProgram,
+        });
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":7,\"port\":3,\"pipe\":0,\"point\":\"gateway\",\
+             \"decision\":\"split\",\"reason\":\"none\"}"
+        );
+        assert!(lines[1].contains("\"decision\":\"merge+evict\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"reason\":\"drop_program\""));
+    }
+
+    #[test]
+    fn decision_render_is_stable() {
+        assert_eq!(decision::render(0), "none");
+        assert_eq!(decision::render(decision::SPLIT | decision::EVICT), "split+evict");
+        assert_eq!(decision::render(decision::DUP_MERGE), "dup_merge");
+    }
+
+    #[test]
+    fn clear_keeps_recording() {
+        let mut r = FlightRecorder::with_capacity(2);
+        r.record(ev(1));
+        r.clear();
+        assert!(r.is_empty());
+        r.record(ev(2));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! The flight recorder under a forced conformance violation.
+//!
+//! The oracle's JSONL dump is the observability story's last mile: when
+//! the split/merge ledger stops balancing, the operator gets the sampled
+//! packet traces that led up to it. These tests force a violation the way
+//! an operator mistake would — a control-plane table reset while packets
+//! are still parked — and assert the dump carries the offending packets'
+//! traces.
+
+use payloadpark::oracle;
+use pp_fastpath::SlicedTestbed;
+
+#[test]
+fn forced_violation_dumps_the_offending_traces() {
+    let tb = SlicedTestbed::new(2, 1024);
+    let (mut sw, ctl) = tb.build_scalar();
+    // 512 packets cover eight 1-in-64 sample points, so the ring holds
+    // several sampled Split traces whatever the mix dealt those seqs.
+    let wave = tb.counted_enterprise_wave(5, 512);
+
+    // Split phase only: park payloads without merging any back.
+    let mut parked_seqs = std::collections::HashSet::new();
+    for pkt in &wave {
+        for out in sw.process(&pkt.bytes, pkt.port, pkt.seq) {
+            parked_seqs.insert(out.seq);
+        }
+    }
+    let counters = ctl.counters(&sw);
+    assert!(counters.splits > 0, "the wave must park payloads");
+    assert_eq!(counters.splits as usize, ctl.occupancy(&sw), "ledger balanced before tampering");
+
+    // Tamper: a table reset wipes the parked slots but not the counters —
+    // the splits can no longer be accounted for.
+    ctl.clear_tables(&mut sw);
+    let report = oracle::check_counters(&counters, ctl.occupancy(&sw));
+    assert!(!report.ok(), "cleared tables must break the split/merge ledger");
+
+    let dump = oracle::flight_dump(&report, sw.recorder()).expect("violation with traces dumps");
+    assert!(dump.lines().count() > 0);
+    for line in dump.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line:?}");
+    }
+    // The dump must tie back to the offending packets: at least one
+    // sampled trace carries a split decision under a seq the run parked.
+    let offending = dump.lines().any(|line| {
+        line.contains("\"split\"")
+            && parked_seqs.iter().any(|seq| line.contains(&format!("\"seq\":{seq},")))
+    });
+    assert!(offending, "no parked packet's split trace in the dump:\n{dump}");
+}
+
+#[test]
+fn clean_runs_never_dump() {
+    let tb = SlicedTestbed::new(2, 256);
+    let (mut sw, ctl) = tb.build_scalar();
+    let wave = tb.counted_enterprise_wave(9, 150);
+    let merged = tb.scalar_roundtrip(&mut sw, &wave);
+    assert!(!merged.is_empty());
+    let report = oracle::check_counters(&ctl.counters(&sw), ctl.occupancy(&sw));
+    assert!(report.ok(), "{:?}", report.violations());
+    assert!(oracle::flight_dump(&report, sw.recorder()).is_none());
+    // The recorder still held traces — the dump was withheld because the
+    // run was clean, not because nothing was recorded.
+    assert!(!sw.recorder().is_empty());
+}
+
+#[test]
+fn disabled_telemetry_yields_no_dump_even_on_violation() {
+    let tb = SlicedTestbed::new(2, 256);
+    let (mut sw, ctl) = tb.build_scalar();
+    sw.set_telemetry(false);
+    let wave = tb.counted_enterprise_wave(5, 100);
+    for pkt in &wave {
+        let _ = sw.process(&pkt.bytes, pkt.port, pkt.seq);
+    }
+    let counters = ctl.counters(&sw);
+    ctl.clear_tables(&mut sw);
+    let report = oracle::check_counters(&counters, ctl.occupancy(&sw));
+    assert!(!report.ok());
+    assert!(
+        oracle::flight_dump(&report, sw.recorder()).is_none(),
+        "no traces were recorded, so there is nothing to dump"
+    );
+}

@@ -1,0 +1,107 @@
+//! Golden-snapshot tests for the Prometheus telemetry exposition.
+//!
+//! Every quantity the harness exports is computed from simulation state
+//! (sim-time latency, seeded generators), so the same [`TestbedConfig`]
+//! must render byte-identical text — the property that makes a committed
+//! `.prom` artifact diffable across CI runs. The remaining tests pin the
+//! exposition-format conventions: `# HELP`/`# TYPE` comments only,
+//! snake-case `pp_`-prefixed families, counters ending in `_total`, and
+//! every PayloadPark counter present as exactly one family.
+
+use payloadpark::counters::COUNTER_NAMES;
+use pp_harness::telemetry::render_report;
+use pp_harness::testbed::{run, DeployMode, ParkParams, RunReport, TestbedConfig};
+use pp_netsim::time::SimDuration;
+use pp_trafficgen::gen::{SizeModel, TrafficMix};
+
+fn seeded_report() -> RunReport {
+    run(&TestbedConfig {
+        rate_gbps: 3.0,
+        sizes: SizeModel::Fixed(512),
+        mix: TrafficMix::UdpOnly,
+        duration: SimDuration::from_millis(2),
+        flows: 24,
+        seed: 11,
+        mode: DeployMode::PayloadPark(ParkParams::default()),
+        ..Default::default()
+    })
+}
+
+fn rendered() -> String {
+    render_report(&seeded_report(), &[("path", "des")])
+}
+
+#[test]
+fn seeded_run_renders_byte_identically() {
+    let first = rendered();
+    let second = rendered();
+    assert_eq!(first, second, "a seeded run must be a stable snapshot");
+    // A snapshot of nothing would also be stable; make sure the run did work.
+    assert!(first.contains("pp_splits_total"), "{first}");
+}
+
+#[test]
+fn exposition_follows_prometheus_conventions() {
+    let text = rendered();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        if let Some(comment) = line.strip_prefix('#') {
+            assert!(
+                comment.starts_with(" HELP ") || comment.starts_with(" TYPE "),
+                "unknown comment form: {line}"
+            );
+            continue;
+        }
+        // Sample line: `name{labels} value` or `name value`.
+        let name_end = line.find(['{', ' ']).unwrap_or_else(|| panic!("malformed line {line:?}"));
+        let name = &line[..name_end];
+        assert!(name.starts_with("pp_"), "family {name:?} lacks the pp_ namespace");
+        assert!(
+            name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "family {name:?} is not snake_case"
+        );
+        let value = line.rsplit(' ').next().unwrap();
+        value.parse::<f64>().unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+    }
+    // Prometheus naming: every counter family carries the _total suffix.
+    for line in text.lines() {
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split(' ');
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            if kind == "counter" {
+                assert!(name.ends_with("_total"), "counter {name:?} lacks _total");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_payloadpark_counter_family_appears_exactly_once() {
+    let text = rendered();
+    for name in COUNTER_NAMES {
+        let family = format!("# TYPE pp_{name}_total counter");
+        assert_eq!(
+            text.matches(family.as_str()).count(),
+            1,
+            "expected exactly one {family:?} in:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn latency_quantiles_are_labelled_and_ordered() {
+    let report = seeded_report();
+    let text = render_report(&report, &[]);
+    let mut previous = 0.0f64;
+    for q in ["0.5", "0.9", "0.99", "0.999"] {
+        let needle = format!("pp_latency_us{{quantile=\"{q}\"}} ");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(needle.as_str()))
+            .unwrap_or_else(|| panic!("missing quantile {q} in:\n{text}"));
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value >= previous, "quantiles must be monotone: {text}");
+        previous = value;
+    }
+    assert!(previous <= report.latency.max_us() + 1e-9, "p99.9 must not exceed the max");
+}
