@@ -44,6 +44,7 @@ use pp_rmt::parser::{BlockRule, ParserConfig};
 use pp_rmt::phv::{Phv, RecircTarget, BLOCK_BYTES};
 use pp_rmt::pipeline::{Pipeline, ProgramError};
 use pp_rmt::register::{cell, RegisterId, RegisterSpec};
+use pp_rmt::summary::{BranchSummary, MatSummary, Req, Slot};
 use pp_rmt::switch::SwitchModel;
 use pp_rmt::trace::decision;
 use std::sync::atomic::{AtomicU16, Ordering};
@@ -68,6 +69,18 @@ pub const META_XSUM: usize = 5;
 pub const MAX_CLK: u32 = 65_536;
 
 const PP_LEN: i32 = PAYLOADPARK_HEADER_LEN as i32;
+
+/// The summary [`Slot`] for one of the `META_*` metadata words.
+const fn m(w: usize) -> Slot {
+    Slot::Meta(w as u8)
+}
+
+/// Summary fragment shared by every action that calls [`apply_len_delta`]:
+/// it reads and rewrites the IPv4/transport length fields and may drop on
+/// a length-guard trip.
+fn len_delta_effects(s: MatSummary) -> MatSummary {
+    s.reads(Slot::Ipv4).reads(Slot::Transport).writes(Slot::Ipv4).writes(Slot::Transport).drops()
+}
 
 /// Errors from assembling a deployment.
 #[derive(Debug)]
@@ -316,6 +329,11 @@ pub fn build_primary(
                     ctx.phv.meta[META_SLICE] =
                         map.get(usize::from(ctx.phv.ingress_port.0)).copied().unwrap_or(0);
                 })
+                .summary(
+                    MatSummary::on_port_set((*split_ports).clone())
+                        .require(Req::Valid(Slot::Transport))
+                        .writes(m(META_SLICE)),
+                )
                 .footprint(MatFootprint {
                     match_kind: MatchKind::Ternary,
                     key_bits: 16,
@@ -340,6 +358,12 @@ pub fn build_primary(
                     ctx.counters[C_ENB0_FROM_SERVER] += 1;
                     ctx.phv.trace_flags |= decision::ENB0;
                 })
+                .summary(len_delta_effects(
+                    MatSummary::on_port_set((*merge_ports).clone())
+                        .require(Req::Valid(Slot::Pp))
+                        .require(Req::PpEnb(false))
+                        .sets_invalid(Slot::Pp),
+                ))
                 .footprint(gateway_footprint(18, 4))
                 .build(),
         );
@@ -374,6 +398,11 @@ pub fn build_primary(
                     cell::write_u32(cell_ref, ti);
                     ctx.phv.meta[META_TBL_IDX] = slice_base + ti;
                 })
+                .summary(
+                    MatSummary::on_port_set((*split_ports).clone())
+                        .require(Req::Valid(Slot::Blocks))
+                        .writes(m(META_TBL_IDX)),
+                )
                 .footprint(gateway_footprint(20, 2))
                 .build(),
         );
@@ -397,6 +426,11 @@ pub fn build_primary(
                     cell::write_u32(cell_ref, clk);
                     ctx.phv.meta[META_CLK] = clk;
                 })
+                .summary(
+                    MatSummary::on_port_set((*split_ports).clone())
+                        .require(Req::Valid(Slot::Blocks))
+                        .writes(m(META_CLK)),
+                )
                 .footprint(gateway_footprint(20, 2))
                 .build(),
         );
@@ -469,6 +503,26 @@ pub fn build_primary(
                         apply_len_delta(phv, PP_LEN, ctx.counters);
                     }
                 })
+                .summary({
+                    // Both outcomes attach a shim header and fix lengths;
+                    // which enb they set (and whether the packet leaves for
+                    // the annex) is per-branch.
+                    let mut split_br =
+                        BranchSummary::new("split").sets_enb(true).sets_flag(META_SPLIT_OK as u8);
+                    if recirc_split.is_some() {
+                        split_br = split_br.recirculates(0);
+                    }
+                    len_delta_effects(
+                        MatSummary::on_port_set((*split_ports).clone())
+                            .require(Req::Valid(Slot::Blocks))
+                            .reads(m(META_TBL_IDX))
+                            .reads(m(META_CLK))
+                            .writes(Slot::Pp)
+                            .sets_valid(Slot::Pp),
+                    )
+                    .branch(split_br)
+                    .branch(BranchSummary::new("occupied").sets_enb(false))
+                })
                 .footprint(gateway_footprint(52, 6))
                 .build(),
         );
@@ -493,6 +547,14 @@ pub fn build_primary(
                     ctx.phv.trace_flags |= decision::DISABLED_SMALL;
                     apply_len_delta(ctx.phv, PP_LEN, ctx.counters);
                 })
+                .summary(len_delta_effects(
+                    MatSummary::on_port_set((*split_ports).clone())
+                        .require(Req::Valid(Slot::Transport))
+                        .require(Req::Invalid(Slot::Blocks))
+                        .writes(Slot::Pp)
+                        .sets_valid(Slot::Pp)
+                        .sets_enb(false),
+                ))
                 .footprint(gateway_footprint(20, 4))
                 .build(),
         );
@@ -578,6 +640,36 @@ pub fn build_primary(
                         phv.verdict.drop = true;
                     }
                 })
+                .summary({
+                    let mut merge_br = BranchSummary::new("merge")
+                        .sets_flag(META_MERGE_OK as u8)
+                        .writes(m(META_TBL_IDX))
+                        .writes(m(META_XSUM))
+                        .reads(Slot::Ipv4)
+                        .reads(Slot::Transport)
+                        .writes(Slot::Ipv4)
+                        .writes(Slot::Transport)
+                        .drops();
+                    match recirc_merge {
+                        Some(_) => merge_br = merge_br.recirculates(1),
+                        None => merge_br = merge_br.sets_invalid(Slot::Pp),
+                    }
+                    MatSummary::on_port_set((*merge_ports).clone())
+                        .require(Req::Valid(Slot::Pp))
+                        .require(Req::PpEnb(true))
+                        .reads(Slot::Pp)
+                        .branch(BranchSummary::new("crc_fail").drops())
+                        .branch(merge_br)
+                        .branch(
+                            BranchSummary::new("explicit_drop")
+                                .sets_flag(META_MERGE_OK as u8)
+                                .writes(m(META_TBL_IDX))
+                                .sets_invalid(Slot::Pp)
+                                .drops(),
+                        )
+                        .branch(BranchSummary::new("dup").drops())
+                        .branch(BranchSummary::new("premature").drops())
+                })
                 .footprint(gateway_footprint(52, 6))
                 .build(),
         );
@@ -598,6 +690,12 @@ pub fn build_primary(
                         cell_ref.copy_from_slice(&ctx.phv.blocks[j].data);
                         ctx.phv.blocks[j].valid = false;
                     })
+                    .summary(
+                        MatSummary::on_port_set((*split_ports).clone())
+                            .require(Req::MetaFlag(META_SPLIT_OK as u8))
+                            .reads(m(META_TBL_IDX))
+                            .reads(Slot::Blocks),
+                    )
                     .footprint(gateway_footprint(44, 1))
                     .build(),
             );
@@ -615,6 +713,13 @@ pub fn build_primary(
                         ctx.phv.blocks[j].valid = true;
                         cell_ref.fill(0); // Alg. 2 line 23
                     })
+                    .summary(
+                        MatSummary::on_port_set((*merge_ports).clone())
+                            .require(Req::MetaFlag(META_MERGE_OK as u8))
+                            .reads(m(META_TBL_IDX))
+                            .writes(Slot::Blocks)
+                            .sets_valid(Slot::Blocks),
+                    )
                     .footprint(gateway_footprint(44, 1))
                     .build(),
             );
@@ -686,7 +791,18 @@ pub fn build_annex(
             b.place(
                 st,
                 Mat::builder(format!("annex_store_{j}"))
-                    .gateway(move |p| p.ingress_port == rc_store && p.pp.valid && p.pp.enb)
+                    // The block-validity conjunct closes a pp-verify PV101
+                    // finding: a forged or truncated packet on the store
+                    // channel can carry a valid enabled shim with *no*
+                    // extracted blocks, and the unguarded store would park
+                    // its zeroed block images. Recirculated split packets
+                    // always carry blocks, so real traffic is unaffected.
+                    .gateway(move |p| {
+                        p.ingress_port == rc_store
+                            && p.pp.valid
+                            && p.pp.enb
+                            && p.blocks.iter().any(|blk| blk.valid)
+                    })
                     .stateful(reg, move |p| {
                         let i = usize::from(p.pp.tbl_idx);
                         (i < total_slots).then_some(i)
@@ -696,6 +812,14 @@ pub fn build_annex(
                         cell_ref.copy_from_slice(&ctx.phv.blocks[j].data);
                         ctx.phv.blocks[j].valid = false;
                     })
+                    .summary(
+                        MatSummary::on_ports([rc_store.0])
+                            .require(Req::Valid(Slot::Pp))
+                            .require(Req::PpEnb(true))
+                            .require(Req::Valid(Slot::Blocks))
+                            .reads(Slot::Pp)
+                            .reads(Slot::Blocks),
+                    )
                     .footprint(gateway_footprint(44, 1))
                     .build(),
             );
@@ -716,6 +840,14 @@ pub fn build_annex(
                         ctx.phv.blocks[slot].valid = true;
                         cell_ref.fill(0);
                     })
+                    .summary(
+                        MatSummary::on_ports([rc_load.0])
+                            .require(Req::Valid(Slot::Pp))
+                            .require(Req::PpEnb(true))
+                            .reads(Slot::Pp)
+                            .writes(Slot::Blocks)
+                            .sets_valid(Slot::Blocks),
+                    )
                     .footprint(gateway_footprint(44, 1))
                     .build(),
             );
@@ -729,6 +861,11 @@ pub fn build_annex(
         Mat::builder("annex_finish_store")
             .gateway(move |p| p.ingress_port == rc_store && p.pp.valid && p.pp.enb)
             .action(move |ctx| apply_len_delta(ctx.phv, -annex_bytes, ctx.counters))
+            .summary(len_delta_effects(
+                MatSummary::on_ports([rc_store.0])
+                    .require(Req::Valid(Slot::Pp))
+                    .require(Req::PpEnb(true)),
+            ))
             .footprint(gateway_footprint(18, 2))
             .build(),
     );
@@ -745,6 +882,13 @@ pub fn build_annex(
                 ctx.phv.set_transport_checksum(xsum);
                 ctx.phv.pp.valid = false;
             })
+            .summary(len_delta_effects(
+                MatSummary::on_ports([rc_load.0])
+                    .require(Req::Valid(Slot::Pp))
+                    .require(Req::PpEnb(true))
+                    .reads(m(META_XSUM))
+                    .sets_invalid(Slot::Pp),
+            ))
             .footprint(gateway_footprint(18, 3))
             .build(),
     );

@@ -29,7 +29,7 @@ struct Ring<T> {
     tail: PaddedCounter,
 }
 
-// Safety: the ring transfers `T` values between exactly one producer and
+// SAFETY: the ring transfers `T` values between exactly one producer and
 // one consumer thread; a slot is written only while it is invisible to the
 // consumer (tail not yet published) and read only while it is invisible to
 // the producer (head not yet published).
@@ -42,7 +42,7 @@ impl<T> Drop for Ring<T> {
         let tail = self.tail.0.load(Ordering::Relaxed);
         for seq in head..tail {
             let idx = seq % self.slots.len();
-            // Safety: elements in [head, tail) were written and never read.
+            // SAFETY: elements in [head, tail) were written and never read.
             unsafe { (*self.slots[idx].get()).assume_init_drop() };
         }
     }
@@ -90,7 +90,7 @@ impl<T> Producer<T> {
             }
         }
         let idx = tail % self.ring.slots.len();
-        // Safety: the slot at `tail` is unpublished, so the consumer cannot
+        // SAFETY: the slot at `tail` is unpublished, so the consumer cannot
         // observe it until the release store below.
         unsafe { (*self.ring.slots[idx].get()).write(value) };
         self.ring.tail.0.store(tail + 1, Ordering::Release);
@@ -135,7 +135,7 @@ impl<T> Consumer<T> {
             }
         }
         let idx = head % self.ring.slots.len();
-        // Safety: the element at `head` was published by the producer's
+        // SAFETY: the element at `head` was published by the producer's
         // release store and becomes invisible to it only after the release
         // store below, so exactly one side owns it at any time.
         let value = unsafe { (*self.ring.slots[idx].get()).assume_init_read() };

@@ -1,0 +1,44 @@
+//! Static verification gate: runs `pp_verify` over every built-in
+//! dataplane program. Exit codes: 0 = clean (infos/warnings allowed),
+//! 1 = at least one error-severity finding, 2 = usage error.
+
+use pp_harness::lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match lint::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("pp-lint: {e}\n{}", lint::usage());
+            std::process::exit(2);
+        }
+    };
+    if cli.list {
+        for t in lint::TARGETS {
+            println!("{t}");
+        }
+        return;
+    }
+    let targets: Vec<String> = if cli.all {
+        lint::TARGETS.iter().map(|s| s.to_string()).collect()
+    } else {
+        cli.targets.clone()
+    };
+    let run = match lint::run_lint(&targets) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("pp-lint: {e}\n{}", lint::usage());
+            std::process::exit(2);
+        }
+    };
+    print!("{}", run.rendered);
+    if let Some(path) = &cli.out {
+        if let Err(e) = std::fs::write(path, &run.rendered) {
+            eprintln!("pp-lint: writing {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if run.errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,240 @@
+//! `pp-lint`: static verification of every built-in dataplane program.
+//!
+//! The lint targets mirror the programs the harness actually deploys —
+//! the baseline L2 switch, the testbed's single-server PayloadPark
+//! deployment (with and without the recirculation annex), the
+//! multi-server two-slice pipe, and sharded variants of a multi-slice
+//! deployment — and run [`pp_verify`] over each. The logic lives in the
+//! library so the regression tests and the `pp-lint` binary share it; the
+//! binary exits non-zero when any target produces an error-severity
+//! finding, which is how CI gates pushes on the static verifier.
+
+use payloadpark::program::build_switch;
+use payloadpark::shard::ShardPlan;
+use payloadpark::{ParkConfig, PipePark, SliceSpec};
+use pp_rmt::ChipProfile;
+use pp_verify::{check_deployment, check_shard_plan, Report, Severity};
+
+use crate::testbed::{GEN_PORTS, SERVER_PORT};
+
+/// Every lint target, in `--list`/`--all` order.
+pub const TARGETS: &[&str] =
+    &["baseline", "park", "park-annex", "park-multislice", "shard-2", "shard-4"];
+
+/// The single-server deployment the testbed runs (`testbed::run` with
+/// `DeployMode::PayloadPark`), optionally with the recirculation annex.
+fn testbed_park(annex: bool) -> ParkConfig {
+    let chip = ChipProfile::default();
+    let mut park = ParkConfig::single_server(chip, GEN_PORTS.to_vec(), SERVER_PORT, 16);
+    if annex {
+        park.pipes[0].annex_pipe = Some(1);
+    }
+    park.pipes[0].slices[0].slots = park.slots_for_sram_fraction(0.26).max(1);
+    park
+}
+
+/// An `n`-slice deployment in the multiserver port layout: slice `s`
+/// splits ports `4s` and `4s+1` and merges port `4s+2` (slice 0 matches
+/// the testbed's `GEN_PORTS`/`SERVER_PORT`; all ports stay on pipe 0).
+fn sliced_park(n: usize) -> ParkConfig {
+    let chip = ChipProfile::default();
+    let mut park = ParkConfig::single_server(chip, GEN_PORTS.to_vec(), SERVER_PORT, 16);
+    let per_slice = (park.slots_for_sram_fraction(0.26) / n).max(1);
+    park.pipes[0] = PipePark {
+        pipe: 0,
+        slices: (0..n)
+            .map(|s| {
+                let base = 4 * s as u16;
+                SliceSpec {
+                    name: format!("server{s}"),
+                    split_ports: vec![base, base + 1],
+                    merge_ports: vec![base + 2],
+                    slots: per_slice,
+                }
+            })
+            .collect(),
+        annex_pipe: None,
+    };
+    park
+}
+
+fn sharded_reports(workers: usize) -> Vec<Report> {
+    let parent = sliced_park(workers);
+    let mut reports = Vec::new();
+    match ShardPlan::new(&parent, workers) {
+        Ok(plan) => {
+            reports.push(Report::new(
+                format!("shard plan ({workers} workers)"),
+                check_shard_plan(&parent, &plan),
+            ));
+            for w in 0..plan.workers() {
+                for r in check_deployment(plan.config(w)) {
+                    reports.push(Report::new(format!("worker{w} {}", r.program), r.diagnostics));
+                }
+            }
+        }
+        Err(e) => reports.push(Report::new(
+            format!("shard plan ({workers} workers)"),
+            vec![pp_verify::Diagnostic::new(pp_verify::Code::PV002, None, e)],
+        )),
+    }
+    reports
+}
+
+/// Runs one lint target. Returns `None` for an unknown target name.
+pub fn lint_target(name: &str) -> Option<Vec<Report>> {
+    match name {
+        "baseline" => {
+            // The baseline L2 switch programs no MATs, so a clean (empty)
+            // report doubles as a self-check that extraction works on a
+            // bare pipeline.
+            let chip = ChipProfile::default();
+            let switch = payloadpark::program::build_baseline_switch(chip).ok()?;
+            Some(
+                (0..chip.pipes)
+                    .map(|i| {
+                        let pipe = switch.pipe(i);
+                        Report::new(
+                            format!("baseline pipe {i}"),
+                            pp_verify::check(pipe, pipe.parser()),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        "park" => Some(check_deployment(&testbed_park(false))),
+        "park-annex" => Some(check_deployment(&testbed_park(true))),
+        "park-multislice" => {
+            // Mirrors multiserver::run_pipe's two-slice deployment.
+            let cfg = sliced_park(2);
+            let _ = build_switch(&cfg); // same config the harness deploys
+            Some(check_deployment(&cfg))
+        }
+        "shard-2" => Some(sharded_reports(2)),
+        "shard-4" => Some(sharded_reports(4)),
+        _ => None,
+    }
+}
+
+/// The outcome of a full lint run.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Rendered text of every report, in target order.
+    pub rendered: String,
+    /// Total error-severity findings (non-zero fails the binary).
+    pub errors: usize,
+    /// Total warning-severity findings.
+    pub warnings: usize,
+}
+
+/// Lints the given targets (use [`TARGETS`] for `--all`).
+pub fn run_lint<S: AsRef<str>>(targets: &[S]) -> Result<LintRun, String> {
+    let mut rendered = String::new();
+    let mut errors = 0;
+    let mut warnings = 0;
+    for t in targets {
+        let name = t.as_ref();
+        let reports = lint_target(name).ok_or_else(|| format!("unknown target {name:?}"))?;
+        rendered.push_str(&format!("# target: {name}\n"));
+        for r in &reports {
+            errors += r.count(Severity::Error);
+            warnings += r.count(Severity::Warning);
+            rendered.push_str(&r.render());
+        }
+        rendered.push('\n');
+    }
+    rendered.push_str(&format!(
+        "pp-lint: {} target(s), {errors} error(s), {warnings} warning(s)\n",
+        targets.len()
+    ));
+    Ok(LintRun { rendered, errors, warnings })
+}
+
+/// A parsed `pp-lint` invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintCli {
+    /// Explicit targets, in command-line order.
+    pub targets: Vec<String>,
+    /// `--all`: lint every target.
+    pub all: bool,
+    /// `--list`: print the target names and exit.
+    pub list: bool,
+    /// `--out FILE`: also write the rendered report to `FILE`.
+    pub out: Option<String>,
+}
+
+/// The usage string printed alongside any parse error (exit code 2).
+pub fn usage() -> String {
+    format!("usage: pp-lint [<{}> ...] [--all] [--list] [--out FILE]", TARGETS.join("|"))
+}
+
+/// Parses the arguments after the program name. Strict, like `pp-exp`:
+/// unknown flags or targets are errors, not something to skip.
+pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<LintCli, String> {
+    let mut cli = LintCli::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_ref();
+        match arg {
+            "--all" => cli.all = true,
+            "--list" => cli.list = true,
+            "--out" => {
+                let value = args
+                    .get(i + 1)
+                    .map(|s| s.as_ref().to_string())
+                    .ok_or_else(|| format!("{arg} requires a value"))?;
+                i += 1;
+                cli.out = Some(value);
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg:?}")),
+            _ => {
+                if !TARGETS.contains(&arg) {
+                    return Err(format!("unknown target {arg:?}"));
+                }
+                cli.targets.push(arg.to_string());
+            }
+        }
+        i += 1;
+    }
+    if !cli.list && !cli.all && cli.targets.is_empty() {
+        return Err("no targets (try --all or --list)".into());
+    }
+    if cli.all && !cli.targets.is_empty() {
+        return Err("--all conflicts with explicit targets".into());
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_grammar() {
+        let cli = parse(&["park", "shard-2", "--out", "report.txt"]).unwrap();
+        assert_eq!(cli.targets, vec!["park", "shard-2"]);
+        assert_eq!(cli.out.as_deref(), Some("report.txt"));
+        assert!(parse(&["--all"]).unwrap().all);
+        assert!(parse(&["--list"]).unwrap().list);
+        assert!(parse(&["--quikc"]).unwrap_err().contains("--quikc"));
+        assert!(parse(&["parkk"]).unwrap_err().contains("unknown target"));
+        assert!(parse::<&str>(&[]).unwrap_err().contains("no targets"));
+        assert!(parse(&["--all", "park"]).unwrap_err().contains("conflicts"));
+        assert!(parse(&["--out"]).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn all_builtin_targets_are_error_free() {
+        let run = run_lint(TARGETS).unwrap();
+        assert_eq!(run.errors, 0, "{}", run.rendered);
+        assert_eq!(run.warnings, 0, "{}", run.rendered);
+        assert!(run.rendered.contains("# target: park-annex"));
+        assert!(run.rendered.contains("shard plan (4 workers)"));
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        assert!(run_lint(&["no-such-target"]).is_err());
+        assert!(lint_target("no-such-target").is_none());
+    }
+}

@@ -33,6 +33,7 @@ pub mod phv;
 pub mod pipeline;
 pub mod register;
 pub mod resources;
+pub mod summary;
 pub mod switch;
 pub mod trace;
 
@@ -40,8 +41,9 @@ pub use chip::{ChipProfile, PortId};
 pub use mat::{ActionCtx, Mat, MatBuilder, MatFootprint, MatchKind};
 pub use parser::{deparse_phv, parse_packet, BlockRule, ParserConfig};
 pub use phv::{PayloadBlock, Phv, PpFields, RecircTarget, Verdict, BLOCK_BYTES};
-pub use pipeline::{Pipeline, PipelineBuilder, ProgramError, StageProfile};
+pub use pipeline::{Pipeline, PipelineBuilder, ProgramError, Stage, StageProfile};
 pub use register::{RegisterFile, RegisterId, RegisterSpec};
 pub use resources::{ResourceReport, StageUsage};
+pub use summary::{BranchSummary, Effects, MatSummary, PortDomain, Req, Slot};
 pub use switch::{BatchOutput, BatchPacket, OutputRef, SwitchModel, SwitchOutput, SwitchStats};
 pub use trace::{FlightRecorder, TraceEvent, TracePoint, TraceReason};

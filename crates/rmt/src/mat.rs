@@ -8,6 +8,7 @@
 
 use crate::phv::Phv;
 use crate::register::RegisterId;
+use crate::summary::MatSummary;
 
 /// Kind of match hardware a table consumes (for resource accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,7 @@ pub struct Mat {
     stateful: Option<StatefulBinding>,
     action: ActionFn,
     footprint: MatFootprint,
+    summary: Option<MatSummary>,
     hits: u64,
 }
 
@@ -93,6 +95,7 @@ impl Mat {
             stateful: None,
             action: None,
             footprint: MatFootprint::default(),
+            summary: None,
         }
     }
 
@@ -109,6 +112,11 @@ impl Mat {
     /// The bound register array, if any.
     pub fn stateful_array(&self) -> Option<RegisterId> {
         self.stateful.as_ref().map(|s| s.array)
+    }
+
+    /// The declared dataflow summary, if the program attached one.
+    pub fn summary(&self) -> Option<&MatSummary> {
+        self.summary.as_ref()
     }
 
     /// Whether the gateway matches this PHV.
@@ -152,6 +160,7 @@ pub struct MatBuilder {
     stateful: Option<StatefulBinding>,
     action: Option<ActionFn>,
     footprint: MatFootprint,
+    summary: Option<MatSummary>,
 }
 
 impl MatBuilder {
@@ -184,6 +193,14 @@ impl MatBuilder {
         self
     }
 
+    /// Attaches a dataflow summary describing the gateway and action for
+    /// static analysis (`pp_verify`). The summary is declarative — it must
+    /// be kept in sync with the closures by the program author.
+    pub fn summary(mut self, s: MatSummary) -> Self {
+        self.summary = Some(s);
+        self
+    }
+
     /// Finishes the MAT. A missing action becomes a no-op.
     pub fn build(self) -> Mat {
         Mat {
@@ -192,6 +209,7 @@ impl MatBuilder {
             stateful: self.stateful,
             action: self.action.unwrap_or_else(|| Box::new(|_| {})),
             footprint: self.footprint,
+            summary: self.summary,
             hits: 0,
         }
     }

@@ -260,6 +260,12 @@ impl Pipeline {
         crate::parser::deparse_phv_into(phv, frame, out);
     }
 
+    /// The pipeline's stages in execution order (for static analysis and
+    /// introspection; stage `i` of the vector is hardware stage `i`).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
     /// The parser configuration.
     pub fn parser(&self) -> &ParserConfig {
         &self.parser

@@ -1,0 +1,293 @@
+//! Declarative dataflow summaries for MATs.
+//!
+//! A [`Mat`](crate::mat::Mat)'s gateway and action are opaque closures —
+//! fast to dispatch, impossible to inspect. A [`MatSummary`] is the
+//! side-channel a program author attaches to each table describing *what
+//! the closures do* in a tiny effect language: which ingress ports the
+//! gateway admits, which PHV facts it requires ([`Req`]), and which
+//! [`Slot`]s the action reads, writes, validates or invalidates —
+//! unconditionally ([`MatSummary::base`]) or on one of several action
+//! branches ([`BranchSummary`]).
+//!
+//! The summary exists for static analysis: `pp_verify` walks summaries
+//! (never closures) to prove header-validity def-use, reachability and
+//! stage-locality properties at config time, off the packet hot path.
+//! Summaries are trusted, not checked against the closures — keeping the
+//! two in sync is the program author's contract, the same way a P4
+//! program's control-plane annotations describe its tables.
+
+use crate::chip::PortSet;
+
+/// A PHV location a MAT may read, write, validate or invalidate.
+///
+/// Header slots (`Eth`..`Blocks`) model the parsed-header validity bits;
+/// `Meta(w)` models user metadata word `w` (defined-ness rather than
+/// validity: metadata is zero-initialised by the parser, so reading an
+/// unwritten word is suspicious, not unsafe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Slot {
+    /// The Ethernet header (always extracted).
+    Eth,
+    /// The IPv4 header.
+    Ipv4,
+    /// The transport header (UDP or TCP).
+    Transport,
+    /// The PayloadPark shim header.
+    Pp,
+    /// The extracted payload blocks (coarse: "at least one block valid";
+    /// the blocks vector itself is sized whenever a transport header was
+    /// parsed, so *writing* blocks requires `Transport`, not `Blocks`).
+    Blocks,
+    /// User metadata word `w` (`phv.meta[w]`).
+    Meta(u8),
+}
+
+impl Slot {
+    /// True for `Meta(_)` slots.
+    pub fn is_meta(self) -> bool {
+        matches!(self, Slot::Meta(_))
+    }
+}
+
+/// One conjunct of a gateway condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Req {
+    /// The slot must be valid (headers) / defined (metadata).
+    Valid(Slot),
+    /// The slot must be invalid (e.g. "no payload block was extracted").
+    Invalid(Slot),
+    /// `pp.enb` must equal the given value (in addition to any
+    /// `Valid(Pp)` conjunct).
+    PpEnb(bool),
+    /// Metadata word `w` was set non-zero by an earlier table's
+    /// [`sets_flags`](Effects::sets_flags) — the intra-pipeline
+    /// "guard flag" idiom (`META_SPLIT_OK`, `META_MERGE_OK`).
+    MetaFlag(u8),
+}
+
+/// The effects of an action (or one branch of it) on the PHV.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    /// Slots whose *contents* the action reads (beyond gateway checks).
+    pub reads: Vec<Slot>,
+    /// Slots whose contents the action writes.
+    pub writes: Vec<Slot>,
+    /// Header slots the action makes valid.
+    pub sets_valid: Vec<Slot>,
+    /// Header slots the action invalidates.
+    pub sets_invalid: Vec<Slot>,
+    /// New value of `pp.enb`, when the action assigns it.
+    pub sets_enb: Option<bool>,
+    /// Guard-flag metadata words the action sets non-zero (each implies a
+    /// write of that `Meta` word).
+    pub sets_flags: Vec<u8>,
+    /// The action may set `verdict.drop`.
+    pub drops: bool,
+    /// The action may request recirculation on this channel.
+    pub recirculates: Option<u8>,
+}
+
+/// A named conditional branch inside an action.
+#[derive(Debug, Clone)]
+pub struct BranchSummary {
+    /// Short branch name, used in diagnostics ("split", "crc_fail", ...).
+    pub name: &'static str,
+    /// The branch's effects, in addition to the MAT's base effects.
+    pub effects: Effects,
+}
+
+/// The set of ingress ports a gateway admits.
+#[derive(Debug, Clone)]
+pub enum PortDomain {
+    /// The gateway does not test the ingress port.
+    Any,
+    /// The gateway admits exactly these ports.
+    Set(PortSet),
+}
+
+impl PortDomain {
+    /// Whether the domain admits `port`.
+    pub fn admits(&self, port: u16) -> bool {
+        match self {
+            PortDomain::Any => true,
+            PortDomain::Set(s) => s.contains(port),
+        }
+    }
+}
+
+/// The complete dataflow summary of one MAT. Build fluently:
+///
+/// ```
+/// use pp_rmt::summary::{MatSummary, Req, Slot};
+/// let s = MatSummary::on_ports([0u16, 1])
+///     .require(Req::Valid(Slot::Transport))
+///     .writes(Slot::Meta(4));
+/// assert!(s.ports.admits(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatSummary {
+    /// Ingress ports the gateway admits.
+    pub ports: PortDomain,
+    /// Gateway conjuncts beyond the port test (all must hold to fire).
+    pub requires: Vec<Req>,
+    /// Effects that happen whenever the MAT fires.
+    pub base: Effects,
+    /// Mutually exclusive extra effect sets, at most one per firing.
+    pub branches: Vec<BranchSummary>,
+}
+
+macro_rules! effect_methods {
+    ($field:ident) => {
+        /// Declares a slot the action reads.
+        pub fn reads(mut self, s: Slot) -> Self {
+            self.$field.reads.push(s);
+            self
+        }
+        /// Declares a slot the action writes.
+        pub fn writes(mut self, s: Slot) -> Self {
+            self.$field.writes.push(s);
+            self
+        }
+        /// Declares a header slot the action makes valid.
+        pub fn sets_valid(mut self, s: Slot) -> Self {
+            self.$field.sets_valid.push(s);
+            self
+        }
+        /// Declares a header slot the action invalidates.
+        pub fn sets_invalid(mut self, s: Slot) -> Self {
+            self.$field.sets_invalid.push(s);
+            self
+        }
+        /// Declares an assignment to `pp.enb`.
+        pub fn sets_enb(mut self, v: bool) -> Self {
+            self.$field.sets_enb = Some(v);
+            self
+        }
+        /// Declares a guard flag (metadata word set non-zero).
+        pub fn sets_flag(mut self, w: u8) -> Self {
+            self.$field.sets_flags.push(w);
+            self
+        }
+        /// Declares that the action may drop the packet.
+        pub fn drops(mut self) -> Self {
+            self.$field.drops = true;
+            self
+        }
+        /// Declares that the action may recirculate on `channel`.
+        pub fn recirculates(mut self, channel: u8) -> Self {
+            self.$field.recirculates = Some(channel);
+            self
+        }
+    };
+}
+
+impl MatSummary {
+    /// A summary whose gateway does not test the ingress port.
+    pub fn any_port() -> Self {
+        MatSummary {
+            ports: PortDomain::Any,
+            requires: Vec::new(),
+            base: Effects::default(),
+            branches: Vec::new(),
+        }
+    }
+
+    /// A summary admitting exactly the given ports.
+    pub fn on_ports(ports: impl IntoIterator<Item = u16>) -> Self {
+        MatSummary { ports: PortDomain::Set(ports.into_iter().collect()), ..Self::any_port() }
+    }
+
+    /// A summary admitting an already-built [`PortSet`].
+    pub fn on_port_set(ports: PortSet) -> Self {
+        MatSummary { ports: PortDomain::Set(ports), ..Self::any_port() }
+    }
+
+    /// Adds a gateway conjunct.
+    pub fn require(mut self, r: Req) -> Self {
+        self.requires.push(r);
+        self
+    }
+
+    /// Adds a conditional branch.
+    pub fn branch(mut self, b: BranchSummary) -> Self {
+        self.branches.push(b);
+        self
+    }
+
+    effect_methods!(base);
+
+    /// All metadata words this summary reads (action reads plus
+    /// `MetaFlag` gateway conjuncts), across base and branches.
+    pub fn meta_reads(&self) -> impl Iterator<Item = u8> + '_ {
+        let action = self.effect_sets().flat_map(|e| e.reads.iter()).filter_map(|s| match s {
+            Slot::Meta(w) => Some(*w),
+            _ => None,
+        });
+        let gateway = self.requires.iter().filter_map(|r| match r {
+            Req::MetaFlag(w) => Some(*w),
+            _ => None,
+        });
+        action.chain(gateway)
+    }
+
+    /// All metadata words this summary writes (action writes plus guard
+    /// flags), across base and branches.
+    pub fn meta_writes(&self) -> impl Iterator<Item = u8> + '_ {
+        self.effect_sets().flat_map(|e| {
+            e.writes
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Meta(w) => Some(*w),
+                    _ => None,
+                })
+                .chain(e.sets_flags.iter().copied())
+        })
+    }
+
+    /// Base effects followed by every branch's effects.
+    pub fn effect_sets(&self) -> impl Iterator<Item = &Effects> {
+        std::iter::once(&self.base).chain(self.branches.iter().map(|b| &b.effects))
+    }
+}
+
+impl BranchSummary {
+    /// A new empty branch with the given diagnostic name.
+    pub fn new(name: &'static str) -> Self {
+        BranchSummary { name, effects: Effects::default() }
+    }
+
+    effect_methods!(effects);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_builders_accumulate() {
+        let s = MatSummary::on_ports([3u16])
+            .require(Req::Valid(Slot::Pp))
+            .require(Req::PpEnb(true))
+            .reads(Slot::Pp)
+            .writes(Slot::Meta(5))
+            .branch(BranchSummary::new("fail").drops())
+            .branch(BranchSummary::new("ok").sets_flag(3).recirculates(1));
+        assert!(s.ports.admits(3) && !s.ports.admits(4));
+        assert_eq!(s.requires.len(), 2);
+        assert_eq!(s.branches.len(), 2);
+        assert!(s.branches[0].effects.drops);
+        assert_eq!(s.branches[1].effects.recirculates, Some(1));
+        let writes: Vec<u8> = s.meta_writes().collect();
+        assert_eq!(writes, vec![5, 3]);
+        let reads: Vec<u8> = s.meta_reads().collect();
+        assert!(reads.is_empty());
+    }
+
+    #[test]
+    fn meta_flag_counts_as_meta_read() {
+        let s = MatSummary::any_port().require(Req::MetaFlag(2)).reads(Slot::Meta(0));
+        let mut reads: Vec<u8> = s.meta_reads().collect();
+        reads.sort_unstable();
+        assert_eq!(reads, vec![0, 2]);
+    }
+}

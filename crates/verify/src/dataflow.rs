@@ -1,0 +1,614 @@
+//! Passes 1–2: PHV def-use dataflow and table reachability/shadowing.
+//!
+//! The analysis enumerates, per ingress port, every *parse outcome* the
+//! parser accept set allows (which headers are valid on entry — e.g. a
+//! split port admits plain L2 frames, IPv4 non-transport, and transport
+//! with or without extracted payload blocks), then walks the stages in
+//! execution order tracking a three-valued abstract state:
+//!
+//! * `must` — slots definitely valid/defined at this point;
+//! * `may`  — slots possibly valid/defined (⊇ `must`);
+//! * `enb`  — the PayloadPark `enb` bit when statically known;
+//! * `flags` — guard-flag metadata words possibly set, each carrying the
+//!   *imports*: slots that are guaranteed valid whenever the flag is
+//!   observed set (because the setter's own firing precondition and
+//!   effects guaranteed them). This resolves the `META_SPLIT_OK` /
+//!   `META_MERGE_OK` idiom: a table gated on a flag inherits the facts of
+//!   the table that set it.
+//!
+//! Each table evaluates to No / Maybe / Yes per state; a Yes-firing
+//! table's base effects become definite facts, branch effects stay
+//! possible. Reads are checked against the definite set (plus the firing
+//! assumption: required slots and flag imports) — a header read outside
+//! it is PV101, a metadata read outside it PV102, a write to a
+//! possibly-invalid header PV103. Tables that never reach Maybe anywhere
+//! are PV201 (infeasible at entry) or PV202 (shadowed — feasible at entry
+//! but an earlier table always destroys the precondition); conjuncts that
+//! are always satisfied whenever the rest hold are PV203.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pp_rmt::summary::{Effects, Req, Slot};
+
+use crate::diag::{Code, Diagnostic};
+use crate::ir::{PortFacts, ProgramIr};
+
+/// Number of user metadata words in the PHV (mirrors `pp_rmt::phv`).
+const META_WORDS: u8 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Tri {
+    No,
+    Maybe,
+    Yes,
+}
+
+#[derive(Debug, Clone)]
+struct FlagFact {
+    definite: bool,
+    imports: BTreeSet<Slot>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct AbsState {
+    must: BTreeSet<Slot>,
+    may: BTreeSet<Slot>,
+    enb: Option<bool>,
+    flags: BTreeMap<u8, FlagFact>,
+    /// Last table that *definitely* invalidated a slot (shadow attribution).
+    invalidated_by: BTreeMap<Slot, String>,
+    /// Last table that definitely validated a slot.
+    validated_by: BTreeMap<Slot, String>,
+}
+
+struct Outcome {
+    state: AbsState,
+    desc: String,
+}
+
+/// Enumerates the parse outcomes for one port, seeding recirculation
+/// entry facts when present.
+fn entry_outcomes(ir: &ProgramIr, port: u16) -> Vec<Outcome> {
+    let facts = ir.entry.get(&port);
+    let seed = |slots: &[Slot], enb: Option<bool>, desc: String| {
+        let mut st = AbsState {
+            must: slots.iter().copied().collect(),
+            may: slots.iter().copied().collect(),
+            enb,
+            ..AbsState::default()
+        };
+        if let Some(f) = facts {
+            for &w in &f.defined_meta {
+                st.must.insert(Slot::Meta(w));
+                st.may.insert(Slot::Meta(w));
+            }
+            for &w in &f.flags {
+                st.must.insert(Slot::Meta(w));
+                st.may.insert(Slot::Meta(w));
+                st.flags.insert(w, FlagFact { definite: true, imports: BTreeSet::new() });
+            }
+        }
+        Outcome { state: st, desc: format!("port {port}, {desc}") }
+    };
+
+    let mut outs = vec![
+        seed(&[Slot::Eth], None, "non-IPv4 frame".into()),
+        seed(&[Slot::Eth, Slot::Ipv4], None, "IPv4 non-transport".into()),
+    ];
+    let pp = ir.parser.pp_ports.contains(&port);
+    let blocks_possible = ir.parser.block_ports.contains(&port) && ir.parser.block_capacity > 0;
+    let base = [Slot::Eth, Slot::Ipv4, Slot::Transport];
+    let mut block_cases = vec![false];
+    if blocks_possible {
+        block_cases.push(true);
+    }
+    for with_blocks in block_cases {
+        let mut slots: Vec<Slot> = base.to_vec();
+        let mut desc = String::from("transport");
+        if with_blocks {
+            slots.push(Slot::Blocks);
+            desc.push_str("+blocks");
+        }
+        if pp {
+            // On a PayloadPark port the header is *required* after the
+            // transport header: transport-without-shim is a parse error,
+            // so the only transport outcomes carry Pp, with either enb.
+            slots.push(Slot::Pp);
+            for enb in [false, true] {
+                outs.push(seed(&slots, Some(enb), format!("{desc}+pp(enb={})", u8::from(enb))));
+            }
+        } else {
+            outs.push(seed(&slots, None, desc));
+        }
+    }
+    outs
+}
+
+/// The ports worth analyzing: everything the parser or any gateway names,
+/// plus one representative unlisted port (plain traffic).
+fn ports_of_interest(ir: &ProgramIr) -> Vec<u16> {
+    let mut set: BTreeSet<u16> = ir.parser.pp_ports.iter().copied().collect();
+    set.extend(ir.parser.block_ports.iter().copied());
+    for mat in ir.mats() {
+        if let Some(s) = &mat.summary {
+            if let pp_rmt::summary::PortDomain::Set(ports) = &s.ports {
+                set.extend(ports.iter());
+            }
+        }
+    }
+    set.extend(ir.entry.keys().copied());
+    let other = (0..u16::MAX).find(|p| !set.contains(p)).unwrap_or(0);
+    set.insert(other);
+    set.into_iter().collect()
+}
+
+fn eval_req(r: &Req, st: &AbsState) -> Tri {
+    match r {
+        Req::Valid(s) => {
+            if st.must.contains(s) {
+                Tri::Yes
+            } else if st.may.contains(s) {
+                Tri::Maybe
+            } else {
+                Tri::No
+            }
+        }
+        Req::Invalid(s) => {
+            if !st.may.contains(s) {
+                Tri::Yes
+            } else if !st.must.contains(s) {
+                Tri::Maybe
+            } else {
+                Tri::No
+            }
+        }
+        Req::PpEnb(b) => match st.enb {
+            Some(x) if x == *b => Tri::Yes,
+            Some(_) => Tri::No,
+            None => Tri::Maybe,
+        },
+        Req::MetaFlag(w) => match st.flags.get(w) {
+            Some(f) if f.definite => Tri::Yes,
+            Some(_) => Tri::Maybe,
+            None => Tri::No,
+        },
+    }
+}
+
+fn fire_status(admitted: bool, evals: &[Tri]) -> Tri {
+    if !admitted || evals.contains(&Tri::No) {
+        Tri::No
+    } else if evals.contains(&Tri::Maybe) {
+        Tri::Maybe
+    } else {
+        Tri::Yes
+    }
+}
+
+/// Slots an effect set defines (metadata writes, validated headers, flags).
+fn defined_by(eff: &Effects) -> impl Iterator<Item = Slot> + '_ {
+    eff.writes
+        .iter()
+        .filter(|s| s.is_meta())
+        .copied()
+        .chain(eff.sets_valid.iter().copied())
+        .chain(eff.sets_flags.iter().map(|&w| Slot::Meta(w)))
+}
+
+fn apply_effects(
+    st: &mut AbsState,
+    eff: &Effects,
+    definite: bool,
+    mat: &str,
+    flag_imports: &BTreeSet<Slot>,
+) {
+    for w in &eff.writes {
+        if w.is_meta() {
+            st.may.insert(*w);
+            if definite {
+                st.must.insert(*w);
+            }
+        }
+    }
+    for s in &eff.sets_valid {
+        st.may.insert(*s);
+        if definite {
+            st.must.insert(*s);
+            st.validated_by.insert(*s, mat.to_owned());
+        }
+    }
+    for s in &eff.sets_invalid {
+        st.must.remove(s);
+        if definite {
+            st.may.remove(s);
+            st.invalidated_by.insert(*s, mat.to_owned());
+        }
+    }
+    if let Some(b) = eff.sets_enb {
+        st.enb = if definite || st.enb == Some(b) { Some(b) } else { None };
+    }
+    for &w in &eff.sets_flags {
+        st.may.insert(Slot::Meta(w));
+        if definite {
+            st.must.insert(Slot::Meta(w));
+        }
+        let mut imports = flag_imports.clone();
+        imports.insert(Slot::Meta(w));
+        match st.flags.get_mut(&w) {
+            Some(existing) => {
+                existing.definite |= definite;
+                existing.imports = existing.imports.intersection(&imports).copied().collect();
+            }
+            None => {
+                st.flags.insert(w, FlagFact { definite, imports });
+            }
+        }
+    }
+}
+
+/// Widen the state for a table without a summary: it may define anything,
+/// but is assumed not to invalidate existing facts (documented in PV001).
+fn havoc(st: &mut AbsState, flag_universe: &BTreeSet<u8>) {
+    for s in [Slot::Eth, Slot::Ipv4, Slot::Transport, Slot::Pp, Slot::Blocks] {
+        st.may.insert(s);
+    }
+    for w in 0..META_WORDS {
+        st.may.insert(Slot::Meta(w));
+    }
+    st.enb = None;
+    for &w in flag_universe {
+        st.flags.entry(w).or_insert_with(|| FlagFact { definite: false, imports: BTreeSet::new() });
+    }
+}
+
+#[derive(Default)]
+struct MatAgg {
+    ever_fires: bool,
+    entry_feasible: bool,
+    culprits: BTreeSet<String>,
+    conjunct_live: Vec<bool>,
+}
+
+/// Result of the dataflow walk over one program.
+pub struct WalkResult {
+    /// PV001/PV1xx/PV2xx findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per recirculation channel: facts guaranteed on every path that
+    /// requests recirculation there (intersection across paths). These
+    /// become the entry facts of the target pipe's recirculation port.
+    pub recirc_exits: BTreeMap<u8, PortFacts>,
+}
+
+fn slot_name(s: Slot) -> String {
+    match s {
+        Slot::Meta(w) => format!("meta[{w}]"),
+        other => format!("{other:?}"),
+    }
+}
+
+fn req_name(r: &Req) -> String {
+    match r {
+        Req::Valid(s) => format!("valid({})", slot_name(*s)),
+        Req::Invalid(s) => format!("invalid({})", slot_name(*s)),
+        Req::PpEnb(b) => format!("pp.enb=={b}"),
+        Req::MetaFlag(w) => format!("flag(meta[{w}])"),
+    }
+}
+
+/// Runs passes 1–2 over a program.
+pub fn analyze(ir: &ProgramIr) -> WalkResult {
+    // Deduplicated findings: first witness wins.
+    let mut found: BTreeMap<(&'static str, String, String), Diagnostic> = BTreeMap::new();
+    let mut emit = |code: Code, mat: &str, detail: String, message: String, witness: &str| {
+        found
+            .entry((code.as_str(), mat.to_owned(), detail))
+            .or_insert_with(|| Diagnostic::new(code, Some(mat), message).with_witness(witness));
+    };
+
+    let flag_universe: BTreeSet<u8> = ir
+        .mats()
+        .filter_map(|m| m.summary.as_ref())
+        .flat_map(|s| {
+            s.effect_sets()
+                .flat_map(|e| e.sets_flags.iter().copied())
+                .chain(s.requires.iter().filter_map(|r| match r {
+                    Req::MetaFlag(w) => Some(*w),
+                    _ => None,
+                }))
+                .collect::<Vec<_>>()
+        })
+        .chain(ir.entry.values().flat_map(|f| f.flags.iter().copied()))
+        .collect();
+
+    let mats: Vec<_> = ir.mats().collect();
+    let mut aggs: Vec<MatAgg> = mats
+        .iter()
+        .map(|m| MatAgg {
+            conjunct_live: vec![false; m.summary.as_ref().map_or(0, |s| s.requires.len())],
+            ..MatAgg::default()
+        })
+        .collect();
+    let mut recirc_exits: BTreeMap<u8, PortFacts> = BTreeMap::new();
+
+    for port in ports_of_interest(ir) {
+        for outcome in entry_outcomes(ir, port) {
+            // Entry feasibility (for PV201-vs-PV202 classification).
+            for (mi, mat) in mats.iter().enumerate() {
+                if let Some(sum) = &mat.summary {
+                    let admitted = sum.ports.admits(port);
+                    let evals: Vec<Tri> =
+                        sum.requires.iter().map(|r| eval_req(r, &outcome.state)).collect();
+                    if fire_status(admitted, &evals) != Tri::No {
+                        aggs[mi].entry_feasible = true;
+                    }
+                }
+            }
+
+            let mut st = outcome.state.clone();
+            let mut mi = 0usize;
+            for stage in &ir.stages {
+                for mat in stage {
+                    let idx = mi;
+                    mi += 1;
+                    let Some(sum) = &mat.summary else {
+                        havoc(&mut st, &flag_universe);
+                        continue;
+                    };
+                    let admitted = sum.ports.admits(port);
+                    let evals: Vec<Tri> = sum.requires.iter().map(|r| eval_req(r, &st)).collect();
+                    let fire = fire_status(admitted, &evals);
+                    if admitted {
+                        for i in 0..evals.len() {
+                            let others_hold =
+                                evals.iter().enumerate().all(|(j, e)| j == i || *e != Tri::No);
+                            if others_hold && evals[i] != Tri::Yes {
+                                aggs[idx].conjunct_live[i] = true;
+                            }
+                        }
+                    }
+                    if fire == Tri::No {
+                        if admitted {
+                            // Shadow attribution: which earlier table
+                            // destroyed a conjunct that entry satisfied?
+                            for (i, r) in sum.requires.iter().enumerate() {
+                                if evals[i] != Tri::No {
+                                    continue;
+                                }
+                                let culprit = match r {
+                                    Req::Valid(s) => st.invalidated_by.get(s),
+                                    Req::Invalid(s) => st.validated_by.get(s),
+                                    _ => None,
+                                };
+                                if let Some(c) = culprit {
+                                    aggs[idx].culprits.insert(c.clone());
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    aggs[idx].ever_fires = true;
+
+                    // The definite set under the firing assumption.
+                    let mut definite = st.must.clone();
+                    for r in &sum.requires {
+                        match r {
+                            Req::Valid(s) => {
+                                definite.insert(*s);
+                            }
+                            Req::MetaFlag(w) => {
+                                definite.insert(Slot::Meta(*w));
+                                if let Some(f) = st.flags.get(w) {
+                                    definite.extend(f.imports.iter().copied());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+
+                    // Read/write checks over base + each branch.
+                    let named: Vec<(&str, &Effects)> = std::iter::once(("", &sum.base))
+                        .chain(sum.branches.iter().map(|b| (b.name, &b.effects)))
+                        .collect();
+                    for (bname, eff) in &named {
+                        let ctx = if bname.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (branch `{bname}`)")
+                        };
+                        for r in &eff.reads {
+                            if definite.contains(r) {
+                                continue;
+                            }
+                            if r.is_meta() {
+                                emit(
+                                    Code::PV102,
+                                    &mat.name,
+                                    slot_name(*r),
+                                    format!(
+                                        "reads {} which is not definitely written here{ctx} — \
+                                         the parser's zero fill can leak through",
+                                        slot_name(*r)
+                                    ),
+                                    &outcome.desc,
+                                );
+                            } else {
+                                let how = if st.may.contains(r) {
+                                    "may be invalid"
+                                } else {
+                                    "is never valid"
+                                };
+                                emit(
+                                    Code::PV101,
+                                    &mat.name,
+                                    slot_name(*r),
+                                    format!(
+                                        "reads {} which {how} when this table fires{ctx}",
+                                        slot_name(*r)
+                                    ),
+                                    &outcome.desc,
+                                );
+                            }
+                        }
+                        for w in &eff.writes {
+                            let ok = match w {
+                                // The blocks vector is sized iff a
+                                // transport header parsed.
+                                Slot::Blocks => definite.contains(&Slot::Transport),
+                                Slot::Ipv4 | Slot::Transport | Slot::Pp => {
+                                    definite.contains(w) || eff.sets_valid.contains(w)
+                                }
+                                Slot::Eth | Slot::Meta(_) => true,
+                            };
+                            if !ok {
+                                emit(
+                                    Code::PV103,
+                                    &mat.name,
+                                    slot_name(*w),
+                                    format!(
+                                        "writes {} which may be invalid when this table \
+                                         fires{ctx} — the write is lost or out of bounds",
+                                        slot_name(*w)
+                                    ),
+                                    &outcome.desc,
+                                );
+                            }
+                        }
+                    }
+
+                    // Recirculation exit facts: what is guaranteed about
+                    // metadata on every path that recirculates here.
+                    for (bname, eff) in &named {
+                        let Some(ch) = eff.recirculates else { continue };
+                        let mut defined: BTreeSet<u8> = definite
+                            .iter()
+                            .filter_map(|s| match s {
+                                Slot::Meta(w) => Some(*w),
+                                _ => None,
+                            })
+                            .collect();
+                        let mut flags: BTreeSet<u8> =
+                            st.flags.iter().filter(|(_, f)| f.definite).map(|(w, _)| *w).collect();
+                        let mut absorb = |e: &Effects| {
+                            defined.extend(e.writes.iter().filter_map(|s| match s {
+                                Slot::Meta(w) => Some(*w),
+                                _ => None,
+                            }));
+                            defined.extend(e.sets_flags.iter().copied());
+                            flags.extend(e.sets_flags.iter().copied());
+                        };
+                        absorb(&sum.base);
+                        if !bname.is_empty() {
+                            absorb(eff);
+                        }
+                        match recirc_exits.get_mut(&ch) {
+                            Some(existing) => {
+                                existing.defined_meta =
+                                    existing.defined_meta.intersection(&defined).copied().collect();
+                                existing.flags =
+                                    existing.flags.intersection(&flags).copied().collect();
+                            }
+                            None => {
+                                recirc_exits.insert(ch, PortFacts { defined_meta: defined, flags });
+                            }
+                        }
+                    }
+
+                    // Apply effects.
+                    let definite_level = fire == Tri::Yes;
+                    let base_imports: BTreeSet<Slot> =
+                        definite.iter().copied().chain(defined_by(&sum.base)).collect();
+                    apply_effects(&mut st, &sum.base, definite_level, &mat.name, &base_imports);
+                    for br in &sum.branches {
+                        let imports: BTreeSet<Slot> =
+                            base_imports.iter().copied().chain(defined_by(&br.effects)).collect();
+                        apply_effects(&mut st, &br.effects, false, &mat.name, &imports);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for mat in &mats {
+        if mat.summary.is_none() {
+            diagnostics.push(Diagnostic::new(
+                Code::PV001,
+                Some(&mat.name),
+                "table has no dataflow summary; passes 1-2 treat it as opaque \
+                 (may define anything, assumed to invalidate nothing)",
+            ));
+        }
+    }
+    for (mat, agg) in mats.iter().zip(&aggs) {
+        let Some(sum) = &mat.summary else { continue };
+        if !agg.ever_fires {
+            if agg.entry_feasible {
+                let culprits = if agg.culprits.is_empty() {
+                    "earlier tables".to_owned()
+                } else {
+                    agg.culprits.iter().cloned().collect::<Vec<_>>().join(", ")
+                };
+                diagnostics.push(Diagnostic::new(
+                    Code::PV202,
+                    Some(&mat.name),
+                    format!(
+                        "shadowed: its precondition is feasible at parser entry but is \
+                         always destroyed by {culprits}"
+                    ),
+                ));
+            } else {
+                diagnostics.push(Diagnostic::new(
+                    Code::PV201,
+                    Some(&mat.name),
+                    "can never fire given the parser accept set (dead rule)",
+                ));
+            }
+        } else {
+            for (i, live) in agg.conjunct_live.iter().enumerate() {
+                if !live {
+                    diagnostics.push(Diagnostic::new(
+                        Code::PV203,
+                        Some(&mat.name),
+                        format!(
+                            "gateway conjunct {} is redundant: always satisfied when the \
+                             other conjuncts hold",
+                            req_name(&sum.requires[i])
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diagnostics.extend(found.into_values());
+
+    WalkResult { diagnostics, recirc_exits }
+}
+
+/// Whole-deployment metadata def-use: words written by some table but read
+/// by none (PV204). Pass every pipe of a deployment so cross-pipe reads
+/// (recirculation bridging) are credited.
+pub fn meta_usage(irs: &[&ProgramIr]) -> Vec<Diagnostic> {
+    let mut writers: BTreeMap<u8, BTreeSet<String>> = BTreeMap::new();
+    let mut readers: BTreeSet<u8> = BTreeSet::new();
+    for ir in irs {
+        for mat in ir.mats() {
+            let Some(sum) = &mat.summary else { continue };
+            readers.extend(sum.meta_reads());
+            for w in sum.meta_writes() {
+                writers.entry(w).or_default().insert(mat.name.clone());
+            }
+        }
+    }
+    writers
+        .into_iter()
+        .filter(|(w, _)| !readers.contains(w))
+        .map(|(w, who)| {
+            let who = who.into_iter().collect::<Vec<_>>().join(", ");
+            Diagnostic::new(
+                Code::PV204,
+                Some(&who),
+                format!("metadata word meta[{w}] is written but never read in this deployment"),
+            )
+        })
+        .collect()
+}

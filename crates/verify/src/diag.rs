@@ -1,0 +1,282 @@
+//! Diagnostics: stable codes, severities and the rendered report.
+
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail `pp-lint` (exit 1) and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth a look, harmless to ship (dead meta writes,
+    /// unanalyzable tables, unused registers).
+    Info,
+    /// Suspicious: likely-unintended but not unsound (reads of
+    /// zero-initialised metadata, unreachable tables, unproven RMW
+    /// exclusivity).
+    Warning,
+    /// A violated invariant the runtime relies on: reads of invalid
+    /// headers, shadowed tables, cross-stage register bindings,
+    /// overlapping shard ownership.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. The number space is PV`<pass><nn>`:
+/// PV0xx tool-level, PV1xx def-use, PV2xx reachability/shadowing,
+/// PV3xx stage-locality, PV4xx shard disjointness. Codes are append-only —
+/// tests and downstream tooling pin them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// A MAT has no dataflow summary; passes 1–2 treat it as opaque.
+    PV001,
+    /// The configuration failed validation before any pass ran.
+    PV002,
+    /// Action reads a header slot that may be invalid on a reachable path.
+    PV101,
+    /// Action reads a metadata word not definitely written on some path
+    /// (it reads the parser's zero fill).
+    PV102,
+    /// Action writes a header slot that may be invalid (the write is
+    /// silently lost, or for payload blocks, out of the sized vector).
+    PV103,
+    /// Table can never fire given the parser accept set (dead rule).
+    PV201,
+    /// Table is shadowed: its precondition is feasible at parser entry but
+    /// an earlier table always destroys it.
+    PV202,
+    /// Gateway conjunct is redundant: implied by the parser accept set and
+    /// the other conjuncts on every reachable packet.
+    PV203,
+    /// Metadata word is written but never read by any table in the
+    /// deployment (dead write).
+    PV204,
+    /// Register array is bound by tables in more than one stage — breaks
+    /// the stage-locality precondition of batch/scalar equivalence.
+    PV301,
+    /// Register array is bound in a stage other than the one its spec
+    /// declares (stateful memory is physically per-stage).
+    PV302,
+    /// Two tables in one stage bind the same register without provably
+    /// exclusive guards: a packet could RMW the same cell twice.
+    PV303,
+    /// Register array is declared but never bound by any table.
+    PV304,
+    /// Two shard workers own overlapping park-table slot ranges.
+    PV401,
+    /// A port is claimed by more than one shard worker (or the plan's
+    /// port map disagrees with a worker's slice configuration).
+    PV402,
+    /// Shard coverage gap: a parent slot range or port no worker owns.
+    PV403,
+    /// Recirculation (annex) enabled in a multi-worker plan: recirculated
+    /// packets would cross worker ownership.
+    PV404,
+}
+
+impl Code {
+    /// The stable text form ("PV101").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::PV001 => "PV001",
+            Code::PV002 => "PV002",
+            Code::PV101 => "PV101",
+            Code::PV102 => "PV102",
+            Code::PV103 => "PV103",
+            Code::PV201 => "PV201",
+            Code::PV202 => "PV202",
+            Code::PV203 => "PV203",
+            Code::PV204 => "PV204",
+            Code::PV301 => "PV301",
+            Code::PV302 => "PV302",
+            Code::PV303 => "PV303",
+            Code::PV304 => "PV304",
+            Code::PV401 => "PV401",
+            Code::PV402 => "PV402",
+            Code::PV403 => "PV403",
+            Code::PV404 => "PV404",
+        }
+    }
+
+    /// The default severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::PV001 | Code::PV203 | Code::PV204 | Code::PV304 => Severity::Info,
+            Code::PV102 | Code::PV103 | Code::PV201 | Code::PV303 | Code::PV403 => {
+                Severity::Warning
+            }
+            Code::PV002
+            | Code::PV101
+            | Code::PV202
+            | Code::PV301
+            | Code::PV302
+            | Code::PV401
+            | Code::PV402
+            | Code::PV404 => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding. Diagnostics are plain data: stable [`Code`], the severity
+/// (always `code.severity()`), the table it anchors to when there is one,
+/// a human-readable message and, for path-sensitive findings, a witness
+/// describing a packet shape that exhibits the problem.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable code (see [`Code`] for the catalogue).
+    pub code: Code,
+    /// Severity, derived from the code.
+    pub severity: Severity,
+    /// The MAT the finding anchors to, when applicable.
+    pub mat: Option<String>,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// A packet shape (ingress port + parse outcome) witnessing the
+    /// finding, for path-sensitive passes.
+    pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the code's default severity.
+    pub fn new(code: Code, mat: Option<&str>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            mat: mat.map(str::to_owned),
+            message: message.into(),
+            witness: None,
+        }
+    }
+
+    /// Attaches a witness packet shape.
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Self {
+        self.witness = Some(witness.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.code)?;
+        if let Some(mat) = &self.mat {
+            write!(f, " {mat}:")?;
+        }
+        write!(f, " {}", self.message)?;
+        if let Some(w) = &self.witness {
+            write!(f, " (witness: {w})")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings for one analyzed program, with a rendered text form.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Label of the analyzed program ("park pipe 0", "annex pipe 1", ...).
+    pub program: String,
+    /// Findings, ordered most severe first, then by code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps findings under a program label, sorting them most severe
+    /// first then by code (stable within a code).
+    pub fn new(program: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(&b.code)));
+        Report { program: program.into(), diagnostics }
+    }
+
+    /// The most severe finding present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Renders the report as text, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let verdict = match self.worst() {
+            Some(Severity::Error) => "FAIL",
+            Some(Severity::Warning) => "warn",
+            _ => "ok",
+        };
+        out.push_str(&format!(
+            "== {} — {} ({} error, {} warning, {} info)\n",
+            self.program,
+            verdict,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_have_severities() {
+        for code in [
+            Code::PV001,
+            Code::PV002,
+            Code::PV101,
+            Code::PV102,
+            Code::PV103,
+            Code::PV201,
+            Code::PV202,
+            Code::PV203,
+            Code::PV204,
+            Code::PV301,
+            Code::PV302,
+            Code::PV303,
+            Code::PV304,
+            Code::PV401,
+            Code::PV402,
+            Code::PV403,
+            Code::PV404,
+        ] {
+            assert!(code.as_str().starts_with("PV"));
+            let _ = code.severity();
+        }
+        assert_eq!(Code::PV101.severity(), Severity::Error);
+        assert_eq!(Code::PV102.severity(), Severity::Warning);
+        assert_eq!(Code::PV204.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let r = Report::new(
+            "p",
+            vec![
+                Diagnostic::new(Code::PV204, None, "dead write"),
+                Diagnostic::new(Code::PV101, Some("t"), "bad read").with_witness("port 0, Eth"),
+            ],
+        );
+        assert_eq!(r.diagnostics[0].code, Code::PV101);
+        assert_eq!(r.worst(), Some(Severity::Error));
+        let text = r.render();
+        assert!(text.contains("FAIL") && text.contains("witness: port 0"), "{text}");
+    }
+}

@@ -1,0 +1,143 @@
+//! The analyzed program form: a plain-data mirror of a built
+//! [`Pipeline`]'s structure.
+//!
+//! The verifier never touches closures — it works on [`ProgramIr`], which
+//! couples each table's declared [`MatSummary`] with its stage placement
+//! and stateful binding, plus the parser accept set and register specs.
+//! The IR is fully public and hand-buildable, which is how the negative
+//! test suite constructs programs that [`pp_rmt::PipelineBuilder`] itself
+//! would refuse to build (e.g. cross-stage register bindings).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use pp_rmt::summary::MatSummary;
+use pp_rmt::{ParserConfig, Pipeline};
+
+/// One table: its name, placement, summary and stateful binding.
+#[derive(Debug, Clone)]
+pub struct MatIr {
+    /// Table name (diagnostics anchor).
+    pub name: String,
+    /// Stage the table is placed in.
+    pub stage: usize,
+    /// Declared dataflow summary, if any ([`crate::Code::PV001`] when absent).
+    pub summary: Option<MatSummary>,
+    /// Index of the bound register in [`ProgramIr::registers`], if any.
+    pub stateful: Option<usize>,
+}
+
+/// One register array declaration.
+#[derive(Debug, Clone)]
+pub struct RegIr {
+    /// Register name.
+    pub name: String,
+    /// Stage the spec declares the array lives in.
+    pub stage: usize,
+}
+
+/// The parser accept set, per ingress port.
+#[derive(Debug, Clone, Default)]
+pub struct ParserIr {
+    /// Ports where a PayloadPark header is parsed (and required) after
+    /// the transport header.
+    pub pp_ports: BTreeSet<u16>,
+    /// Ports where payload blocks may be extracted.
+    pub block_ports: BTreeSet<u16>,
+    /// PHV payload-block capacity; the blocks vector is sized to this
+    /// whenever a transport header parses (0 = no blocks ever).
+    pub block_capacity: usize,
+}
+
+impl ParserIr {
+    /// Extracts the accept set from a parser configuration.
+    pub fn from_config(config: &ParserConfig) -> Self {
+        ParserIr {
+            pp_ports: config.pp_header_ports.iter().collect(),
+            block_ports: config.block_rules.iter().map(|(p, _)| p).collect(),
+            block_capacity: config.phv_block_capacity,
+        }
+    }
+}
+
+/// Facts known to hold for packets *entering* on one port, beyond what the
+/// parser derives — used for recirculation ports, where user metadata is
+/// bridged from the pass that requested recirculation.
+#[derive(Debug, Clone, Default)]
+pub struct PortFacts {
+    /// Metadata words definitely written before entry.
+    pub defined_meta: BTreeSet<u8>,
+    /// Guard flags definitely set non-zero before entry.
+    pub flags: BTreeSet<u8>,
+}
+
+/// The whole analyzed program.
+#[derive(Debug, Clone)]
+pub struct ProgramIr {
+    /// Program label for reports.
+    pub name: String,
+    /// Stages in execution order; each is the tables placed there, in
+    /// placement (execution) order.
+    pub stages: Vec<Vec<MatIr>>,
+    /// Declared register arrays, indexed by [`MatIr::stateful`].
+    pub registers: Vec<RegIr>,
+    /// Parser accept set.
+    pub parser: ParserIr,
+    /// Extra entry facts per port (recirculation metadata bridging).
+    pub entry: BTreeMap<u16, PortFacts>,
+}
+
+impl ProgramIr {
+    /// Extracts the IR from a built pipeline. `parser` is passed
+    /// separately (normally `pipeline.parser()`) so a program can be
+    /// checked against an alternative accept set.
+    pub fn from_pipeline(
+        name: impl Into<String>,
+        pipeline: &Pipeline,
+        parser: &ParserConfig,
+    ) -> Self {
+        let registers: Vec<RegIr> = pipeline
+            .registers()
+            .specs()
+            .iter()
+            .map(|spec| RegIr { name: spec.name.clone(), stage: spec.stage })
+            .collect();
+        let stages = pipeline
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(stage, s)| {
+                s.mats()
+                    .iter()
+                    .map(|m| MatIr {
+                        name: m.name().to_owned(),
+                        stage,
+                        summary: m.summary().cloned(),
+                        stateful: m.stateful_array().map(|id| id.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        ProgramIr {
+            name: name.into(),
+            stages,
+            registers,
+            parser: ParserIr::from_config(parser),
+            entry: BTreeMap::new(),
+        }
+    }
+
+    /// All tables in execution order.
+    pub fn mats(&self) -> impl Iterator<Item = &MatIr> {
+        self.stages.iter().flatten()
+    }
+
+    /// Whether any summary requests recirculation (the program continues
+    /// in another pipe, so single-pipe whole-program passes must not
+    /// assume they saw every reader).
+    pub fn recirculates(&self) -> bool {
+        self.mats().any(|m| {
+            m.summary.as_ref().is_some_and(|s| s.effect_sets().any(|e| e.recirculates.is_some()))
+        })
+    }
+}

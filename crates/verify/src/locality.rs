@@ -1,0 +1,120 @@
+//! Pass 3: stateful-register stage locality.
+//!
+//! The batch executor (`Pipeline::execute_batch`) and the sharded fastpath
+//! are scalar-equivalent only because a register array is touched from
+//! exactly one stage: stage-major batch execution then performs every RMW
+//! of an array in the same global order as packet-major scalar execution.
+//! This pass proves that property over the IR — and additionally that the
+//! binding stage matches the stage the register spec declares (stateful
+//! SRAM is physically per-stage), and that two same-stage tables binding
+//! one array have provably exclusive guards (otherwise a single packet
+//! could RMW the same cell twice, which the Tofino stateful ALU cannot do).
+
+use std::collections::BTreeMap;
+
+use pp_rmt::summary::{PortDomain, Req};
+
+use crate::diag::{Code, Diagnostic};
+use crate::ir::{MatIr, ProgramIr};
+
+/// Whether two tables can be proven never to fire on the same packet.
+fn mutually_exclusive(a: &MatIr, b: &MatIr) -> bool {
+    let (Some(sa), Some(sb)) = (&a.summary, &b.summary) else {
+        return false;
+    };
+    if let (PortDomain::Set(pa), PortDomain::Set(pb)) = (&sa.ports, &sb.ports) {
+        if pa.iter().all(|p| !pb.contains(p)) {
+            return true;
+        }
+    }
+    for ra in &sa.requires {
+        for rb in &sb.requires {
+            let contradictory = match (ra, rb) {
+                (Req::Valid(x), Req::Invalid(y)) | (Req::Invalid(x), Req::Valid(y)) => x == y,
+                (Req::PpEnb(x), Req::PpEnb(y)) => x != y,
+                _ => false,
+            };
+            if contradictory {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Runs pass 3 over a program: PV301/PV302/PV303/PV304.
+pub fn check_stage_locality(ir: &ProgramIr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // register index -> stage -> binding tables.
+    let mut bound: BTreeMap<usize, BTreeMap<usize, Vec<&MatIr>>> = BTreeMap::new();
+    for mat in ir.mats() {
+        if let Some(reg) = mat.stateful {
+            bound.entry(reg).or_default().entry(mat.stage).or_default().push(mat);
+        }
+    }
+    for (reg_idx, by_stage) in &bound {
+        let reg_name = ir
+            .registers
+            .get(*reg_idx)
+            .map_or_else(|| format!("register #{reg_idx}"), |r| r.name.clone());
+        if by_stage.len() > 1 {
+            let sites: Vec<String> = by_stage
+                .iter()
+                .flat_map(|(stage, mats)| {
+                    mats.iter().map(move |m| format!("{}@stage{}", m.name, stage))
+                })
+                .collect();
+            diags.push(Diagnostic::new(
+                Code::PV301,
+                None,
+                format!(
+                    "register `{reg_name}` is bound in {} stages ({}) — breaks the \
+                     stage-locality precondition of batch/scalar equivalence",
+                    by_stage.len(),
+                    sites.join(", ")
+                ),
+            ));
+        }
+        for (stage, mats) in by_stage {
+            if let Some(spec) = ir.registers.get(*reg_idx) {
+                if *stage != spec.stage {
+                    diags.push(Diagnostic::new(
+                        Code::PV302,
+                        Some(&mats[0].name),
+                        format!(
+                            "binds register `{reg_name}` from stage {stage}, but its spec \
+                             places it in stage {} — stateful SRAM is per-stage",
+                            spec.stage
+                        ),
+                    ));
+                }
+            }
+            for i in 0..mats.len() {
+                for j in (i + 1)..mats.len() {
+                    if !mutually_exclusive(mats[i], mats[j]) {
+                        diags.push(Diagnostic::new(
+                            Code::PV303,
+                            Some(&mats[i].name),
+                            format!(
+                                "and `{}` both bind register `{reg_name}` in stage {stage} \
+                                 without provably exclusive guards — one packet could RMW \
+                                 the array twice",
+                                mats[j].name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (idx, reg) in ir.registers.iter().enumerate() {
+        if !bound.contains_key(&idx) {
+            diags.push(Diagnostic::new(
+                Code::PV304,
+                None,
+                format!("register `{}` is declared but never bound by any table", reg.name),
+            ));
+        }
+    }
+    diags
+}

@@ -1,0 +1,221 @@
+//! Pass 4: shard disjointness.
+//!
+//! A [`payloadpark::shard::ShardPlan`] partitions one deployment across
+//! parallel workers. Concurrent shards are race-free only if every
+//! lookup-table slot and every ingress port is owned by exactly one
+//! worker. This pass checks that over a plain-data [`ShardIr`] — built
+//! from a real plan with [`ShardIr::from_plan`], or by hand for negative
+//! tests (a real `ShardPlan::new` refuses most of these shapes up front;
+//! the verifier proves the property rather than trusting the constructor).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use payloadpark::shard::ShardPlan;
+use payloadpark::ParkConfig;
+
+use crate::diag::{Code, Diagnostic};
+
+/// One worker's claim on a contiguous global lookup-table slot range.
+#[derive(Debug, Clone)]
+pub struct SliceClaim {
+    /// Slice name (from the parent deployment).
+    pub name: String,
+    /// Global slot range claimed, in parent-table coordinates.
+    pub slots: Range<usize>,
+}
+
+/// One worker of a shard plan.
+#[derive(Debug, Clone)]
+pub struct WorkerIr {
+    /// Worker label ("worker0", ...).
+    pub name: String,
+    /// Split and merge ports this worker serves.
+    pub ports: BTreeSet<u16>,
+    /// Slot ranges this worker claims.
+    pub claims: Vec<SliceClaim>,
+}
+
+/// The analyzed form of a shard plan.
+#[derive(Debug, Clone)]
+pub struct ShardIr {
+    /// Total slots of the parent deployment (the space to cover).
+    pub total_slots: usize,
+    /// All split/merge ports of the parent deployment.
+    pub parent_ports: BTreeSet<u16>,
+    /// Whether the parent uses an annex (recirculation) pipe.
+    pub parent_has_annex: bool,
+    /// Per-worker claims.
+    pub workers: Vec<WorkerIr>,
+    /// The plan's port→worker routing map (checked against worker claims).
+    pub port_map: BTreeMap<u16, usize>,
+}
+
+impl ShardIr {
+    /// Builds the IR from a parent deployment and a plan derived from it.
+    /// Global slot ranges are assigned by the parent's slice declaration
+    /// order (the same order the program generator lays slices out in the
+    /// register file).
+    pub fn from_plan(parent: &ParkConfig, plan: &ShardPlan) -> ShardIr {
+        let pipe = &parent.pipes[0];
+        let mut ranges: BTreeMap<&str, Range<usize>> = BTreeMap::new();
+        let mut base = 0usize;
+        let mut parent_ports = BTreeSet::new();
+        for slice in &pipe.slices {
+            ranges.insert(&slice.name, base..base + slice.slots);
+            base += slice.slots;
+            parent_ports.extend(slice.split_ports.iter().copied());
+            parent_ports.extend(slice.merge_ports.iter().copied());
+        }
+        let workers = (0..plan.workers())
+            .map(|w| {
+                let mut ports = BTreeSet::new();
+                let mut claims = Vec::new();
+                for slice in &plan.config(w).pipes[0].slices {
+                    ports.extend(slice.split_ports.iter().copied());
+                    ports.extend(slice.merge_ports.iter().copied());
+                    let slots =
+                        ranges.get(slice.name.as_str()).cloned().unwrap_or(usize::MAX..usize::MAX);
+                    claims.push(SliceClaim { name: slice.name.clone(), slots });
+                }
+                WorkerIr { name: format!("worker{w}"), ports, claims }
+            })
+            .collect();
+        let port_map =
+            parent_ports.iter().filter_map(|&p| plan.shard_of_port(p).map(|w| (p, w))).collect();
+        ShardIr {
+            total_slots: pipe.total_slots(),
+            parent_ports,
+            parent_has_annex: pipe.annex_pipe.is_some(),
+            workers,
+            port_map,
+        }
+    }
+}
+
+fn overlap(a: &Range<usize>, b: &Range<usize>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Runs pass 4: PV401/PV402/PV403/PV404.
+pub fn check_shards(ir: &ShardIr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // PV401: overlapping slot ranges, across and within workers.
+    let claims: Vec<(&str, &SliceClaim)> = ir
+        .workers
+        .iter()
+        .flat_map(|w| w.claims.iter().map(move |c| (w.name.as_str(), c)))
+        .collect();
+    for i in 0..claims.len() {
+        for j in (i + 1)..claims.len() {
+            let (wa, ca) = claims[i];
+            let (wb, cb) = claims[j];
+            if overlap(&ca.slots, &cb.slots) {
+                diags.push(Diagnostic::new(
+                    Code::PV401,
+                    None,
+                    format!(
+                        "slot ranges overlap: {wa}/{} owns {:?} and {wb}/{} owns {:?} — \
+                         concurrent workers would race on the shared cells",
+                        ca.name, ca.slots, cb.name, cb.slots
+                    ),
+                ));
+            }
+        }
+    }
+
+    // PV402: a port claimed by two workers, or claimed by one worker while
+    // the routing map sends it to another.
+    let mut port_owners: BTreeMap<u16, Vec<&str>> = BTreeMap::new();
+    for w in &ir.workers {
+        for &p in &w.ports {
+            port_owners.entry(p).or_default().push(&w.name);
+        }
+    }
+    for (port, owners) in &port_owners {
+        if owners.len() > 1 {
+            diags.push(Diagnostic::new(
+                Code::PV402,
+                None,
+                format!(
+                    "port {port} is claimed by {} workers: {}",
+                    owners.len(),
+                    owners.join(", ")
+                ),
+            ));
+        }
+    }
+    for (wi, w) in ir.workers.iter().enumerate() {
+        for &p in &w.ports {
+            match ir.port_map.get(&p) {
+                Some(&mapped) if mapped != wi => diags.push(Diagnostic::new(
+                    Code::PV402,
+                    None,
+                    format!(
+                        "routing map sends port {p} to worker{mapped} but {} \
+                         configures it — packets would reach the wrong shard",
+                        w.name
+                    ),
+                )),
+                Some(_) => {}
+                None => diags.push(Diagnostic::new(
+                    Code::PV402,
+                    None,
+                    format!("port {p} is configured by {} but absent from the routing map", w.name),
+                )),
+            }
+        }
+    }
+
+    // PV403: coverage gaps — slots or parent ports no worker owns.
+    let mut covered = vec![false; ir.total_slots];
+    for (_, c) in &claims {
+        for s in c.slots.clone() {
+            if let Some(slot) = covered.get_mut(s) {
+                *slot = true;
+            }
+        }
+    }
+    let uncovered = covered.iter().filter(|c| !**c).count();
+    if uncovered > 0 {
+        diags.push(Diagnostic::new(
+            Code::PV403,
+            None,
+            format!(
+                "{uncovered} of {} parent lookup-table slots are owned by no worker — \
+                 parking capacity is silently lost",
+                ir.total_slots
+            ),
+        ));
+    }
+    for &p in &ir.parent_ports {
+        if !port_owners.contains_key(&p) {
+            diags.push(Diagnostic::new(
+                Code::PV403,
+                None,
+                format!("parent port {p} is served by no worker — its traffic is unparked"),
+            ));
+        }
+    }
+
+    // PV404: annex recirculation cannot cross worker ownership.
+    if ir.parent_has_annex && ir.workers.len() > 1 {
+        diags.push(Diagnostic::new(
+            Code::PV404,
+            None,
+            format!(
+                "annex (recirculation) deployment sharded across {} workers — \
+                 recirculated packets would cross worker ownership",
+                ir.workers.len()
+            ),
+        ));
+    }
+    diags
+}
+
+/// Convenience: build the IR from a plan and check it.
+pub fn check_shard_plan(parent: &ParkConfig, plan: &ShardPlan) -> Vec<Diagnostic> {
+    check_shards(&ShardIr::from_plan(parent, plan))
+}

@@ -20,19 +20,27 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to the system allocator plus a relaxed
+// counter bump; every contract (layout validity, pointer provenance) is
+// forwarded unchanged to `System`, whose caller-side obligations are
+// exactly ours.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: ptr/layout/new_size are forwarded from our caller intact.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: ptr was allocated by `alloc`/`realloc` above, which
+        // delegate to `System` with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 
