@@ -1,0 +1,46 @@
+//! The `cluster_park` bench: packets/sec of the full Split → NF → Merge
+//! round trip through the distributed parking tier at 1/2/4 switches,
+//! over the shared 8-server slicing with the generational slab store
+//! (the same rig `pp-exp cluster` times and the cluster conformance
+//! suite pins to the scalar reference at N = 1).
+//!
+//! Clusters are rebuilt per iteration batch start (state is cheap: the
+//! wave fully merges, so a warm cluster re-enters each iteration empty);
+//! both the one-switch anchor and the multi-switch rows clone the input
+//! wave per iteration, keeping the comparison apples-to-apples with the
+//! `fastpath` targets. `PP_BENCH_FAST=1` shrinks the measurement to a
+//! smoke pass, as for the other targets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pp_cluster::{Cluster, ClusterConfig};
+use pp_fastpath::SlicedTestbed;
+use pp_netsim::adversity::{AdversityProfile, FaultTally};
+use std::hint::black_box;
+
+fn bench_cluster_park(c: &mut Criterion) {
+    let tb = SlicedTestbed::new(8, 512);
+    let wave = tb.counted_enterprise_wave(21, 2000);
+    let n = wave.len() as u64;
+    let calm = AdversityProfile::disabled();
+
+    let mut g = c.benchmark_group("cluster_park");
+    g.throughput(Throughput::Elements(n));
+
+    for switches in [1usize, 2, 4] {
+        let mut cluster = Cluster::new(&tb.config(), ClusterConfig::slab(switches)).unwrap();
+        tb.wire(&mut |mac, port| cluster.l2_add(mac, port));
+        let mut tally = FaultTally::default();
+        g.bench_function(&format!("roundtrip_{switches}_switches"), |b| {
+            b.iter(|| {
+                let merged = cluster.roundtrip_adverse(&wave, tb.sink_mac(), &calm, &mut tally);
+                black_box(merged.len())
+            })
+        });
+        assert_eq!(cluster.occupancy(), 0, "bench wave must fully merge");
+        cluster.check_oracle().assert_ok();
+    }
+    g.finish();
+}
+
+criterion_group!(cluster_park, bench_cluster_park);
+criterion_main!(cluster_park);

@@ -1,0 +1,31 @@
+//! **`pp_cluster`** — the distributed parking tier: one PayloadPark
+//! deployment spread across a cluster of switches.
+//!
+//! The paper deploys PayloadPark on a single top-of-rack switch; its
+//! §6.2.4 slicing already partitions the park table between NF servers,
+//! and [`payloadpark::ShardPlan`] reuses that partition for parallel
+//! workers *inside* one switch. This crate takes the same partition
+//! across switch boundaries:
+//!
+//! * [`ring`] — a seeded consistent-hash ring with virtual nodes:
+//!   placement is a pure function of `(seed, membership)`, and a
+//!   join/leave moves only ~`1/N` of the key space;
+//! * [`plan`] — [`ClusterPlan`] maps every parent slice (and its ports)
+//!   to an owning switch, keeping **global** slot coordinates so the
+//!   7-byte wire tag a switch issues stays valid wherever the slice
+//!   later lives;
+//! * [`cluster`] — the live [`Cluster`]: store-backed switches
+//!   ([`payloadpark::storeprog`]) over [`payloadpark::flowstore`] park
+//!   tables, proxy-merge forwarding over modeled inter-switch links,
+//!   whole-switch blackouts, and join/leave rebalancing that migrates
+//!   parked flows and tagger state between stores while the
+//!   cluster-wide oracle ([`payloadpark::oracle::check_cluster`]) keeps
+//!   the global balance equation intact.
+
+pub mod cluster;
+pub mod plan;
+pub mod ring;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterCounters, StoreKind};
+pub use plan::{ClusterPlan, DEFAULT_VNODES, MAX_CLUSTER_SLOTS};
+pub use ring::HashRing;

@@ -1,0 +1,322 @@
+//! Deterministic placement of a parent deployment onto a switch cluster.
+//!
+//! [`ClusterPlan`] subsumes [`payloadpark::ShardPlan`]: where the shard
+//! plan deals a deployment's slices round-robin to a *fixed* number of
+//! workers, the cluster plan assigns each slice to a switch by
+//! consistent hashing ([`HashRing`]), so the assignment survives
+//! membership changes with minimal movement — a switch join or leave
+//! relocates only the slices whose ring segment moved, and each
+//! relocation is a live-flow migration the cluster must pay for.
+//!
+//! The critical difference from sharding is the *coordinate space*: a
+//! shard's config relabels its slices into a private cumulative layout,
+//! but a cluster switch keeps every slice at its **parent** (global)
+//! slot base ([`ClusterPlan::bases`]). A parked flow's 7-byte wire tag
+//! carries the global `tbl_idx`, so the tag a switch issued before a
+//! rebalance still addresses the same logical slot after the slice —
+//! and its parked payloads — migrate to another switch.
+
+use crate::ring::HashRing;
+use payloadpark::config::{ParkConfig, PipePark};
+use std::collections::BTreeMap;
+
+/// Ring points per switch; enough to keep the slice split within a few
+/// percent of even for the cluster sizes the harness sweeps.
+pub const DEFAULT_VNODES: u32 = 16;
+
+/// The largest parent slot space a cluster can address: the wire tag's
+/// `tbl_idx` is 16 bits and must stay valid cluster-wide.
+pub const MAX_CLUSTER_SLOTS: usize = 1 << 16;
+
+/// One parent deployment placed onto a set of switches.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    parent: ParkConfig,
+    ring: HashRing,
+    slice_owner: Vec<u32>,
+    slice_base: Vec<u32>,
+    slice_slots: Vec<usize>,
+    switches: Vec<u32>,
+    configs: BTreeMap<u32, ParkConfig>,
+    bases: BTreeMap<u32, Vec<u32>>,
+    indices: BTreeMap<u32, Vec<usize>>,
+    port_owner: BTreeMap<u16, u32>,
+}
+
+impl ClusterPlan {
+    /// Places `parent` onto switches `0..switches` with the default
+    /// vnode count.
+    pub fn new(parent: &ParkConfig, switches: usize, seed: u64) -> Result<ClusterPlan, String> {
+        if switches == 0 {
+            return Err("a cluster needs at least one switch".into());
+        }
+        let ring = HashRing::with_members(seed, DEFAULT_VNODES, 0..switches as u32);
+        ClusterPlan::with_ring(parent, ring)
+    }
+
+    /// Places `parent` onto an explicit ring — the rebalance path: build
+    /// a new plan from the updated ring and diff slice owners against
+    /// the old plan to find what must migrate.
+    pub fn with_ring(parent: &ParkConfig, ring: HashRing) -> Result<ClusterPlan, String> {
+        parent.validate()?;
+        if ring.is_empty() {
+            return Err("a cluster needs at least one switch".into());
+        }
+        let [pipe_cfg]: &[PipePark] = parent.pipes.as_slice() else {
+            return Err(format!(
+                "clustering expects a single-pipe deployment, got {} pipes",
+                parent.pipes.len()
+            ));
+        };
+        if pipe_cfg.annex_pipe.is_some() {
+            return Err("recirculation deployments cannot be clustered".into());
+        }
+        let total = pipe_cfg.total_slots();
+        if total > MAX_CLUSTER_SLOTS {
+            return Err(format!(
+                "{total} parent slots exceed the {MAX_CLUSTER_SLOTS}-slot 16-bit tag space"
+            ));
+        }
+
+        let n_slices = pipe_cfg.slices.len();
+        let mut slice_owner = Vec::with_capacity(n_slices);
+        let mut slice_base = Vec::with_capacity(n_slices);
+        let mut slice_slots = Vec::with_capacity(n_slices);
+        let mut port_owner = BTreeMap::new();
+        let mut indices: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        let mut base = 0u32;
+        for (i, slice) in pipe_cfg.slices.iter().enumerate() {
+            let owner = ring.owner(i as u64).expect("non-empty ring owns every slice");
+            slice_owner.push(owner);
+            slice_base.push(base);
+            slice_slots.push(slice.slots);
+            base += slice.slots as u32;
+            indices.entry(owner).or_default().push(i);
+            for &p in slice.split_ports.iter().chain(&slice.merge_ports) {
+                if let Some(prev) = port_owner.insert(p, owner) {
+                    if prev != owner {
+                        return Err(format!(
+                            "port {p} appears in slices owned by switches {prev} and {owner}"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Per-switch sub-deployments: owned slices in parent declaration
+        // order, with parent-coordinate bases alongside.
+        let mut configs = BTreeMap::new();
+        let mut bases = BTreeMap::new();
+        for (&owner, owned) in &indices {
+            let slices: Vec<_> = owned.iter().map(|&i| pipe_cfg.slices[i].clone()).collect();
+            let cfg = ParkConfig {
+                pipes: vec![PipePark { pipe: pipe_cfg.pipe, slices, annex_pipe: None }],
+                ..parent.clone()
+            };
+            cfg.validate().map_err(|e| format!("switch {owner}: {e}"))?;
+            configs.insert(owner, cfg);
+            bases.insert(owner, owned.iter().map(|&i| slice_base[i]).collect());
+        }
+        let switches = configs.keys().copied().collect();
+        Ok(ClusterPlan {
+            parent: parent.clone(),
+            ring,
+            slice_owner,
+            slice_base,
+            slice_slots,
+            switches,
+            configs,
+            bases,
+            indices,
+            port_owner,
+        })
+    }
+
+    /// The parent deployment this plan partitions.
+    pub fn parent(&self) -> &ParkConfig {
+        &self.parent
+    }
+
+    /// The membership ring behind the placement.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Switch ids that own at least one slice, ascending. A ring member
+    /// the hash assigned nothing to is *idle*: alive, but hosting no
+    /// parking state and no config.
+    pub fn switches(&self) -> &[u32] {
+        &self.switches
+    }
+
+    /// Number of parent slices.
+    pub fn slice_count(&self) -> usize {
+        self.slice_owner.len()
+    }
+
+    /// The switch owning parent slice `i`.
+    pub fn slice_owner(&self, i: usize) -> u32 {
+        self.slice_owner[i]
+    }
+
+    /// Parent slice `i`'s first slot in the global coordinate space.
+    pub fn slice_base(&self, i: usize) -> u32 {
+        self.slice_base[i]
+    }
+
+    /// Parent slice `i`'s slot count.
+    pub fn slice_slots(&self, i: usize) -> usize {
+        self.slice_slots[i]
+    }
+
+    /// The sub-deployment switch `id` runs, if it owns any slices.
+    pub fn config(&self, id: u32) -> Option<&ParkConfig> {
+        self.configs.get(&id)
+    }
+
+    /// Switch `id`'s slice bases in its config's slice order — global
+    /// (parent) coordinates, the `bases` argument of
+    /// [`payloadpark::build_store_switch_with_bases`].
+    pub fn bases(&self, id: u32) -> Option<&[u32]> {
+        self.bases.get(&id).map(Vec::as_slice)
+    }
+
+    /// The parent slice indices switch `id` owns, in its config's slice
+    /// order.
+    pub fn slice_indices(&self, id: u32) -> Option<&[usize]> {
+        self.indices.get(&id).map(Vec::as_slice)
+    }
+
+    /// The switch owning `port` (split or merge), if any.
+    pub fn switch_of_port(&self, port: u16) -> Option<u32> {
+        self.port_owner.get(&port).copied()
+    }
+
+    /// Every port the parent deployment claims, with its owner.
+    pub fn port_owners(&self) -> impl Iterator<Item = (u16, u32)> + '_ {
+        self.port_owner.iter().map(|(&p, &o)| (p, o))
+    }
+
+    /// Total parent slots — clustering neither loses nor duplicates
+    /// parking capacity.
+    pub fn total_slots(&self) -> usize {
+        self.slice_slots.iter().sum()
+    }
+
+    /// Parent slice indices whose owner differs between `self` (the old
+    /// plan) and `next` — the slices a rebalance must migrate.
+    pub fn moved_slices(&self, next: &ClusterPlan) -> Vec<usize> {
+        (0..self.slice_count())
+            .filter(|&i| i < next.slice_count() && self.slice_owner[i] != next.slice_owner[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payloadpark::config::SliceSpec;
+    use pp_rmt::ChipProfile;
+
+    /// `n` slices on pipe 0: slice k splits on port 2k, merges on 2k+1.
+    fn sliced(n: usize, slots: usize) -> ParkConfig {
+        let mut cfg = ParkConfig::single_server(ChipProfile::default(), vec![0], 1, slots);
+        cfg.pipes[0].slices = (0..n)
+            .map(|k| SliceSpec {
+                name: format!("server{k}"),
+                split_ports: vec![2 * k as u16],
+                merge_ports: vec![2 * k as u16 + 1],
+                slots,
+            })
+            .collect();
+        cfg
+    }
+
+    #[test]
+    fn covers_every_slice_with_global_bases() {
+        let cfg = sliced(8, 64);
+        let plan = ClusterPlan::new(&cfg, 3, 42).unwrap();
+        assert_eq!(plan.slice_count(), 8);
+        assert_eq!(plan.total_slots(), 8 * 64);
+
+        // Every slice has exactly one owner, at its parent base.
+        let mut seen = 0;
+        for (id_pos, &id) in plan.switches().iter().enumerate() {
+            let idxs = plan.slice_indices(id).unwrap();
+            let bases = plan.bases(id).unwrap();
+            let cfg_sw = plan.config(id).unwrap();
+            assert_eq!(idxs.len(), bases.len());
+            assert_eq!(idxs.len(), cfg_sw.pipes[0].slices.len());
+            for (pos, &i) in idxs.iter().enumerate() {
+                assert_eq!(plan.slice_owner(i), id);
+                assert_eq!(bases[pos], plan.slice_base(i));
+                assert_eq!(cfg_sw.pipes[0].slices[pos].name, format!("server{i}"));
+                seen += 1;
+            }
+            assert!(id_pos == 0 || plan.switches()[id_pos - 1] < id, "ascending ids");
+        }
+        assert_eq!(seen, 8, "no slice unowned or double-owned");
+        assert_eq!(plan.slice_base(3), 3 * 64, "bases are the parent layout");
+
+        // Ports follow their slice.
+        for i in 0..8 {
+            let owner = plan.slice_owner(i);
+            assert_eq!(plan.switch_of_port(2 * i as u16), Some(owner));
+            assert_eq!(plan.switch_of_port(2 * i as u16 + 1), Some(owner));
+        }
+        assert_eq!(plan.switch_of_port(999), None);
+        assert_eq!(plan.port_owners().count(), 16);
+    }
+
+    #[test]
+    fn one_switch_plan_is_the_parent_deployment() {
+        let cfg = sliced(4, 32);
+        let plan = ClusterPlan::new(&cfg, 1, 7).unwrap();
+        assert_eq!(plan.switches(), &[0]);
+        assert_eq!(plan.config(0), Some(&cfg));
+        assert_eq!(plan.bases(0).unwrap(), &[0, 32, 64, 96]);
+    }
+
+    #[test]
+    fn placement_is_deterministic_in_the_seed() {
+        let cfg = sliced(8, 16);
+        let a = ClusterPlan::new(&cfg, 4, 11).unwrap();
+        let b = ClusterPlan::new(&cfg, 4, 11).unwrap();
+        assert_eq!(a.slice_owner, b.slice_owner);
+    }
+
+    #[test]
+    fn rejects_invalid_parents() {
+        assert!(ClusterPlan::new(&sliced(2, 16), 0, 1).is_err(), "zero switches");
+
+        let mut annex = sliced(1, 16);
+        annex.pipes[0].annex_pipe = Some(1);
+        assert!(ClusterPlan::new(&annex, 2, 1).is_err(), "annex");
+
+        let mut two_pipes = sliced(2, 16);
+        let mut second = two_pipes.pipes[0].clone();
+        second.pipe = 1;
+        for s in &mut second.slices {
+            s.split_ports.iter_mut().for_each(|p| *p += 16);
+            s.merge_ports.iter_mut().for_each(|p| *p += 16);
+        }
+        two_pipes.pipes.push(second);
+        assert!(ClusterPlan::new(&two_pipes, 2, 1).is_err(), "two pipes");
+
+        let huge = sliced(2, 40_000);
+        assert!(ClusterPlan::new(&huge, 2, 1).is_err(), "tag space overflow");
+    }
+
+    #[test]
+    fn moved_slices_diffs_owners() {
+        let cfg = sliced(8, 16);
+        let old = ClusterPlan::new(&cfg, 3, 5).unwrap();
+        let mut ring = old.ring().clone();
+        ring.insert(3);
+        let new = ClusterPlan::with_ring(&cfg, ring).unwrap();
+        for i in old.moved_slices(&new) {
+            assert_ne!(old.slice_owner(i), new.slice_owner(i));
+        }
+        assert!(old.moved_slices(&old).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Cluster-tier behaviors: live migration on join/leave, proxy-merge
+//! over the inter-switch mesh, link blackening, and the stale-routing
+//! spray — each asserted oracle-clean.
+
+use pp_cluster::{Cluster, ClusterConfig};
+use pp_fastpath::testbed::SlicedTestbed;
+use pp_netsim::adversity::SeqWindow;
+use pp_rmt::switch::BatchPacket;
+
+const SLICES: usize = 8;
+const SLOTS: usize = 48;
+const PACKETS: usize = 200;
+
+fn build(switches: usize) -> (SlicedTestbed, Cluster) {
+    let tb = SlicedTestbed::new(SLICES, SLOTS);
+    let mut cluster = Cluster::new(&tb.config(), ClusterConfig::slab(switches)).unwrap();
+    tb.wire(&mut |mac, port| cluster.l2_add(mac, port));
+    (tb, cluster)
+}
+
+/// MAC-swaps a split-side output wave back toward the sink.
+fn return_wave(tb: &SlicedTestbed, outs: Vec<BatchPacket>) -> Vec<BatchPacket> {
+    outs.into_iter()
+        .map(|mut pkt| {
+            pkt.bytes[0..6].copy_from_slice(&tb.sink_mac().0);
+            pkt
+        })
+        .collect()
+}
+
+#[test]
+fn join_migrates_in_flight_flows_and_proxy_merges_them() {
+    let (tb, mut cluster) = build(2);
+    let inputs = tb.counted_enterprise_wave(11, PACKETS);
+
+    // Park a full wave, then grow the cluster while the flows are in
+    // flight: the slices the joiner claims migrate, payloads included.
+    let outs = cluster.process_wave(&inputs);
+    let parked = cluster.cluster_counters().splits;
+    assert!(parked > 0, "wave parked nothing");
+    let occupied_before = cluster.occupancy();
+
+    let joiner = cluster.join().unwrap();
+    assert_eq!(joiner, 2);
+    assert_eq!(cluster.counters().rebalances, 1);
+    assert!(
+        cluster.counters().rebalance_moved_flows > 0,
+        "the joiner claimed slices holding live flows"
+    );
+    assert_eq!(cluster.occupancy(), occupied_before, "migration loses no parked flow");
+    assert!(
+        !cluster.plan().slice_indices(joiner).unwrap_or(&[]).is_empty(),
+        "the joiner owns slices"
+    );
+    cluster.check_oracle().assert_ok();
+
+    // The NF servers are still cabled to the old owners, so merges for
+    // migrated slices proxy across the mesh — and all of them restore.
+    let merged = cluster.process_return_wave(return_wave(&tb, outs));
+    assert!(cluster.counters().proxy_merges > 0, "no merge crossed the mesh");
+    assert!(cluster.counters().link_bytes > 0);
+    let totals = cluster.cluster_counters();
+    assert_eq!(totals.merges, parked, "every parked flow merged");
+    assert_eq!(cluster.occupancy(), 0);
+    assert_eq!(merged.len() as u64, totals.merges + totals.enb0_from_server);
+    cluster.check_oracle().assert_ok();
+}
+
+#[test]
+fn leave_retires_history_and_recables_servers() {
+    let (tb, mut cluster) = build(3);
+    let inputs = tb.counted_enterprise_wave(12, PACKETS);
+    let outs = cluster.process_wave(&inputs);
+    let parked = cluster.cluster_counters().splits;
+
+    let gone = cluster.switch_ids()[0];
+    cluster.leave(gone).unwrap();
+    assert!(!cluster.switch_ids().contains(&gone));
+    for (port, _) in cluster.plan().port_owners().collect::<Vec<_>>() {
+        assert_ne!(cluster.attachment_of(port), Some(gone), "port {port} still cabled to {gone}");
+    }
+    cluster.check_oracle().assert_ok();
+
+    // The survivors (re-cabled) merge the entire wave locally.
+    let merged = cluster.process_return_wave(return_wave(&tb, outs));
+    let totals = cluster.cluster_counters();
+    assert_eq!(totals.merges, parked);
+    assert!(!merged.is_empty());
+    assert_eq!(cluster.occupancy(), 0);
+    cluster.check_oracle().assert_ok();
+
+    // Removing the last switch is refused; unknown ids are refused.
+    let mut one = build(1).1;
+    assert!(one.leave(0).is_err());
+    assert!(one.leave(99).is_err());
+}
+
+#[test]
+fn blackened_link_drops_proxied_merges_without_leaking() {
+    let (tb, mut cluster) = build(2);
+    let inputs = tb.counted_enterprise_wave(13, PACKETS);
+    let outs = cluster.process_wave(&inputs);
+    cluster.join().unwrap();
+
+    // Black every mesh path for the whole run: all proxied merges die in
+    // transit, their flows stay parked, the books still balance.
+    let ids = cluster.switch_ids();
+    let all = SeqWindow { from: 0, to: u64::MAX };
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            cluster.blacken_link(a, b, all);
+        }
+    }
+    cluster.process_return_wave(return_wave(&tb, outs));
+    assert_eq!(cluster.counters().proxy_merges, 0);
+    assert!(cluster.counters().proxy_drops > 0, "nothing needed the mesh");
+    let totals = cluster.cluster_counters();
+    assert_eq!(
+        cluster.occupancy() as u64,
+        totals.splits - totals.merges - totals.explicit_drops - totals.evictions,
+        "undelivered proxied flows remain parked"
+    );
+    cluster.check_oracle().assert_ok();
+}
+
+#[test]
+fn proxy_spray_models_stale_routing() {
+    let (tb, mut cluster) = build(4);
+    cluster.set_proxy_spray(400);
+    let inputs = tb.counted_enterprise_wave(14, PACKETS);
+    let outs = cluster.process_wave(&inputs);
+    let parked = cluster.cluster_counters().splits;
+
+    cluster.process_return_wave(return_wave(&tb, outs));
+    assert!(cluster.counters().proxy_merges > 0, "spray never missed the owner");
+    assert_eq!(cluster.cluster_counters().merges, parked, "proxied merges still restore");
+    assert!(cluster.mesh_utilization() > 0.0);
+    cluster.check_oracle().assert_ok();
+}

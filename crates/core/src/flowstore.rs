@@ -1,0 +1,918 @@
+//! The park-table storage abstraction: [`FlowStore`].
+//!
+//! The register program ([`crate::program`]) hard-wires the paper's park
+//! table into per-stage register arrays: an 8-byte metadata cell and
+//! `primary_blocks` 16-byte payload cells per slot, capacity fixed at
+//! build time. That is faithful to the ASIC, but the cluster tier needs
+//! the same *semantics* at a very different scale — millions of
+//! concurrent flows, sparse occupancy, slots migrating between switches.
+//!
+//! This module lifts the park table behind a trait with two
+//! implementations:
+//!
+//! * [`CircularStore`] — the register file's dense layout verbatim: a
+//!   flat metadata array plus a payload arena, full capacity allocated up
+//!   front. The reference implementation; byte-for-byte what the
+//!   register program does.
+//! * [`SlabStore`] — a sparse map of occupied slots over a
+//!   generational-index slab ([`Slab`]/[`SlabHandle`]) for payload
+//!   storage: memory is proportional to *occupancy*, not capacity, so a
+//!   logical table of millions of slots costs nothing until flows park.
+//!   Park, restore and evict are all O(1); freed payload handles bump a
+//!   generation so a stale handle can never read a re-used arena entry —
+//!   the in-memory analogue of the wire tag's `(idx, clk, crc)`
+//!   validation. An optional spill tier demotes the oldest parked
+//!   payloads out of the bounded hot slab (modeling off-ASIC memory for
+//!   long-parked flows) and restores them transparently.
+//!
+//! Every operation mirrors one register-program action exactly — the
+//! aging/occupy rules of `split_probe`, the reclaim/duplicate/premature
+//! classification of `merge_validate`, the load-then-zero of
+//! `merge_load_j`. Crucially, [`FlowStore::merge`] clears only the slot's
+//! *metadata*; payload bytes stay in place until [`FlowStore::load_block`]
+//! drains them, preserving the register file's aliasing behaviour under
+//! batched (stage-outer) execution. `tests/flowstore_matrix.rs` pins the
+//! equivalence over the full adversity matrix.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use pp_rmt::phv::BLOCK_BYTES;
+
+/// What `split_probe` writes into a slot when it occupies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParkTag {
+    /// Generation clock from the tagger.
+    pub clk: u16,
+    /// Expiry threshold at occupy time (the live `Arc<AtomicU16>` value).
+    pub expiry: u16,
+    /// The original transport checksum, parked with the payload.
+    pub xsum: u16,
+    /// The 5-tuple one's-complement sum, for RFC 1624 repair at merge.
+    pub tsum: u16,
+}
+
+/// The outcome of a `split_probe` against one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The slot was free (or just aged out) and is now occupied by the
+    /// probing flow — Split proceeds.
+    pub parked: bool,
+    /// Aging expired the previous occupant on this probe.
+    pub evicted: bool,
+}
+
+/// The outcome of a `merge_validate` against one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// Generations matched: the slot is reclaimed and Merge restores the
+    /// payload. Carries the parked checksum state.
+    Restored {
+        /// The parked transport checksum.
+        xsum: u16,
+        /// The parked 5-tuple sum.
+        tsum: u16,
+    },
+    /// The slot is already cleared: a duplicate (or replayed) merge.
+    Duplicate,
+    /// The slot was evicted (and possibly re-occupied by a newer flow).
+    Premature,
+}
+
+/// One parked flow lifted out of a store, for migration between cluster
+/// switches. `slot` is in the parent deployment's global coordinates, so
+/// a flow's wire tag `(idx, clk, crc)` stays valid across the move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParkedFlow {
+    /// Global lookup-table slot.
+    pub slot: usize,
+    /// Stored generation clock.
+    pub clk: u16,
+    /// Remaining expiry budget (0 = residual payload of a drained slot).
+    pub exp: u16,
+    /// Parked transport checksum.
+    pub xsum: u16,
+    /// Parked 5-tuple sum.
+    pub tsum: u16,
+    /// Payload bytes (`blocks * BLOCK_BYTES`), when any are live.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// The park table behind the dataplane program: metadata + payload
+/// storage for `slots()` logical slots of `blocks` 16-byte payload cells
+/// each. All methods mirror one register-program action; see the module
+/// docs for the exact correspondence.
+pub trait FlowStore: Send {
+    /// Logical capacity in slots (parent-deployment coordinates).
+    fn slots(&self) -> usize;
+
+    /// Payload blocks per slot.
+    fn blocks(&self) -> usize;
+
+    /// Number of slots whose expiry budget is > 0 — the same definition
+    /// [`crate::control::PipeControl::occupancy`] scans the register file
+    /// for.
+    fn occupancy(&self) -> usize;
+
+    /// `split_probe`: age the occupant (evicting at zero), then occupy
+    /// the slot with `tag` if it is free. Mirrors Alg. 1 lines 11-23.
+    fn probe(&mut self, slot: usize, tag: ParkTag) -> ProbeOutcome;
+
+    /// `split_store_j`: park payload block `j` (`data` is one
+    /// [`BLOCK_BYTES`] cell).
+    fn store_block(&mut self, slot: usize, j: usize, data: &[u8]);
+
+    /// `merge_validate`: classify an enabled merge arrival carrying
+    /// generation `clk`. Restoring clears the slot's metadata only;
+    /// payload bytes stay until [`FlowStore::load_block`] drains them.
+    fn merge(&mut self, slot: usize, clk: u16) -> MergeOutcome;
+
+    /// `merge_load_j`: copy payload block `j` into `out` and zero it
+    /// (Alg. 2 line 23).
+    fn load_block(&mut self, slot: usize, j: usize, out: &mut [u8]);
+
+    /// Clears every slot (the control plane's table wipe).
+    fn clear(&mut self);
+
+    /// Lifts every live slot in `range` out of the store (clearing it
+    /// here), for migration to another switch's store.
+    fn extract_range(&mut self, range: Range<usize>) -> Vec<ParkedFlow>;
+
+    /// Installs migrated flows (the counterpart of
+    /// [`FlowStore::extract_range`] on the receiving switch).
+    fn inject(&mut self, flows: Vec<ParkedFlow>);
+
+    /// Payloads currently demoted to the spill tier (0 for stores
+    /// without one).
+    fn spilled(&self) -> usize {
+        0
+    }
+}
+
+/// A store shared between the MAT closures that drive it and the control
+/// plane that inspects it.
+pub type SharedStore = Arc<Mutex<dyn FlowStore>>;
+
+/// Wraps a concrete store for use by [`crate::storeprog::build_store_switch`].
+pub fn shared(store: impl FlowStore + 'static) -> SharedStore {
+    Arc::new(Mutex::new(store))
+}
+
+/// One slot's metadata, the in-struct form of the register file's 8-byte
+/// cell (`clk @0, exp @2, xsum @4, tsum @6`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SlotMeta {
+    clk: u16,
+    exp: u16,
+    xsum: u16,
+    tsum: u16,
+}
+
+impl SlotMeta {
+    fn is_zero(&self) -> bool {
+        *self == SlotMeta::default()
+    }
+
+    fn from_tag(tag: ParkTag) -> SlotMeta {
+        SlotMeta { clk: tag.clk, exp: tag.expiry, xsum: tag.xsum, tsum: tag.tsum }
+    }
+}
+
+/// Shared probe logic: age, evict, occupy. Returns the outcome; `meta`
+/// holds the post-probe state.
+fn probe_meta(meta: &mut SlotMeta, tag: ParkTag) -> ProbeOutcome {
+    let mut evicted = false;
+    // Alg. 1 lines 11-13: age the occupant.
+    if meta.exp >= 1 {
+        meta.exp -= 1;
+        if meta.exp == 0 {
+            evicted = true;
+        }
+    }
+    if meta.exp == 0 {
+        // Alg. 1 lines 14-20: free (or just evicted) — occupy.
+        *meta = SlotMeta::from_tag(tag);
+        ProbeOutcome { parked: true, evicted }
+    } else {
+        // Alg. 1 lines 21-23: occupied — the aged budget stays written.
+        ProbeOutcome { parked: false, evicted: false }
+    }
+}
+
+/// Shared merge classification over a slot's metadata. `None` means the
+/// caller should reclaim (metadata is zeroed by the caller).
+fn classify_merge(meta: &SlotMeta, clk: u16) -> Option<MergeOutcome> {
+    if meta.exp > 0 && meta.clk == clk {
+        None // Alg. 2 lines 11-15: reclaim.
+    } else if meta.exp == 0 && meta.is_zero() {
+        Some(MergeOutcome::Duplicate)
+    } else {
+        Some(MergeOutcome::Premature)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CircularStore: the register file's dense layout.
+// ---------------------------------------------------------------------------
+
+/// The fixed circular-buffer park table: dense metadata array + payload
+/// arena, full capacity allocated up front. Semantically identical to the
+/// register program's `metadata_table` + `payload_block_j` arrays.
+#[derive(Debug)]
+pub struct CircularStore {
+    blocks: usize,
+    meta: Vec<SlotMeta>,
+    payload: Vec<u8>,
+    occupied: usize,
+}
+
+impl CircularStore {
+    /// A dense store of `slots` slots × `blocks` payload blocks.
+    pub fn new(slots: usize, blocks: usize) -> CircularStore {
+        CircularStore {
+            blocks,
+            meta: vec![SlotMeta::default(); slots],
+            payload: vec![0u8; slots * blocks * BLOCK_BYTES],
+            occupied: 0,
+        }
+    }
+
+    fn payload_region(&mut self, slot: usize) -> &mut [u8] {
+        let bytes = self.blocks * BLOCK_BYTES;
+        &mut self.payload[slot * bytes..(slot + 1) * bytes]
+    }
+}
+
+impl FlowStore for CircularStore {
+    fn slots(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    fn probe(&mut self, slot: usize, tag: ParkTag) -> ProbeOutcome {
+        let meta = &mut self.meta[slot];
+        let was = meta.exp > 0;
+        let outcome = probe_meta(meta, tag);
+        let now = meta.exp > 0;
+        self.occupied = self.occupied + usize::from(now) - usize::from(was);
+        outcome
+    }
+
+    fn store_block(&mut self, slot: usize, j: usize, data: &[u8]) {
+        let off = j * BLOCK_BYTES;
+        self.payload_region(slot)[off..off + BLOCK_BYTES].copy_from_slice(data);
+    }
+
+    fn merge(&mut self, slot: usize, clk: u16) -> MergeOutcome {
+        let meta = &mut self.meta[slot];
+        match classify_merge(meta, clk) {
+            Some(outcome) => outcome,
+            None => {
+                let (xsum, tsum) = (meta.xsum, meta.tsum);
+                *meta = SlotMeta::default();
+                self.occupied -= 1;
+                MergeOutcome::Restored { xsum, tsum }
+            }
+        }
+    }
+
+    fn load_block(&mut self, slot: usize, j: usize, out: &mut [u8]) {
+        let off = j * BLOCK_BYTES;
+        let region = self.payload_region(slot);
+        out.copy_from_slice(&region[off..off + BLOCK_BYTES]);
+        region[off..off + BLOCK_BYTES].fill(0);
+    }
+
+    fn clear(&mut self) {
+        self.meta.fill(SlotMeta::default());
+        self.payload.fill(0);
+        self.occupied = 0;
+    }
+
+    fn extract_range(&mut self, range: Range<usize>) -> Vec<ParkedFlow> {
+        let mut out = Vec::new();
+        for slot in range {
+            let meta = self.meta[slot];
+            let live_payload = {
+                let region = self.payload_region(slot);
+                region.iter().any(|b| *b != 0)
+            };
+            if meta.is_zero() && !live_payload {
+                continue;
+            }
+            let payload = live_payload.then(|| self.payload_region(slot).to_vec());
+            self.payload_region(slot).fill(0);
+            self.meta[slot] = SlotMeta::default();
+            if meta.exp > 0 {
+                self.occupied -= 1;
+            }
+            out.push(ParkedFlow {
+                slot,
+                clk: meta.clk,
+                exp: meta.exp,
+                xsum: meta.xsum,
+                tsum: meta.tsum,
+                payload,
+            });
+        }
+        out
+    }
+
+    fn inject(&mut self, flows: Vec<ParkedFlow>) {
+        for f in flows {
+            let was = self.meta[f.slot].exp > 0;
+            self.meta[f.slot] = SlotMeta { clk: f.clk, exp: f.exp, xsum: f.xsum, tsum: f.tsum };
+            self.occupied = self.occupied + usize::from(f.exp > 0) - usize::from(was);
+            let region = self.payload_region(f.slot);
+            match f.payload {
+                Some(bytes) => region.copy_from_slice(&bytes),
+                None => region.fill(0),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generational slab.
+// ---------------------------------------------------------------------------
+
+/// A handle into a [`Slab`]: arena index plus the generation it was
+/// allocated under. A freed-and-reused entry bumps its generation, so a
+/// stale handle dereferences to `None` instead of another flow's payload
+/// — the same protection the wire tag's `(idx, clk)` check gives merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabHandle {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct SlabEntry {
+    generation: u32,
+    live: bool,
+    data: Vec<u8>,
+}
+
+/// A generational arena of fixed-size payload buffers: O(1) alloc/free
+/// via a free list, stale handles rejected by generation.
+#[derive(Debug)]
+pub struct Slab {
+    entry_bytes: usize,
+    entries: Vec<SlabEntry>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    /// An empty slab of `entry_bytes`-sized buffers.
+    pub fn new(entry_bytes: usize) -> Slab {
+        Slab { entry_bytes, entries: Vec::new(), free: Vec::new() }
+    }
+
+    /// Allocates a zeroed buffer.
+    pub fn alloc(&mut self) -> SlabHandle {
+        match self.free.pop() {
+            Some(index) => {
+                let e = &mut self.entries[index as usize];
+                e.live = true;
+                e.data.fill(0);
+                SlabHandle { index, generation: e.generation }
+            }
+            None => {
+                let index = self.entries.len() as u32;
+                self.entries.push(SlabEntry {
+                    generation: 0,
+                    live: true,
+                    data: vec![0u8; self.entry_bytes],
+                });
+                SlabHandle { index, generation: 0 }
+            }
+        }
+    }
+
+    /// The buffer behind `h`, or `None` for a stale or freed handle.
+    pub fn get_mut(&mut self, h: SlabHandle) -> Option<&mut [u8]> {
+        let e = self.entries.get_mut(h.index as usize)?;
+        (e.live && e.generation == h.generation).then_some(e.data.as_mut_slice())
+    }
+
+    /// Read-only view of the buffer behind `h`.
+    pub fn get(&self, h: SlabHandle) -> Option<&[u8]> {
+        let e = self.entries.get(h.index as usize)?;
+        (e.live && e.generation == h.generation).then_some(e.data.as_slice())
+    }
+
+    /// Frees `h`, bumping the entry's generation so `h` (and any copy of
+    /// it) is dead from here on. Returns false for an already-stale handle.
+    pub fn free(&mut self, h: SlabHandle) -> bool {
+        let Some(e) = self.entries.get_mut(h.index as usize) else {
+            return false;
+        };
+        if !e.live || e.generation != h.generation {
+            return false;
+        }
+        e.live = false;
+        e.generation = e.generation.wrapping_add(1);
+        self.free.push(h.index);
+        true
+    }
+
+    /// Number of live entries.
+    pub fn live(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SlabStore: sparse slots over the generational slab, optional spill.
+// ---------------------------------------------------------------------------
+
+/// Where a slot's payload bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PayloadRef {
+    /// In the hot generational slab.
+    Hot(SlabHandle),
+    /// Demoted to the spill tier (keyed by slot).
+    Spilled,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    meta: SlotMeta,
+    payload: Option<PayloadRef>,
+}
+
+/// The sparse park table: occupied slots in a hash map, payload in a
+/// generational [`Slab`], memory proportional to occupancy. With
+/// [`SlabStore::with_spill`], the oldest parked payloads demote to a
+/// spill map once the hot slab exceeds its capacity, modeling a
+/// secondary memory tier for long-parked flows.
+#[derive(Debug)]
+pub struct SlabStore {
+    slots: usize,
+    blocks: usize,
+    states: HashMap<usize, SlotState>,
+    slab: Slab,
+    spill: HashMap<usize, Vec<u8>>,
+    /// Hot-slab capacity that triggers spilling (None = unbounded).
+    hot_capacity: Option<usize>,
+    /// Park order for the spill policy, lazily pruned: entries whose
+    /// handle went stale (the flow merged or was evicted) are skipped.
+    park_order: VecDeque<(usize, SlabHandle)>,
+    occupied: usize,
+}
+
+impl SlabStore {
+    /// A sparse store of `slots` logical slots × `blocks` payload blocks.
+    pub fn new(slots: usize, blocks: usize) -> SlabStore {
+        SlabStore {
+            slots,
+            blocks,
+            states: HashMap::new(),
+            slab: Slab::new(blocks * BLOCK_BYTES),
+            spill: HashMap::new(),
+            hot_capacity: None,
+            park_order: VecDeque::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Like [`SlabStore::new`], but the hot slab is bounded: beyond
+    /// `hot_capacity` live payloads, the oldest parked ones demote to
+    /// the spill tier.
+    pub fn with_spill(slots: usize, blocks: usize, hot_capacity: usize) -> SlabStore {
+        SlabStore { hot_capacity: Some(hot_capacity.max(1)), ..SlabStore::new(slots, blocks) }
+    }
+
+    /// Live hot-slab payloads (for tests and telemetry).
+    pub fn hot(&self) -> usize {
+        self.slab.live()
+    }
+
+    fn free_payload(
+        states_entry: &mut SlotState,
+        slab: &mut Slab,
+        spill: &mut HashMap<usize, Vec<u8>>,
+        slot: usize,
+    ) {
+        match states_entry.payload.take() {
+            Some(PayloadRef::Hot(h)) => {
+                slab.free(h);
+            }
+            Some(PayloadRef::Spilled) => {
+                spill.remove(&slot);
+            }
+            None => {}
+        }
+    }
+
+    /// Demotes oldest hot payloads until the slab is back under its
+    /// capacity. Stale park-order entries (already merged/evicted/spilled)
+    /// are pruned as encountered.
+    fn enforce_spill(&mut self) {
+        let Some(cap) = self.hot_capacity else {
+            return;
+        };
+        while self.slab.live() > cap {
+            let Some((slot, handle)) = self.park_order.pop_front() else {
+                return;
+            };
+            let still_hot = matches!(
+                self.states.get(&slot),
+                Some(SlotState { payload: Some(PayloadRef::Hot(h)), .. }) if *h == handle
+            );
+            if !still_hot {
+                continue; // lazily pruned: the flow is gone or moved.
+            }
+            let bytes = self.slab.get(handle).expect("live handle").to_vec();
+            self.slab.free(handle);
+            self.spill.insert(slot, bytes);
+            self.states.get_mut(&slot).expect("checked above").payload = Some(PayloadRef::Spilled);
+        }
+    }
+
+    /// Drops the whole slot entry once both its metadata and payload are
+    /// fully drained.
+    fn release_if_drained(&mut self, slot: usize) {
+        let Some(state) = self.states.get(&slot) else {
+            return;
+        };
+        if !state.meta.is_zero() {
+            return;
+        }
+        let drained = match state.payload {
+            None => true,
+            Some(PayloadRef::Hot(h)) => {
+                self.slab.get(h).map(|d| d.iter().all(|b| *b == 0)).unwrap_or(true)
+            }
+            Some(PayloadRef::Spilled) => {
+                self.spill.get(&slot).map(|d| d.iter().all(|b| *b == 0)).unwrap_or(true)
+            }
+        };
+        if drained {
+            let mut state = self.states.remove(&slot).expect("present");
+            Self::free_payload(&mut state, &mut self.slab, &mut self.spill, slot);
+        }
+    }
+}
+
+impl FlowStore for SlabStore {
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    fn probe(&mut self, slot: usize, tag: ParkTag) -> ProbeOutcome {
+        let state = self
+            .states
+            .entry(slot)
+            .or_insert(SlotState { meta: SlotMeta::default(), payload: None });
+        let was = state.meta.exp > 0;
+        let outcome = probe_meta(&mut state.meta, tag);
+        let now = state.meta.exp > 0;
+        self.occupied = self.occupied + usize::from(now) - usize::from(was);
+        if outcome.parked {
+            // The register program leaves the previous occupant's payload
+            // cells in place for split_store_j to overwrite; reusing (or
+            // allocating) the buffer here reproduces that aliasing.
+            let handle = match state.payload {
+                Some(PayloadRef::Hot(h)) => h,
+                Some(PayloadRef::Spilled) => {
+                    // Promote back: the new occupant writes hot.
+                    let h = self.slab.alloc();
+                    let bytes = self.spill.remove(&slot).expect("spilled payload present");
+                    self.slab.get_mut(h).expect("fresh handle").copy_from_slice(&bytes);
+                    h
+                }
+                None => self.slab.alloc(),
+            };
+            self.states.get_mut(&slot).expect("present").payload = Some(PayloadRef::Hot(handle));
+            if self.hot_capacity.is_some() {
+                self.park_order.push_back((slot, handle));
+                self.enforce_spill();
+            }
+        } else if state.meta.is_zero() && state.payload.is_none() {
+            self.states.remove(&slot);
+        }
+        outcome
+    }
+
+    fn store_block(&mut self, slot: usize, j: usize, data: &[u8]) {
+        let off = j * BLOCK_BYTES;
+        let Some(state) = self.states.get_mut(&slot) else {
+            debug_assert!(false, "store_block on an unoccupied slot");
+            return;
+        };
+        match state.payload {
+            Some(PayloadRef::Hot(h)) => {
+                let buf = self.slab.get_mut(h).expect("live payload handle");
+                buf[off..off + BLOCK_BYTES].copy_from_slice(data);
+            }
+            Some(PayloadRef::Spilled) => {
+                let buf = self.spill.get_mut(&slot).expect("spilled payload present");
+                buf[off..off + BLOCK_BYTES].copy_from_slice(data);
+            }
+            None => debug_assert!(false, "store_block on a slot without payload storage"),
+        }
+    }
+
+    fn merge(&mut self, slot: usize, clk: u16) -> MergeOutcome {
+        let Some(state) = self.states.get_mut(&slot) else {
+            // An absent entry is an all-zero cell: duplicate arrival.
+            return MergeOutcome::Duplicate;
+        };
+        match classify_merge(&state.meta, clk) {
+            Some(outcome) => outcome,
+            None => {
+                let (xsum, tsum) = (state.meta.xsum, state.meta.tsum);
+                state.meta = SlotMeta::default();
+                self.occupied -= 1;
+                // Payload stays for load_block to drain (register cells
+                // behave the same way); release if already empty.
+                self.release_if_drained(slot);
+                MergeOutcome::Restored { xsum, tsum }
+            }
+        }
+    }
+
+    fn load_block(&mut self, slot: usize, j: usize, out: &mut [u8]) {
+        let off = j * BLOCK_BYTES;
+        let region: Option<&mut [u8]> = match self.states.get_mut(&slot) {
+            Some(SlotState { payload: Some(PayloadRef::Hot(h)), .. }) => {
+                let h = *h;
+                self.slab.get_mut(h)
+            }
+            Some(SlotState { payload: Some(PayloadRef::Spilled), .. }) => {
+                self.spill.get_mut(&slot).map(Vec::as_mut_slice)
+            }
+            _ => None,
+        };
+        match region {
+            Some(buf) => {
+                out.copy_from_slice(&buf[off..off + BLOCK_BYTES]);
+                buf[off..off + BLOCK_BYTES].fill(0);
+            }
+            // A fully-drained (released) slot reads as zeros, exactly like
+            // the register file's cleared cells.
+            None => out.fill(0),
+        }
+        self.release_if_drained(slot);
+    }
+
+    fn clear(&mut self) {
+        self.states.clear();
+        self.slab = Slab::new(self.blocks * BLOCK_BYTES);
+        self.spill.clear();
+        self.park_order.clear();
+        self.occupied = 0;
+    }
+
+    fn extract_range(&mut self, range: Range<usize>) -> Vec<ParkedFlow> {
+        // Occupancy is sparse: walk the map, not the range.
+        let mut slots: Vec<usize> =
+            self.states.keys().copied().filter(|s| range.contains(s)).collect();
+        slots.sort_unstable();
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let mut state = self.states.remove(&slot).expect("present");
+            let payload = match state.payload {
+                Some(PayloadRef::Hot(h)) => self.slab.get(h).map(<[u8]>::to_vec),
+                Some(PayloadRef::Spilled) => self.spill.get(&slot).cloned(),
+                None => None,
+            };
+            let payload = payload.filter(|p| p.iter().any(|b| *b != 0));
+            Self::free_payload(&mut state, &mut self.slab, &mut self.spill, slot);
+            if state.meta.exp > 0 {
+                self.occupied -= 1;
+            }
+            out.push(ParkedFlow {
+                slot,
+                clk: state.meta.clk,
+                exp: state.meta.exp,
+                xsum: state.meta.xsum,
+                tsum: state.meta.tsum,
+                payload,
+            });
+        }
+        out
+    }
+
+    fn inject(&mut self, flows: Vec<ParkedFlow>) {
+        for f in flows {
+            // Clear any residual state first.
+            if let Some(mut old) = self.states.remove(&f.slot) {
+                if old.meta.exp > 0 {
+                    self.occupied -= 1;
+                }
+                Self::free_payload(&mut old, &mut self.slab, &mut self.spill, f.slot);
+            }
+            let meta = SlotMeta { clk: f.clk, exp: f.exp, xsum: f.xsum, tsum: f.tsum };
+            if meta.is_zero() && f.payload.is_none() {
+                continue;
+            }
+            let payload = f.payload.map(|bytes| {
+                let h = self.slab.alloc();
+                self.slab.get_mut(h).expect("fresh handle").copy_from_slice(&bytes);
+                if self.hot_capacity.is_some() {
+                    self.park_order.push_back((f.slot, h));
+                }
+                PayloadRef::Hot(h)
+            });
+            if meta.exp > 0 {
+                self.occupied += 1;
+            }
+            self.states.insert(f.slot, SlotState { meta, payload });
+        }
+        self.enforce_spill();
+    }
+
+    fn spilled(&self) -> usize {
+        self.spill.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(clk: u16) -> ParkTag {
+        ParkTag { clk, expiry: 4, xsum: 0xBEEF, tsum: 0x1234 }
+    }
+
+    fn block(fill: u8) -> [u8; BLOCK_BYTES] {
+        [fill; BLOCK_BYTES]
+    }
+
+    /// Both stores through the same scripted slot lifecycle must agree on
+    /// every outcome and byte.
+    fn lifecycle(store: &mut dyn FlowStore) {
+        // Park flow A in slot 3.
+        assert_eq!(store.probe(3, tag(7)), ProbeOutcome { parked: true, evicted: false });
+        store.store_block(3, 0, &block(0xAA));
+        store.store_block(3, 1, &block(0xBB));
+        assert_eq!(store.occupancy(), 1);
+
+        // A second probe ages A (4 → 3) and is refused.
+        assert_eq!(store.probe(3, tag(8)), ProbeOutcome { parked: false, evicted: false });
+
+        // Wrong generation: premature (slot occupied by another clk).
+        assert_eq!(store.merge(3, 9), MergeOutcome::Premature);
+
+        // Right generation: restored, payload drains block by block.
+        assert_eq!(store.merge(3, 7), MergeOutcome::Restored { xsum: 0xBEEF, tsum: 0x1234 });
+        assert_eq!(store.occupancy(), 0);
+        let mut out = [0u8; BLOCK_BYTES];
+        store.load_block(3, 0, &mut out);
+        assert_eq!(out, block(0xAA));
+        store.load_block(3, 1, &mut out);
+        assert_eq!(out, block(0xBB));
+
+        // The slot is now fully cleared: a replay is a duplicate.
+        assert_eq!(store.merge(3, 7), MergeOutcome::Duplicate);
+
+        // Aging to zero evicts, and the evicting probe occupies.
+        assert!(store.probe(5, ParkTag { clk: 1, expiry: 2, xsum: 0, tsum: 0 }).parked);
+        assert!(!store.probe(5, tag(2)).parked); // 2 → 1
+        let o = store.probe(5, tag(3)); // 1 → 0: evict + occupy
+        assert_eq!(o, ProbeOutcome { parked: true, evicted: true });
+        // The evicted flow's merge is premature (slot re-occupied).
+        assert_eq!(store.merge(5, 1), MergeOutcome::Premature);
+        assert_eq!(store.occupancy(), 1);
+    }
+
+    #[test]
+    fn circular_lifecycle() {
+        lifecycle(&mut CircularStore::new(64, 2));
+    }
+
+    #[test]
+    fn slab_lifecycle() {
+        lifecycle(&mut SlabStore::new(64, 2));
+    }
+
+    #[test]
+    fn slab_generations_reject_stale_handles() {
+        let mut slab = Slab::new(BLOCK_BYTES);
+        let a = slab.alloc();
+        slab.get_mut(a).unwrap().copy_from_slice(&block(0x11));
+        assert!(slab.free(a));
+        // The arena entry is re-used by flow B...
+        let b = slab.alloc();
+        assert_eq!(b.index, a.index);
+        slab.get_mut(b).unwrap().copy_from_slice(&block(0x22));
+        // ...and the stale handle can neither read B's payload nor free it
+        // out from under B — the same way a stale wire tag's clk mismatch
+        // turns its merge into a premature drop instead of a double-free.
+        assert!(slab.get(a).is_none());
+        assert!(slab.get_mut(a).is_none());
+        assert!(!slab.free(a));
+        assert_eq!(slab.get(b).unwrap(), &block(0x22));
+        assert_eq!(slab.live(), 1);
+    }
+
+    #[test]
+    fn slab_store_memory_tracks_occupancy() {
+        let mut s = SlabStore::new(1 << 20, 4);
+        for slot in 0..100 {
+            assert!(s.probe(slot * 1000, tag(1)).parked);
+        }
+        assert_eq!(s.occupancy(), 100);
+        assert_eq!(s.hot(), 100);
+        for slot in 0..100 {
+            assert!(matches!(s.merge(slot * 1000, 1), MergeOutcome::Restored { .. }));
+        }
+        assert_eq!(s.occupancy(), 0);
+        // Nothing was stored, so reclaim released every buffer.
+        assert_eq!(s.hot(), 0);
+        assert!(s.states.is_empty());
+    }
+
+    #[test]
+    fn spill_tier_demotes_oldest_and_restores_transparently() {
+        let mut s = SlabStore::with_spill(1024, 1, 2);
+        for slot in 0..5u16 {
+            assert!(s.probe(usize::from(slot), tag(slot)).parked);
+            s.store_block(usize::from(slot), 0, &block(slot as u8 + 1));
+        }
+        // Hot bounded at 2: the three oldest payloads live in the spill.
+        assert_eq!(s.hot(), 2);
+        assert_eq!(s.spilled(), 3);
+        assert_eq!(s.occupancy(), 5);
+        // Merging a spilled flow restores its exact payload.
+        assert_eq!(s.merge(0, 0), MergeOutcome::Restored { xsum: 0xBEEF, tsum: 0x1234 });
+        let mut out = [0u8; BLOCK_BYTES];
+        s.load_block(0, 0, &mut out);
+        assert_eq!(out, block(1));
+        assert_eq!(s.spilled(), 2);
+    }
+
+    #[test]
+    fn extract_inject_moves_live_flows() {
+        let mut a = SlabStore::new(4096, 2);
+        let mut b = SlabStore::new(4096, 2);
+        assert!(a.probe(10, tag(3)).parked);
+        a.store_block(10, 0, &block(0x10));
+        a.store_block(10, 1, &block(0x11));
+        assert!(a.probe(900, tag(4)).parked);
+        a.store_block(900, 0, &block(0x90));
+        a.store_block(900, 1, &block(0x91));
+
+        let moved = a.extract_range(0..512);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].slot, 10);
+        assert_eq!(a.occupancy(), 1);
+        b.inject(moved);
+        assert_eq!(b.occupancy(), 1);
+
+        // The migrated flow merges on the new store with its original tag.
+        assert_eq!(b.merge(10, 3), MergeOutcome::Restored { xsum: 0xBEEF, tsum: 0x1234 });
+        let mut out = [0u8; BLOCK_BYTES];
+        b.load_block(10, 0, &mut out);
+        assert_eq!(out, block(0x10));
+        b.load_block(10, 1, &mut out);
+        assert_eq!(out, block(0x11));
+        // It is gone from the old store: a late replay there is a duplicate.
+        assert_eq!(a.merge(10, 3), MergeOutcome::Duplicate);
+    }
+
+    /// The acceptance-criteria soak: park and restore over a million
+    /// concurrent flows through the sparse store.
+    #[test]
+    fn slab_store_soaks_a_million_concurrent_flows() {
+        const FLOWS: usize = 1 << 20; // 1,048,576
+        let mut s = SlabStore::new(2 * FLOWS, 1);
+        let payload = block(0x5A);
+        for slot in 0..FLOWS {
+            let t = ParkTag { clk: slot as u16, expiry: u16::MAX, xsum: 1, tsum: 2 };
+            assert!(s.probe(slot, t).parked);
+            s.store_block(slot, 0, &payload);
+        }
+        assert_eq!(s.occupancy(), FLOWS);
+        assert_eq!(s.hot(), FLOWS);
+
+        let mut out = [0u8; BLOCK_BYTES];
+        for slot in 0..FLOWS {
+            assert!(matches!(s.merge(slot, slot as u16), MergeOutcome::Restored { .. }));
+            s.load_block(slot, 0, &mut out);
+            assert_eq!(out, payload);
+        }
+        assert_eq!(s.occupancy(), 0);
+        assert_eq!(s.hot(), 0);
+        assert!(s.states.is_empty());
+    }
+}

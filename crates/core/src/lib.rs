@@ -27,7 +27,16 @@
 //!   delivered-integrity invariants that must hold after every wave, even
 //!   under injected loss, reordering, duplication and truncation;
 //! * [`shard`] — partitioning a deployment across parallel workers by the
-//!   §6.2.4 port→slice mapping (the `pp_fastpath` engine consumes this).
+//!   §6.2.4 port→slice mapping (the `pp_fastpath` engine consumes this);
+//! * [`flowstore`] — the park table behind a trait: the register file's
+//!   circular buffers ([`flowstore::CircularStore`]) or a sparse
+//!   generational slab scaling to millions of concurrent flows
+//!   ([`flowstore::SlabStore`]), with migration support for the cluster
+//!   tier;
+//! * [`storeprog`] — the same MAT program as [`program`], driving a
+//!   [`flowstore::FlowStore`] instead of register arrays (byte- and
+//!   counter-identical on the single-switch paths; `pp_cluster` builds
+//!   its switches from this).
 //!
 //! # Quick start
 //!
@@ -57,14 +66,18 @@ pub mod config;
 pub mod control;
 pub mod counters;
 pub mod evictor;
+pub mod flowstore;
 pub mod oracle;
 pub mod program;
 pub mod shard;
+pub mod storeprog;
 
 pub use config::{ParkConfig, PipePark, SliceSpec, META_ENTRY_BYTES};
 pub use control::PipeControl;
 pub use counters::CounterSnapshot;
 pub use evictor::{AdaptiveConfig, AdaptivePolicy};
+pub use flowstore::{CircularStore, FlowStore, SharedStore, SlabStore};
 pub use oracle::OracleReport;
 pub use program::{build_baseline_switch, build_switch, BuildError, PipeHandles, MAX_CLK};
 pub use shard::ShardPlan;
+pub use storeprog::{build_store_switch, build_store_switch_with_bases, StoreControl};

@@ -118,6 +118,51 @@ pub fn check_delivered<'a>(delivered: impl IntoIterator<Item = &'a [u8]>) -> Ora
     r
 }
 
+/// The cluster-wide slot-leak check: the balance invariant of
+/// [`check_counters`], summed over every switch of a cluster.
+///
+/// Per-switch balance is deliberately *not* required — rebalancing
+/// migrates parked flows between switches, so one switch can hold (and
+/// later reclaim) occupancy another switch's splits created, and its
+/// local `outstanding()` legitimately goes negative. What must hold,
+/// after every wave and across every join/leave/blackout, is the global
+/// equation: Σ splits = Σ (merges + explicit_drops + evictions) +
+/// Σ occupancy, with the global outstanding never negative (a duplicate
+/// merge double-freeing a slot anywhere in the cluster breaks it).
+pub fn check_cluster<'a>(
+    per_switch: impl IntoIterator<Item = (&'a CounterSnapshot, usize)>,
+) -> OracleReport {
+    let mut total = CounterSnapshot::default();
+    let mut occupancy = 0usize;
+    let mut switches = 0usize;
+    for (c, occ) in per_switch {
+        total.add(c);
+        occupancy += occ;
+        switches += 1;
+    }
+    let mut r = OracleReport::default();
+    r.expect(total.outstanding() >= 0, || {
+        format!(
+            "cluster double-free: global merges + drops + evictions exceed splits \
+             (outstanding {} < 0) across {switches} switches in {total:?}",
+            total.outstanding()
+        )
+    });
+    r.expect(total.outstanding() == occupancy as i64, || {
+        format!(
+            "cluster slot leak: counters across {switches} switches imply {} parked \
+             payloads but {occupancy} slots are occupied (Σ splits {} = Σ merges {} + \
+             Σ explicit_drops {} + Σ evictions {} + occupancy?)",
+            total.outstanding(),
+            total.splits,
+            total.merges,
+            total.explicit_drops,
+            total.evictions
+        )
+    });
+    r
+}
+
 /// The full per-wave conformance check: counter balance plus delivered
 /// integrity. `occupancy` is the number of occupied lookup-table slots
 /// (aggregated across shards for the engine).
@@ -182,6 +227,28 @@ mod tests {
         let r = check_counters(&snap(100, 60, 10, 25), 7);
         assert!(!r.ok());
         assert!(r.violations()[0].contains("slot leak"), "{:?}", r.violations());
+    }
+
+    #[test]
+    fn cluster_balance_is_global_not_per_switch() {
+        // Switch A split 100 flows; 30 of its parked flows migrated to B,
+        // which merged 20 of them. Locally B is "negative", globally the
+        // books balance: 100 = 60 + 20 (merges) + 10 (evictions) + 10 occ.
+        let a = snap(100, 60, 0, 10);
+        let b = snap(0, 20, 0, 0);
+        let r = check_cluster([(&a, 4), (&b, 6)]);
+        assert!(r.ok(), "{:?}", r.violations());
+
+        // One leaked slot anywhere breaks the global equation.
+        let r = check_cluster([(&a, 4), (&b, 7)]);
+        assert!(!r.ok());
+        assert!(r.violations()[0].contains("cluster slot leak"), "{:?}", r.violations());
+
+        // A duplicate merge double-freeing on any switch shows up globally.
+        let c = snap(0, 31, 0, 0);
+        let r = check_cluster([(&a, 0), (&c, 0)]);
+        assert!(!r.ok());
+        assert!(r.violations()[0].contains("cluster double-free"), "{:?}", r.violations());
     }
 
     #[test]

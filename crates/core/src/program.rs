@@ -68,17 +68,17 @@ pub const META_XSUM: usize = 5;
 /// Generation-clock modulus (the tag carries a 16-bit clock).
 pub const MAX_CLK: u32 = 65_536;
 
-const PP_LEN: i32 = PAYLOADPARK_HEADER_LEN as i32;
+pub(crate) const PP_LEN: i32 = PAYLOADPARK_HEADER_LEN as i32;
 
 /// The summary [`Slot`] for one of the `META_*` metadata words.
-const fn m(w: usize) -> Slot {
+pub(crate) const fn m(w: usize) -> Slot {
     Slot::Meta(w as u8)
 }
 
 /// Summary fragment shared by every action that calls [`apply_len_delta`]:
 /// it reads and rewrites the IPv4/transport length fields and may drop on
 /// a length-guard trip.
-fn len_delta_effects(s: MatSummary) -> MatSummary {
+pub(crate) fn len_delta_effects(s: MatSummary) -> MatSummary {
     s.reads(Slot::Ipv4).reads(Slot::Transport).writes(Slot::Ipv4).writes(Slot::Transport).drops()
 }
 
@@ -135,7 +135,10 @@ pub struct PipeHandles {
 /// driven past their bounds by the fix-up; instead of emitting a corrupted
 /// length the guard drops the packet and bumps the `len_underflow`
 /// counter. Neither field is modified on a guarded drop.
-fn apply_len_delta(phv: &mut Phv, delta: i32, counters: &mut [u64]) {
+///
+/// Public so store-backed program variants ([`crate::storeprog`]) can
+/// reproduce the register program's length arithmetic bit for bit.
+pub fn apply_len_delta(phv: &mut Phv, delta: i32, counters: &mut [u64]) {
     if let Some(ip) = phv.ipv4.as_ref() {
         let floor = (IPV4_HEADER_LEN + ip.options.len()) as i32;
         let new = i32::from(ip.total_len) + delta;
@@ -168,8 +171,9 @@ fn apply_len_delta(phv: &mut Phv, delta: i32, counters: &mut [u64]) {
 /// (pseudo-header) and transport ports. Split parks this next to the
 /// original checksum; comparing it with the value recomputed at Merge
 /// tells the dataplane whether — and by how much — to repair the
-/// restored checksum (RFC 1624).
-fn tuple_sum(phv: &Phv) -> u16 {
+/// restored checksum (RFC 1624). Public for store-backed program
+/// variants ([`crate::storeprog`]).
+pub fn tuple_sum(phv: &Phv) -> u16 {
     let mut c = Checksum::new();
     if let Some(ip) = &phv.ipv4 {
         c.add_u32(ip.src);
@@ -190,7 +194,8 @@ fn tuple_sum(phv: &Phv) -> u16 {
 /// incrementally repaired (RFC 1624 Eqn. 3) when the NF rewrote any of
 /// the 5-tuple words while the payload was parked. A parked zero means
 /// the endpoint never computed a checksum (RFC 768) and stays zero.
-fn restored_checksum(stored_xsum: u16, stored_tsum: u16, tsum_now: u16) -> u16 {
+/// Public for store-backed program variants ([`crate::storeprog`]).
+pub fn restored_checksum(stored_xsum: u16, stored_tsum: u16, tsum_now: u16) -> u16 {
     if stored_xsum == 0 || tsum_now == stored_tsum {
         return stored_xsum;
     }
@@ -212,7 +217,7 @@ fn restored_checksum(stored_xsum: u16, stored_tsum: u16, tsum_now: u16) -> u16 {
 /// striped from stage 2 onward (Fig. 4), wrapping onto extra MATs in the
 /// same stage when there are more blocks than stages. With the default 12
 /// stages and 10 blocks, each block gets its own stage.
-fn primary_block_stage(chip: &ChipProfile, j: usize) -> usize {
+pub(crate) fn primary_block_stage(chip: &ChipProfile, j: usize) -> usize {
     2 + (j % (chip.stages_per_pipe - 2))
 }
 
@@ -222,7 +227,7 @@ fn annex_block_stage(chip: &ChipProfile, j: usize) -> usize {
     j % chip.stages_per_pipe
 }
 
-fn gateway_footprint(key_bits: u32, vliw: u32) -> MatFootprint {
+pub(crate) fn gateway_footprint(key_bits: u32, vliw: u32) -> MatFootprint {
     MatFootprint {
         match_kind: MatchKind::Gateway,
         key_bits,

@@ -8,7 +8,7 @@
 //!
 //! experiments: fig06 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14
 //!              fig15 fig16 table1 headline mixed throughput adversity
-//!              overhead all
+//!              overhead cluster all
 //! ```
 //!
 //! Each experiment prints a text table (the repository's rendering of the
@@ -32,7 +32,15 @@
 //! exiting 1 when any worker width lost more than `--tolerance` (default
 //! 0.15) of its packets/sec.
 //!
-//! `--telemetry FILE` (on `throughput`, `mixed` and `adversity`) writes a
+//! `cluster` sweeps the distributed parking tier: round-trip goodput at
+//! 1/2/4 switches (JSON rows at `x = 100 + N`, gated against the same
+//! `BENCH_fastpath.json` trajectory via `--baseline`) plus the
+//! one-switch-blackout drill, asserted oracle-clean with the survivors
+//! serving. Its `--telemetry FILE` snapshot carries per-switch labelled
+//! dataplane families and the `pp_cluster_*` aggregates.
+//!
+//! `--telemetry FILE` (on `throughput`, `mixed`, `adversity` and
+//! `cluster`) writes a
 //! Prometheus text-exposition snapshot of a representative run's dataplane
 //! telemetry — the PayloadPark counters, switch statistics, park-table
 //! occupancy, fault tally, and (for `throughput`) per-shard ring
@@ -41,9 +49,10 @@
 use pp_harness::bench_gate::{compare_throughput, DEFAULT_TOLERANCE};
 use pp_harness::cli;
 use pp_harness::experiments::{
-    adversity_report, adversity_sweep, emulator_throughput, fig06, fig07, fig08_09, fig10_11,
-    fig12, fig14, fig15, fig16, headline_fw_nat_40g, mixed_goodput, mixed_report, table1,
-    telemetry_overhead, throughput_telemetry, Effort,
+    adversity_report, adversity_sweep, cluster_blackout, cluster_goodput, cluster_telemetry,
+    emulator_throughput, fig06, fig07, fig08_09, fig10_11, fig12, fig14, fig15, fig16,
+    headline_fw_nat_40g, mixed_goodput, mixed_report, table1, telemetry_overhead,
+    throughput_telemetry, Effort,
 };
 use pp_harness::telemetry::{registry_from_report, write_prom};
 use pp_metrics::{MetricsRegistry, Series};
@@ -174,6 +183,51 @@ fn main() {
             let reg =
                 registry_from_report(&adversity_report(effort), &[("experiment", "adversity")]);
             write_telemetry(path, &reg);
+        }
+    }
+    if want("cluster") {
+        // Machine-readable like `throughput`: the goodput rows (x =
+        // 100 + N) feed the same trajectory file and regression gate.
+        let series = cluster_goodput(effort);
+        let json = series.render_json();
+        println!("{json}");
+        println!("{}", cluster_blackout(effort).render());
+        if let Some(path) = &cli.out {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(path) = &cli.telemetry {
+            write_telemetry(path, &cluster_telemetry(effort));
+        }
+        if let Some(path) = &cli.baseline {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let baseline = Series::parse_json(&text).unwrap_or_else(|| {
+                eprintln!("baseline {path} is not a valid series JSON");
+                std::process::exit(1);
+            });
+            let tolerance = cli.tolerance.unwrap_or(DEFAULT_TOLERANCE);
+            match compare_throughput(&series, &baseline, tolerance) {
+                Ok(report) => {
+                    for line in &report.lines {
+                        eprintln!("{line}");
+                    }
+                    if !report.passed() {
+                        for failure in &report.failures {
+                            eprintln!("cluster throughput regression: {failure}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("baseline comparison failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
     if want("overhead") {

@@ -25,6 +25,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "throughput",
     "adversity",
     "overhead",
+    "cluster",
     "all",
 ];
 

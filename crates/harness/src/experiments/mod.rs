@@ -10,9 +10,11 @@
 //! per-experiment index for the mapping.
 
 pub mod adversity;
+pub mod cluster;
 pub mod throughput;
 
 pub use adversity::{adversity as adversity_sweep, adversity_report};
+pub use cluster::{cluster_blackout, cluster_goodput, cluster_telemetry};
 pub use throughput::{
     telemetry_overhead, throughput as emulator_throughput, throughput_telemetry, OverheadReport,
 };

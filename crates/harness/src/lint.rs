@@ -3,8 +3,9 @@
 //! The lint targets mirror the programs the harness actually deploys —
 //! the baseline L2 switch, the testbed's single-server PayloadPark
 //! deployment (with and without the recirculation annex), the
-//! multi-server two-slice pipe, and sharded variants of a multi-slice
-//! deployment — and run [`pp_verify`] over each. The logic lives in the
+//! multi-server two-slice pipe, sharded variants of a multi-slice
+//! deployment, and cluster plans placing an eight-slice deployment on 2
+//! and 4 switches — and run [`pp_verify`] over each. The logic lives in the
 //! library so the regression tests and the `pp-lint` binary share it; the
 //! binary exits non-zero when any target produces an error-severity
 //! finding, which is how CI gates pushes on the static verifier.
@@ -12,14 +13,23 @@
 use payloadpark::program::build_switch;
 use payloadpark::shard::ShardPlan;
 use payloadpark::{ParkConfig, PipePark, SliceSpec};
+use pp_cluster::ClusterPlan;
 use pp_rmt::ChipProfile;
-use pp_verify::{check_deployment, check_shard_plan, Report, Severity};
+use pp_verify::{check_cluster_plan, check_deployment, check_shard_plan, Report, Severity};
 
 use crate::testbed::{GEN_PORTS, SERVER_PORT};
 
 /// Every lint target, in `--list`/`--all` order.
-pub const TARGETS: &[&str] =
-    &["baseline", "park", "park-annex", "park-multislice", "shard-2", "shard-4"];
+pub const TARGETS: &[&str] = &[
+    "baseline",
+    "park",
+    "park-annex",
+    "park-multislice",
+    "shard-2",
+    "shard-4",
+    "cluster-2",
+    "cluster-4",
+];
 
 /// The single-server deployment the testbed runs (`testbed::run` with
 /// `DeployMode::PayloadPark`), optionally with the recirculation annex.
@@ -81,6 +91,39 @@ fn sharded_reports(workers: usize) -> Vec<Report> {
     reports
 }
 
+/// The cluster seed every deployment surface shares (`pp-exp cluster`,
+/// the conformance tests, and these lint targets), so the lint verifies
+/// the placements the experiments actually run.
+const CLUSTER_SEED: u64 = 42;
+
+fn cluster_reports(switches: usize) -> Vec<Report> {
+    // The parent `pp-exp cluster` deploys: the shared 8-server slicing
+    // (slice k splits port 2k, merges 2k+1 — dense enough to fit eight
+    // slices on one pipe, and enough ring keys that every switch serves
+    // at the shared seed).
+    let parent = pp_fastpath::SlicedTestbed::new(8, 16).config();
+    let mut reports = Vec::new();
+    match ClusterPlan::new(&parent, switches, CLUSTER_SEED) {
+        Ok(plan) => {
+            reports.push(Report::new(
+                format!("cluster plan ({switches} switches)"),
+                check_cluster_plan(&parent, &plan),
+            ));
+            for &id in plan.switches() {
+                let cfg = plan.config(id).expect("plan switches own slices");
+                for r in check_deployment(cfg) {
+                    reports.push(Report::new(format!("switch{id} {}", r.program), r.diagnostics));
+                }
+            }
+        }
+        Err(e) => reports.push(Report::new(
+            format!("cluster plan ({switches} switches)"),
+            vec![pp_verify::Diagnostic::new(pp_verify::Code::PV002, None, e)],
+        )),
+    }
+    reports
+}
+
 /// Runs one lint target. Returns `None` for an unknown target name.
 pub fn lint_target(name: &str) -> Option<Vec<Report>> {
     match name {
@@ -112,6 +155,8 @@ pub fn lint_target(name: &str) -> Option<Vec<Report>> {
         }
         "shard-2" => Some(sharded_reports(2)),
         "shard-4" => Some(sharded_reports(4)),
+        "cluster-2" => Some(cluster_reports(2)),
+        "cluster-4" => Some(cluster_reports(4)),
         _ => None,
     }
 }
@@ -230,6 +275,23 @@ mod tests {
         assert_eq!(run.warnings, 0, "{}", run.rendered);
         assert!(run.rendered.contains("# target: park-annex"));
         assert!(run.rendered.contains("shard plan (4 workers)"));
+        assert!(run.rendered.contains("cluster plan (4 switches)"));
+    }
+
+    #[test]
+    fn cluster_targets_cover_every_switch() {
+        for (target, n) in [("cluster-2", 2usize), ("cluster-4", 4)] {
+            let reports = lint_target(target).unwrap();
+            // One plan report plus at least one deployment report per
+            // serving switch — every switch's program gets verified.
+            assert!(reports.len() > n, "{target}: {} reports", reports.len());
+            for id in 0..n as u32 {
+                assert!(
+                    reports.iter().any(|r| r.program.starts_with(&format!("switch{id} "))),
+                    "{target}: switch{id} unverified"
+                );
+            }
+        }
     }
 
     #[test]

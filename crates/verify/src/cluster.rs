@@ -1,0 +1,344 @@
+//! Pass 5: cluster-plan disjointness and coverage.
+//!
+//! The distributed tier's analogue of the shard pass: a
+//! [`pp_cluster::ClusterPlan`] places a parent deployment's slices onto
+//! switches, and correctness needs every lookup-table slot range and
+//! every ingress port owned by exactly one switch (PV401/PV405 errors),
+//! and the whole parent covered (PV406 warnings — a gap loses capacity
+//! or strands traffic, but races nothing). As with shards, the checks
+//! run over a plain-data [`ClusterIr`] so negative tests can hand-build
+//! the shapes a real [`ClusterPlan::with_ring`] refuses to construct:
+//! the verifier proves the property instead of trusting the constructor.
+//!
+//! One cluster-specific check has no shard counterpart: a switch's slice
+//! *bases* must match the parent layout (PV405). A cluster switch
+//! addresses its store at global coordinates precisely so wire tags
+//! survive migration; a base that disagrees with the parent's slice
+//! layout silently writes another slice's slots.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use payloadpark::ParkConfig;
+use pp_cluster::ClusterPlan;
+
+use crate::diag::{Code, Diagnostic};
+use crate::shard::SliceClaim;
+
+/// One switch of a cluster plan.
+#[derive(Debug, Clone)]
+pub struct SwitchIr {
+    /// Switch id.
+    pub id: u32,
+    /// Split and merge ports this switch serves.
+    pub ports: BTreeSet<u16>,
+    /// Slot ranges this switch claims, in its config's slice order.
+    pub claims: Vec<SliceClaim>,
+}
+
+/// The analyzed form of a cluster plan.
+#[derive(Debug, Clone)]
+pub struct ClusterIr {
+    /// Total slots of the parent deployment (the space to cover).
+    pub total_slots: usize,
+    /// All split/merge ports of the parent deployment.
+    pub parent_ports: BTreeSet<u16>,
+    /// Parent slice layout: name → global slot range.
+    pub parent_layout: BTreeMap<String, Range<usize>>,
+    /// Per-switch claims.
+    pub switches: Vec<SwitchIr>,
+    /// The plan's port→switch routing map.
+    pub port_map: BTreeMap<u16, u32>,
+}
+
+impl ClusterIr {
+    /// Builds the IR from a parent deployment and a plan derived from
+    /// it. Claims come from each switch's *bases* (what its store
+    /// program will actually address), not from the parent layout — so
+    /// a base/layout disagreement is visible to the checks.
+    pub fn from_plan(parent: &ParkConfig, plan: &ClusterPlan) -> ClusterIr {
+        let pipe = &parent.pipes[0];
+        let mut parent_layout = BTreeMap::new();
+        let mut parent_ports = BTreeSet::new();
+        let mut base = 0usize;
+        for slice in &pipe.slices {
+            parent_layout.insert(slice.name.clone(), base..base + slice.slots);
+            base += slice.slots;
+            parent_ports.extend(slice.split_ports.iter().copied());
+            parent_ports.extend(slice.merge_ports.iter().copied());
+        }
+        let switches = plan
+            .switches()
+            .iter()
+            .map(|&id| {
+                let cfg = plan.config(id).expect("plan switches own slices");
+                let bases = plan.bases(id).expect("config implies bases");
+                let mut ports = BTreeSet::new();
+                let mut claims = Vec::new();
+                for (slice, &b) in cfg.pipes[0].slices.iter().zip(bases) {
+                    ports.extend(slice.split_ports.iter().copied());
+                    ports.extend(slice.merge_ports.iter().copied());
+                    claims.push(SliceClaim {
+                        name: slice.name.clone(),
+                        slots: b as usize..b as usize + slice.slots,
+                    });
+                }
+                SwitchIr { id, ports, claims }
+            })
+            .collect();
+        let port_map = plan.port_owners().collect();
+        ClusterIr {
+            total_slots: pipe.total_slots(),
+            parent_ports,
+            parent_layout,
+            switches,
+            port_map,
+        }
+    }
+}
+
+fn overlap(a: &Range<usize>, b: &Range<usize>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Runs pass 5: PV401 (slot overlap), PV405 (port double-claim /
+/// routing-map mismatch / base-layout mismatch), PV406 (coverage gaps).
+pub fn check_cluster(ir: &ClusterIr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // PV401: overlapping slot ranges across (or within) switches — two
+    // stores would both believe they own the cells a wire tag addresses.
+    let claims: Vec<(u32, &SliceClaim)> =
+        ir.switches.iter().flat_map(|s| s.claims.iter().map(move |c| (s.id, c))).collect();
+    for i in 0..claims.len() {
+        for j in (i + 1)..claims.len() {
+            let (sa, ca) = claims[i];
+            let (sb, cb) = claims[j];
+            if overlap(&ca.slots, &cb.slots) {
+                diags.push(Diagnostic::new(
+                    Code::PV401,
+                    None,
+                    format!(
+                        "slot ranges overlap: switch{sa}/{} owns {:?} and switch{sb}/{} \
+                         owns {:?} — both stores would serve the same wire tags",
+                        ca.name, ca.slots, cb.name, cb.slots
+                    ),
+                ));
+            }
+        }
+    }
+
+    // PV405: a port claimed by two switches, claimed against the routing
+    // map, or a claim whose base disagrees with the parent layout.
+    let mut port_owners: BTreeMap<u16, Vec<u32>> = BTreeMap::new();
+    for s in &ir.switches {
+        for &p in &s.ports {
+            port_owners.entry(p).or_default().push(s.id);
+        }
+    }
+    for (port, owners) in &port_owners {
+        if owners.len() > 1 {
+            diags.push(Diagnostic::new(
+                Code::PV405,
+                None,
+                format!(
+                    "port {port} is claimed by {} switches ({}) — split and merge \
+                     traffic would park on one and restore from another",
+                    owners.len(),
+                    owners.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+                ),
+            ));
+        }
+    }
+    for s in &ir.switches {
+        for &p in &s.ports {
+            match ir.port_map.get(&p) {
+                Some(&mapped) if mapped != s.id => diags.push(Diagnostic::new(
+                    Code::PV405,
+                    None,
+                    format!(
+                        "routing map sends port {p} to switch{mapped} but switch{} \
+                         configures it — packets would reach a non-owner",
+                        s.id
+                    ),
+                )),
+                Some(_) => {}
+                None => diags.push(Diagnostic::new(
+                    Code::PV405,
+                    None,
+                    format!(
+                        "port {p} is configured by switch{} but absent from the routing map",
+                        s.id
+                    ),
+                )),
+            }
+        }
+        for claim in &s.claims {
+            match ir.parent_layout.get(&claim.name) {
+                Some(expected) if *expected != claim.slots => diags.push(Diagnostic::new(
+                    Code::PV405,
+                    None,
+                    format!(
+                        "switch{} addresses slice '{}' at {:?} but the parent lays it \
+                         out at {:?} — wire tags would dereference the wrong slots",
+                        s.id, claim.name, claim.slots, expected
+                    ),
+                )),
+                Some(_) => {}
+                None => diags.push(Diagnostic::new(
+                    Code::PV405,
+                    None,
+                    format!(
+                        "switch{} claims slice '{}', which the parent deployment \
+                         does not declare",
+                        s.id, claim.name
+                    ),
+                )),
+            }
+        }
+    }
+
+    // PV406: coverage gaps — slots or parent ports no switch serves.
+    let mut covered = vec![false; ir.total_slots];
+    for (_, c) in &claims {
+        for s in c.slots.clone() {
+            if let Some(slot) = covered.get_mut(s) {
+                *slot = true;
+            }
+        }
+    }
+    let uncovered = covered.iter().filter(|c| !**c).count();
+    if uncovered > 0 {
+        diags.push(Diagnostic::new(
+            Code::PV406,
+            None,
+            format!(
+                "{uncovered} of {} parent lookup-table slots are owned by no switch — \
+                 parking capacity is silently lost",
+                ir.total_slots
+            ),
+        ));
+    }
+    for &p in &ir.parent_ports {
+        if !port_owners.contains_key(&p) {
+            diags.push(Diagnostic::new(
+                Code::PV406,
+                None,
+                format!("parent port {p} is served by no switch — its traffic is unparked"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Convenience: build the IR from a plan and check it.
+pub fn check_cluster_plan(parent: &ParkConfig, plan: &ClusterPlan) -> Vec<Diagnostic> {
+    check_cluster(&ClusterIr::from_plan(parent, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payloadpark::config::SliceSpec;
+    use payloadpark::{ParkConfig, PipePark};
+    use pp_rmt::ChipProfile;
+
+    fn sliced(n: usize, slots: usize) -> ParkConfig {
+        let mut cfg = ParkConfig::single_server(ChipProfile::default(), vec![0], 1, slots);
+        cfg.pipes[0] = PipePark {
+            pipe: 0,
+            slices: (0..n)
+                .map(|k| SliceSpec {
+                    name: format!("server{k}"),
+                    split_ports: vec![2 * k as u16],
+                    merge_ports: vec![2 * k as u16 + 1],
+                    slots,
+                })
+                .collect(),
+            annex_pipe: None,
+        };
+        cfg
+    }
+
+    #[test]
+    fn real_plans_are_clean_at_every_width() {
+        let parent = sliced(8, 32);
+        for n in [1usize, 2, 3, 5] {
+            let plan = ClusterPlan::new(&parent, n, 42).unwrap();
+            let diags = check_cluster_plan(&parent, &plan);
+            assert!(diags.is_empty(), "n={n}: {diags:?}");
+        }
+    }
+
+    fn clean_ir() -> ClusterIr {
+        // 8 slices over 2 switches: seed 42 gives both switches work.
+        let parent = sliced(8, 16);
+        let plan = ClusterPlan::new(&parent, 2, 42).unwrap();
+        let ir = ClusterIr::from_plan(&parent, &plan);
+        assert_eq!(ir.switches.len(), 2, "fixture needs two serving switches");
+        ir
+    }
+
+    #[test]
+    fn port_double_claim_is_pv405_error() {
+        let mut ir = clean_ir();
+        let stolen = *ir.switches[0].ports.iter().next().unwrap();
+        ir.switches[1].ports.insert(stolen);
+        let diags = check_cluster(&ir);
+        assert!(
+            diags.iter().any(|d| d.code == Code::PV405 && d.message.contains("claimed by 2")),
+            "{diags:?}"
+        );
+        assert_eq!(Code::PV405.severity(), crate::Severity::Error);
+    }
+
+    #[test]
+    fn routing_map_mismatch_is_pv405() {
+        let mut ir = clean_ir();
+        // Swap one port's routing to the other switch.
+        let p = *ir.switches[0].ports.iter().next().unwrap();
+        let other = ir.switches[1].id;
+        ir.port_map.insert(p, other);
+        let diags = check_cluster(&ir);
+        assert!(diags.iter().any(|d| d.code == Code::PV405 && d.message.contains("routing map")));
+    }
+
+    #[test]
+    fn base_layout_mismatch_is_pv405() {
+        let mut ir = clean_ir();
+        let claim = &mut ir.switches[0].claims[0];
+        claim.slots = claim.slots.start + 1..claim.slots.end + 1;
+        let diags = check_cluster(&ir);
+        assert!(
+            diags.iter().any(|d| d.code == Code::PV405 && d.message.contains("wire tags")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn coverage_gap_is_pv406_warning() {
+        let mut ir = clean_ir();
+        // Drop one switch entirely: its slots and ports go unserved.
+        let gone = ir.switches.pop().unwrap();
+        for p in &gone.ports {
+            ir.port_map.remove(p);
+        }
+        let diags = check_cluster(&ir);
+        let gaps: Vec<_> = diags.iter().filter(|d| d.code == Code::PV406).collect();
+        assert!(gaps.iter().any(|d| d.message.contains("slots")), "{diags:?}");
+        assert!(gaps.iter().any(|d| d.message.contains("port")), "{diags:?}");
+        assert_eq!(Code::PV406.severity(), crate::Severity::Warning);
+        // Slot overlap within the surviving claims stays clean.
+        assert!(!diags.iter().any(|d| d.code == Code::PV401));
+    }
+
+    #[test]
+    fn slot_overlap_is_pv401() {
+        let mut ir = clean_ir();
+        // Make switch 1's first claim collide with switch 0's.
+        let claim = ir.switches[0].claims[0].clone();
+        ir.switches[1].claims[0].slots = claim.slots.clone();
+        let diags = check_cluster(&ir);
+        assert!(diags.iter().any(|d| d.code == Code::PV401), "{diags:?}");
+    }
+}

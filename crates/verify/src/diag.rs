@@ -79,6 +79,14 @@ pub enum Code {
     /// Recirculation (annex) enabled in a multi-worker plan: recirculated
     /// packets would cross worker ownership.
     PV404,
+    /// A port is claimed by more than one cluster switch (or the cluster
+    /// plan's routing map disagrees with a switch's slice configuration):
+    /// split/merge traffic would reach a switch that does not own the
+    /// slot range its tags address.
+    PV405,
+    /// Cluster coverage gap: a parent slot range or port no switch owns —
+    /// parking capacity or traffic silently unserved.
+    PV406,
 }
 
 impl Code {
@@ -102,6 +110,8 @@ impl Code {
             Code::PV402 => "PV402",
             Code::PV403 => "PV403",
             Code::PV404 => "PV404",
+            Code::PV405 => "PV405",
+            Code::PV406 => "PV406",
         }
     }
 
@@ -109,7 +119,7 @@ impl Code {
     pub fn severity(self) -> Severity {
         match self {
             Code::PV001 | Code::PV203 | Code::PV204 | Code::PV304 => Severity::Info,
-            Code::PV102 | Code::PV103 | Code::PV201 | Code::PV303 | Code::PV403 => {
+            Code::PV102 | Code::PV103 | Code::PV201 | Code::PV303 | Code::PV403 | Code::PV406 => {
                 Severity::Warning
             }
             Code::PV002
@@ -119,7 +129,8 @@ impl Code {
             | Code::PV302
             | Code::PV401
             | Code::PV402
-            | Code::PV404 => Severity::Error,
+            | Code::PV404
+            | Code::PV405 => Severity::Error,
         }
     }
 }
@@ -256,6 +267,8 @@ mod tests {
             Code::PV402,
             Code::PV403,
             Code::PV404,
+            Code::PV405,
+            Code::PV406,
         ] {
             assert!(code.as_str().starts_with("PV"));
             let _ = code.severity();

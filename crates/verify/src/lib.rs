@@ -18,6 +18,10 @@
 //! 4. **Shard disjointness** — every lookup-table slot range and ingress
 //!    port of a [`payloadpark::shard::ShardPlan`] is owned by exactly one
 //!    worker. Codes PV401–PV404.
+//! 5. **Cluster disjointness** — the distributed analogue of pass 4: a
+//!    [`pp_cluster::ClusterPlan`]'s slot ranges, port claims, routing map
+//!    and global slice bases are consistent and cover the parent. Codes
+//!    PV401, PV405–PV406.
 //!
 //! The verifier never inspects closures: each MAT carries a declarative
 //! [`pp_rmt::MatSummary`] describing its gateway and action effects, and
@@ -26,11 +30,13 @@
 //!
 //! Entry points: [`check`] for one built pipeline (the ISSUE-stable API),
 //! [`check_deployment`] for a whole [`payloadpark::ParkConfig`] including
-//! annex-pipe recirculation bridging, [`check_shard_plan`] for pass 4, and
+//! annex-pipe recirculation bridging, [`check_shard_plan`] for pass 4,
+//! [`check_cluster_plan`] for pass 5, and
 //! [`check_ir`] for a hand-built [`ProgramIr`] (negative tests). The
 //! `pp-lint` binary in `pp_harness` runs all of them over every built-in
 //! program and exits non-zero on any [`Severity::Error`] finding.
 
+pub mod cluster;
 pub mod dataflow;
 pub mod deploy;
 pub mod diag;
@@ -40,6 +46,7 @@ pub mod shard;
 
 use pp_rmt::{ParserConfig, Pipeline};
 
+pub use cluster::{check_cluster, check_cluster_plan, ClusterIr, SwitchIr};
 pub use deploy::check_deployment;
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use ir::{MatIr, ParserIr, PortFacts, ProgramIr, RegIr};

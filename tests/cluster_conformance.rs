@@ -1,0 +1,186 @@
+//! Cluster-tier conformance (acceptance oracle for the distributed tier).
+//!
+//! Three pins, all on the shared 8-server slicing under seeded
+//! adversity:
+//!
+//! 1. **Anchor** — a one-switch cluster is *exactly* the scalar
+//!    reference: identical counters, statistics, occupancy, fault tally
+//!    and delivered byte set, for both store backends. Everything the
+//!    cluster adds (routing, attachment, the mesh) must vanish at N=1.
+//! 2. **Blackout** — at N ∈ {2, 4}, park a wave, kill one switch, and
+//!    run the adverse merge wave: the cluster-wide oracle holds (zero
+//!    leaked slots), the dead switch's share is charged at its front
+//!    panel, and the survivors keep serving fresh traffic end to end.
+//! 3. **Churn** — join and leave with flows in flight under adversity:
+//!    migrations preserve occupancy, proxy-merges restore across the
+//!    mesh, departed history stays on the books, and the oracle holds
+//!    at every step.
+
+use payloadpark::CounterSnapshot;
+use pp_cluster::{Cluster, ClusterConfig};
+use pp_fastpath::{adverse_return_wave, SlicedTestbed};
+use pp_netsim::adversity::{AdversityProfile, FaultTally, LegProfile};
+use pp_rmt::switch::SwitchOutput;
+
+const SLICES: usize = 8;
+const SLOTS: usize = 48;
+const PACKETS: usize = 200;
+const TB: SlicedTestbed = SlicedTestbed { slices: SLICES, slots: SLOTS };
+
+fn build(cfg: ClusterConfig) -> Cluster {
+    let mut cluster = Cluster::new(&TB.config(), cfg).expect("cluster builds");
+    TB.wire(&mut |mac, port| cluster.l2_add(mac, port));
+    cluster
+}
+
+/// The seeded misfortune every path here suffers: light loss both ways
+/// plus duplication on the return leg.
+fn adversity() -> AdversityProfile {
+    AdversityProfile {
+        seed: 77,
+        to_nf: LegProfile::loss(0.05),
+        from_nf: LegProfile { drop: 0.1, duplicate: 0.1, ..Default::default() },
+    }
+}
+
+fn canonical(outs: Vec<SwitchOutput>) -> Vec<(u64, Vec<u8>)> {
+    let mut set: Vec<(u64, Vec<u8>)> = outs.into_iter().map(|o| (o.seq, o.bytes)).collect();
+    set.sort();
+    set
+}
+
+#[test]
+fn one_switch_cluster_is_the_scalar_reference() {
+    let inputs = TB.counted_enterprise_wave(31, 2 * PACKETS);
+    let waves = [&inputs[..PACKETS], &inputs[PACKETS..]];
+    let adv = adversity();
+
+    let (mut sw, control) = TB.build_scalar();
+    let mut scalar_tally = FaultTally::default();
+    let mut scalar_out = Vec::new();
+    for wave in waves {
+        scalar_out.extend(TB.scalar_roundtrip_two_phase_adverse(
+            &mut sw,
+            wave,
+            &adv,
+            &mut scalar_tally,
+        ));
+    }
+    let scalar_out = canonical(scalar_out);
+    let scalar_counters = control.counters(&sw);
+    assert!(scalar_counters.splits > 0, "workload must park");
+
+    for cfg in [ClusterConfig::circular(1), ClusterConfig::slab(1)] {
+        let kind = format!("{:?}", cfg.store);
+        let mut cluster = build(cfg);
+        let mut tally = FaultTally::default();
+        let mut merged = Vec::new();
+        for wave in waves {
+            merged.extend(cluster.roundtrip_adverse(wave, TB.sink_mac(), &adv, &mut tally));
+        }
+        assert_eq!(tally, scalar_tally, "{kind}: fault tallies diverged");
+        assert_eq!(cluster.cluster_counters(), scalar_counters, "{kind}: counters diverged");
+        assert_eq!(cluster.cluster_stats(), sw.stats(), "{kind}: switch stats diverged");
+        assert_eq!(cluster.occupancy(), control.occupancy(&sw), "{kind}: occupancy diverged");
+        let merged = canonical(merged);
+        assert_eq!(merged.len(), scalar_out.len(), "{kind}: delivered count diverged");
+        for (c, s) in merged.iter().zip(&scalar_out) {
+            assert_eq!(c, s, "{kind}: delivered byte set diverged");
+        }
+        // And nothing clusterish happened: one switch needs no mesh.
+        assert_eq!(cluster.counters().proxy_merges, 0, "{kind}");
+        assert_eq!(cluster.counters().blackout_drops, 0, "{kind}");
+        cluster.check_oracle().assert_ok();
+    }
+}
+
+/// Balance check shared by the blackout cells: occupied slots must equal
+/// what the counters say is still parked.
+fn assert_no_leak(cluster: &Cluster, ctx: &str) {
+    let t: CounterSnapshot = cluster.cluster_counters();
+    assert_eq!(cluster.occupancy() as i64, t.outstanding(), "{ctx}: leaked slots");
+    cluster.check_oracle().assert_ok();
+}
+
+#[test]
+fn blackout_leaks_nothing_and_survivors_keep_serving() {
+    let adv = adversity();
+    for switches in [2usize, 4] {
+        let ctx = format!("N={switches}");
+        let mut cluster = build(ClusterConfig::slab(switches));
+        let mut tally = FaultTally::default();
+
+        // Park a wave, then one switch goes dark before the merges.
+        let inputs = TB.counted_enterprise_wave(32, PACKETS);
+        let outs = cluster.process_wave(&inputs);
+        let down = cluster.switch_ids()[0];
+        cluster.set_down(down, true);
+        let back = adverse_return_wave(&adv, outs, TB.sink_mac(), &mut tally);
+        cluster.process_return_wave(back);
+
+        let after_wave1 = cluster.cluster_counters();
+        assert!(after_wave1.merges > 0, "{ctx}: survivors merged nothing");
+        assert!(cluster.counters().blackout_drops > 0, "{ctx}: the dead switch absorbed nothing");
+        assert_no_leak(&cluster, &ctx);
+
+        // Survivors keep serving: a fresh wave parks and merges on the
+        // live switches (the dead switch's ports drop at ingress).
+        let wave2 = TB.counted_enterprise_wave(33, PACKETS);
+        let outs2 = cluster.process_wave(&wave2);
+        assert!(!outs2.is_empty(), "{ctx}: live switches split nothing");
+        let back2 = adverse_return_wave(&adv, outs2, TB.sink_mac(), &mut tally);
+        cluster.process_return_wave(back2);
+        let after_wave2 = cluster.cluster_counters();
+        assert!(after_wave2.merges > after_wave1.merges, "{ctx}: survivors stopped serving");
+        assert_no_leak(&cluster, &ctx);
+
+        // The dead switch never served the second wave.
+        let dead_after = cluster.switch_counters(down).unwrap();
+        cluster.set_down(down, false);
+        assert_eq!(
+            cluster.switch_counters(down).unwrap(),
+            dead_after,
+            "{ctx}: a downed switch processed traffic"
+        );
+    }
+}
+
+#[test]
+fn churn_under_adversity_stays_oracle_clean() {
+    let adv = adversity();
+    let mut cluster = build(ClusterConfig::slab(2));
+    let mut tally = FaultTally::default();
+
+    // Wave 1 parks on two switches; a third joins with flows in flight.
+    let inputs = TB.counted_enterprise_wave(34, PACKETS);
+    let outs = cluster.process_wave(&inputs);
+    let occupied = cluster.occupancy();
+    cluster.join().expect("switch 2 joins");
+    assert_eq!(cluster.occupancy(), occupied, "migration lost parked flows");
+    assert!(cluster.counters().rebalance_moved_flows > 0, "nothing migrated");
+    cluster.check_oracle().assert_ok();
+
+    // The migrated slices' merges proxy over the mesh and restore.
+    let back = adverse_return_wave(&adv, outs, TB.sink_mac(), &mut tally);
+    cluster.process_return_wave(back);
+    assert!(cluster.counters().proxy_merges > 0, "no merge crossed the mesh");
+    cluster.check_oracle().assert_ok();
+
+    // Wave 2 in flight while a switch leaves: its history retires, its
+    // flows migrate to the survivors, and the books still balance.
+    let wave2 = TB.counted_enterprise_wave(35, PACKETS);
+    let outs2 = cluster.process_wave(&wave2);
+    let gone = cluster.switch_ids()[0];
+    cluster.leave(gone).expect("a three-switch cluster can lose one");
+    assert!(!cluster.switch_ids().contains(&gone));
+    cluster.check_oracle().assert_ok();
+    let back2 = adverse_return_wave(&adv, outs2, TB.sink_mac(), &mut tally);
+    cluster.process_return_wave(back2);
+    cluster.check_oracle().assert_ok();
+
+    // Every merge of both waves happened (minus what adversity ate):
+    // the survivors' books carry the departed switch's splits forever.
+    let totals = cluster.cluster_counters();
+    assert!(totals.merges > 0);
+    assert_eq!(cluster.occupancy() as i64, totals.outstanding(), "churn leaked slots");
+}
