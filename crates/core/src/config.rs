@@ -6,6 +6,7 @@
 //! slice owns a contiguous range of lookup-table slots and its own set of
 //! split/merge ports.
 
+use crate::jsonio::{self, obj, Value};
 use pp_packet::ppark::PAYLOADPARK_HEADER_LEN;
 use pp_rmt::chip::ChipProfile;
 use pp_rmt::phv::BLOCK_BYTES;
@@ -236,6 +237,157 @@ impl ParkConfig {
         }
         Ok(())
     }
+
+    /// Renders the full deployment as a deterministic JSON document, so
+    /// repro files (`pp-fuzz`) and external tooling can carry an exact
+    /// copy of the configuration under test.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The deployment as a [`jsonio::Value`] tree (see [`Self::to_json`]).
+    pub fn to_json_value(&self) -> Value {
+        let chip = obj(vec![
+            ("pipes", Value::num(self.chip.pipes)),
+            ("stages_per_pipe", Value::num(self.chip.stages_per_pipe)),
+            ("ports_per_pipe", Value::num(self.chip.ports_per_pipe)),
+            ("sram_bits_per_stage", Value::num(self.chip.sram_bits_per_stage)),
+            ("tcam_bits_per_stage", Value::num(self.chip.tcam_bits_per_stage)),
+            ("vliw_slots_per_stage", Value::num(self.chip.vliw_slots_per_stage)),
+            ("exact_xbar_bits_per_stage", Value::num(self.chip.exact_xbar_bits_per_stage)),
+            ("ternary_xbar_bits_per_stage", Value::num(self.chip.ternary_xbar_bits_per_stage)),
+            ("phv_bits", Value::num(self.chip.phv_bits)),
+            ("max_mats_per_stage", Value::num(self.chip.max_mats_per_stage)),
+            ("pipeline_latency_ns", Value::num(self.chip.pipeline_latency_ns)),
+            ("recirculation_penalty_ns", Value::num(self.chip.recirculation_penalty_ns)),
+            ("max_recirculations", Value::num(self.chip.max_recirculations)),
+            ("recirc_channels_per_pipe", Value::num(self.chip.recirc_channels_per_pipe)),
+        ]);
+        let pipes = Value::Arr(
+            self.pipes
+                .iter()
+                .map(|p| {
+                    let slices = Value::Arr(
+                        p.slices
+                            .iter()
+                            .map(|s| {
+                                obj(vec![
+                                    ("name", Value::str(s.name.clone())),
+                                    ("split_ports", jsonio::num_arr(s.split_ports.iter())),
+                                    ("merge_ports", jsonio::num_arr(s.merge_ports.iter())),
+                                    ("slots", Value::num(s.slots)),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    obj(vec![
+                        ("pipe", Value::num(p.pipe)),
+                        ("slices", slices),
+                        ("annex_pipe", p.annex_pipe.map_or(Value::Null, Value::num)),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("chip", chip),
+            ("expiry_threshold", Value::num(self.expiry_threshold)),
+            ("primary_blocks", Value::num(self.primary_blocks)),
+            ("annex_blocks", Value::num(self.annex_blocks)),
+            ("pipes", pipes),
+        ])
+    }
+
+    /// Parses a deployment from [`Self::to_json`] output.
+    pub fn parse_json(text: &str) -> Result<ParkConfig, String> {
+        let value = jsonio::parse(text).ok_or("malformed JSON")?;
+        Self::from_json_value(&value)
+    }
+
+    /// Rebuilds a deployment from a [`jsonio::Value`] tree.
+    pub fn from_json_value(v: &Value) -> Result<ParkConfig, String> {
+        fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+            v.get(key).and_then(Value::as_usize).ok_or_else(|| format!("bad field {key}"))
+        }
+        let c = v.get("chip").ok_or("missing chip")?;
+        let chip = ChipProfile {
+            pipes: usize_field(c, "pipes")?,
+            stages_per_pipe: usize_field(c, "stages_per_pipe")?,
+            ports_per_pipe: usize_field(c, "ports_per_pipe")?,
+            sram_bits_per_stage: c
+                .get("sram_bits_per_stage")
+                .and_then(Value::as_u64)
+                .ok_or("bad field sram_bits_per_stage")?,
+            tcam_bits_per_stage: c
+                .get("tcam_bits_per_stage")
+                .and_then(Value::as_u64)
+                .ok_or("bad field tcam_bits_per_stage")?,
+            vliw_slots_per_stage: c
+                .get("vliw_slots_per_stage")
+                .and_then(Value::as_u32)
+                .ok_or("bad field vliw_slots_per_stage")?,
+            exact_xbar_bits_per_stage: c
+                .get("exact_xbar_bits_per_stage")
+                .and_then(Value::as_u32)
+                .ok_or("bad field exact_xbar_bits_per_stage")?,
+            ternary_xbar_bits_per_stage: c
+                .get("ternary_xbar_bits_per_stage")
+                .and_then(Value::as_u32)
+                .ok_or("bad field ternary_xbar_bits_per_stage")?,
+            phv_bits: c.get("phv_bits").and_then(Value::as_u32).ok_or("bad field phv_bits")?,
+            max_mats_per_stage: usize_field(c, "max_mats_per_stage")?,
+            pipeline_latency_ns: c
+                .get("pipeline_latency_ns")
+                .and_then(Value::as_u64)
+                .ok_or("bad field pipeline_latency_ns")?,
+            recirculation_penalty_ns: c
+                .get("recirculation_penalty_ns")
+                .and_then(Value::as_u64)
+                .ok_or("bad field recirculation_penalty_ns")?,
+            max_recirculations: c
+                .get("max_recirculations")
+                .and_then(Value::as_u32)
+                .ok_or("bad field max_recirculations")?,
+            recirc_channels_per_pipe: c
+                .get("recirc_channels_per_pipe")
+                .and_then(Value::as_u8)
+                .ok_or("bad field recirc_channels_per_pipe")?,
+        };
+        let mut pipes = Vec::new();
+        for p in v.get("pipes").and_then(Value::as_arr).ok_or("missing pipes")? {
+            let mut slices = Vec::new();
+            for s in p.get("slices").and_then(Value::as_arr).ok_or("missing slices")? {
+                let ports = |key: &str| -> Result<Vec<u16>, String> {
+                    s.get(key)
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("bad field {key}"))?
+                        .iter()
+                        .map(|x| x.as_u16().ok_or_else(|| format!("bad port in {key}")))
+                        .collect()
+                };
+                slices.push(SliceSpec {
+                    name: s.get("name").and_then(Value::as_str).ok_or("bad slice name")?.to_owned(),
+                    split_ports: ports("split_ports")?,
+                    merge_ports: ports("merge_ports")?,
+                    slots: usize_field(s, "slots")?,
+                });
+            }
+            let annex_pipe = match p.get("annex_pipe") {
+                None | Some(Value::Null) => None,
+                Some(a) => Some(a.as_usize().ok_or("bad annex_pipe")?),
+            };
+            pipes.push(PipePark { pipe: usize_field(p, "pipe")?, slices, annex_pipe });
+        }
+        Ok(ParkConfig {
+            chip,
+            expiry_threshold: v
+                .get("expiry_threshold")
+                .and_then(Value::as_u16)
+                .ok_or("bad expiry_threshold")?,
+            primary_blocks: usize_field(v, "primary_blocks")?,
+            annex_blocks: usize_field(v, "annex_blocks")?,
+            pipes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +488,33 @@ mod tests {
         c.pipes.push(second);
         c.pipes[1].annex_pipe = Some(1); // annex == pipe 1 which is primary
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut cfg = base();
+        cfg.pipes[0].annex_pipe = Some(1);
+        cfg.pipes[0].slices.push(SliceSpec {
+            name: "server \"1\"".into(),
+            split_ports: vec![4, 5],
+            merge_ports: vec![6],
+            slots: 2048,
+        });
+        let text = cfg.to_json();
+        let back = ParkConfig::parse_json(&text).unwrap();
+        assert_eq!(back, cfg);
+        // Deterministic rendering: the round trip is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_documents() {
+        assert!(ParkConfig::parse_json("not json").is_err());
+        assert!(ParkConfig::parse_json("{}").is_err());
+        // A config whose expiry overflows u16 is rejected at parse time.
+        let mut text = base().to_json();
+        text = text.replace("\"expiry_threshold\":1", "\"expiry_threshold\":99999");
+        assert!(ParkConfig::parse_json(&text).is_err());
     }
 
     #[test]

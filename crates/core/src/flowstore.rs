@@ -448,6 +448,12 @@ enum PayloadRef {
 struct SlotState {
     meta: SlotMeta,
     payload: Option<PayloadRef>,
+    /// Monotonic park generation: bumped each time a new occupant parks
+    /// in this slot. Spill-order entries record the epoch they were
+    /// enqueued under, so an entry left behind by a previous occupant
+    /// (slot re-occupied, slab handle reused) prunes instead of demoting
+    /// the fresh flow out of turn.
+    epoch: u64,
 }
 
 /// The sparse park table: occupied slots in a hash map, payload in a
@@ -465,8 +471,11 @@ pub struct SlabStore {
     /// Hot-slab capacity that triggers spilling (None = unbounded).
     hot_capacity: Option<usize>,
     /// Park order for the spill policy, lazily pruned: entries whose
-    /// handle went stale (the flow merged or was evicted) are skipped.
-    park_order: VecDeque<(usize, SlabHandle)>,
+    /// handle or park epoch went stale (the flow merged, was evicted, or
+    /// the slot was re-occupied) are skipped.
+    park_order: VecDeque<(usize, SlabHandle, u64)>,
+    /// Next park epoch to hand out (see [`SlotState::epoch`]).
+    park_epoch: u64,
     occupied: usize,
 }
 
@@ -481,6 +490,7 @@ impl SlabStore {
             spill: HashMap::new(),
             hot_capacity: None,
             park_order: VecDeque::new(),
+            park_epoch: 0,
             occupied: 0,
         }
     }
@@ -514,28 +524,54 @@ impl SlabStore {
         }
     }
 
-    /// Demotes oldest hot payloads until the slab is back under its
-    /// capacity. Stale park-order entries (already merged/evicted/spilled)
-    /// are pruned as encountered.
+    /// Demotes oldest *live* parked payloads until the slab is back under
+    /// its capacity. Stale park-order entries (already merged/evicted/
+    /// spilled, or superseded by a newer occupant of the slot) are pruned
+    /// as encountered. Slots whose expiry clock already ran out never
+    /// demote: a fully-drained residual is released (evicted) on the
+    /// spot, and a merge residual still waiting for `load_block` stays
+    /// hot — spilling either would bump the spill gauge for a flow that
+    /// is no longer parked, then bump it right back down on drain.
     fn enforce_spill(&mut self) {
         let Some(cap) = self.hot_capacity else {
             return;
         };
+        // Entries skipped this pass (hot, but not demotable because the
+        // metadata is already zero while payload bytes are still pending
+        // drain). Re-queued afterwards so a later pass revisits them.
+        let mut deferred = Vec::new();
         while self.slab.live() > cap {
-            let Some((slot, handle)) = self.park_order.pop_front() else {
-                return;
+            let Some((slot, handle, epoch)) = self.park_order.pop_front() else {
+                break;
             };
             let still_hot = matches!(
                 self.states.get(&slot),
-                Some(SlotState { payload: Some(PayloadRef::Hot(h)), .. }) if *h == handle
+                Some(SlotState { payload: Some(PayloadRef::Hot(h)), epoch: e, .. })
+                    if *h == handle && *e == epoch
             );
             if !still_hot {
                 continue; // lazily pruned: the flow is gone or moved.
+            }
+            let expired = self.states.get(&slot).expect("checked above").meta.exp == 0;
+            if expired {
+                let drained =
+                    self.slab.get(handle).map(|d| d.iter().all(|b| *b == 0)).unwrap_or(true);
+                if drained {
+                    // Nothing left to restore: evict instead of demoting.
+                    let mut state = self.states.remove(&slot).expect("present");
+                    Self::free_payload(&mut state, &mut self.slab, &mut self.spill, slot);
+                } else {
+                    deferred.push((slot, handle, epoch));
+                }
+                continue;
             }
             let bytes = self.slab.get(handle).expect("live handle").to_vec();
             self.slab.free(handle);
             self.spill.insert(slot, bytes);
             self.states.get_mut(&slot).expect("checked above").payload = Some(PayloadRef::Spilled);
+        }
+        for entry in deferred.into_iter().rev() {
+            self.park_order.push_front(entry);
         }
     }
 
@@ -578,10 +614,11 @@ impl FlowStore for SlabStore {
     }
 
     fn probe(&mut self, slot: usize, tag: ParkTag) -> ProbeOutcome {
-        let state = self
-            .states
-            .entry(slot)
-            .or_insert(SlotState { meta: SlotMeta::default(), payload: None });
+        let state = self.states.entry(slot).or_insert(SlotState {
+            meta: SlotMeta::default(),
+            payload: None,
+            epoch: 0,
+        });
         let was = state.meta.exp > 0;
         let outcome = probe_meta(&mut state.meta, tag);
         let now = state.meta.exp > 0;
@@ -601,9 +638,13 @@ impl FlowStore for SlabStore {
                 }
                 None => self.slab.alloc(),
             };
-            self.states.get_mut(&slot).expect("present").payload = Some(PayloadRef::Hot(handle));
+            let epoch = self.park_epoch;
+            self.park_epoch += 1;
+            let state = self.states.get_mut(&slot).expect("present");
+            state.payload = Some(PayloadRef::Hot(handle));
+            state.epoch = epoch;
             if self.hot_capacity.is_some() {
-                self.park_order.push_back((slot, handle));
+                self.park_order.push_back((slot, handle, epoch));
                 self.enforce_spill();
             }
         } else if state.meta.is_zero() && state.payload.is_none() {
@@ -679,6 +720,7 @@ impl FlowStore for SlabStore {
         self.slab = Slab::new(self.blocks * BLOCK_BYTES);
         self.spill.clear();
         self.park_order.clear();
+        self.park_epoch = 0;
         self.occupied = 0;
     }
 
@@ -725,18 +767,20 @@ impl FlowStore for SlabStore {
             if meta.is_zero() && f.payload.is_none() {
                 continue;
             }
+            let epoch = self.park_epoch;
+            self.park_epoch += 1;
             let payload = f.payload.map(|bytes| {
                 let h = self.slab.alloc();
                 self.slab.get_mut(h).expect("fresh handle").copy_from_slice(&bytes);
                 if self.hot_capacity.is_some() {
-                    self.park_order.push_back((f.slot, h));
+                    self.park_order.push_back((f.slot, h, epoch));
                 }
                 PayloadRef::Hot(h)
             });
             if meta.exp > 0 {
                 self.occupied += 1;
             }
-            self.states.insert(f.slot, SlotState { meta, payload });
+            self.states.insert(f.slot, SlotState { meta, payload, epoch });
         }
         self.enforce_spill();
     }
@@ -888,6 +932,75 @@ mod tests {
         assert_eq!(out, block(0x11));
         // It is gone from the old store: a late replay there is a duplicate.
         assert_eq!(a.merge(10, 3), MergeOutcome::Duplicate);
+    }
+
+    /// Regression (pp-fuzz find): the spill bound must never demote a
+    /// slot whose expiry clock already ran out. A merge residual (meta
+    /// cleared, payload waiting for `load_block`) used to be demoted as
+    /// "oldest parked", bumping the spill gauge for a flow that is no
+    /// longer parked and bumping it back down when the drain pulled the
+    /// bytes out of the spill map — the gauge double-touch.
+    #[test]
+    fn spill_bound_skips_merge_residuals() {
+        let mut s = SlabStore::with_spill(1024, 1, 1);
+        // Park A and merge it: its payload is now a residual pending drain.
+        assert!(s.probe(0, tag(7)).parked);
+        s.store_block(0, 0, &block(0xAA));
+        assert_eq!(s.merge(0, 7), MergeOutcome::Restored { xsum: 0xBEEF, tsum: 0x1234 });
+        // Parking B overflows the hot tier (cap 1, two hot payloads).
+        assert!(s.probe(1, tag(8)).parked);
+        s.store_block(1, 0, &block(0xBB));
+        // The residual stays hot; the genuinely parked flow demotes.
+        assert_eq!(s.spilled(), 1, "exactly one parked payload demotes");
+        assert!(!s.spill.contains_key(&0), "merge residual must not enter the spill tier");
+        assert!(s.spill.contains_key(&1), "the live parked flow is the one demoted");
+        // Draining A releases it from the hot slab without ever touching
+        // the spill gauge; B stays spilled throughout.
+        let mut out = [0u8; BLOCK_BYTES];
+        s.load_block(0, 0, &mut out);
+        assert_eq!(out, block(0xAA));
+        assert_eq!(s.spilled(), 1);
+        assert_eq!(s.hot(), 0);
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    /// Regression (pp-fuzz find): a slot that merges and is immediately
+    /// re-occupied reuses the previous occupant's slab handle (register
+    /// aliasing), so the *old* park-order entry used to pass the
+    /// staleness check and demote the freshly parked flow ahead of a
+    /// genuinely older one. Park epochs prune the stale entry.
+    #[test]
+    fn spill_order_survives_slot_reoccupancy() {
+        let mut s = SlabStore::with_spill(1024, 1, 2);
+        // A (slot 0) then B (slot 1) park; hot tier holds both.
+        assert!(s.probe(0, tag(1)).parked);
+        s.store_block(0, 0, &block(0xA1));
+        assert!(s.probe(1, tag(2)).parked);
+        s.store_block(1, 0, &block(0xB1));
+        // A merges and slot 0 is re-occupied by C, reusing A's handle.
+        assert_eq!(s.merge(0, 1), MergeOutcome::Restored { xsum: 0xBEEF, tsum: 0x1234 });
+        assert!(s.probe(0, tag(3)).parked);
+        s.store_block(0, 0, &block(0xC1));
+        // D overflows the hot tier. Oldest live flow is B — not C, whose
+        // slot merely inherited A's position in the queue.
+        assert!(s.probe(2, tag(4)).parked);
+        s.store_block(2, 0, &block(0xD1));
+        assert_eq!(s.spilled(), 1);
+        assert!(s.spill.contains_key(&1), "oldest live flow (B) demotes");
+        assert!(!s.spill.contains_key(&0), "freshly re-parked flow (C) stays hot");
+        // All three restore byte-identical.
+        let mut out = [0u8; BLOCK_BYTES];
+        assert!(matches!(s.merge(1, 2), MergeOutcome::Restored { .. }));
+        s.load_block(1, 0, &mut out);
+        assert_eq!(out, block(0xB1));
+        assert!(matches!(s.merge(0, 3), MergeOutcome::Restored { .. }));
+        s.load_block(0, 0, &mut out);
+        assert_eq!(out, block(0xC1));
+        assert!(matches!(s.merge(2, 4), MergeOutcome::Restored { .. }));
+        s.load_block(2, 0, &mut out);
+        assert_eq!(out, block(0xD1));
+        assert_eq!(s.spilled(), 0);
+        assert_eq!(s.occupancy(), 0);
     }
 
     /// The acceptance-criteria soak: park and restore over a million

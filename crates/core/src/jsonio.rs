@@ -1,0 +1,313 @@
+//! Minimal hand-rolled JSON, for configuration and repro files.
+//!
+//! The workspace deliberately carries no serde; the few places that need
+//! a machine-readable interchange format (metric series, fuzzer repros)
+//! hand-roll it. This module is the shared core: a tiny [`Value`] tree
+//! with a recursive-descent parser and a deterministic renderer.
+//!
+//! Two properties matter for repro files and set this apart from a
+//! float-only parser:
+//!
+//! * **Numbers round-trip exactly.** A number keeps its raw token, so a
+//!   full-range `u64` fuzz seed survives parse → render unchanged
+//!   (an `f64` intermediate would quantize anything above 2^53).
+//! * **Rendering is deterministic.** Objects keep insertion order and
+//!   the renderer emits no discretionary whitespace, so byte-identical
+//!   inputs produce byte-identical files — the shrinker's determinism
+//!   check diffs repro JSON verbatim.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Raw number token, exactly as written (e.g. `"18446744073709551615"`).
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Key-value pairs in insertion order (duplicate keys keep the last).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a number value from anything displayable as a number token.
+    pub fn num(n: impl std::fmt::Display) -> Value {
+        Value::Num(n.to_string())
+    }
+
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (last occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    pub fn as_u16(&self) -> Option<u16> {
+        self.as_u64().and_then(|n| u16::try_from(n).ok())
+    }
+
+    pub fn as_u8(&self) -> Option<u8> {
+        self.as_u64().and_then(|n| u8::try_from(n).ok())
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Renders compact deterministic JSON (no discretionary whitespace,
+    /// object fields in insertion order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Option<Value> {
+    let (value, rest) = parse_value(text.trim_start())?;
+    if rest.trim().is_empty() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// Parses one JSON value off the front of `s`, returning the remainder.
+pub fn parse_value(s: &str) -> Option<(Value, &str)> {
+    let s = s.trim_start();
+    let first = s.chars().next()?;
+    match first {
+        'n' => s.strip_prefix("null").map(|r| (Value::Null, r)),
+        't' => s.strip_prefix("true").map(|r| (Value::Bool(true), r)),
+        'f' => s.strip_prefix("false").map(|r| (Value::Bool(false), r)),
+        '"' => parse_string(s).map(|(v, r)| (Value::Str(v), r)),
+        '[' => parse_array(s),
+        '{' => parse_object(s),
+        '-' | '0'..='9' => parse_number(s),
+        _ => None,
+    }
+}
+
+fn parse_string(s: &str) -> Option<(String, &str)> {
+    let mut chars = s.strip_prefix('"')?.char_indices();
+    let body = &s[1..];
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &body[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn parse_number(s: &str) -> Option<(Value, &str)> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .map_or(s.len(), |(i, _)| i);
+    let raw = &s[..end];
+    // Validate the token parses as a number at all.
+    raw.parse::<f64>().ok()?;
+    Some((Value::Num(raw.to_owned()), &s[end..]))
+}
+
+fn parse_array(s: &str) -> Option<(Value, &str)> {
+    let mut rest = s.strip_prefix('[')?.trim_start();
+    let mut items = Vec::new();
+    if let Some(r) = rest.strip_prefix(']') {
+        return Some((Value::Arr(items), r));
+    }
+    loop {
+        let (item, r) = parse_value(rest)?;
+        items.push(item);
+        rest = r.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else {
+            return rest.strip_prefix(']').map(|r| (Value::Arr(items), r));
+        }
+    }
+}
+
+fn parse_object(s: &str) -> Option<(Value, &str)> {
+    let mut rest = s.strip_prefix('{')?.trim_start();
+    let mut fields = Vec::new();
+    if let Some(r) = rest.strip_prefix('}') {
+        return Some((Value::Obj(fields), r));
+    }
+    loop {
+        let (key, r) = parse_string(rest.trim_start())?;
+        let r = r.trim_start().strip_prefix(':')?;
+        let (value, r) = parse_value(r)?;
+        fields.push((key, value));
+        rest = r.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else {
+            return rest.strip_prefix('}').map(|r| (Value::Obj(fields), r));
+        }
+    }
+}
+
+/// Convenience: an object from field pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Convenience: an array of numbers.
+pub fn num_arr<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> Value {
+    Value::Arr(items.into_iter().map(Value::num).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_u64_round_trips_exactly() {
+        let v = Value::num(u64::MAX);
+        let parsed = parse(&v.render()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(u64::MAX));
+        // An f64 intermediate would have lost the low bits.
+        assert_eq!(parsed.render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let doc = obj(vec![
+            ("name", Value::str("fuzz \"case\" #1\n")),
+            ("seed", Value::num(0x00FF_FFFF_FFFF_FFFFu64)),
+            ("flags", Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("inner", obj(vec![("slots", num_arr([1u64, 2, 3]))])),
+        ]);
+        let text = doc.render();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // Deterministic rendering: render(parse(render(x))) == render(x).
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_rejects_trailing_garbage() {
+        let ok = parse("  { \"a\" : [ 1 , 2 ] ,\n \"b\" : \"x\" }  ").unwrap();
+        assert_eq!(ok.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert!(parse("{} trailing").is_none());
+        assert!(parse("{\"a\":}").is_none());
+        assert!(parse("[1,,2]").is_none());
+    }
+}

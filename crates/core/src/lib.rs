@@ -67,6 +67,7 @@ pub mod control;
 pub mod counters;
 pub mod evictor;
 pub mod flowstore;
+pub mod jsonio;
 pub mod oracle;
 pub mod program;
 pub mod shard;

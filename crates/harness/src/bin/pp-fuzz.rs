@@ -1,0 +1,33 @@
+//! `pp-fuzz` — differential conformance fuzzing of every execution
+//! path, with failure shrinking and a pinned-regression corpus.
+//!
+//! Exit codes: 0 all cases/replays clean, 1 failures found, 2 usage
+//! error.
+
+use pp_harness::fuzz;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match fuzz::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("pp-fuzz: {e}\n{}", fuzz::usage());
+            return ExitCode::from(2);
+        }
+    };
+    match fuzz::run_fuzz(&cli) {
+        Ok(run) => {
+            print!("{}", run.rendered);
+            if run.failures > 0 {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("pp-fuzz: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The `pp-fuzz` command-line surface.
+//!
+//! Strict like `pp-exp` and `pp-lint`: unknown flags and malformed
+//! values are errors (exit 2 in the binary), the logic lives here in
+//! the library so the regression tests drive the exact code the binary
+//! runs, and the binary exits 1 when any case fails.
+//!
+//! * `pp-fuzz run` — a seeded batch: generate, pre-screen, execute,
+//!   shrink failures, write repros (`--corpus DIR`).
+//! * `pp-fuzz replay FILE...` — re-execute repro files.
+//! * `pp-fuzz corpus [DIR]` — replay a whole pinned-regression
+//!   directory (default `corpus/`), the CI gate.
+
+use super::config::FuzzConfig;
+use super::corpus::{self, Repro};
+use super::driver::{run_case, Bug, CaseOutcome};
+use super::shrink::shrink;
+use std::path::Path;
+
+/// Iterations `--quick` runs (small enough for every CI push).
+pub const QUICK_ITERS: usize = 6;
+/// Default iterations for a plain `pp-fuzz run`.
+pub const DEFAULT_ITERS: usize = 24;
+/// Default base seed.
+pub const DEFAULT_SEED: u64 = 42;
+/// Default pinned-regression directory.
+pub const DEFAULT_CORPUS: &str = "corpus";
+/// Shrink evaluation budget per failure.
+pub const SHRINK_BUDGET: usize = 200;
+
+/// A parsed `pp-fuzz` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzCli {
+    /// `pp-fuzz run`.
+    Run {
+        /// Base seed; case `i` uses `seed + i`.
+        seed: u64,
+        /// Cases to run.
+        iters: usize,
+        /// Write repros for shrunk failures here.
+        corpus: Option<String>,
+        /// Inject the deliberate engine-counter bug (self-test).
+        inject_bug: bool,
+    },
+    /// `pp-fuzz replay FILE...`.
+    Replay {
+        /// Repro files, replayed in order.
+        files: Vec<String>,
+    },
+    /// `pp-fuzz corpus [DIR]`.
+    Corpus {
+        /// Directory of pinned repros.
+        dir: String,
+    },
+}
+
+/// The usage string printed alongside any parse error (exit code 2).
+pub fn usage() -> String {
+    "usage: pp-fuzz run [--seed N] [--iters N] [--quick] [--corpus DIR] [--inject-bug]\n\
+     \u{20}      pp-fuzz replay FILE...\n\
+     \u{20}      pp-fuzz corpus [DIR]"
+        .into()
+}
+
+/// Parses the arguments after the program name. Strict: unknown flags,
+/// missing values and malformed numbers are errors.
+pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<FuzzCli, String> {
+    let mut it = args.iter().map(AsRef::as_ref);
+    match it.next() {
+        Some("run") => {
+            let rest: Vec<&str> = it.collect();
+            let mut seed: Option<u64> = None;
+            let mut iters: Option<usize> = None;
+            let mut quick = false;
+            let mut corpus = None;
+            let mut inject_bug = false;
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = rest[i];
+                let mut value = |name: &str| -> Result<&str, String> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg {
+                    "--seed" => {
+                        let v = value("--seed")?;
+                        seed = Some(v.parse().map_err(|_| format!("invalid seed {v:?}"))?);
+                    }
+                    "--iters" => {
+                        let v = value("--iters")?;
+                        let n: usize = v.parse().map_err(|_| format!("invalid iters {v:?}"))?;
+                        if n == 0 {
+                            return Err("--iters must be >= 1".into());
+                        }
+                        iters = Some(n);
+                    }
+                    "--quick" => quick = true,
+                    "--corpus" => corpus = Some(value("--corpus")?.to_string()),
+                    "--inject-bug" => inject_bug = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            Ok(FuzzCli::Run {
+                seed: seed.unwrap_or(DEFAULT_SEED),
+                iters: iters.unwrap_or(if quick { QUICK_ITERS } else { DEFAULT_ITERS }),
+                corpus,
+                inject_bug,
+            })
+        }
+        Some("replay") => {
+            let files: Vec<String> = it.map(str::to_owned).collect();
+            if files.is_empty() {
+                return Err("replay requires at least one repro file".into());
+            }
+            if let Some(flag) = files.iter().find(|f| f.starts_with('-')) {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            Ok(FuzzCli::Replay { files })
+        }
+        Some("corpus") => {
+            let rest: Vec<&str> = it.collect();
+            match rest.as_slice() {
+                [] => Ok(FuzzCli::Corpus { dir: DEFAULT_CORPUS.into() }),
+                [dir] if !dir.starts_with('-') => Ok(FuzzCli::Corpus { dir: (*dir).into() }),
+                [flag] => Err(format!("unknown flag {flag:?}")),
+                _ => Err("corpus takes at most one directory".into()),
+            }
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command (try run, replay or corpus)".into()),
+    }
+}
+
+/// What a full invocation did.
+#[derive(Debug, Clone)]
+pub struct FuzzRun {
+    /// Human-readable per-case log plus summary line.
+    pub rendered: String,
+    /// Cases (or replays) that failed.
+    pub failures: usize,
+    /// Cases vetoed by the static pre-screen.
+    pub skipped: usize,
+    /// Cases that passed.
+    pub passed: usize,
+}
+
+fn run_batch(
+    seed: u64,
+    iters: usize,
+    corpus_dir: Option<&str>,
+    inject_bug: bool,
+) -> Result<FuzzRun, String> {
+    let bug = if inject_bug { Bug::EngineMergeSkew } else { Bug::None };
+    let mut rendered = String::new();
+    let (mut failures, mut skipped, mut passed) = (0, 0, 0);
+    for i in 0..iters {
+        let case_seed = seed.wrapping_add(i as u64);
+        let cfg = FuzzConfig::generate(case_seed);
+        match run_case(&cfg, bug) {
+            CaseOutcome::Pass(stats) => {
+                passed += 1;
+                rendered.push_str(&format!(
+                    "case {case_seed:#018x}: pass (splits {}, merges {}, delivered {}{})\n",
+                    stats.splits,
+                    stats.merges,
+                    stats.delivered,
+                    if stats.cluster { ", cluster" } else { "" }
+                ));
+            }
+            CaseOutcome::Skipped { reason } => {
+                skipped += 1;
+                rendered.push_str(&format!("case {case_seed:#018x}: skip ({reason})\n"));
+            }
+            CaseOutcome::Fail { reason } => {
+                failures += 1;
+                rendered.push_str(&format!("case {case_seed:#018x}: FAIL ({reason})\n"));
+                let minimized = shrink(&cfg, bug, SHRINK_BUDGET);
+                rendered.push_str(&format!(
+                    "  shrunk in {} steps / {} evaluations: {}\n",
+                    minimized.steps, minimized.evaluations, minimized.reason
+                ));
+                let repro =
+                    Repro { seed: case_seed, config: minimized.config, failure: minimized.reason };
+                if let Some(dir) = corpus_dir {
+                    let path = corpus::write_repro(Path::new(dir), &repro)
+                        .map_err(|e| format!("writing repro: {e}"))?;
+                    rendered.push_str(&format!("  repro: {}\n", path.display()));
+                } else {
+                    rendered.push_str(&format!("  repro: {}\n", corpus::render_repro(&repro)));
+                }
+            }
+        }
+    }
+    rendered.push_str(&format!(
+        "pp-fuzz: {iters} case(s), {passed} passed, {skipped} skipped, {failures} failure(s)\n"
+    ));
+    Ok(FuzzRun { rendered, failures, skipped, passed })
+}
+
+fn run_replays(files: &[String]) -> FuzzRun {
+    let mut rendered = String::new();
+    let (mut failures, mut passed) = (0, 0);
+    let mut skipped = 0;
+    for file in files {
+        match corpus::replay_file(Path::new(file)) {
+            Ok(replay) => match replay.outcome {
+                CaseOutcome::Pass(_) => {
+                    passed += 1;
+                    rendered.push_str(&format!("{file}: clean (was: {})\n", replay.repro.failure));
+                }
+                CaseOutcome::Skipped { reason } => {
+                    // A pinned repro must stay runnable; a veto means the
+                    // case no longer tests anything.
+                    failures += 1;
+                    skipped += 1;
+                    rendered
+                        .push_str(&format!("{file}: FAIL (repro now pre-screened: {reason})\n"));
+                }
+                CaseOutcome::Fail { reason } => {
+                    failures += 1;
+                    rendered.push_str(&format!("{file}: FAIL ({reason})\n"));
+                }
+            },
+            Err(e) => {
+                failures += 1;
+                rendered.push_str(&format!("{file}: FAIL ({e})\n"));
+            }
+        }
+    }
+    rendered.push_str(&format!(
+        "pp-fuzz: {} replay(s), {passed} clean, {failures} failure(s)\n",
+        files.len()
+    ));
+    FuzzRun { rendered, failures, skipped, passed }
+}
+
+/// Executes a parsed invocation.
+pub fn run_fuzz(cli: &FuzzCli) -> Result<FuzzRun, String> {
+    match cli {
+        FuzzCli::Run { seed, iters, corpus, inject_bug } => {
+            run_batch(*seed, *iters, corpus.as_deref(), *inject_bug)
+        }
+        FuzzCli::Replay { files } => Ok(run_replays(files)),
+        FuzzCli::Corpus { dir } => {
+            let files =
+                corpus::corpus_files(Path::new(dir)).map_err(|e| format!("corpus {dir:?}: {e}"))?;
+            if files.is_empty() {
+                return Err(format!("corpus {dir:?} has no repro files"));
+            }
+            let names: Vec<String> =
+                files.iter().map(|p| p.to_string_lossy().into_owned()).collect();
+            Ok(run_replays(&names))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_grammar() {
+        assert_eq!(
+            parse(&["run", "--seed", "7", "--iters", "3"]).unwrap(),
+            FuzzCli::Run { seed: 7, iters: 3, corpus: None, inject_bug: false }
+        );
+        assert_eq!(
+            parse(&["run", "--quick"]).unwrap(),
+            FuzzCli::Run {
+                seed: DEFAULT_SEED,
+                iters: QUICK_ITERS,
+                corpus: None,
+                inject_bug: false
+            }
+        );
+        assert_eq!(
+            parse(&["run", "--quick", "--iters", "2", "--corpus", "c", "--inject-bug"]).unwrap(),
+            FuzzCli::Run {
+                seed: DEFAULT_SEED,
+                iters: 2,
+                corpus: Some("c".into()),
+                inject_bug: true
+            }
+        );
+        assert_eq!(
+            parse(&["replay", "a.json", "b.json"]).unwrap(),
+            FuzzCli::Replay { files: vec!["a.json".into(), "b.json".into()] }
+        );
+        assert_eq!(parse(&["corpus"]).unwrap(), FuzzCli::Corpus { dir: "corpus".into() });
+        assert_eq!(parse(&["corpus", "pins"]).unwrap(), FuzzCli::Corpus { dir: "pins".into() });
+
+        assert!(parse(&["run", "--sede"]).unwrap_err().contains("--sede"));
+        assert!(parse(&["run", "--seed"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["run", "--iters", "0"]).unwrap_err().contains(">= 1"));
+        assert!(parse(&["run", "--iters", "x"]).unwrap_err().contains("invalid iters"));
+        assert!(parse(&["replay"]).unwrap_err().contains("at least one"));
+        assert!(parse(&["replay", "--all"]).unwrap_err().contains("--all"));
+        assert!(parse(&["corpus", "--all"]).unwrap_err().contains("--all"));
+        assert!(parse(&["fuzz"]).unwrap_err().contains("unknown command"));
+        assert!(parse::<&str>(&[]).unwrap_err().contains("no command"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Replayable repro files and the pinned-regression corpus.
+//!
+//! A repro is one JSON document: the case seed, the (possibly shrunk)
+//! config, the failure it reproduced, and a copy of the expanded
+//! deployment (`ParkConfig`) the config maps to. The embedded
+//! deployment is a **drift guard**: replay re-derives the deployment
+//! from the config axes and refuses to run if the two disagree — a
+//! changed generator would otherwise silently replay a different case
+//! than the one that failed.
+//!
+//! `corpus/` at the repository root holds repros of bugs this fuzzer
+//! (or its satellites) flushed out, minimized and then fixed; CI
+//! replays the whole directory on every push and requires each case to
+//! run clean now.
+
+use super::config::FuzzConfig;
+use super::driver::{run_case, Bug, CaseOutcome};
+use payloadpark::jsonio::{self, obj, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Format tag every repro carries.
+pub const REPRO_FORMAT: &str = "pp-fuzz-repro-v1";
+
+/// A parsed repro file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Case seed the config was generated from.
+    pub seed: u64,
+    /// The (possibly shrunk) failing config.
+    pub config: FuzzConfig,
+    /// The failure the repro reproduced when it was written.
+    pub failure: String,
+}
+
+/// Renders a repro as deterministic JSON (byte-stable across
+/// parse → render, which the shrinker-determinism CI check diffs).
+pub fn render_repro(repro: &Repro) -> String {
+    obj(vec![
+        ("format", Value::str(REPRO_FORMAT)),
+        ("seed", Value::num(repro.seed)),
+        ("failure", Value::str(repro.failure.clone())),
+        ("config", repro.config.to_json_value()),
+        ("deployment", repro.config.deployment().to_json_value()),
+    ])
+    .render()
+}
+
+/// Parses a repro document, checking the format tag and the embedded
+/// deployment against what the config expands to today.
+pub fn parse_repro(text: &str) -> Result<Repro, String> {
+    let v = jsonio::parse(text).ok_or("repro is not valid JSON")?;
+    match v.get("format").and_then(Value::as_str) {
+        Some(REPRO_FORMAT) => {}
+        other => return Err(format!("unknown repro format {other:?}")),
+    }
+    let seed = v.get("seed").and_then(Value::as_u64).ok_or("missing/invalid \"seed\"")?;
+    let config = FuzzConfig::from_json_value(v.get("config").ok_or("missing \"config\"")?)?;
+    let failure =
+        v.get("failure").and_then(Value::as_str).ok_or("missing/invalid \"failure\"")?.to_owned();
+    let embedded = v.get("deployment").ok_or("missing \"deployment\"")?;
+    let derived = config.deployment().to_json_value();
+    if *embedded != derived {
+        return Err(
+            "deployment drift: the config expands to a different deployment than the repro \
+             captured (generator changed since the repro was written)"
+                .into(),
+        );
+    }
+    Ok(Repro { seed, config, failure })
+}
+
+/// Writes a repro into `dir` (created if missing) as
+/// `repro-<seed>-<len>.json`; returns the path.
+pub fn write_repro(dir: &Path, repro: &Repro) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let name = format!("repro-{:016x}.json", repro.seed);
+    let path = dir.join(name);
+    fs::write(&path, render_repro(repro))?;
+    Ok(path)
+}
+
+/// The outcome of replaying one repro file.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The parsed repro.
+    pub repro: Repro,
+    /// What the case does against today's code.
+    pub outcome: CaseOutcome,
+}
+
+/// Replays one repro file against the current implementation.
+pub fn replay_file(path: &Path) -> Result<Replay, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let repro = parse_repro(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let outcome = run_case(&repro.config, Bug::None);
+    Ok(Replay { repro, outcome })
+}
+
+/// All `.json` files in a corpus directory, sorted by name for
+/// deterministic replay order.
+pub fn corpus_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repro {
+        let mut config = FuzzConfig::generate(9);
+        config.slots = 48; // keep it runnable
+        Repro { seed: 9, config, failure: "engine (4 workers): counters diverged".into() }
+    }
+
+    #[test]
+    fn repro_round_trips_byte_identically() {
+        let repro = sample();
+        let text = render_repro(&repro);
+        let back = parse_repro(&text).expect("parses");
+        assert_eq!(back, repro);
+        assert_eq!(render_repro(&back), text);
+    }
+
+    #[test]
+    fn deployment_drift_is_refused() {
+        let repro = sample();
+        let mut v = jsonio::parse(&render_repro(&repro)).unwrap();
+        // Mutate the embedded config's slot count without touching the
+        // captured deployment: replay must refuse the mismatch.
+        if let Value::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "config" {
+                    if let Value::Obj(cfg_fields) = val {
+                        for (ck, cv) in cfg_fields.iter_mut() {
+                            if ck == "slots" {
+                                *cv = Value::num(96u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = parse_repro(&v.render()).unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+    }
+
+    #[test]
+    fn unknown_formats_are_rejected() {
+        assert!(parse_repro("{\"format\":\"pp-fuzz-repro-v9\"}").unwrap_err().contains("format"));
+        assert!(parse_repro("not json").unwrap_err().contains("JSON"));
+    }
+}

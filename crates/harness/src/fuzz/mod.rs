@@ -1,0 +1,33 @@
+//! `pp-fuzz`: the differential conformance fuzzer.
+//!
+//! The repository carries several execution surfaces that all claim to
+//! implement the same PayloadPark semantics: the register-backed scalar
+//! program, the `FlowStore` program over three store implementations,
+//! the sharded `pp_fastpath` engine, the `pp_cluster` distributed tier
+//! and the discrete-event testbed. The conformance suites pin them to
+//! each other at *fixed* configurations; this module searches the
+//! configuration space instead.
+//!
+//! From a single `u64` seed, [`config`] expands a random deployment and
+//! traffic shape; [`driver`] statically pre-screens it (rejected
+//! configs are skipped, never executed) and runs every path under the
+//! same seeded adversity, requiring exact cross-path equivalence, a
+//! clean conformance oracle everywhere, and agreement between the
+//! adaptive evictor and its pure [`model`]. Failures are minimized by
+//! the deterministic [`shrink`]er into a replayable [`corpus`] repro;
+//! the checked-in `corpus/` directory of pinned regressions replays on
+//! every CI push, and [`cli`] is the strict command-line surface the
+//! `pp-fuzz` binary exposes.
+
+pub mod cli;
+pub mod config;
+pub mod corpus;
+pub mod driver;
+pub mod model;
+pub mod shrink;
+
+pub use cli::{parse, run_fuzz, usage, FuzzCli, FuzzRun};
+pub use config::{FuzzConfig, StoreChoice};
+pub use corpus::{parse_repro, render_repro, replay_file, Repro};
+pub use driver::{run_case, Bug, CaseOutcome};
+pub use shrink::{shrink, ShrinkResult};

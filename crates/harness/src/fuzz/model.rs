@@ -1,0 +1,108 @@
+//! A pure model of the adaptive evictor's control loop.
+//!
+//! [`payloadpark::AdaptivePolicy`] walks the expiry threshold from
+//! per-interval *deltas* of two counters: premature evictions raise it
+//! (toward `max_expiry`), occupied-refusals without premature evictions
+//! lower it (toward `min_expiry`), premature wins when both fire. This
+//! module restates that state machine as plain data — no atomics, no
+//! shared threshold — and the fuzz driver steps both against the same
+//! counter stream every wave, failing a case the moment the
+//! implementation and the model disagree on the threshold or on how
+//! many adjustments were made.
+
+use payloadpark::{AdaptiveConfig, CounterSnapshot};
+
+/// The reference state machine. Mirrors `AdaptivePolicy::observe`
+/// field-for-field; see the module docs for the cross-check contract.
+#[derive(Debug, Clone)]
+pub struct PolicyModel {
+    config: AdaptiveConfig,
+    current: u16,
+    last: CounterSnapshot,
+    adjustments: u64,
+}
+
+impl PolicyModel {
+    /// A model starting at `expiry` under `config`.
+    pub fn new(expiry: u16, config: AdaptiveConfig) -> PolicyModel {
+        PolicyModel { config, current: expiry, last: CounterSnapshot::default(), adjustments: 0 }
+    }
+
+    /// The threshold the model currently holds.
+    pub fn current(&self) -> u16 {
+        self.current
+    }
+
+    /// Threshold changes so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Feeds one interval's cumulative counters; returns the new
+    /// threshold. Deltas are taken against the previous observation,
+    /// exactly like the implementation.
+    pub fn observe(&mut self, now: CounterSnapshot) -> u16 {
+        let premature = now.premature_evictions.saturating_sub(self.last.premature_evictions);
+        let occupied = now.disabled_occupied.saturating_sub(self.last.disabled_occupied);
+        self.last = now;
+
+        let next = if premature > self.config.premature_tolerance {
+            self.current.saturating_add(1).min(self.config.max_expiry)
+        } else if occupied > self.config.occupied_tolerance {
+            self.current.saturating_sub(1).max(self.config.min_expiry)
+        } else {
+            self.current
+        };
+        if next != self.current {
+            self.adjustments += 1;
+            self.current = next;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payloadpark::AdaptivePolicy;
+    use std::sync::atomic::AtomicU16;
+    use std::sync::Arc;
+
+    fn snapshot(premature: u64, occupied: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            premature_evictions: premature,
+            disabled_occupied: occupied,
+            ..Default::default()
+        }
+    }
+
+    /// The model tracks the real policy step-for-step across a counter
+    /// stream that exercises raise, lower, clamp and both-fire cases.
+    #[test]
+    fn model_matches_implementation() {
+        let config = AdaptiveConfig {
+            min_expiry: 1,
+            max_expiry: 4,
+            premature_tolerance: 1,
+            occupied_tolerance: 2,
+        };
+        let mut model = PolicyModel::new(2, config);
+        let mut real = AdaptivePolicy::new(Arc::new(AtomicU16::new(2)), config);
+        let stream = [
+            snapshot(0, 0),
+            snapshot(5, 0),    // raise
+            snapshot(9, 0),    // raise
+            snapshot(9, 20),   // lower
+            snapshot(9, 21),   // delta 1 <= tolerance: hold
+            snapshot(30, 40),  // both fire: premature wins
+            snapshot(60, 40),  // raise to clamp
+            snapshot(100, 40), // clamped: no adjustment counted
+        ];
+        for (i, s) in stream.into_iter().enumerate() {
+            assert_eq!(model.observe(s), real.observe(s), "step {i}");
+            assert_eq!(model.current(), real.current(), "step {i}");
+            assert_eq!(model.adjustments(), real.adjustments(), "step {i}");
+        }
+        assert_eq!(model.current(), 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic failure shrinking.
+//!
+//! When a case fails, the shrinker minimizes it axis by axis: a fixed,
+//! ordered list of single-axis reduction candidates is generated from
+//! the current config; the first candidate that **still fails** (skips
+//! and passes both reject it) becomes the new current config and the
+//! scan restarts. The loop ends at a fixpoint — no candidate reproduces
+//! the failure — or at the evaluation budget.
+//!
+//! Everything here is deterministic: candidate order is fixed, the
+//! driver is seeded, and repro JSON renders byte-stably. CI exploits
+//! that by shrinking the same injected bug twice and diffing the repro
+//! files verbatim.
+
+use super::config::{FuzzConfig, StoreChoice, MIN_PACKETS};
+use super::driver::{run_case, Bug, CaseOutcome};
+
+/// A finished shrink.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized config (still failing).
+    pub config: FuzzConfig,
+    /// The minimized failure reason.
+    pub reason: String,
+    /// Accepted reduction steps.
+    pub steps: usize,
+    /// Driver evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Every single-axis reduction of `cfg`, most structural first. Order
+/// is part of the shrinker's determinism contract — append, don't
+/// reorder.
+fn candidates(cfg: &FuzzConfig) -> Vec<FuzzConfig> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut FuzzConfig)| {
+        let mut c = cfg.clone();
+        f(&mut c);
+        if c != *cfg {
+            out.push(c);
+        }
+    };
+
+    // Structure first: fewer waves, no cluster, shorter schedule.
+    push(&|c| {
+        c.waves = 1;
+        if let Some(cl) = &mut c.cluster {
+            cl.schedule.clear();
+        }
+    });
+    push(&|c| c.cluster = None);
+    push(&|c| {
+        if let Some(cl) = &mut c.cluster {
+            cl.schedule.clear();
+        }
+    });
+    push(&|c| {
+        if let Some(cl) = &mut c.cluster {
+            if !cl.schedule.is_empty() {
+                cl.schedule.truncate(cl.schedule.len() - 1);
+            }
+        }
+    });
+    push(&|c| {
+        if let Some(cl) = &mut c.cluster {
+            cl.switches = 2;
+        }
+    });
+
+    // Wave length, in coarse-to-fine steps.
+    for reduce in [
+        &(|p: usize| p / 2) as &dyn Fn(usize) -> usize,
+        &|p| p * 3 / 4,
+        &|p| p.saturating_sub(8),
+        &|p| p - 1,
+    ] {
+        push(&|c| {
+            let next = reduce(c.packets).max(MIN_PACKETS);
+            if next < c.packets {
+                c.packets = next;
+            }
+        });
+    }
+
+    // Adversity knobs, one at a time.
+    push(&|c| c.adversity.to_nf_drop_permille = 0);
+    push(&|c| c.adversity.drop_permille = 0);
+    push(&|c| c.adversity.duplicate_permille = 0);
+    push(&|c| c.adversity.truncate_permille = 0);
+    push(&|c| c.adversity.corrupt_permille = 0);
+    push(&|c| {
+        c.adversity.reorder_permille = 0;
+        c.adversity.max_displacement = 0;
+    });
+    push(&|c| c.adversity.blackout = None);
+
+    // Simpler stores, plainer traffic, smaller geometry.
+    push(&|c| {
+        if let StoreChoice::SlabSpill { .. } = c.store {
+            c.store = StoreChoice::Slab;
+        }
+    });
+    push(&|c| {
+        if c.store == StoreChoice::Slab {
+            c.store = StoreChoice::Circular;
+        }
+    });
+    push(&|c| c.tcp_permille = 0);
+    push(&|c| {
+        if c.slices > 4 {
+            c.slices = 4;
+        }
+    });
+    push(&|c| {
+        if c.slots > 8 {
+            c.slots = (c.slots / 2).max(8);
+        }
+    });
+    push(&|c| {
+        if c.expiry > 1 {
+            c.expiry = 1;
+        }
+    });
+    push(&|c| c.nf = super::config::NfChoice::MacSwap);
+    push(&|c| {
+        if c.des.duration_us > 200 {
+            c.des.duration_us = (c.des.duration_us / 2).max(200);
+        }
+    });
+
+    out
+}
+
+/// Minimizes `cfg` (which must fail under `bug`) within `max_evals`
+/// driver runs. Returns the fixpoint config and its failure reason.
+pub fn shrink(cfg: &FuzzConfig, bug: Bug, max_evals: usize) -> ShrinkResult {
+    let mut current = cfg.clone();
+    let mut reason = match run_case(&current, bug) {
+        CaseOutcome::Fail { reason } => reason,
+        other => panic!("shrink requires a failing case, got {other:?}"),
+    };
+    let mut steps = 0;
+    let mut evaluations = 1;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if evaluations >= max_evals {
+                break 'outer;
+            }
+            evaluations += 1;
+            if let CaseOutcome::Fail { reason: r } = run_case(&cand, bug) {
+                current = cand;
+                reason = r;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult { config: current, reason, steps, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_are_deterministic_and_strictly_different() {
+        let cfg = FuzzConfig::generate(11);
+        let a = candidates(&cfg);
+        let b = candidates(&cfg);
+        assert_eq!(a, b);
+        for c in &a {
+            assert_ne!(c, &cfg, "candidate must change the config");
+        }
+    }
+
+    /// Shrinking the injected engine bug strips structure down to the
+    /// minimal deterministic case — and does so identically twice.
+    #[test]
+    fn injected_bug_shrinks_deterministically() {
+        let mut cfg = FuzzConfig::generate(1);
+        cfg.slices = 4;
+        cfg.slots = 48;
+        cfg.waves = 2;
+        cfg.packets = 60;
+        cfg.cluster = None;
+        let first = shrink(&cfg, Bug::EngineMergeSkew, 64);
+        let second = shrink(&cfg, Bug::EngineMergeSkew, 64);
+        assert_eq!(first.config, second.config, "shrinker must be deterministic");
+        assert_eq!(first.reason, second.reason);
+        assert_eq!(first.config.to_json_value().render(), second.config.to_json_value().render());
+        assert_eq!(first.config.waves, 1, "waves should minimize");
+        assert!(first.config.packets < 60, "packets should minimize");
+        assert!(first.steps > 0);
+        // The minimized case still fails with the same class of defect.
+        assert!(first.reason.contains("engine (4 workers)"), "{}", first.reason);
+    }
+}

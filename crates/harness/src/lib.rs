@@ -18,6 +18,7 @@
 pub mod bench_gate;
 pub mod cli;
 pub mod experiments;
+pub mod fuzz;
 pub mod lint;
 pub mod multiserver;
 pub mod runner;

@@ -11,12 +11,17 @@ use crate::{ParseError, Result};
 use std::io::{self, Read, Write};
 
 const MAGIC: u32 = 0xA1B2_C3D4;
+/// `MAGIC` as written by an opposite-endian host: every header field of
+/// such a file must be byte-swapped on read.
+const MAGIC_SWAPPED: u32 = 0xD4C3_B2A1;
 const VERSION_MAJOR: u16 = 2;
 const VERSION_MINOR: u16 = 4;
 /// LINKTYPE_ETHERNET.
 const LINKTYPE: u32 = 1;
 const GLOBAL_HEADER_LEN: usize = 24;
 const RECORD_HEADER_LEN: usize = 16;
+/// Default capture bound, the classic tcpdump value.
+pub const DEFAULT_SNAPLEN: u32 = 65535;
 
 /// A captured packet with its timestamp.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,18 +30,28 @@ pub struct PcapRecord {
     pub ts_sec: u32,
     /// Capture time, microseconds part.
     pub ts_usec: u32,
-    /// Packet bytes (we never truncate, so caplen == len).
+    /// Original on-wire length. When the capture truncated the packet at
+    /// the file's snaplen, this exceeds `bytes.len()`.
+    pub orig_len: u32,
+    /// Captured bytes (at most snaplen of the original packet).
     pub bytes: Vec<u8>,
 }
 
 impl PcapRecord {
-    /// Builds a record from a packet and a nanosecond timestamp.
+    /// Builds an untruncated record from a packet and a nanosecond
+    /// timestamp.
     pub fn from_packet(pkt: &Packet, t_nanos: u64) -> Self {
         PcapRecord {
             ts_sec: (t_nanos / 1_000_000_000) as u32,
             ts_usec: ((t_nanos % 1_000_000_000) / 1_000) as u32,
+            orig_len: pkt.bytes().len().try_into().expect("packet fits a u32"),
             bytes: pkt.bytes().to_vec(),
         }
+    }
+
+    /// Whether the capture clipped this packet (caplen < on-wire length).
+    pub fn truncated(&self) -> bool {
+        (self.bytes.len() as u64) < u64::from(self.orig_len)
     }
 }
 
@@ -44,30 +59,47 @@ impl PcapRecord {
 #[derive(Debug)]
 pub struct PcapWriter<W: Write> {
     sink: W,
+    snaplen: u32,
     records: usize,
 }
 
 impl<W: Write> PcapWriter<W> {
-    /// Creates a writer and emits the global header (snaplen 65535).
-    pub fn new(mut sink: W) -> io::Result<Self> {
+    /// Creates a writer and emits the global header with the default
+    /// snaplen of 65535.
+    pub fn new(sink: W) -> io::Result<Self> {
+        Self::with_snaplen(sink, DEFAULT_SNAPLEN)
+    }
+
+    /// Creates a writer with an explicit snaplen: records longer than
+    /// `snaplen` are stored truncated, with `orig_len` preserving the
+    /// on-wire length (exactly what `tcpdump -s` produces).
+    pub fn with_snaplen(mut sink: W, snaplen: u32) -> io::Result<Self> {
         sink.write_all(&MAGIC.to_le_bytes())?;
         sink.write_all(&VERSION_MAJOR.to_le_bytes())?;
         sink.write_all(&VERSION_MINOR.to_le_bytes())?;
         sink.write_all(&0i32.to_le_bytes())?; // thiszone
         sink.write_all(&0u32.to_le_bytes())?; // sigfigs
-        sink.write_all(&65535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&snaplen.to_le_bytes())?;
         sink.write_all(&LINKTYPE.to_le_bytes())?;
-        Ok(PcapWriter { sink, records: 0 })
+        Ok(PcapWriter { sink, snaplen, records: 0 })
     }
 
-    /// Appends one record.
+    /// Appends one record, clipping it to the file's snaplen. A record
+    /// whose byte length does not fit the format's 32-bit length fields
+    /// is rejected instead of silently wrapped.
     pub fn write_record(&mut self, rec: &PcapRecord) -> io::Result<()> {
-        let len = rec.bytes.len() as u32;
+        let full: u32 = rec.bytes.len().try_into().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "pcap record exceeds u32 length")
+        })?;
+        let incl = full.min(self.snaplen);
+        // A record that was itself read from a truncated capture keeps
+        // its original on-wire length.
+        let orig = rec.orig_len.max(full);
         self.sink.write_all(&rec.ts_sec.to_le_bytes())?;
         self.sink.write_all(&rec.ts_usec.to_le_bytes())?;
-        self.sink.write_all(&len.to_le_bytes())?; // incl_len
-        self.sink.write_all(&len.to_le_bytes())?; // orig_len
-        self.sink.write_all(&rec.bytes)?;
+        self.sink.write_all(&incl.to_le_bytes())?; // incl_len
+        self.sink.write_all(&orig.to_le_bytes())?; // orig_len
+        self.sink.write_all(&rec.bytes[..incl as usize])?;
         self.records += 1;
         Ok(())
     }
@@ -100,7 +132,8 @@ impl PcapReader {
         Self::parse(&data)
     }
 
-    /// Parses an in-memory pcap image.
+    /// Parses an in-memory pcap image. Files written by an opposite-endian
+    /// host (swapped magic) are byte-swapped transparently.
     pub fn parse(data: &[u8]) -> Result<Self> {
         if data.len() < GLOBAL_HEADER_LEN {
             return Err(ParseError::Truncated {
@@ -110,11 +143,20 @@ impl PcapReader {
             });
         }
         let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
-        if magic != MAGIC {
-            return Err(ParseError::Malformed { what: "pcap", why: "bad magic" });
-        }
-        let linktype = u32::from_le_bytes([data[20], data[21], data[22], data[23]]);
-        if linktype != LINKTYPE {
+        let swapped = match magic {
+            MAGIC => false,
+            MAGIC_SWAPPED => true,
+            _ => return Err(ParseError::Malformed { what: "pcap", why: "bad magic" }),
+        };
+        let read32 = |off: usize| -> u32 {
+            let raw: [u8; 4] = data[off..off + 4].try_into().expect("4 bytes");
+            if swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        if read32(20) != LINKTYPE {
             return Err(ParseError::Malformed { what: "pcap", why: "not ethernet linktype" });
         }
         let mut records = Vec::new();
@@ -127,9 +169,16 @@ impl PcapReader {
                     have: data.len() - off,
                 });
             }
-            let ts_sec = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"));
-            let ts_usec = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
-            let incl = u32::from_le_bytes(data[off + 8..off + 12].try_into().expect("4 bytes"));
+            let ts_sec = read32(off);
+            let ts_usec = read32(off + 4);
+            let incl = read32(off + 8);
+            let orig_len = read32(off + 12);
+            if incl > orig_len {
+                return Err(ParseError::Malformed {
+                    what: "pcap record",
+                    why: "caplen exceeds packet length",
+                });
+            }
             off += RECORD_HEADER_LEN;
             let incl = incl as usize;
             if data.len() - off < incl {
@@ -139,7 +188,12 @@ impl PcapReader {
                     have: data.len() - off,
                 });
             }
-            records.push(PcapRecord { ts_sec, ts_usec, bytes: data[off..off + incl].to_vec() });
+            records.push(PcapRecord {
+                ts_sec,
+                ts_usec,
+                orig_len,
+                bytes: data[off..off + incl].to_vec(),
+            });
             off += incl;
         }
         Ok(PcapReader { records })
@@ -237,5 +291,85 @@ mod tests {
         let bytes = w.finish().unwrap();
         let r = PcapReader::parse(&bytes).unwrap();
         assert!(r.records().is_empty());
+    }
+
+    /// Regression: the writer used to declare snaplen 65535 yet store
+    /// every record full-length with incl_len == orig_len, so a capture
+    /// with an explicit snaplen lied about truncation. Clipped records
+    /// now carry the real on-wire length in orig_len.
+    #[test]
+    fn snaplen_truncates_and_preserves_orig_len() {
+        let records = sample_records();
+        let long = records.iter().map(|r| r.bytes.len()).max().unwrap();
+        let snap = (long - 10) as u32;
+        let mut w = PcapWriter::with_snaplen(Vec::new(), snap).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let rt = PcapReader::parse(&bytes).unwrap().into_records();
+        assert_eq!(rt.len(), records.len());
+        for (orig, got) in records.iter().zip(&rt) {
+            assert_eq!(got.orig_len as usize, orig.bytes.len());
+            let expect = orig.bytes.len().min(snap as usize);
+            assert_eq!(got.bytes, orig.bytes[..expect]);
+            assert_eq!(got.truncated(), orig.bytes.len() > snap as usize);
+            assert_eq!((got.ts_sec, got.ts_usec), (orig.ts_sec, orig.ts_usec));
+        }
+        assert!(rt.iter().any(PcapRecord::truncated), "snaplen must clip the longest record");
+        // Re-writing a truncated record under a roomier snaplen keeps the
+        // original on-wire length instead of shrinking it to the caplen.
+        let mut w2 = PcapWriter::new(Vec::new()).unwrap();
+        for r in &rt {
+            w2.write_record(r).unwrap();
+        }
+        let rt2 = PcapReader::parse(&w2.finish().unwrap()).unwrap().into_records();
+        assert_eq!(rt2, rt);
+    }
+
+    #[test]
+    fn rejects_caplen_beyond_packet_length() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Shrink orig_len (offset 36 = 24 global + 12) below incl_len.
+        bytes[GLOBAL_HEADER_LEN + 12..GLOBAL_HEADER_LEN + 16].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            PcapReader::parse(&bytes),
+            Err(ParseError::Malformed { why: "caplen exceeds packet length", .. })
+        ));
+    }
+
+    /// Regression: the reader rejected captures written on an
+    /// opposite-endian host outright. A swapped magic now byte-swaps
+    /// every header field.
+    #[test]
+    fn reads_opposite_endian_captures() {
+        let records = sample_records();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let le = w.finish().unwrap();
+        // Byte-swap every header field to fabricate the big-endian file.
+        let swap32 = |out: &mut Vec<u8>, src: &[u8]| out.extend(src[..4].iter().rev());
+        let mut be = Vec::with_capacity(le.len());
+        swap32(&mut be, &le[0..]); // magic
+        be.extend_from_slice(&[le[5], le[4], le[7], le[6]]); // two u16 versions
+        for field in 2..6 {
+            swap32(&mut be, &le[field * 4..]); // thiszone..linktype
+        }
+        let mut off = GLOBAL_HEADER_LEN;
+        while off < le.len() {
+            for field in 0..4 {
+                swap32(&mut be, &le[off + field * 4..]);
+            }
+            let incl = u32::from_le_bytes(le[off + 8..off + 12].try_into().unwrap()) as usize;
+            off += RECORD_HEADER_LEN;
+            be.extend_from_slice(&le[off..off + incl]);
+            off += incl;
+        }
+        let rt = PcapReader::parse(&be).unwrap().into_records();
+        assert_eq!(rt, records);
     }
 }

@@ -127,6 +127,46 @@ proptest! {
         prop_assert_eq!(records, rt);
     }
 
+    /// pcap round-trip under an arbitrary snaplen: record boundaries stay
+    /// intact, clipped records keep their on-wire length in orig_len, and
+    /// timestamps (second/microsecond parts) survive exactly.
+    #[test]
+    fn pcap_snaplen_roundtrip(sizes in proptest::collection::vec(42usize..600, 1..20),
+                              stamps in proptest::collection::vec(any::<u64>(), 20..21),
+                              snaplen in 42u32..700,
+                              seed in any::<u64>()) {
+        let records: Vec<PcapRecord> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let pkt = UdpPacketBuilder::new().total_size(s, seed ^ i as u64).build();
+                PcapRecord::from_packet(&pkt, stamps[i])
+            })
+            .collect();
+        let mut w = PcapWriter::with_snaplen(Vec::new(), snaplen).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let rt = PcapReader::parse(&bytes).unwrap().into_records();
+        prop_assert_eq!(rt.len(), records.len());
+        for (orig, got) in records.iter().zip(&rt) {
+            prop_assert_eq!(got.orig_len as usize, orig.bytes.len());
+            let clip = orig.bytes.len().min(snaplen as usize);
+            prop_assert_eq!(&got.bytes[..], &orig.bytes[..clip]);
+            prop_assert_eq!(got.truncated(), orig.bytes.len() > snaplen as usize);
+            prop_assert_eq!((got.ts_sec, got.ts_usec), (orig.ts_sec, orig.ts_usec));
+        }
+        // A second pass through the writer/reader is a fixpoint: nothing
+        // shrinks further and orig_len survives unchanged.
+        let mut w2 = PcapWriter::with_snaplen(Vec::new(), snaplen).unwrap();
+        for r in &rt {
+            w2.write_record(r).unwrap();
+        }
+        let rt2 = PcapReader::parse(&w2.finish().unwrap()).unwrap().into_records();
+        prop_assert_eq!(rt2, rt);
+    }
+
     /// Ethernet MAC swap is an involution.
     #[test]
     fn mac_swap_involution(size in 60usize..200, seed in any::<u64>()) {

@@ -17,7 +17,7 @@
 //!    at every step.
 
 use payloadpark::CounterSnapshot;
-use pp_cluster::{Cluster, ClusterConfig};
+use pp_cluster::{Cluster, ClusterConfig, StoreKind};
 use pp_fastpath::{adverse_return_wave, SlicedTestbed};
 use pp_netsim::adversity::{AdversityProfile, FaultTally, LegProfile};
 use pp_rmt::switch::SwitchOutput;
@@ -183,4 +183,70 @@ fn churn_under_adversity_stays_oracle_clean() {
     let totals = cluster.cluster_counters();
     assert!(totals.merges > 0);
     assert_eq!(cluster.occupancy() as i64, totals.outstanding(), "churn leaked slots");
+}
+
+/// Spill-tier payloads must survive rebalance migration byte-for-byte
+/// (the pp-fuzz satellite regression): park a wave onto switches whose
+/// hot tier is far too small — most payloads demote to the spill map —
+/// then join and leave with everything still parked, and finally merge.
+/// Every delivered packet must match the scalar reference exactly, the
+/// spill gauge must track the demoted population across migrations, and
+/// the books must balance at every step.
+#[test]
+fn spill_tier_payloads_survive_rebalance_byte_identical() {
+    const HOT: usize = 8;
+    let wave = TB.counted_enterprise_wave(36, PACKETS);
+
+    // Scalar reference: the same wave, two-phase, no cluster, no churn.
+    let (mut sw, control) = TB.build_scalar();
+    let scalar_out = canonical(TB.scalar_roundtrip_two_phase(&mut sw, &wave));
+    assert!(control.counters(&sw).splits as usize > 2 * HOT, "wave must overflow the hot tier");
+
+    let mut cluster = build(ClusterConfig {
+        store: StoreKind::SlabSpill { hot_capacity: HOT },
+        ..ClusterConfig::slab(2)
+    });
+
+    // Split phase: with two switches and an 8-payload hot tier each,
+    // most parked payloads must demote before anything merges.
+    let outs = cluster.process_wave(&wave);
+    let parked = cluster.occupancy();
+    let spilled_before = cluster.spilled();
+    assert!(spilled_before > 0, "nothing demoted to the spill tier");
+    assert!(parked > spilled_before, "hot tier unused");
+    cluster.check_oracle().assert_ok();
+
+    // Churn with every payload still parked: a third switch joins
+    // (spilled payloads migrate store-to-store), then the lowest
+    // original switch leaves (its spill tier migrates again).
+    cluster.join().expect("switch 2 joins");
+    assert_eq!(cluster.occupancy(), parked, "join lost parked flows");
+    assert!(cluster.counters().rebalance_moved_flows > 0, "nothing migrated");
+    assert!(cluster.spilled() <= parked, "spill gauge exceeds the parked population");
+    cluster.check_oracle().assert_ok();
+
+    let gone = cluster.switch_ids()[0];
+    cluster.leave(gone).expect("a three-switch cluster can lose one");
+    assert_eq!(cluster.occupancy(), parked, "leave lost parked flows");
+    // Two survivors, 8 hot payloads each: the overflow is still demoted.
+    assert!(cluster.spilled() >= parked.saturating_sub(2 * HOT), "demoted payloads vanished");
+    cluster.check_oracle().assert_ok();
+
+    // Merge phase: every payload — hot or spilled, migrated twice —
+    // restores byte-identically to the scalar reference.
+    let back: Vec<_> = outs
+        .into_iter()
+        .map(|mut pkt| {
+            pkt.bytes[0..6].copy_from_slice(&TB.sink_mac().0);
+            pkt
+        })
+        .collect();
+    let merged = canonical(cluster.process_return_wave(back));
+    assert_eq!(merged.len(), scalar_out.len(), "delivered count diverged");
+    for (c, s) in merged.iter().zip(&scalar_out) {
+        assert_eq!(c, s, "delivered byte set diverged");
+    }
+    assert_eq!(cluster.occupancy(), 0, "merges left flows parked");
+    assert_eq!(cluster.spilled(), 0, "spill gauge leaked after restore");
+    cluster.check_oracle().assert_ok();
 }

@@ -1,0 +1,255 @@
+//! End-to-end acceptance for the differential conformance fuzzer.
+//!
+//! Four pins:
+//!
+//! 1. **Clean batch** — the CI `--quick` batch (same seed, same iteration
+//!    count) finds zero violations, and two runs render identically.
+//! 2. **Bug detection** — the deliberately injected engine-counter skew
+//!    is caught, shrunk to a minimal repro, shrunk *identically* a second
+//!    time (byte-for-byte repro files), and the repro replays to the same
+//!    failure while the bug is active.
+//! 3. **Pre-screen** — a statically rejected config is skipped, never
+//!    executed.
+//! 4. **Corpus** — the checked-in `corpus/` of pinned regressions matches
+//!    its in-tree definitions exactly and replays clean against today's
+//!    code.
+//!
+//! To regenerate `corpus/` after an intentional format or generator
+//! change: `cargo test --test fuzz_harness -- --ignored regenerate`.
+
+use pp_harness::fuzz::cli::{DEFAULT_SEED, QUICK_ITERS};
+use pp_harness::fuzz::config::{
+    AdversityKnobs, ClusterEvent, ClusterFuzz, DesKnobs, FuzzConfig, NfChoice, PolicyKnobs,
+    StoreChoice,
+};
+use pp_harness::fuzz::corpus::{corpus_files, parse_repro, render_repro, replay_file, Repro};
+use pp_harness::fuzz::driver::{run_case, Bug, CaseOutcome};
+use pp_harness::fuzz::{run_fuzz, FuzzCli};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// The pinned regressions, as code. Each entry reproduces the workload
+/// class of a bug this PR's satellites fixed; the JSON files in
+/// `corpus/` are exactly `render_repro` of these (guarded by
+/// [`corpus_matches_pinned_definitions`]), and CI replays the directory
+/// on every push via `pp-fuzz corpus`.
+fn pinned_repros() -> Vec<(String, Repro)> {
+    // Common quiet baseline to override per scenario.
+    fn base(seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            slices: 4,
+            slots: 48,
+            expiry: 1,
+            store: StoreChoice::Slab,
+            tcp_permille: 0,
+            waves: 2,
+            packets: 120,
+            wave_seed: 9,
+            adversity: AdversityKnobs {
+                seed: 77,
+                to_nf_drop_permille: 0,
+                drop_permille: 0,
+                duplicate_permille: 0,
+                truncate_permille: 0,
+                corrupt_permille: 0,
+                reorder_permille: 0,
+                max_displacement: 0,
+                blackout: None,
+            },
+            policy: PolicyKnobs { max_expiry: 4, premature_tolerance: 0, occupied_tolerance: 64 },
+            cluster: None,
+            nf: NfChoice::MacSwap,
+            des: DesKnobs { duration_us: 600, sram_permille: 260, explicit_drop: false },
+        }
+    }
+
+    // The SlabStore spill-demotion regression: a tiny hot tier under
+    // duplication + loss + reordering + mixed TCP keeps merge residuals
+    // and expired flows flowing through `enforce_spill`, which used to
+    // double-touch the spill gauge on already-expired flows.
+    let spill = Repro {
+        seed: 101,
+        config: FuzzConfig {
+            store: StoreChoice::SlabSpill { hot_capacity: 4 },
+            tcp_permille: 700,
+            adversity: AdversityKnobs {
+                drop_permille: 100,
+                duplicate_permille: 150,
+                reorder_permille: 300,
+                max_displacement: 24,
+                ..base(101).adversity
+            },
+            ..base(101)
+        },
+        failure: "pinned: slab+spill demotion double-touched the spill gauge on expired flows"
+            .into(),
+    };
+
+    // The cluster spill-rebalance regression: spilled payloads migrate
+    // store-to-store through a join and a leave with flows in flight,
+    // and must restore byte-identically afterwards.
+    let rebalance = Repro {
+        seed: 102,
+        config: FuzzConfig {
+            slices: 8,
+            expiry: 2,
+            store: StoreChoice::SlabSpill { hot_capacity: 8 },
+            waves: 3,
+            packets: 100,
+            adversity: AdversityKnobs {
+                drop_permille: 50,
+                duplicate_permille: 100,
+                ..base(102).adversity
+            },
+            cluster: Some(ClusterFuzz {
+                switches: 2,
+                seed: 42,
+                schedule: vec![ClusterEvent::Join, ClusterEvent::Leave],
+            }),
+            nf: NfChoice::FwNat,
+            ..base(102)
+        },
+        failure: "pinned: spill-tier payloads must survive join/leave rebalance migration".into(),
+    };
+
+    // Adaptive-policy pressure: a cramped table under heavy return-leg
+    // loss drives premature evictions and occupied-refusals, walking the
+    // threshold both ways; the implementation must track the pure model.
+    let policy = Repro {
+        seed: 103,
+        config: FuzzConfig {
+            slots: 16,
+            store: StoreChoice::Circular,
+            tcp_permille: 500,
+            waves: 3,
+            packets: 150,
+            adversity: AdversityKnobs { drop_permille: 200, ..base(103).adversity },
+            policy: PolicyKnobs { max_expiry: 4, premature_tolerance: 0, occupied_tolerance: 8 },
+            nf: NfChoice::FwNatLb,
+            ..base(103)
+        },
+        failure: "pinned: adaptive evictor must agree with the pure policy model under pressure"
+            .into(),
+    };
+
+    vec![
+        ("spill-demotion.json".into(), spill),
+        ("cluster-spill-rebalance.json".into(), rebalance),
+        ("adaptive-policy-pressure.json".into(), policy),
+    ]
+}
+
+/// The CI quick batch is clean and renders identically across runs.
+#[test]
+fn quick_batch_is_clean_and_deterministic() {
+    let cli =
+        FuzzCli::Run { seed: DEFAULT_SEED, iters: QUICK_ITERS, corpus: None, inject_bug: false };
+    let first = run_fuzz(&cli).expect("batch runs");
+    assert_eq!(first.failures, 0, "quick batch found violations:\n{}", first.rendered);
+    assert!(first.passed > 0, "quick batch executed nothing:\n{}", first.rendered);
+    let second = run_fuzz(&cli).expect("batch runs");
+    assert_eq!(first.rendered, second.rendered, "fuzz batch is not deterministic");
+}
+
+/// The injected bug is caught, shrunk identically twice, and the repro
+/// replays to the same failure while the bug is active.
+#[test]
+fn injected_bug_is_caught_shrunk_and_replayable() {
+    let out = std::env::temp_dir().join(format!("pp-fuzz-inject-{}", std::process::id()));
+    let dirs = [out.join("a"), out.join("b")];
+    let mut repro_bytes = Vec::new();
+    for dir in &dirs {
+        let cli = FuzzCli::Run {
+            seed: DEFAULT_SEED,
+            iters: 1,
+            corpus: Some(dir.to_string_lossy().into_owned()),
+            inject_bug: true,
+        };
+        let run = run_fuzz(&cli).expect("batch runs");
+        assert_eq!(run.failures, 1, "injected bug went undetected:\n{}", run.rendered);
+        let files = corpus_files(dir).expect("repro dir");
+        assert_eq!(files.len(), 1, "expected exactly one repro");
+        repro_bytes.push(fs::read(&files[0]).expect("repro readable"));
+    }
+    assert_eq!(repro_bytes[0], repro_bytes[1], "shrinker is not deterministic");
+
+    let repro = parse_repro(std::str::from_utf8(&repro_bytes[0]).unwrap()).expect("repro parses");
+    // Replaying with the bug active reproduces the exact minimized failure.
+    match run_case(&repro.config, Bug::EngineMergeSkew) {
+        CaseOutcome::Fail { reason } => assert_eq!(reason, repro.failure, "failure drifted"),
+        other => panic!("minimized repro no longer fails under the bug: {other:?}"),
+    }
+    // And without the injection, today's code is clean on the same case.
+    match run_case(&repro.config, Bug::None) {
+        CaseOutcome::Pass(_) => {}
+        other => panic!("repro fails without the injected bug: {other:?}"),
+    }
+    fs::remove_dir_all(&out).ok();
+}
+
+/// A config the static verifier rejects is skipped, never executed.
+#[test]
+fn statically_rejected_configs_are_skipped_not_run() {
+    let mut cfg = FuzzConfig::generate(DEFAULT_SEED);
+    cfg.slots = 8192; // blows the pipe's SRAM budget
+    match run_case(&cfg, Bug::None) {
+        CaseOutcome::Skipped { reason } => {
+            assert!(reason.contains("rejected"), "unexpected skip reason: {reason}");
+        }
+        other => panic!("oversized config was executed: {other:?}"),
+    }
+}
+
+/// `corpus/` matches its in-tree definitions byte-for-byte.
+#[test]
+fn corpus_matches_pinned_definitions() {
+    for (name, repro) in pinned_repros() {
+        let path = corpus_dir().join(&name);
+        let on_disk = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} (regenerate: cargo test --test fuzz_harness -- --ignored regenerate)",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk,
+            render_repro(&repro),
+            "{name} drifted from its pinned definition \
+             (regenerate: cargo test --test fuzz_harness -- --ignored regenerate)"
+        );
+    }
+}
+
+/// Every pinned regression replays clean against today's code.
+#[test]
+fn corpus_pinned_regressions_replay_clean() {
+    let files = corpus_files(&corpus_dir()).expect("corpus directory");
+    assert!(files.len() >= 3, "corpus too small: {files:?}");
+    for file in files {
+        let replay = replay_file(&file).expect("repro loads");
+        match replay.outcome {
+            CaseOutcome::Pass(stats) => {
+                assert!(stats.splits > 0, "{}: pinned case parks nothing", file.display());
+            }
+            other => panic!("{}: pinned regression resurfaced: {other:?}", file.display()),
+        }
+    }
+}
+
+/// Regenerates `corpus/` from [`pinned_repros`]. Ignored by default;
+/// run explicitly after an intentional format or generator change.
+#[test]
+#[ignore = "writes into corpus/; run after intentional format changes"]
+fn regenerate() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).expect("corpus dir");
+    for (name, repro) in pinned_repros() {
+        fs::write(dir.join(&name), render_repro(&repro)).expect("write repro");
+        println!("wrote corpus/{name}");
+    }
+}
